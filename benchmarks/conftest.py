@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper and
+prints the corresponding rows / series (run with ``-s`` to see them, e.g.
+``pytest benchmarks/ --benchmark-only -s``).  Training-based benchmarks use
+the scaled-down run configuration below so the whole harness completes in
+a few minutes on a CPU while exercising the full Algorithm 1 code path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.config import RunConfig
+
+#: Scaled-down configuration for training-based benchmarks.  Large enough
+#: that the accuracy trends of Figures 13 and 15b are visible (the models
+#: reach well above 10-class chance), small enough that the whole harness
+#: finishes in a few minutes on a CPU.
+BENCH_RUN = RunConfig(train_samples=512, test_samples=256, image_size=12,
+                      epochs_per_round=2, final_epochs=3, batch_size=64,
+                      model_scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def bench_run() -> RunConfig:
+    return BENCH_RUN
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a heavyweight experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

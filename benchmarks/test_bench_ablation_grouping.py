@@ -1,0 +1,29 @@
+"""Ablation benchmark: dense-column-first grouping vs first-fit vs random."""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_grouping
+from repro.experiments.common import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_ablation_grouping_policy(benchmark):
+    result = run_once(benchmark, ablation_grouping.run, network="resnet20")
+
+    print("\nAblation — column-grouping policy (ResNet-20 shapes, alpha=8, gamma=0.5)")
+    print(format_table(
+        ["policy", "combined columns", "mean packing efficiency"],
+        [(policy, values["total_combined_columns"],
+          f"{values['mean_packing_efficiency']:.1%}")
+         for policy, values in result["policies"].items()]))
+    print("the dense-column-first policy should be at least as compact as the "
+          "alternatives (paper motivates it by analogy to bin packing)")
+
+    policies = result["policies"]
+    dense_first = policies["dense-first"]["total_combined_columns"]
+    for other in ("first-fit", "random"):
+        # Dense-first should not be substantially worse than either alternative.
+        assert dense_first <= 1.1 * policies[other]["total_combined_columns"]
+    for values in policies.values():
+        assert values["mean_packing_efficiency"] > 0.4

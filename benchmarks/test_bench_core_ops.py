@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the core operations (grouping, packing, array execution).
+
+Unlike the table / figure benchmarks, these measure the library's own
+primitives repeatedly with pytest-benchmark, so regressions in the hot
+paths (Algorithm 2 grouping, packed matrix multiplication, tiled execution)
+show up as timing changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.combining import group_columns, pack_filter_matrix
+from repro.systolic import ArrayConfig, SystolicArray, TiledMatmul
+
+
+@pytest.fixture(scope="module")
+def layer_96x94():
+    rng = np.random.default_rng(0)
+    matrix = rng.normal(size=(96, 94)) * (rng.random((96, 94)) < 0.16)
+    data = rng.normal(size=(94, 256))
+    return matrix, data
+
+
+def test_bench_column_grouping(benchmark, layer_96x94):
+    matrix, _ = layer_96x94
+    grouping = benchmark(group_columns, matrix, 8, 0.5)
+    assert grouping.num_groups < matrix.shape[1]
+
+
+def test_bench_pack_filter_matrix(benchmark, layer_96x94):
+    matrix, _ = layer_96x94
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = benchmark(pack_filter_matrix, matrix, grouping)
+    assert packed.num_groups == grouping.num_groups
+
+
+def test_bench_packed_multiply(benchmark, layer_96x94):
+    matrix, data = layer_96x94
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    result = benchmark(packed.multiply, data)
+    assert result.shape == (96, 256)
+
+
+def test_bench_dense_tiled_matmul(benchmark, layer_96x94):
+    matrix, data = layer_96x94
+    tiled = TiledMatmul(ArrayConfig(rows=32, cols=32))
+    result = benchmark(tiled.multiply_dense, matrix, data)
+    assert result.num_tiles == 9
+
+
+def test_bench_packed_tiled_matmul(benchmark, layer_96x94):
+    matrix, data = layer_96x94
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    tiled = TiledMatmul(ArrayConfig(rows=32, cols=32, alpha=8))
+    result = benchmark(tiled.multiply_packed, packed, data)
+    assert result.num_tiles < 9
+
+
+def test_bench_untiled_packed_array(benchmark, layer_96x94):
+    matrix, data = layer_96x94
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    array = SystolicArray(ArrayConfig(rows=96, cols=max(1, packed.num_groups), alpha=8))
+    result = benchmark(array.multiply_packed, packed, data)
+    assert result.utilization > 0.4

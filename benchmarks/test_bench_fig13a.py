@@ -1,0 +1,31 @@
+"""Benchmark / regeneration of Figure 13a (iterative training curve)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13a
+from repro.experiments.common import format_table
+
+from benchmarks.conftest import BENCH_RUN, run_once
+
+
+def test_bench_fig13a_iterative_training(benchmark):
+    result = run_once(benchmark, fig13a.run, BENCH_RUN)
+    series = result["series"]
+
+    print("\nFigure 13a — iterative training with column combining (ResNet-20)")
+    rows = list(zip(series["epoch"], series["test_accuracy"], series["nonzeros"]))
+    print(format_table(["epoch", "test accuracy", "nonzero weights"], rows))
+    print(f"pruning epochs: {series['pruning_epochs']}")
+    print(f"paper shape: first pruning round removes the most weights; accuracy "
+          f"recovers with retraining; final utilization here {result['utilization']:.0%}")
+
+    # Shape checks mirroring the paper's Figure 13a.
+    nonzeros = series["nonzeros"]
+    assert nonzeros[-1] < nonzeros[0]
+    assert all(a >= b for a, b in zip(nonzeros, nonzeros[1:]))
+    # The early rounds remove the bulk of the weights (beta decays by 0.9 per
+    # round, so later rounds prune progressively less).
+    drops = [nonzeros[i] - nonzeros[i + 1] for i in range(len(nonzeros) - 1)]
+    if len(drops) >= 2:
+        midpoint = len(drops) // 2 + len(drops) % 2
+        assert sum(drops[:midpoint]) >= sum(drops[midpoint:])

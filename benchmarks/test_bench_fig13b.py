@@ -1,0 +1,28 @@
+"""Benchmark / regeneration of Figure 13b (impact of alpha)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13b
+from repro.experiments.common import format_table
+
+from benchmarks.conftest import BENCH_RUN, run_once
+
+
+def test_bench_fig13b_alpha_sweep(benchmark):
+    result = run_once(benchmark, fig13b.run, BENCH_RUN, alphas=(1, 2, 4, 8, 16))
+    points = result["points"]
+
+    print("\nFigure 13b — impact of the number of columns per group (alpha)")
+    print(format_table(["alpha", "accuracy", "utilization", "nonzeros"],
+                       [(p["alpha"], p["accuracy"], p["utilization"], p["nonzeros"])
+                        for p in points]))
+
+    by_alpha = {p["alpha"]: p for p in points}
+    # Paper shape: utilization rises with alpha and saturates by alpha = 8-16.
+    assert by_alpha[8]["utilization"] > by_alpha[1]["utilization"]
+    assert by_alpha[4]["utilization"] >= by_alpha[2]["utilization"] - 0.05
+    assert by_alpha[16]["utilization"] >= by_alpha[8]["utilization"] - 0.1
+    # Accuracy cost of combining stays bounded (paper: ~1% on full-scale
+    # CIFAR-10; the scaled synthetic substrate is noisier, so the bound is
+    # generous but still rules out a collapse).
+    assert by_alpha[8]["accuracy"] >= by_alpha[1]["accuracy"] - 0.25

@@ -1,0 +1,26 @@
+"""Benchmark / regeneration of Figure 14b (tile reduction for one layer)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig14b
+from repro.experiments.common import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig14b_single_layer_packing(benchmark):
+    result = run_once(benchmark, fig14b.run)
+
+    print("\nFigure 14b — packing one 96x94 sparse layer (16% nonzeros, 32x32 array)")
+    print(format_table(
+        ["quantity", "sparse filter matrix", "packed filter matrix"],
+        [
+            ("columns", result["columns_before"], result["columns_after"]),
+            ("density", f"{result['density_before']:.0%}", f"{result['density_after']:.0%}"),
+            ("tiles", result["tiles_before"], result["tiles_after"]),
+        ]))
+    print(f"tile reduction {result['tile_reduction']:.1f}x (paper: 3x, 9 -> 3 tiles)")
+
+    assert result["tiles_before"] == 9
+    assert result["tiles_after"] <= 4
+    assert result["tile_reduction"] >= 2.0

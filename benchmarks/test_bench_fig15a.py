@@ -1,0 +1,29 @@
+"""Benchmark / regeneration of Figure 15a (tiles per ResNet-20 layer)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig15a
+from repro.experiments.common import format_table
+from repro.hardware.reference import PAPER_CLAIMS
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig15a_tiles_per_layer(benchmark):
+    result = run_once(benchmark, fig15a.run)
+    tiles = result["tiles"]
+
+    print("\nFigure 15a — tiles per ResNet-20 layer on a 32x32 systolic array")
+    rows = [(index + 1, name, tiles["baseline"][index], tiles["column-combine"][index],
+             tiles["column-combine-pruning"][index])
+            for index, name in enumerate(result["layer_names"])]
+    print(format_table(["layer", "name", "baseline", "combine", "combine-prune"], rows))
+    totals = result["total_tiles"]
+    print(f"totals: {totals}")
+    print(f"largest-layer reduction {result['largest_layer_tile_reduction']:.1f}x "
+          f"(paper: ~{PAPER_CLAIMS['largest_layer_tile_reduction']:.0f}x)")
+
+    assert totals["baseline"] / totals["column-combine"] < 1.3
+    assert (totals["baseline"] / totals["column-combine-pruning"]
+            >= PAPER_CLAIMS["tile_reduction_min"])
+    assert result["largest_layer_tile_reduction"] >= 4.0

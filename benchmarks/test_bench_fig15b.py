@@ -1,0 +1,28 @@
+"""Benchmark / regeneration of Figure 15b (limited-data retraining)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig15b
+from repro.experiments.common import format_table
+
+from benchmarks.conftest import BENCH_RUN, run_once
+
+
+def test_bench_fig15b_limited_data(benchmark):
+    result = run_once(benchmark, fig15b.run, BENCH_RUN,
+                      fractions=(0.1, 0.25, 0.5, 1.0), pretrain_epochs=3)
+    points = result["points"]
+
+    print("\nFigure 15b — column combining with limited training data (ResNet-20)")
+    print(format_table(["fraction", "new model", "pretrained model"],
+                       [(f"{p['fraction']:.0%}", p["new_model_accuracy"],
+                         p["pretrained_model_accuracy"]) for p in points]))
+    print("paper shape: the pretrained model dominates at small fractions; the "
+          "gap closes as the fraction grows")
+
+    smallest = points[0]
+    largest = points[-1]
+    # At the smallest fraction the pretrained start is at least as good.
+    assert smallest["pretrained_model_accuracy"] >= smallest["new_model_accuracy"] - 0.05
+    # With the full data both approaches reach comparable accuracy.
+    assert abs(largest["pretrained_model_accuracy"] - largest["new_model_accuracy"]) < 0.25

@@ -1,0 +1,36 @@
+"""Benchmark / regeneration of Figure 16 (ASIC comparison, three CNNs x three settings)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig16
+from repro.experiments.common import format_table
+from repro.hardware.reference import PAPER_CLAIMS
+
+from benchmarks.conftest import BENCH_RUN, run_once
+
+
+def test_bench_fig16_asic_three_networks(benchmark):
+    result = run_once(benchmark, fig16.run, BENCH_RUN, include_accuracy=True)
+
+    print("\nFigure 16 — throughput / tiles / energy / accuracy (32x32 array, tiling)")
+    rows = []
+    for network, per_setting in result["results"].items():
+        for setting, values in per_setting.items():
+            rows.append((network, setting, values["tiles"],
+                         f"{values['throughput_fps']:.1f}",
+                         f"{values['energy_per_sample_j'] * 1e6:.2f}",
+                         f"{values['utilization']:.0%}",
+                         f"{values['accuracy']:.3f}"))
+    print(format_table(["network", "setting", "tiles", "throughput (fps)",
+                        "energy (uJ)", "utilization", "accuracy"], rows))
+    print(format_table(
+        ["network", "tile reduction", "energy reduction", "throughput gain"],
+        [(network, f"{f['tile_reduction']:.1f}x", f"{f['energy_reduction']:.1f}x",
+          f"{f['throughput_gain']:.1f}x") for network, f in result["factors"].items()]))
+    print("paper: column-combine pruning reduces energy and tiles by 4-6x and "
+          "raises throughput 3-4x across all three networks")
+
+    for network, factors in result["factors"].items():
+        assert factors["tile_reduction"] >= 3.0, network
+        assert factors["energy_reduction"] >= 2.5, network
+        assert factors["throughput_gain"] >= PAPER_CLAIMS["throughput_gain_min"] - 0.5, network

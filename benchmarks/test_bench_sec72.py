@@ -1,0 +1,30 @@
+"""Benchmark / regeneration of the Section 7.2 optimality analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import sec72
+from repro.experiments.common import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_sec72_energy_optimality(benchmark):
+    result = run_once(benchmark, sec72.run)
+
+    print("\nSection 7.2 — achieved / optimal energy efficiency")
+    print(format_table(
+        ["packing efficiency (1/c)", "r = Emem/Ecomp", "efficiency ratio"],
+        [(f"{g['packing_efficiency']:.1%}", g["r"], f"{g['efficiency_ratio']:.1%}")
+         for g in result["grid"]]))
+    example = result["paper_example"]
+    print(f"paper example: 94.5% packing -> LeNet-5 (r=0.06) {example['lenet5']:.1%}, "
+          f"ResNet-20 (r=0.1) {example['resnet20']:.1%} of optimal (paper: ~94.5%)")
+
+    assert example["lenet5"] == pytest.approx(0.945, abs=0.01)
+    assert example["resnet20"] == pytest.approx(0.945, abs=0.01)
+    # For small r the ratio tracks the packing efficiency itself.
+    small_r = [g for g in result["grid"] if g["r"] == 0.0]
+    for entry in small_r:
+        assert entry["efficiency_ratio"] == pytest.approx(entry["packing_efficiency"])

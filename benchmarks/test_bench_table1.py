@@ -1,0 +1,37 @@
+"""Benchmark / regeneration of Table 1 (ASIC LeNet-5 comparison)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+from repro.experiments.common import format_table
+
+from benchmarks.conftest import BENCH_RUN, run_once
+
+
+def test_bench_table1_lenet_asic_designs(benchmark):
+    result = run_once(benchmark, table1.run, BENCH_RUN, include_accuracy=True)
+
+    print("\nTable 1 — ASIC implementations of LeNet-5 on MNIST")
+    rows = []
+    for name, report in result["measured"].items():
+        rows.append((f"Ours ({name}) [measured]", f"{report.accuracy:.3f}",
+                     f"{report.area_efficiency:.0f}",
+                     f"{report.energy_efficiency_fpj:.0f}"))
+    for row in result["paper_rows"]:
+        rows.append((f"{row.platform} [paper]", f"{row.accuracy_percent:.2f}%",
+                     "N/A" if row.area_efficiency is None else f"{row.area_efficiency:.0f}",
+                     f"{row.energy_efficiency:.0f}"))
+    print(format_table(["platform", "accuracy", "area eff. (fps/mm^2)",
+                        "energy eff. (frames/J)"], rows))
+    print("paper shape: design 2 (5K weights) trades a little accuracy for "
+          "higher area and energy efficiency than design 1 (8K weights)")
+
+    design1 = result["measured"]["design 1"]
+    design2 = result["measured"]["design 2"]
+    # The sparser design is more efficient (Table 1's design-1 vs design-2 shape).
+    assert design2.energy_efficiency_fpj > design1.energy_efficiency_fpj
+    assert design2.area_efficiency > design1.area_efficiency
+    # Both designs are orders of magnitude more energy-efficient than the
+    # CPU / GPU rows of the paper's table.
+    cpu_row = next(r for r in result["paper_rows"] if r.hardware == "CPU")
+    assert design1.energy_efficiency_fpj > 100 * cpu_row.energy_efficiency

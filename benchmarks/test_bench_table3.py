@@ -1,0 +1,40 @@
+"""Benchmark / regeneration of Table 3 and Section 7.4 (cross-layer pipelining)."""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+from repro.experiments.common import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_table3_cross_layer_pipelining(benchmark):
+    result = run_once(benchmark, table3.run)
+
+    print("\nSection 7.4 — cross-layer pipelining (per-layer arrays, 150 MHz)")
+    rows = [(network, f"{values['sequential_us']:.1f}", f"{values['pipelined_us']:.1f}",
+             f"{values['speedup']:.1f}x", f"{result['paper_speedups'][network]:.1f}x")
+            for network, values in result["networks"].items()]
+    print(format_table(["network", "sequential (us)", "pipelined (us)",
+                        "measured speedup", "paper speedup"], rows))
+
+    print("Table 3 — end-to-end single-sample latency for CIFAR-10")
+    latency_rows = [("Ours (measured, pipelined ResNet-20)", "",
+                     f"{result['networks']['resnet20']['pipelined_us']:.1f}")]
+    for row in result["paper_rows"]:
+        latency = f"{row.latency_microseconds:.2f}"
+        if row.latency_is_lower_bound:
+            latency = ">" + latency
+        latency_rows.append((f"{row.platform} [paper]", f"{row.accuracy_percent:.2f}%", latency))
+    print(format_table(["platform", "accuracy", "latency (us/frame)"], latency_rows))
+
+    resnet = result["networks"]["resnet20"]
+    # Paper: 9.3x pipelining speedup and >12x lower latency than prior art.
+    assert resnet["speedup"] > 5.0
+    best_prior = min(row.latency_microseconds for row in result["paper_rows"]
+                     if row.platform != "Ours")
+    assert resnet["pipelined_us"] < best_prior
+    # Pipelining always helps LeNet-5 too, though our analytic model yields a
+    # smaller factor than the paper's 3.5x (see EXPERIMENTS.md).
+    lenet = result["networks"]["lenet5"]
+    assert lenet["pipelined_us"] < lenet["sequential_us"]

@@ -1,0 +1,43 @@
+"""Cross-layer pipelining: end-to-end latency of per-layer systolic arrays.
+
+Deploys every layer of the full-size column-combined ResNet-20 (and
+LeNet-5) in its own systolic array and compares single-sample latency with
+and without cross-layer pipelining (Section 3.6 / 7.4), then shows where
+the pipelined design lands relative to the CPU / GPU / FPGA latencies the
+paper quotes in Table 3.
+
+Run with:  python examples/cross_layer_pipelining.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table3 import network_latencies
+from repro.hardware.reference import TABLE3_ROWS
+from repro.systolic.pipeline import pipeline_latency, pipeline_speedup, sequential_latency
+
+FREQUENCY_HZ = 1.5e8  # the paper's FPGA clock
+
+
+def main() -> None:
+    for network, kwargs, accumulation in (
+        ("lenet5", {"image_size": 32}, 16),
+        ("resnet20", {"width_multiplier": 6, "image_size": 32}, 32),
+    ):
+        latencies = network_latencies(network, accumulation_bits=accumulation, **kwargs)
+        sequential = sequential_latency(latencies) / FREQUENCY_HZ * 1e6
+        pipelined = pipeline_latency(latencies) / FREQUENCY_HZ * 1e6
+        print(f"{network}: sequential {sequential:.1f} us -> pipelined {pipelined:.1f} us "
+              f"({pipeline_speedup(latencies):.1f}x)")
+        for layer in latencies[:3]:
+            print(f"    {layer.name}: first output after {layer.first_output_cycles} cycles, "
+                  f"streams {layer.stream_cycles} cycles")
+        print("    ...")
+
+    print("\nTable 3 context (paper-reported latencies for CIFAR-10):")
+    for row in TABLE3_ROWS:
+        marker = ">" if row.latency_is_lower_bound else ""
+        print(f"    {row.platform:<12} {marker}{row.latency_microseconds:.2f} us/frame")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Column Combining: packing sparse CNNs for efficient systolic arrays.
+
+Reproduction of Kung, McDanel, and Zhang, "Packing Sparse Convolutional
+Neural Networks for Efficient Systolic Array Implementations: Column
+Combining Under Joint Optimization" (ASPLOS 2019).
+
+The package is organised as a set of substrates plus the paper's core
+contribution:
+
+``repro.nn``
+    A from-scratch NumPy neural-network framework (modules, manual
+    backpropagation, SGD with Nesterov momentum, cosine learning-rate
+    schedule) used to train and retrain the CNNs the paper evaluates.
+``repro.data``
+    Deterministic synthetic MNIST-like and CIFAR-like datasets that stand
+    in for the original datasets (no network access is available).
+``repro.models``
+    Shift + pointwise-convolution variants of LeNet-5, VGG, and ResNet-20.
+``repro.pruning``
+    Magnitude-based weight pruning with masks (the "initial pruning" step).
+``repro.combining``
+    The paper's contribution: column grouping (Algorithm 2),
+    column-combine pruning (Algorithm 3), the iterative joint-optimization
+    trainer (Algorithm 1), packed filter matrices, row permutation, and
+    packing / utilization / tiling metrics.
+``repro.quant``
+    8-bit linear fixed-point quantization of inputs and weights.
+``repro.systolic``
+    A weight-stationary, bit-serial systolic array simulator with BL / IL /
+    MX cells, tiled matrix multiplication, and cross-layer pipelining.
+``repro.hardware``
+    Analytical ASIC / FPGA energy, area, and latency models plus the
+    prior-art reference numbers used in the paper's comparison tables.
+``repro.experiments``
+    One runner per table and figure in the paper's evaluation section.
+"""
+
+from repro.combining.grouping import ColumnGrouping, group_columns
+from repro.combining.packing import PackedFilterMatrix, pack_filter_matrix
+from repro.combining.pruning import column_combine_prune
+from repro.combining.trainer import ColumnCombineConfig, ColumnCombineTrainer
+from repro.combining.metrics import (
+    packing_efficiency,
+    utilization_efficiency,
+    density,
+    count_conflicts,
+)
+from repro.combining.tiling import tile_count, tiles_for_layer
+
+__all__ = [
+    "ColumnGrouping",
+    "group_columns",
+    "PackedFilterMatrix",
+    "pack_filter_matrix",
+    "column_combine_prune",
+    "ColumnCombineConfig",
+    "ColumnCombineTrainer",
+    "packing_efficiency",
+    "utilization_efficiency",
+    "density",
+    "count_conflicts",
+    "tile_count",
+    "tiles_for_layer",
+]
+
+__version__ = "1.0.0"

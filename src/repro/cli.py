@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+Three subcommands cover the library's main workflows:
+
+``pack``
+    Pack a single sparse filter matrix (random, or loaded from a ``.npy``
+    file) and print the packing / tiling report — the quickest way to see
+    what column combining does to a layer.
+``train``
+    Run Algorithm 1 (iterative pruning + column combining + retraining) on
+    one of the built-in shift + pointwise networks over the synthetic
+    dataset, then print the training history and the per-layer packing
+    report.
+``experiment``
+    Run one of the paper's experiment runners (fig13a ... table3, sec72,
+    ablation-grouping) and print the same rows / series the paper reports.
+
+Examples::
+
+    python -m repro pack --rows 96 --cols 94 --density 0.16
+    python -m repro train --model lenet5 --alpha 8 --gamma 0.5
+    python -m repro experiment fig15a
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.combining import group_columns, pack_filter_matrix, packing_report
+from repro.experiments import (
+    ablation_grouping,
+    fig13a,
+    fig13b,
+    fig13c,
+    fig14b,
+    fig15a,
+    fig15b,
+    fig16,
+    sec72,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.common import FAST_RUN, combine_config, format_table, run_column_combining
+from repro.experiments.workloads import sparse_filter_matrix
+
+EXPERIMENTS = {
+    "fig13a": fig13a.main,
+    "fig13b": fig13b.main,
+    "fig13c": fig13c.main,
+    "fig14b": fig14b.main,
+    "fig15a": fig15a.main,
+    "fig15b": fig15b.main,
+    "fig16": fig16.main,
+    "table1": table1.main,
+    "table2": table2.main,
+    "table3": table3.main,
+    "sec72": sec72.main,
+    "ablation-grouping": ablation_grouping.main,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Column combining for sparse CNNs on systolic arrays "
+                    "(ASPLOS 2019 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    pack = subparsers.add_parser("pack", help="pack one sparse filter matrix")
+    pack.add_argument("--matrix", type=str, default=None,
+                      help=".npy file holding the filter matrix (rows x cols)")
+    pack.add_argument("--rows", type=int, default=96)
+    pack.add_argument("--cols", type=int, default=94)
+    pack.add_argument("--density", type=float, default=0.16)
+    pack.add_argument("--alpha", type=int, default=8)
+    pack.add_argument("--gamma", type=float, default=0.5)
+    pack.add_argument("--array-rows", type=int, default=32)
+    pack.add_argument("--array-cols", type=int, default=32)
+    pack.add_argument("--seed", type=int, default=0)
+
+    train = subparsers.add_parser("train", help="run Algorithm 1 on a built-in model")
+    train.add_argument("--model", choices=["lenet5", "vgg", "resnet20"], default="resnet20")
+    train.add_argument("--alpha", type=int, default=8)
+    train.add_argument("--beta", type=float, default=0.20)
+    train.add_argument("--gamma", type=float, default=0.5)
+    train.add_argument("--target-fraction", type=float, default=0.2)
+    train.add_argument("--epochs-per-round", type=int, default=FAST_RUN.epochs_per_round)
+    train.add_argument("--final-epochs", type=int, default=FAST_RUN.final_epochs)
+    train.add_argument("--train-samples", type=int, default=FAST_RUN.train_samples)
+    train.add_argument("--image-size", type=int, default=FAST_RUN.image_size)
+    train.add_argument("--model-scale", type=float, default=FAST_RUN.model_scale)
+    train.add_argument("--lr", type=float, default=0.05)
+    train.add_argument("--seed", type=int, default=0)
+
+    experiment = subparsers.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    return parser
+
+
+def _command_pack(args: argparse.Namespace) -> int:
+    if args.matrix is not None:
+        matrix = np.load(args.matrix)
+        if matrix.ndim != 2:
+            print(f"error: {args.matrix} does not contain a 2-D matrix", file=sys.stderr)
+            return 2
+    else:
+        rng = np.random.default_rng(args.seed)
+        matrix = sparse_filter_matrix(args.rows, args.cols, args.density, rng)
+    grouping = group_columns(matrix, alpha=args.alpha, gamma=args.gamma)
+    packed = pack_filter_matrix(matrix, grouping)
+    report = packing_report([("matrix", packed)], array_rows=args.array_rows,
+                            array_cols=args.array_cols)
+    layer = report.layers[0]
+    print(format_table(
+        ["quantity", "before", "after"],
+        [
+            ("columns", layer.columns_before, layer.columns_after),
+            ("density", f"{np.count_nonzero(matrix) / matrix.size:.1%}",
+             f"{layer.packing_efficiency:.1%}"),
+            ("tiles", layer.tiles_before, layer.tiles_after),
+        ]))
+    print(f"multiplexing degree (MX fan-in needed): {layer.multiplexing_degree}")
+    return 0
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    run = FAST_RUN.scaled(train_samples=args.train_samples, image_size=args.image_size,
+                          epochs_per_round=args.epochs_per_round,
+                          final_epochs=args.final_epochs, model_scale=args.model_scale,
+                          seed=args.seed)
+    config = combine_config(run, alpha=args.alpha, beta=args.beta, gamma=args.gamma,
+                            target_fraction=args.target_fraction, lr=args.lr)
+    result = run_column_combining(args.model, run, config)
+    trainer = result["trainer"]
+    history = result["history"]
+    print(format_table(
+        ["epoch", "phase", "test accuracy", "nonzeros"],
+        [(r.epoch, r.phase, r.test_accuracy, r.nonzeros) for r in history.records]))
+    report = packing_report(trainer.packed_layers())
+    print(format_table(
+        ["layer", "shape", "combined cols", "packing eff.", "mux", "tiles before",
+         "tiles after"],
+        report.to_rows()))
+    print(f"final accuracy {history.final_accuracy:.3f}, "
+          f"utilization {result['utilization']:.1%}, "
+          f"nonzeros {trainer.initial_nonzeros} -> {history.final_nonzeros}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    EXPERIMENTS[args.name]()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "pack":
+        return _command_pack(args)
+    if args.command == "train":
+        return _command_train(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

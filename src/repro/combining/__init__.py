@@ -1,0 +1,77 @@
+"""Column combining: the paper's core contribution.
+
+The public surface mirrors the paper's algorithms:
+
+* :func:`~repro.combining.grouping.group_columns` — Algorithm 2, the
+  dense-column-first column grouping under the group-size (α) and
+  limited-conflict (γ) constraints.
+* :func:`~repro.combining.pruning.column_combine_prune` — Algorithm 3,
+  pruning all conflicting weights but the largest-magnitude one per row.
+* :class:`~repro.combining.trainer.ColumnCombineTrainer` — Algorithm 1, the
+  iterative joint optimization of utilization efficiency and accuracy.
+* :class:`~repro.combining.packing.PackedFilterMatrix` — the packed matrix
+  plus the per-cell channel indices that an MX-cell systolic array needs.
+* :mod:`~repro.combining.permutation` — the row permutation of Section 3.5
+  that makes each next-layer group contiguous, removing the switchbox.
+* :mod:`~repro.combining.metrics` / :mod:`~repro.combining.tiling` —
+  packing / utilization efficiency and tile-count arithmetic.
+"""
+
+from repro.combining.grouping import ColumnGrouping, group_columns
+from repro.combining.pruning import column_combine_prune, conflict_mask
+from repro.combining.packing import PackedFilterMatrix, pack_filter_matrix
+from repro.combining.permutation import (
+    permutation_from_groups,
+    apply_row_permutation,
+    apply_column_permutation,
+    remap_groups_contiguous,
+    plan_cross_layer_permutations,
+)
+from repro.combining.metrics import (
+    density,
+    column_density,
+    count_conflicts,
+    packing_efficiency,
+    utilization_efficiency,
+)
+from repro.combining.tiling import tile_count, tiles_for_layer, tiles_for_model
+from repro.combining.trainer import (
+    ColumnCombineConfig,
+    ColumnCombineTrainer,
+    EpochRecord,
+    TrainingHistory,
+)
+from repro.combining.reports import (
+    LayerPackingReport,
+    ModelPackingReport,
+    packing_report,
+)
+
+__all__ = [
+    "ColumnGrouping",
+    "group_columns",
+    "column_combine_prune",
+    "conflict_mask",
+    "PackedFilterMatrix",
+    "pack_filter_matrix",
+    "permutation_from_groups",
+    "apply_row_permutation",
+    "apply_column_permutation",
+    "remap_groups_contiguous",
+    "plan_cross_layer_permutations",
+    "density",
+    "column_density",
+    "count_conflicts",
+    "packing_efficiency",
+    "utilization_efficiency",
+    "tile_count",
+    "tiles_for_layer",
+    "tiles_for_model",
+    "ColumnCombineConfig",
+    "ColumnCombineTrainer",
+    "EpochRecord",
+    "TrainingHistory",
+    "LayerPackingReport",
+    "ModelPackingReport",
+    "packing_report",
+]

@@ -1,0 +1,167 @@
+"""Column grouping — Algorithm 2 of the paper.
+
+Given a sparse filter matrix, partition its columns into groups of at most
+``alpha`` columns such that each group satisfies the limited-conflict
+condition (at most ``gamma`` conflicts per row on average).  Columns are
+assigned with the *dense-column-first combining policy*: each candidate
+column joins the group that yields the densest combined column among the
+groups that can legally accept it, which the paper likens to bin-packing
+algorithms that place large items first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ColumnGrouping:
+    """The result of grouping the columns of one filter matrix.
+
+    Attributes
+    ----------
+    groups:
+        List of groups; each group is a list of original column indices in
+        the order they were added.
+    num_columns:
+        Number of columns of the original filter matrix.
+    num_rows:
+        Number of rows of the original filter matrix.
+    alpha / gamma:
+        The constraints the grouping was built under.
+    """
+
+    groups: list[list[int]]
+    num_columns: int
+    num_rows: int
+    alpha: int
+    gamma: float
+    policy: str = "dense-first"
+    _column_to_group: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for group_index, group in enumerate(self.groups):
+            for column in group:
+                if column in seen:
+                    raise ValueError(f"column {column} appears in more than one group")
+                if not 0 <= column < self.num_columns:
+                    raise ValueError(f"column index {column} out of range")
+                seen.add(column)
+                self._column_to_group[column] = group_index
+        if len(seen) != self.num_columns:
+            missing = sorted(set(range(self.num_columns)) - seen)
+            raise ValueError(f"columns not assigned to any group: {missing[:10]}")
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def group_of(self, column: int) -> int:
+        """Index of the group that contains ``column``."""
+        return self._column_to_group[column]
+
+    def group_sizes(self) -> list[int]:
+        return [len(group) for group in self.groups]
+
+    def as_assignment(self) -> np.ndarray:
+        """Array mapping column index -> group index."""
+        assignment = np.empty(self.num_columns, dtype=int)
+        for column, group in self._column_to_group.items():
+            assignment[column] = group
+        return assignment
+
+
+def _column_order(matrix: np.ndarray, policy: str,
+                  rng: np.random.Generator | None) -> np.ndarray:
+    """Order in which ungrouped columns are considered."""
+    nonzeros_per_column = np.count_nonzero(matrix != 0, axis=0)
+    if policy == "dense-first":
+        # Densest columns first (stable for determinism), analogous to
+        # placing large items first in bin packing.
+        return np.argsort(-nonzeros_per_column, kind="stable")
+    if policy == "first-fit":
+        return np.arange(matrix.shape[1])
+    if policy == "random":
+        rng = rng if rng is not None else np.random.default_rng(0)
+        return rng.permutation(matrix.shape[1])
+    raise ValueError(f"unknown grouping policy {policy!r}")
+
+
+def group_columns(matrix: np.ndarray, alpha: int = 8, gamma: float = 0.5,
+                  policy: str = "dense-first",
+                  rng: np.random.Generator | None = None) -> ColumnGrouping:
+    """Partition the columns of ``matrix`` into combinable groups (Algorithm 2).
+
+    Parameters
+    ----------
+    matrix:
+        The (N x M) sparse filter matrix of a convolutional layer.
+    alpha:
+        Maximum number of columns per group (degree of MX-cell multiplexing).
+    gamma:
+        Maximum average number of conflicts per row allowed within a group.
+        ``gamma = 0`` forbids conflicts entirely.
+    policy:
+        Column consideration order: ``"dense-first"`` (the paper's policy),
+        ``"first-fit"``, or ``"random"`` (used by the grouping ablation).
+    rng:
+        Only used by the ``"random"`` policy.
+
+    Returns
+    -------
+    :class:`ColumnGrouping` assigning every column to exactly one group,
+    where every group has at most ``alpha`` columns and at most
+    ``gamma * N`` total conflicts.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    if alpha < 1:
+        raise ValueError("alpha must be >= 1")
+    if gamma < 0:
+        raise ValueError("gamma must be non-negative")
+    num_rows, num_columns = matrix.shape
+    if num_columns == 0:
+        return ColumnGrouping([], 0, num_rows, alpha, gamma, policy)
+
+    nonzero = matrix != 0
+    conflict_budget = gamma * num_rows
+
+    groups: list[list[int]] = []
+    # Per-group bookkeeping: rows occupied by at least one nonzero, and the
+    # total number of conflicts accumulated so far.
+    occupied: list[np.ndarray] = []
+    conflicts: list[int] = []
+
+    for column in _column_order(matrix, policy, rng):
+        column = int(column)
+        column_rows = nonzero[:, column]
+        best_group = -1
+        best_density = -1.0
+        best_new_conflicts = 0
+        for index, group in enumerate(groups):
+            if len(group) >= alpha:
+                continue
+            new_conflicts = int(np.count_nonzero(occupied[index] & column_rows))
+            if conflicts[index] + new_conflicts > conflict_budget:
+                continue
+            combined_density = np.count_nonzero(occupied[index] | column_rows) / num_rows
+            better = combined_density > best_density + 1e-12
+            tie = abs(combined_density - best_density) <= 1e-12
+            if better or (tie and new_conflicts < best_new_conflicts):
+                best_group = index
+                best_density = combined_density
+                best_new_conflicts = new_conflicts
+        if best_group < 0:
+            groups.append([column])
+            occupied.append(column_rows.copy())
+            conflicts.append(0)
+        else:
+            groups[best_group].append(column)
+            conflicts[best_group] += best_new_conflicts
+            occupied[best_group] |= column_rows
+
+    return ColumnGrouping(groups, num_columns, num_rows, alpha, gamma, policy)

@@ -1,0 +1,80 @@
+"""Packing and utilization metrics (Section 3.1 terminology).
+
+* The *density* of a column (or combined column) is the fraction of its
+  entries that are nonzero.
+* A group of columns has *x conflicts* if combining them would prune *x*
+  weights; the *limited-conflict condition* bounds conflicts per row on
+  average by γ.
+* *Packing efficiency* of a packed filter matrix is the fraction of cells
+  that hold nonzero weights; Section 5.2 notes that packing efficiency and
+  systolic-array *utilization efficiency* are interchangeable, because a
+  cell holding a nonzero weight is a cell doing useful work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def density(matrix: np.ndarray) -> float:
+    """Fraction of nonzero entries in a matrix (0.0 for an empty matrix)."""
+    matrix = np.asarray(matrix)
+    if matrix.size == 0:
+        return 0.0
+    return float(np.count_nonzero(matrix) / matrix.size)
+
+
+def column_density(matrix: np.ndarray, columns: list[int] | np.ndarray) -> float:
+    """Density of the *combined* column formed by the given columns.
+
+    A row counts as occupied if any of the selected columns has a nonzero
+    there (after combining, at most one survives, so occupancy is what
+    matters for packing).
+    """
+    matrix = np.asarray(matrix)
+    columns = np.asarray(columns, dtype=int)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    if columns.size == 0:
+        return 0.0
+    occupied = np.any(matrix[:, columns] != 0, axis=1)
+    return float(occupied.mean())
+
+
+def count_conflicts(matrix: np.ndarray, columns: list[int] | np.ndarray) -> int:
+    """Number of weights that column-combining the given columns would prune.
+
+    For each row, all nonzeros among the selected columns except one are
+    pruned, so the conflict count is ``sum(max(0, nonzeros_in_row - 1))``.
+    """
+    matrix = np.asarray(matrix)
+    columns = np.asarray(columns, dtype=int)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    if columns.size == 0:
+        return 0
+    per_row = np.count_nonzero(matrix[:, columns] != 0, axis=1)
+    return int(np.maximum(per_row - 1, 0).sum())
+
+
+def meets_limited_conflict(matrix: np.ndarray, columns: list[int] | np.ndarray,
+                           gamma: float) -> bool:
+    """Whether the group satisfies the limited-conflict condition for γ."""
+    if gamma < 0:
+        raise ValueError("gamma must be non-negative")
+    matrix = np.asarray(matrix)
+    return count_conflicts(matrix, columns) <= gamma * matrix.shape[0]
+
+
+def packing_efficiency(packed_matrix: np.ndarray) -> float:
+    """Fraction of packed-matrix cells holding nonzero weights."""
+    return density(packed_matrix)
+
+
+def utilization_efficiency(packed_matrix: np.ndarray) -> float:
+    """Systolic-array utilization efficiency of a packed filter matrix.
+
+    Equal to packing efficiency: every cell storing a nonzero weight
+    performs a useful multiply-accumulate each cycle (Section 5.2).
+    """
+    return packing_efficiency(packed_matrix)

@@ -1,0 +1,90 @@
+"""Row permutation for contiguous column groups (Section 3.5).
+
+The output channels of layer *i* are the input channels (columns) of layer
+*i+1*.  If the rows of layer *i*'s filter matrix are permuted so that the
+channels belonging to each of layer *i+1*'s column groups come out of the
+systolic array next to each other, the expensive switchbox between the two
+arrays can be replaced by a simple counter.  Row permutations on layer *i*
+never change which columns of layer *i+1* can be combined — they only
+relabel them — so the permutation can be derived directly from layer
+*i+1*'s grouping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.combining.grouping import ColumnGrouping
+
+
+def permutation_from_groups(grouping: ColumnGrouping) -> np.ndarray:
+    """Channel order that makes every group contiguous.
+
+    Returns an array ``perm`` of length ``num_columns`` such that position
+    ``i`` of the permuted channel axis holds original channel ``perm[i]``;
+    channels appear group by group, in group order.
+    """
+    order: list[int] = []
+    for group in grouping.groups:
+        order.extend(group)
+    if len(order) != grouping.num_columns:
+        raise ValueError("grouping does not cover every column")
+    return np.asarray(order, dtype=int)
+
+
+def apply_row_permutation(matrix: np.ndarray, permutation: np.ndarray) -> np.ndarray:
+    """Permute the rows (output channels) of a filter matrix."""
+    matrix = np.asarray(matrix)
+    permutation = np.asarray(permutation, dtype=int)
+    _validate_permutation(permutation, matrix.shape[0], axis="rows")
+    return matrix[permutation, :]
+
+
+def apply_column_permutation(matrix: np.ndarray, permutation: np.ndarray) -> np.ndarray:
+    """Permute the columns (input channels) of a filter matrix."""
+    matrix = np.asarray(matrix)
+    permutation = np.asarray(permutation, dtype=int)
+    _validate_permutation(permutation, matrix.shape[1], axis="columns")
+    return matrix[:, permutation]
+
+
+def remap_groups_contiguous(grouping: ColumnGrouping) -> ColumnGrouping:
+    """Re-express a grouping in the permuted channel numbering.
+
+    After the channels are reordered by :func:`permutation_from_groups`,
+    group ``h`` occupies the contiguous index range
+    ``[offset_h, offset_h + len(group_h))``.
+    """
+    groups: list[list[int]] = []
+    offset = 0
+    for group in grouping.groups:
+        groups.append(list(range(offset, offset + len(group))))
+        offset += len(group)
+    return ColumnGrouping(groups, grouping.num_columns, grouping.num_rows,
+                          grouping.alpha, grouping.gamma, grouping.policy)
+
+
+def plan_cross_layer_permutations(groupings: list[ColumnGrouping]) -> list[np.ndarray]:
+    """Row permutations for a chain of layers given each layer's grouping.
+
+    ``groupings[l]`` groups the columns (input channels) of layer ``l``.
+    The returned list has one permutation per layer: layer ``l``'s rows are
+    permuted by the grouping of layer ``l+1`` so its outputs stream out in
+    group order; the final layer keeps its natural row order (its outputs
+    feed the classifier, not another systolic array).
+    """
+    permutations: list[np.ndarray] = []
+    for index in range(len(groupings)):
+        if index + 1 < len(groupings):
+            permutations.append(permutation_from_groups(groupings[index + 1]))
+        else:
+            rows = groupings[index].num_rows
+            permutations.append(np.arange(rows, dtype=int))
+    return permutations
+
+
+def _validate_permutation(permutation: np.ndarray, size: int, axis: str) -> None:
+    if permutation.shape != (size,):
+        raise ValueError(f"permutation length {permutation.shape} does not match {axis} ({size})")
+    if not np.array_equal(np.sort(permutation), np.arange(size)):
+        raise ValueError(f"not a valid permutation of {size} {axis}")

@@ -1,0 +1,60 @@
+"""Column-combine pruning — Algorithm 3 of the paper.
+
+Within each group of columns, every row may keep at most one nonzero
+weight: the one with the largest magnitude.  All other (conflicting)
+weights in that row are pruned.  Retraining afterwards (Algorithm 1)
+recovers the lost accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.combining.grouping import ColumnGrouping
+
+
+def conflict_mask(matrix: np.ndarray, grouping: ColumnGrouping) -> np.ndarray:
+    """Binary mask of the weights that survive column-combine pruning.
+
+    For each group and each row, the largest-magnitude nonzero among the
+    group's columns is kept (ties are broken toward the earliest column in
+    the group, matching Algorithm 3's first-found-wins loop); every other
+    nonzero in that row/group is marked for pruning.  Weights outside any
+    conflict are kept unchanged.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    if grouping.num_columns != matrix.shape[1] or grouping.num_rows != matrix.shape[0]:
+        raise ValueError("grouping does not match matrix shape")
+    keep = np.zeros(matrix.shape, dtype=bool)
+    for group in grouping.groups:
+        columns = np.asarray(group, dtype=int)
+        submatrix = np.abs(matrix[:, columns])
+        # Rows with no nonzero keep nothing from this group.
+        row_has_weight = submatrix.max(axis=1) > 0
+        winners = submatrix.argmax(axis=1)  # first maximal column wins ties
+        rows = np.flatnonzero(row_has_weight)
+        keep[rows, columns[winners[rows]]] = True
+    return keep.astype(np.float64)
+
+
+def column_combine_prune(matrix: np.ndarray, grouping: ColumnGrouping
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Apply Algorithm 3 and return ``(pruned_matrix, keep_mask)``.
+
+    ``pruned_matrix`` is a copy of ``matrix`` with conflicting weights set
+    to zero; ``keep_mask`` is the binary mask of surviving weights (which
+    the trainer installs on the layer's parameter so retraining cannot
+    resurrect pruned weights).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    keep = conflict_mask(matrix, grouping)
+    return matrix * keep, keep
+
+
+def pruned_weight_count(matrix: np.ndarray, grouping: ColumnGrouping) -> int:
+    """Number of weights Algorithm 3 would remove for this grouping."""
+    matrix = np.asarray(matrix)
+    keep = conflict_mask(matrix, grouping)
+    return int(np.count_nonzero(matrix) - np.count_nonzero(matrix * keep))

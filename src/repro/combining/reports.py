@@ -1,0 +1,125 @@
+"""Human-readable packing reports for a column-combined model.
+
+These reports are what a user deploying a network would inspect after
+running Algorithm 1: per-layer columns before/after combining, packing
+efficiency, multiplexing degree, tile counts on a target array, and the
+buffer capacities the deployment needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.combining.packing import PackedFilterMatrix
+from repro.combining.tiling import tile_count
+from repro.hardware.sram import BufferRequirements, buffer_requirements
+
+
+@dataclass
+class LayerPackingReport:
+    """Packing summary of one layer."""
+
+    name: str
+    rows: int
+    columns_before: int
+    columns_after: int
+    nonzeros: int
+    packing_efficiency: float
+    multiplexing_degree: int
+    tiles_before: int
+    tiles_after: int
+
+    @property
+    def column_reduction(self) -> float:
+        if self.columns_after == 0:
+            return 1.0
+        return self.columns_before / self.columns_after
+
+    @property
+    def tile_reduction(self) -> float:
+        if self.tiles_after == 0:
+            return 1.0
+        return self.tiles_before / self.tiles_after
+
+
+@dataclass
+class ModelPackingReport:
+    """Packing summary of a whole model plus deployment buffer sizing."""
+
+    layers: list[LayerPackingReport] = field(default_factory=list)
+    array_rows: int = 32
+    array_cols: int = 32
+    buffers: BufferRequirements | None = None
+
+    @property
+    def total_nonzeros(self) -> int:
+        return sum(layer.nonzeros for layer in self.layers)
+
+    @property
+    def total_tiles_before(self) -> int:
+        return sum(layer.tiles_before for layer in self.layers)
+
+    @property
+    def total_tiles_after(self) -> int:
+        return sum(layer.tiles_after for layer in self.layers)
+
+    @property
+    def overall_packing_efficiency(self) -> float:
+        cells = sum(layer.rows * layer.columns_after for layer in self.layers)
+        if cells == 0:
+            return 0.0
+        return self.total_nonzeros / cells
+
+    @property
+    def max_multiplexing_degree(self) -> int:
+        if not self.layers:
+            return 0
+        return max(layer.multiplexing_degree for layer in self.layers)
+
+    def to_rows(self) -> list[tuple]:
+        """Rows suitable for ``repro.experiments.common.format_table``."""
+        return [
+            (layer.name, f"{layer.rows}x{layer.columns_before}",
+             layer.columns_after, f"{layer.packing_efficiency:.0%}",
+             layer.multiplexing_degree, layer.tiles_before, layer.tiles_after)
+            for layer in self.layers
+        ]
+
+
+def packing_report(packed_layers: list[tuple[str, PackedFilterMatrix]],
+                   array_rows: int = 32, array_cols: int = 32,
+                   spatial_sizes: list[int] | None = None) -> ModelPackingReport:
+    """Build a :class:`ModelPackingReport` from packed layers.
+
+    ``spatial_sizes`` (one per layer) is only needed for buffer sizing; if
+    omitted, buffer requirements are not computed.
+    """
+    report = ModelPackingReport(array_rows=array_rows, array_cols=array_cols)
+    for name, packed in packed_layers:
+        rows, groups = packed.weights.shape
+        columns_before = packed.original_shape[1]
+        report.layers.append(LayerPackingReport(
+            name=name,
+            rows=rows,
+            columns_before=columns_before,
+            columns_after=groups,
+            nonzeros=int(np.count_nonzero(packed.weights)),
+            packing_efficiency=packed.packing_efficiency(),
+            multiplexing_degree=packed.multiplexing_degree(),
+            tiles_before=tile_count(rows, columns_before, array_rows, array_cols),
+            tiles_after=tile_count(rows, groups, array_rows, array_cols),
+        ))
+    if spatial_sizes is not None:
+        if len(spatial_sizes) != len(packed_layers):
+            raise ValueError("need one spatial size per packed layer")
+        max_spatial = max(spatial_sizes) if spatial_sizes else 1
+        max_channels = max(
+            max(packed.original_shape[1], packed.num_rows)
+            for _, packed in packed_layers
+        )
+        report.buffers = buffer_requirements(
+            [(p.num_rows, p.num_groups) for _, p in packed_layers],
+            max_spatial=max_spatial, max_channels=max_channels)
+    return report

@@ -1,0 +1,32 @@
+"""Synthetic datasets standing in for MNIST and CIFAR-10.
+
+The original paper evaluates on MNIST (28x28 greyscale) and CIFAR-10
+(32x32 RGB).  Neither dataset is available in this offline environment, so
+this package synthesises deterministic class-conditional image datasets
+with matching structure: a fixed number of classes, per-class prototype
+patterns, additive noise, and small random translations.  The resulting
+classification problems are learnable by the same shift + pointwise CNNs,
+which is what the joint-optimization experiments require.
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import (
+    SyntheticImageConfig,
+    make_synthetic_dataset,
+    synthetic_mnist,
+    synthetic_cifar10,
+)
+from repro.data.loader import DataLoader
+from repro.data.augment import random_crop, random_horizontal_flip, augment_batch
+
+__all__ = [
+    "Dataset",
+    "SyntheticImageConfig",
+    "make_synthetic_dataset",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "DataLoader",
+    "random_crop",
+    "random_horizontal_flip",
+    "augment_batch",
+]

@@ -1,0 +1,40 @@
+"""Simple training-time augmentation (random crop with padding, flips)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_crop(images: np.ndarray, padding: int, rng: np.random.Generator) -> np.ndarray:
+    """Zero-pad by ``padding`` pixels then crop back to the original size."""
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+    if padding == 0:
+        return images
+    batch, channels, height, width = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.empty_like(images)
+    offsets = rng.integers(0, 2 * padding + 1, size=(batch, 2))
+    for i, (dy, dx) in enumerate(offsets):
+        out[i] = padded[i, :, dy:dy + height, dx:dx + width]
+    return out
+
+
+def random_horizontal_flip(images: np.ndarray, probability: float,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Flip each image left-right with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    if probability == 0.0:
+        return images
+    flips = rng.random(len(images)) < probability
+    out = images.copy()
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def augment_batch(images: np.ndarray, rng: np.random.Generator,
+                  crop_padding: int = 1, flip_probability: float = 0.5) -> np.ndarray:
+    """Standard CIFAR-style augmentation: random crop then horizontal flip."""
+    images = random_crop(images, crop_padding, rng)
+    return random_horizontal_flip(images, flip_probability, rng)

@@ -1,0 +1,82 @@
+"""In-memory dataset container with splitting and stratified subsetting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """Images in NCHW float layout plus integer class labels.
+
+    The ``fraction`` method implements the limited-data scenario of
+    Section 6: a customer hands the vendor only a stratified fraction of
+    the training data for column-combining retraining.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {self.images.shape}")
+        if len(self.images) != len(self.labels):
+            raise ValueError("images and labels must have the same length")
+        if self.num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        if len(self.labels) and (self.labels.min() < 0 or self.labels.max() >= self.num_classes):
+            raise ValueError("labels out of range for num_classes")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        """(channels, height, width) of a single image."""
+        return tuple(self.images.shape[1:])
+
+    def split(self, first_size: int, rng: np.random.Generator | None = None
+              ) -> tuple["Dataset", "Dataset"]:
+        """Randomly split into two datasets with ``first_size`` samples first."""
+        if not 0 < first_size < len(self):
+            raise ValueError(f"first_size must be in (0, {len(self)}), got {first_size}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        order = rng.permutation(len(self))
+        first, second = order[:first_size], order[first_size:]
+        return (
+            Dataset(self.images[first], self.labels[first], self.num_classes, f"{self.name}-a"),
+            Dataset(self.images[second], self.labels[second], self.num_classes, f"{self.name}-b"),
+        )
+
+    def fraction(self, ratio: float, rng: np.random.Generator | None = None) -> "Dataset":
+        """Return a stratified subset containing ``ratio`` of each class.
+
+        Every class keeps at least one sample so that tiny fractions (the
+        1% point of Figure 15b) still cover all classes.
+        """
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        if ratio == 1.0:
+            return Dataset(self.images.copy(), self.labels.copy(), self.num_classes, self.name)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        keep: list[np.ndarray] = []
+        for cls in range(self.num_classes):
+            idx = np.flatnonzero(self.labels == cls)
+            if len(idx) == 0:
+                continue
+            count = max(1, int(round(ratio * len(idx))))
+            keep.append(rng.choice(idx, size=count, replace=False))
+        chosen = np.sort(np.concatenate(keep))
+        return Dataset(self.images[chosen], self.labels[chosen], self.num_classes,
+                       f"{self.name}-{ratio:.0%}")
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Return the dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return Dataset(self.images[indices], self.labels[indices], self.num_classes, self.name)

@@ -1,0 +1,38 @@
+"""Mini-batch iteration over a :class:`~repro.data.dataset.Dataset`."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+class DataLoader:
+    """Iterate over a dataset in shuffled (or ordered) mini-batches."""
+
+    def __init__(self, dataset: Dataset, batch_size: int = 64, shuffle: bool = True,
+                 drop_last: bool = False, rng: np.random.Generator | None = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        full, rem = divmod(len(self.dataset), self.batch_size)
+        if rem and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        count = len(self.dataset)
+        order = self.rng.permutation(count) if self.shuffle else np.arange(count)
+        for start in range(0, count, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            yield self.dataset.images[idx], self.dataset.labels[idx]

@@ -1,0 +1,130 @@
+"""Deterministic synthetic image-classification datasets.
+
+Each class is defined by a smooth random prototype pattern; samples are the
+prototype plus Gaussian noise, a random gain, and a small random
+translation.  This provides a learnable but non-trivial classification
+problem whose difficulty can be tuned through the noise level, which is
+all the joint-optimization experiments need: accuracy drops when weights
+are pruned and recovers with retraining, just as on MNIST / CIFAR-10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+@dataclass
+class SyntheticImageConfig:
+    """Parameters describing a synthetic dataset family."""
+
+    num_classes: int = 10
+    channels: int = 1
+    image_size: int = 12
+    noise_std: float = 0.35
+    #: maximum absolute translation, in pixels, applied per sample.
+    max_shift: int = 1
+    #: spatial smoothing passes applied to the class prototypes.
+    smoothing_passes: int = 2
+    seed: int = 0
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        if self.channels < 1:
+            raise ValueError("channels must be >= 1")
+        if self.image_size < 4:
+            raise ValueError("image_size must be >= 4")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        if self.max_shift < 0:
+            raise ValueError("max_shift must be non-negative")
+
+
+def _smooth(image: np.ndarray, passes: int) -> np.ndarray:
+    """Apply a simple box-blur ``passes`` times (per channel)."""
+    out = image.copy()
+    for _ in range(passes):
+        padded = np.pad(out, ((0, 0), (1, 1), (1, 1)), mode="edge")
+        out = (
+            padded[:, :-2, 1:-1] + padded[:, 2:, 1:-1] + padded[:, 1:-1, :-2]
+            + padded[:, 1:-1, 2:] + padded[:, 1:-1, 1:-1]
+        ) / 5.0
+    return out
+
+
+def _class_prototypes(config: SyntheticImageConfig, rng: np.random.Generator) -> np.ndarray:
+    """One smooth prototype image per class, shape (classes, C, H, W)."""
+    shape = (config.num_classes, config.channels, config.image_size, config.image_size)
+    prototypes = rng.normal(0.0, 1.0, size=shape)
+    prototypes = np.stack([_smooth(p, config.smoothing_passes) for p in prototypes])
+    # Normalise each prototype to unit standard deviation so that classes are
+    # equally "loud" and the noise level controls difficulty uniformly.
+    std = prototypes.reshape(config.num_classes, -1).std(axis=1)
+    std = np.maximum(std, 1e-8)
+    return prototypes / std[:, None, None, None]
+
+
+def _translate(image: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Shift an image (C, H, W) by (dy, dx), filling with zeros."""
+    out = np.zeros_like(image)
+    height, width = image.shape[-2:]
+    src_y = slice(max(0, -dy), min(height, height - dy))
+    dst_y = slice(max(0, dy), min(height, height + dy))
+    src_x = slice(max(0, -dx), min(width, width - dx))
+    dst_x = slice(max(0, dx), min(width, width + dx))
+    out[:, dst_y, dst_x] = image[:, src_y, src_x]
+    return out
+
+
+def make_synthetic_dataset(config: SyntheticImageConfig, num_samples: int,
+                           split_seed: int = 0) -> Dataset:
+    """Generate ``num_samples`` labelled images for the given configuration.
+
+    The class prototypes depend only on ``config.seed``, so train and test
+    splits generated with different ``split_seed`` values share the same
+    underlying classification problem (as a real dataset's splits do).
+    """
+    if num_samples < config.num_classes:
+        raise ValueError("num_samples must be at least num_classes")
+    proto_rng = np.random.default_rng(config.seed)
+    prototypes = _class_prototypes(config, proto_rng)
+
+    sample_rng = np.random.default_rng((config.seed + 1) * 1_000_003 + split_seed)
+    labels = sample_rng.integers(0, config.num_classes, size=num_samples)
+    images = np.empty(
+        (num_samples, config.channels, config.image_size, config.image_size), dtype=np.float64
+    )
+    for i, cls in enumerate(labels):
+        gain = 1.0 + 0.1 * sample_rng.standard_normal()
+        image = gain * prototypes[cls]
+        if config.max_shift:
+            dy, dx = sample_rng.integers(-config.max_shift, config.max_shift + 1, size=2)
+            image = _translate(image, int(dy), int(dx))
+        image = image + config.noise_std * sample_rng.standard_normal(image.shape)
+        images[i] = image
+    return Dataset(images, labels, config.num_classes, name=config.name)
+
+
+def synthetic_mnist(num_samples: int, image_size: int = 12, seed: int = 0,
+                    split_seed: int = 0) -> Dataset:
+    """MNIST-like dataset: 10 classes, single channel greyscale."""
+    config = SyntheticImageConfig(
+        num_classes=10, channels=1, image_size=image_size, noise_std=0.35,
+        seed=seed, name="synthetic-mnist",
+    )
+    return make_synthetic_dataset(config, num_samples, split_seed=split_seed)
+
+
+def synthetic_cifar10(num_samples: int, image_size: int = 12, seed: int = 0,
+                      split_seed: int = 0) -> Dataset:
+    """CIFAR-10-like dataset: 10 classes, three channels, noisier than MNIST."""
+    config = SyntheticImageConfig(
+        num_classes=10, channels=3, image_size=image_size, noise_std=0.5,
+        seed=seed, name="synthetic-cifar10",
+    )
+    return make_synthetic_dataset(config, num_samples, split_seed=split_seed)

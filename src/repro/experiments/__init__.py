@@ -1,0 +1,25 @@
+"""Experiment runners, one per table / figure of the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning a plain dictionary of
+results (consumed by the benchmark harness and by EXPERIMENTS.md) and a
+``main()`` that prints the same rows / series the paper reports.  The
+mapping from experiment to paper artifact is recorded in DESIGN.md.
+
+Two classes of experiments exist:
+
+* *Training experiments* (Figures 13a-c, 15b, and the accuracy columns of
+  Figure 16 / Tables 1-2) run Algorithm 1 on scaled-down shift + pointwise
+  networks over synthetic data.  Accuracy values are therefore not the
+  paper's MNIST / CIFAR-10 numbers, but the trends (accuracy recovers with
+  retraining; α and γ trade utilization against ~1% accuracy) are
+  reproduced with the same code path.
+* *Structural / hardware experiments* (Figures 14b, 15a, 16 and Tables 1-3)
+  operate on full-size filter-matrix shapes with the paper's reported
+  sparsity levels and on the analytical hardware models, so tile counts,
+  utilization, energy ratios, and latency ratios are directly comparable
+  in shape to the paper's plots.
+"""
+
+from repro.experiments import common, workloads
+
+__all__ = ["common", "workloads"]

@@ -1,0 +1,58 @@
+"""Section 7.2 — optimality in energy efficiency.
+
+Reproduces the paper's analysis that the ratio of achieved to optimal
+energy efficiency is ``(1/c + r) / (1 + r)``, which approaches the packing
+efficiency ``1/c`` when the memory-to-compute energy ratio ``r`` is small
+(r = 0.06 for LeNet-5 and r = 0.1 for ResNet-20 in the paper), and checks
+the paper's example: a 94.5% packing efficiency puts the design at ~94.5%
+of the optimal energy efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.experiments.common import format_table
+from repro.hardware.optimality import energy_efficiency_ratio, ratio_from_packing_efficiency
+
+DEFAULT_PACKING: tuple[float, ...] = (0.25, 0.5, 0.75, 0.9, 0.945, 1.0)
+DEFAULT_R: tuple[float, ...] = (0.0, 0.06, 0.1, 0.5, 1.0)
+
+
+def run(packing_efficiencies: Sequence[float] = DEFAULT_PACKING,
+        memory_ratios: Sequence[float] = DEFAULT_R) -> dict[str, Any]:
+    """Tabulate the efficiency ratio over packing efficiency and r."""
+    grid: list[dict[str, float]] = []
+    for packing in packing_efficiencies:
+        for r in memory_ratios:
+            grid.append({
+                "packing_efficiency": packing,
+                "r": r,
+                "efficiency_ratio": ratio_from_packing_efficiency(packing, r),
+            })
+    paper_example = {
+        "lenet5": energy_efficiency_ratio(1.0 / 0.945, 0.06),
+        "resnet20": energy_efficiency_ratio(1.0 / 0.945, 0.1),
+    }
+    return {
+        "experiment": "sec7.2",
+        "grid": grid,
+        "paper_example": paper_example,
+    }
+
+
+def main() -> dict[str, Any]:
+    result = run()
+    rows = [(f"{g['packing_efficiency']:.1%}", g["r"], f"{g['efficiency_ratio']:.1%}")
+            for g in result["grid"]]
+    print("Section 7.2 — achieved / optimal energy efficiency")
+    print(format_table(["packing efficiency (1/c)", "r = Emem/Ecomp", "efficiency ratio"],
+                       rows))
+    example = result["paper_example"]
+    print(f"paper example (94.5% packing): LeNet-5 r=0.06 -> {example['lenet5']:.1%}, "
+          f"ResNet-20 r=0.1 -> {example['resnet20']:.1%} (paper: ~94.5% of optimal)")
+    return result
+
+
+if __name__ == "__main__":
+    main()

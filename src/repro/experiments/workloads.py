@@ -1,0 +1,140 @@
+"""Full-size filter-matrix workloads for the structural / hardware experiments.
+
+The tile-count, energy, and latency experiments (Figures 14b-16, Tables 1-3)
+depend only on the *shapes* and *sparsity patterns* of each layer's filter
+matrix, not on trained weight values.  This module defines the full-size
+layer shapes of the three networks the paper evaluates and generates sparse
+filter matrices at the paper's reported density so those experiments run at
+the paper's scale even though training runs on scaled-down models.
+
+* LeNet-5 uses the classical layer shapes in N x (M*K*K) matrix form
+  (Figure 1b), since the paper deploys its fully connected layers on the
+  same arrays.
+* The ResNet-20 shift-convolution variant uses a width multiplier of 6, so
+  that its first-stage layers are 96-channel filter matrices — matching the
+  96 x 94 third-layer example of Figure 14b — and 20 packable layers exist.
+* The VGG variant uses the paper's CIFAR-scale stage widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """Shape of one layer's filter matrix (rows = filters, cols = inputs)."""
+
+    name: str
+    rows: int
+    cols: int
+    #: linear spatial size of the layer's output activation map.
+    spatial: int
+
+
+def lenet5_layer_shapes(image_size: int = 32) -> list[LayerShape]:
+    """Classic LeNet-5 layers in filter-matrix form (conv as N x M*K*K).
+
+    With the default 32x32 input (28x28 MNIST digits padded to 32, as in
+    the original LeNet-5), the layer sizes are the classic ones: conv1
+    6x25, conv2 16x150, fc1 120x400, fc2 84x120, fc3 10x84 — about 61.5K
+    weights in total.
+    """
+    conv1_out = image_size - 4
+    pooled1 = conv1_out // 2
+    conv2_out = pooled1 - 4
+    pooled2 = conv2_out // 2
+    return [
+        LayerShape("conv1", 6, 1 * 5 * 5, conv1_out),
+        LayerShape("conv2", 16, 6 * 5 * 5, conv2_out),
+        LayerShape("fc1", 120, 16 * pooled2 * pooled2, 1),
+        LayerShape("fc2", 84, 120, 1),
+        LayerShape("fc3", 10, 84, 1),
+    ]
+
+
+def resnet20_layer_shapes(width_multiplier: int = 6, image_size: int = 32
+                          ) -> list[LayerShape]:
+    """Shift + pointwise ResNet-20 layer shapes (20 weight layers).
+
+    Stage widths are (16, 32, 64) x ``width_multiplier``; with the default
+    multiplier the first-stage filter matrices are 96 x 96, matching the
+    96-row third-layer example in Figure 14b of the paper.  As in the
+    standard ResNet-20 layer count, the 20 layers are the stem, the 18
+    block convolutions, and the final classifier matrix.
+    """
+    widths = [16 * width_multiplier, 32 * width_multiplier, 64 * width_multiplier]
+    spatials = [image_size, image_size // 2, image_size // 4]
+    shapes: list[LayerShape] = [LayerShape("stem", widths[0], 3, image_size)]
+    in_channels = widths[0]
+    for stage, (width, spatial) in enumerate(zip(widths, spatials)):
+        for block in range(3):
+            shapes.append(LayerShape(f"s{stage}b{block}c1", width, in_channels, spatial))
+            shapes.append(LayerShape(f"s{stage}b{block}c2", width, width, spatial))
+            in_channels = width
+    shapes.append(LayerShape("fc", 10, widths[-1], 1))
+    return shapes
+
+
+def vgg_layer_shapes(image_size: int = 32) -> list[LayerShape]:
+    """VGG-style CIFAR network in shift + pointwise form (8 conv layers)."""
+    widths = [(64, 2), (128, 2), (256, 2), (512, 2)]
+    shapes: list[LayerShape] = []
+    in_channels = 3
+    spatial = image_size
+    for stage, (width, repeats) in enumerate(widths):
+        for conv in range(repeats):
+            shapes.append(LayerShape(f"s{stage}c{conv}", width, in_channels, spatial))
+            in_channels = width
+        spatial = max(1, spatial // 2)
+    return shapes
+
+
+NETWORK_SHAPES = {
+    "lenet5": lenet5_layer_shapes,
+    "resnet20": resnet20_layer_shapes,
+    "vgg": vgg_layer_shapes,
+}
+
+
+def sparse_filter_matrix(rows: int, cols: int, density: float,
+                         rng: np.random.Generator) -> np.ndarray:
+    """Random sparse filter matrix with the given fraction of nonzeros.
+
+    Nonzero values are drawn from a normal distribution (as trained CNN
+    weights approximately are); at least one nonzero is placed per row so
+    every filter does some work, matching trained pruned networks where a
+    completely dead filter would have been removed.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    values = rng.normal(0.0, 1.0, size=(rows, cols))
+    mask = rng.random((rows, cols)) < density
+    # Guarantee one nonzero per row.
+    empty_rows = np.flatnonzero(~mask.any(axis=1))
+    if empty_rows.size:
+        mask[empty_rows, rng.integers(0, cols, size=empty_rows.size)] = True
+    return values * mask
+
+
+def sparse_network(network: str, density: float = 0.12, seed: int = 0,
+                   **shape_kwargs) -> list[tuple[LayerShape, np.ndarray]]:
+    """Full-size sparse filter matrices for every layer of a network."""
+    if network not in NETWORK_SHAPES:
+        raise KeyError(f"unknown network {network!r}; known: {sorted(NETWORK_SHAPES)}")
+    rng = np.random.default_rng(seed)
+    shapes = NETWORK_SHAPES[network](**shape_kwargs)
+    return [(shape, sparse_filter_matrix(shape.rows, shape.cols, density, rng))
+            for shape in shapes]
+
+
+#: Approximate per-layer nonzero density of the paper's pruned networks
+#: ("as low as 10% nonzero in each convolution layer"; the Figure 14b layer
+#: has 16% nonzeros).
+PAPER_DENSITY = {
+    "lenet5": 0.13,
+    "resnet20": 0.16,
+    "vgg": 0.10,
+}

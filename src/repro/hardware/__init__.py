@@ -1,0 +1,50 @@
+"""Analytical ASIC / FPGA cost models and prior-art reference numbers.
+
+The paper synthesises its design with Synopsys DC on the NanGate 45nm
+library and models SRAM with CACTI 7.0.  Those tools are not available
+here, so this package provides analytical models with 45nm-class energy
+and area constants.  Absolute values are calibration parameters; the
+relative comparisons the paper reports (baseline vs. column combining,
+ours vs. prior art) are what the models reproduce, consistent with the
+paper's own Section 7.2 analysis in which energy efficiency is governed by
+packing efficiency when memory energy is small.
+"""
+
+from repro.hardware.energy import EnergyModel, EnergyBreakdown
+from repro.hardware.area import AreaModel
+from repro.hardware.asic import ASICDesign, ASICReport, evaluate_asic
+from repro.hardware.fpga import FPGADesign, FPGAReport, evaluate_fpga
+from repro.hardware.optimality import (
+    energy_efficiency_ratio,
+    optimal_energy_efficiency,
+    achieved_energy_efficiency,
+)
+from repro.hardware.sram import (
+    SRAMConfig,
+    SRAMEstimate,
+    estimate_sram,
+    BufferRequirements,
+    buffer_requirements,
+)
+from repro.hardware import reference
+
+__all__ = [
+    "EnergyModel",
+    "EnergyBreakdown",
+    "AreaModel",
+    "ASICDesign",
+    "ASICReport",
+    "evaluate_asic",
+    "FPGADesign",
+    "FPGAReport",
+    "evaluate_fpga",
+    "energy_efficiency_ratio",
+    "optimal_energy_efficiency",
+    "achieved_energy_efficiency",
+    "SRAMConfig",
+    "SRAMEstimate",
+    "estimate_sram",
+    "BufferRequirements",
+    "buffer_requirements",
+    "reference",
+]

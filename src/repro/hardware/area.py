@@ -1,0 +1,61 @@
+"""Area model for systolic cells and on-chip SRAM (45nm-class constants)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Cell and memory area constants, in square millimetres.
+
+    The MX cell is an interleaved cell augmented with an α-way input
+    multiplexer and a channel-select register; the paper describes this as
+    "a slight increase in the complexity of systolic cells", modelled here
+    as a small per-way overhead on top of the interleaved cell.
+    """
+
+    #: one balanced bit-serial cell (single MAC, 8-bit accumulation).
+    bl_cell_mm2: float = 4.0e-4
+    #: one interleaved cell (four MACs, 32-bit accumulation data path).
+    il_cell_mm2: float = 1.6e-3
+    #: extra area per multiplexed input way of an MX cell.
+    mx_way_overhead_mm2: float = 4.0e-5
+    #: SRAM macro area per kilobyte.
+    sram_mm2_per_kb: float = 2.5e-3
+    #: fixed area of the shift / ReLU / quantization blocks and control.
+    peripheral_mm2: float = 0.05
+
+    def mx_cell_area(self, alpha: int) -> float:
+        """Area of one MX cell supporting ``alpha``-way multiplexing."""
+        if alpha < 1:
+            raise ValueError("alpha must be >= 1")
+        return self.il_cell_mm2 + alpha * self.mx_way_overhead_mm2
+
+    def array_area(self, rows: int, cols: int, alpha: int = 8,
+                   cell_type: str = "mx") -> float:
+        """Total cell area of a (rows x cols) array of the given cell type."""
+        if rows < 1 or cols < 1:
+            raise ValueError("array dimensions must be >= 1")
+        if cell_type == "bl":
+            cell = self.bl_cell_mm2
+        elif cell_type == "il":
+            cell = self.il_cell_mm2
+        elif cell_type == "mx":
+            cell = self.mx_cell_area(alpha)
+        else:
+            raise ValueError(f"unknown cell type {cell_type!r}")
+        return rows * cols * cell
+
+    def sram_area(self, kilobytes: float) -> float:
+        """Area of the on-chip weight / activation buffers."""
+        if kilobytes < 0:
+            raise ValueError("kilobytes must be non-negative")
+        return kilobytes * self.sram_mm2_per_kb
+
+    def design_area(self, rows: int, cols: int, sram_kilobytes: float,
+                    alpha: int = 8, cell_type: str = "mx") -> float:
+        """Array + SRAM + peripheral area of a full design."""
+        return (self.array_area(rows, cols, alpha, cell_type)
+                + self.sram_area(sram_kilobytes)
+                + self.peripheral_mm2)

@@ -1,0 +1,112 @@
+"""ASIC design-point evaluation (Section 7.1).
+
+An :class:`ASICDesign` couples an execution plan (tiles, cycles, MAC counts
+from :class:`repro.systolic.system.SystolicSystem`) with the energy / area
+models and a clock frequency, and reports the metrics of Table 1 and
+Figure 16: throughput, energy per sample, energy efficiency
+(frames/joule), area, and area efficiency (frames/second/mm^2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.area import AreaModel
+from repro.hardware.energy import EnergyBreakdown, EnergyModel
+from repro.systolic.system import ModelExecutionPlan
+
+
+@dataclass
+class ASICDesign:
+    """Configuration of one ASIC design point."""
+
+    name: str = "ours"
+    frequency_hz: float = 4.0e8
+    accumulation_bits: int = 32
+    array_rows: int = 32
+    array_cols: int = 32
+    alpha: int = 8
+    cell_type: str = "mx"
+    sram_kilobytes: float = 64.0
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+    area_model: AreaModel = field(default_factory=AreaModel)
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+
+
+@dataclass
+class ASICReport:
+    """Evaluated metrics of an ASIC design point on one network."""
+
+    design: str
+    network: str
+    accuracy: float
+    latency_seconds: float
+    throughput_fps: float
+    energy: EnergyBreakdown
+    area_mm2: float
+
+    @property
+    def energy_per_sample_joules(self) -> float:
+        return self.energy.total_joules
+
+    @property
+    def energy_efficiency_fpj(self) -> float:
+        """Frames per joule (the paper's energy-efficiency metric)."""
+        if self.energy.total_joules == 0:
+            return float("inf")
+        return 1.0 / self.energy.total_joules
+
+    @property
+    def area_efficiency(self) -> float:
+        """Frames per second per square millimetre."""
+        if self.area_mm2 == 0:
+            return float("inf")
+        return self.throughput_fps / self.area_mm2
+
+
+def evaluate_asic(design: ASICDesign, plan: ModelExecutionPlan, network: str,
+                  accuracy: float, sram_bytes_per_sample: int | None = None) -> ASICReport:
+    """Evaluate a design on a planned network execution.
+
+    Parameters
+    ----------
+    design:
+        The ASIC design point.
+    plan:
+        Per-layer execution plan produced by ``SystolicSystem.plan_model``
+        for a single input sample.
+    network:
+        Network name (for reporting).
+    accuracy:
+        Classification accuracy of the deployed (pruned, packed, quantized)
+        network, as a fraction in [0, 1].
+    sram_bytes_per_sample:
+        On-chip traffic per sample.  Defaults to one byte per occupied
+        MAC-column word plus one byte per output word, derived from the plan.
+    """
+    total_cycles = plan.total_cycles
+    latency = total_cycles / design.frequency_hz
+    throughput = 1.0 / latency if latency > 0 else float("inf")
+
+    # Energy: every occupied cell performs a MAC each word slot, whether or
+    # not its weight is useful — that is precisely the inefficiency column
+    # combining removes (c = occupied / useful in Section 7.2).
+    mac_operations = plan.total_occupied_macs
+    if sram_bytes_per_sample is None:
+        input_bytes = sum(layer.original_columns * layer.spatial_size ** 2
+                          for layer in plan.layers)
+        output_bytes = sum(layer.rows * layer.spatial_size ** 2 for layer in plan.layers)
+        weight_bytes = sum(layer.rows * layer.packed_columns for layer in plan.layers)
+        sram_bytes_per_sample = input_bytes + output_bytes + weight_bytes
+    energy = design.energy_model.inference_energy(
+        mac_operations, sram_bytes_per_sample, accumulation_bits=design.accumulation_bits)
+
+    area = design.area_model.design_area(design.array_rows, design.array_cols,
+                                         design.sram_kilobytes, alpha=design.alpha,
+                                         cell_type=design.cell_type)
+    return ASICReport(design=design.name, network=network, accuracy=accuracy,
+                      latency_seconds=latency, throughput_fps=throughput,
+                      energy=energy, area_mm2=area)

@@ -1,0 +1,89 @@
+"""Energy model: Etotal = Emac * Nmac + Emem (Section 7.2).
+
+Default per-operation energies are 45nm-class values (picojoules) in line
+with published estimates for 8-bit multiply-accumulate units and small
+on-chip SRAMs.  They are explicit model parameters so ablations can vary
+them; all comparative results in the benchmarks depend only on ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy (in picojoules) for processing one input sample."""
+
+    compute_pj: float
+    memory_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.compute_pj + self.memory_pj
+
+    @property
+    def total_joules(self) -> float:
+        return self.total_pj * 1e-12
+
+    @property
+    def memory_to_compute_ratio(self) -> float:
+        """The r = Emem / Ecomp ratio of Section 7.2."""
+        if self.compute_pj == 0:
+            return 0.0
+        return self.memory_pj / self.compute_pj
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation energy constants (picojoules) for a 45nm-class process."""
+
+    #: one 8-bit multiply folded into a 32-bit accumulation.
+    mac_pj: float = 0.30
+    #: one 8-bit multiply folded into a 16-bit accumulation (Section 7.1.2).
+    mac_16bit_pj: float = 0.25
+    #: one byte read from or written to on-chip SRAM.
+    sram_access_pj: float = 1.25
+    #: one byte moved to or from off-chip DRAM (unused when the model and
+    #: activations fit on chip, as for the networks evaluated here).
+    dram_access_pj: float = 200.0
+
+    def mac_energy(self, accumulation_bits: int = 32) -> float:
+        """Energy of one MAC at the requested accumulation width."""
+        if accumulation_bits <= 16:
+            return self.mac_16bit_pj
+        return self.mac_pj
+
+    def compute_energy(self, mac_operations: int, accumulation_bits: int = 32) -> float:
+        """Energy of ``mac_operations`` multiply-accumulates, in picojoules."""
+        if mac_operations < 0:
+            raise ValueError("mac_operations must be non-negative")
+        return mac_operations * self.mac_energy(accumulation_bits)
+
+    def memory_energy(self, sram_bytes: int, dram_bytes: int = 0) -> float:
+        """Energy of on-chip (and optional off-chip) traffic, in picojoules."""
+        if sram_bytes < 0 or dram_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        return sram_bytes * self.sram_access_pj + dram_bytes * self.dram_access_pj
+
+    def inference_energy(self, mac_operations: int, sram_bytes: int,
+                         accumulation_bits: int = 32, dram_bytes: int = 0
+                         ) -> EnergyBreakdown:
+        """Full per-sample energy breakdown."""
+        return EnergyBreakdown(
+            compute_pj=self.compute_energy(mac_operations, accumulation_bits),
+            memory_pj=self.memory_energy(sram_bytes, dram_bytes),
+        )
+
+
+def sram_traffic_bytes(layer_input_words: int, layer_output_words: int,
+                       weight_bytes: int) -> int:
+    """On-chip traffic for one layer: read inputs + weights, write outputs.
+
+    Inputs and outputs are 8-bit (one byte per element); weights are read
+    once per tile pass but the model charges them once per sample, which is
+    the paper's "fetched only once for all usages within a layer" ideal.
+    """
+    if min(layer_input_words, layer_output_words, weight_bytes) < 0:
+        raise ValueError("traffic quantities must be non-negative")
+    return layer_input_words + layer_output_words + weight_bytes

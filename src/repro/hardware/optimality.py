@@ -1,0 +1,65 @@
+"""Optimality analysis for energy efficiency (Section 7.2).
+
+With ``c >= 1`` the ratio between the number of MACs actually performed and
+the optimal number (only the nonzero weights), and ``r = Emem / Ecomp``,
+the paper derives::
+
+    Energy Eff. / Optimal Energy Eff. = (1/c + r) / (1 + r)  ~=  1/c  for small r
+
+and notes that ``1/c`` is exactly the packing efficiency achieved by column
+combining, so a packing efficiency of ~94.5% puts the design within ~5.5%
+of the optimal energy efficiency for networks with small ``r`` (r = 0.06
+for LeNet-5 and 0.1 for ResNet-20 in the paper's synthesis results).
+"""
+
+from __future__ import annotations
+
+
+def energy_efficiency_ratio(c: float, r: float) -> float:
+    """Ratio of achieved to optimal energy efficiency.
+
+    Parameters
+    ----------
+    c:
+        MAC inflation factor ``Nmac / Nmac_opt`` (>= 1); equal to
+        ``1 / packing_efficiency`` for a packed systolic array.
+    r:
+        Memory-to-compute energy ratio ``Emem / Ecomp`` (>= 0), where
+        ``Ecomp`` is the compute energy of the *achieved* design
+        (``Emac * c * Nmac_opt``), matching how the paper measures r from
+        its synthesized designs.
+    """
+    if c < 1:
+        raise ValueError("c must be >= 1 (cannot perform fewer MACs than the optimum)")
+    if r < 0:
+        raise ValueError("r must be non-negative")
+    return (1.0 / c + r) / (1.0 + r)
+
+
+def ratio_from_packing_efficiency(packing_efficiency: float, r: float) -> float:
+    """Same ratio, parameterised by the packing efficiency (1/c)."""
+    if not 0.0 < packing_efficiency <= 1.0:
+        raise ValueError("packing_efficiency must be in (0, 1]")
+    return energy_efficiency_ratio(1.0 / packing_efficiency, r)
+
+
+def optimal_energy_efficiency(mac_energy_pj: float, optimal_macs: int,
+                              memory_energy_pj: float) -> float:
+    """Optimal energy efficiency in frames per joule."""
+    if optimal_macs < 0:
+        raise ValueError("optimal_macs must be non-negative")
+    total_pj = mac_energy_pj * optimal_macs + memory_energy_pj
+    if total_pj <= 0:
+        return float("inf")
+    return 1.0 / (total_pj * 1e-12)
+
+
+def achieved_energy_efficiency(mac_energy_pj: float, optimal_macs: int, c: float,
+                               memory_energy_pj: float) -> float:
+    """Achieved energy efficiency when ``c * optimal_macs`` MACs are performed."""
+    if c < 1:
+        raise ValueError("c must be >= 1")
+    total_pj = mac_energy_pj * c * optimal_macs + memory_energy_pj
+    if total_pj <= 0:
+        return float("inf")
+    return 1.0 / (total_pj * 1e-12)

@@ -1,0 +1,142 @@
+"""On-chip SRAM modelling (the CACTI-substitute).
+
+The paper models its weight, input, and output buffers with CACTI 7.0 on a
+45nm process.  CACTI is not available offline, so this module provides a
+compact analytical model with the same qualitative behaviour CACTI
+exhibits for small scratchpad SRAMs:
+
+* access energy grows roughly with the square root of capacity (longer
+  bit-lines and word-lines),
+* area grows slightly super-linearly with capacity (periphery amortises),
+* leakage power grows linearly with capacity.
+
+The constants are anchored to published 45nm figures for a 16 KB SRAM
+(~1.25 pJ per byte access, ~0.05 mm^2) and are exposed as parameters so
+design-space sweeps can vary them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SRAMConfig:
+    """Geometry and technology parameters of one SRAM macro."""
+
+    capacity_bytes: int
+    word_bytes: int = 8
+    banks: int = 1
+    #: access energy (pJ/byte) of the 16 KB anchor macro.
+    anchor_access_pj_per_byte: float = 1.25
+    #: area (mm^2) of the 16 KB anchor macro.
+    anchor_area_mm2: float = 0.05
+    #: leakage (mW) of the 16 KB anchor macro.
+    anchor_leakage_mw: float = 0.5
+    anchor_capacity_bytes: int = 16 * 1024
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.word_bytes <= 0:
+            raise ValueError("word_bytes must be positive")
+        if self.banks <= 0:
+            raise ValueError("banks must be positive")
+
+
+@dataclass(frozen=True)
+class SRAMEstimate:
+    """Energy / area / leakage estimate for one SRAM macro."""
+
+    capacity_bytes: int
+    access_energy_pj_per_byte: float
+    area_mm2: float
+    leakage_mw: float
+
+    def read_energy_pj(self, num_bytes: int) -> float:
+        """Energy to read ``num_bytes`` from the macro."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes * self.access_energy_pj_per_byte
+
+    def write_energy_pj(self, num_bytes: int) -> float:
+        """Energy to write ``num_bytes``; writes cost ~10% more than reads."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return 1.1 * num_bytes * self.access_energy_pj_per_byte
+
+
+def estimate_sram(config: SRAMConfig) -> SRAMEstimate:
+    """Estimate access energy, area, and leakage for an SRAM macro.
+
+    Banking divides the capacity among ``banks`` independent macros, which
+    reduces per-access energy (shorter bit-lines) at a small area overhead.
+    """
+    per_bank = config.capacity_bytes / config.banks
+    ratio = per_bank / config.anchor_capacity_bytes
+    # Access energy scales ~sqrt(capacity); clamp below so tiny macros do
+    # not become absurdly cheap (periphery dominates).
+    access = config.anchor_access_pj_per_byte * max(0.25, math.sqrt(ratio))
+    # Area per bank scales slightly sub-linearly; total includes a 5% banking
+    # overhead per additional bank.
+    area_per_bank = config.anchor_area_mm2 * (ratio ** 0.9)
+    area = area_per_bank * config.banks * (1.0 + 0.05 * (config.banks - 1))
+    leakage = config.anchor_leakage_mw * (config.capacity_bytes
+                                          / config.anchor_capacity_bytes)
+    return SRAMEstimate(capacity_bytes=config.capacity_bytes,
+                        access_energy_pj_per_byte=access,
+                        area_mm2=area,
+                        leakage_mw=leakage)
+
+
+@dataclass(frozen=True)
+class BufferRequirements:
+    """Capacity requirements of the three buffers in Figure 6."""
+
+    weight_buffer_bytes: int
+    input_buffer_bytes: int
+    output_buffer_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.weight_buffer_bytes + self.input_buffer_bytes
+                + self.output_buffer_bytes)
+
+    @property
+    def total_kilobytes(self) -> float:
+        return self.total_bytes / 1024.0
+
+
+def buffer_requirements(packed_layer_sizes: list[tuple[int, int]],
+                        max_spatial: int, max_channels: int,
+                        bytes_per_element: int = 1,
+                        double_buffered: bool = True) -> BufferRequirements:
+    """Size the weight / input / output buffers for a packed network.
+
+    Parameters
+    ----------
+    packed_layer_sizes:
+        ``(rows, packed_columns)`` of every layer; the weight buffer must
+        hold all packed weights plus one byte of channel-select metadata
+        per cell.
+    max_spatial:
+        Largest activation-map side length across layers.
+    max_channels:
+        Largest channel count across layers (inputs or outputs).
+    bytes_per_element:
+        Activation / weight element size (1 for 8-bit).
+    double_buffered:
+        The shift block prefetches the next tile while the current one is
+        streaming (Section 4.3), doubling the input buffer.
+    """
+    if max_spatial <= 0 or max_channels <= 0:
+        raise ValueError("max_spatial and max_channels must be positive")
+    weight_bytes = sum(rows * cols * (bytes_per_element + 1)
+                       for rows, cols in packed_layer_sizes)
+    activation_bytes = max_channels * max_spatial * max_spatial * bytes_per_element
+    input_bytes = activation_bytes * (2 if double_buffered else 1)
+    output_bytes = activation_bytes
+    return BufferRequirements(weight_buffer_bytes=weight_bytes,
+                              input_buffer_bytes=input_bytes,
+                              output_buffer_bytes=output_bytes)

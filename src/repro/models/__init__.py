@@ -1,0 +1,22 @@
+"""CNN model definitions in shift + pointwise-convolution form.
+
+Following Section 5 of the paper, every convolutional layer of LeNet-5,
+VGG, and ResNet-20 is replaced by a shift operation followed by a pointwise
+(1x1) convolution, so each layer's learned weights form a filter matrix of
+shape (out_channels, in_channels) — the object column combining packs.
+"""
+
+from repro.models.lenet import LeNet5
+from repro.models.vgg import VGG
+from repro.models.resnet import ResNet20, BasicBlock
+from repro.models.registry import build_model, packable_layers, MODEL_REGISTRY
+
+__all__ = [
+    "LeNet5",
+    "VGG",
+    "ResNet20",
+    "BasicBlock",
+    "build_model",
+    "packable_layers",
+    "MODEL_REGISTRY",
+]

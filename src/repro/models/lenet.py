@@ -1,0 +1,77 @@
+"""LeNet-5 in shift + pointwise form (MNIST-class workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Dense,
+    Flatten,
+    Module,
+    PointwiseConv2d,
+    ReLU,
+    Sequential,
+    ShiftConv2d,
+)
+
+
+def _scaled(width: int, scale: float, minimum: int = 4) -> int:
+    """Scale a channel count, keeping at least ``minimum`` channels."""
+    return max(minimum, int(round(width * scale)))
+
+
+class LeNet5(Module):
+    """Shift-convolution variant of LeNet-5.
+
+    The two 5x5 convolutions of the original network become shift +
+    pointwise layers; the three fully connected layers are retained.  The
+    ``scale`` knob multiplies the channel widths so the reproduction can
+    train quickly on CPU while keeping the layer topology.
+    """
+
+    def __init__(self, in_channels: int = 1, num_classes: int = 10, scale: float = 1.0,
+                 image_size: int = 12, rng: np.random.Generator | None = None):
+        super().__init__()
+        if image_size % 4:
+            raise ValueError("image_size must be divisible by 4 for LeNet-5 pooling")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        c1 = _scaled(6, scale)
+        c2 = _scaled(16, scale)
+        f1 = _scaled(120, scale, minimum=16)
+        f2 = _scaled(84, scale, minimum=16)
+        spatial = image_size // 4
+        self.features = Sequential(
+            ShiftConv2d(in_channels, c1, rng=rng, name="conv1"),
+            BatchNorm2d(c1, name="bn1"),
+            ReLU(),
+            AvgPool2d(2),
+            ShiftConv2d(c1, c2, rng=rng, name="conv2"),
+            BatchNorm2d(c2, name="bn2"),
+            ReLU(),
+            AvgPool2d(2),
+        )
+        self.classifier = Sequential(
+            Flatten(),
+            Dense(c2 * spatial * spatial, f1, rng=rng, name="fc1"),
+            ReLU(),
+            Dense(f1, f2, rng=rng, name="fc2"),
+            ReLU(),
+            Dense(f2, num_classes, rng=rng, name="fc3"),
+        )
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.classifier.forward(self.features.forward(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.features.backward(self.classifier.backward(grad_output))
+
+    def packable_layers(self) -> list[tuple[str, PointwiseConv2d]]:
+        """The pointwise convolutional layers, in forward order."""
+        layers: list[tuple[str, PointwiseConv2d]] = []
+        for i, layer in enumerate(self.features):
+            if isinstance(layer, ShiftConv2d):
+                layers.append((f"features.{i}.pointwise", layer.pointwise))
+        return layers

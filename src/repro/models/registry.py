@@ -1,0 +1,54 @@
+"""Model registry and helpers for discovering packable filter matrices."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn import Module, PointwiseConv2d, ShiftConv2d
+from repro.models.lenet import LeNet5
+from repro.models.resnet import ResNet20
+from repro.models.vgg import VGG
+
+#: Map of model name -> constructor.  All constructors accept
+#: ``in_channels``, ``num_classes``, ``scale``, and ``rng``.
+MODEL_REGISTRY: dict[str, Callable[..., Module]] = {
+    "lenet5": LeNet5,
+    "vgg": VGG,
+    "resnet20": ResNet20,
+}
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered model by name.
+
+    Raises ``KeyError`` with the list of known names if ``name`` is unknown.
+    """
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known models: {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[key](**kwargs)
+
+
+def packable_layers(model: Module) -> list[tuple[str, PointwiseConv2d]]:
+    """Return the (name, pointwise layer) pairs whose weights can be packed.
+
+    Models define their own ``packable_layers`` method to guarantee forward
+    order (needed for row permutation across consecutive layers); for
+    arbitrary modules we fall back to collecting every pointwise
+    convolution found inside a shift convolution.
+    """
+    method = getattr(model, "packable_layers", None)
+    if callable(method):
+        return method()
+    layers: list[tuple[str, PointwiseConv2d]] = []
+    for index, module in enumerate(model.modules()):
+        if isinstance(module, ShiftConv2d):
+            layers.append((f"module.{index}.pointwise", module.pointwise))
+    return layers
+
+
+def filter_matrices(model: Module) -> list[np.ndarray]:
+    """Convenience: the raw filter matrices of every packable layer."""
+    return [layer.weight.data for _, layer in packable_layers(model)]

@@ -1,0 +1,148 @@
+"""ResNet-20 in shift + pointwise form (the paper's main CIFAR-10 network)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2d,
+    Dense,
+    GlobalAvgPool2d,
+    Module,
+    PointwiseConv2d,
+    ReLU,
+    Sequential,
+    ShiftConv2d,
+)
+
+
+def _scaled(width: int, scale: float, minimum: int = 4) -> int:
+    return max(minimum, int(round(width * scale)))
+
+
+class _StridedPointwiseShortcut(Module):
+    """1x1 projection shortcut with spatial subsampling (for stage changes)."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 rng: np.random.Generator | None, name: str):
+        super().__init__()
+        self.pointwise = PointwiseConv2d(in_channels, out_channels, rng=rng,
+                                         name=f"{name}.pointwise")
+        self.stride = stride
+        self._cache_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.pointwise.forward(x)
+        self._cache_shape = out.shape
+        if self.stride > 1:
+            out = out[:, :, :: self.stride, :: self.stride]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.stride > 1:
+            if self._cache_shape is None:
+                raise RuntimeError("backward called before forward")
+            full = np.zeros(self._cache_shape, dtype=grad_output.dtype)
+            full[:, :, :: self.stride, :: self.stride] = grad_output
+            grad_output = full
+        return self.pointwise.backward(grad_output)
+
+
+class BasicBlock(Module):
+    """Residual block: two shift-convolutions with a (possibly projected) shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None, name: str = "block"):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.conv1 = ShiftConv2d(in_channels, out_channels, stride=stride, rng=rng,
+                                 name=f"{name}.conv1")
+        self.bn1 = BatchNorm2d(out_channels, name=f"{name}.bn1")
+        self.relu1 = ReLU()
+        self.conv2 = ShiftConv2d(out_channels, out_channels, rng=rng, name=f"{name}.conv2")
+        self.bn2 = BatchNorm2d(out_channels, name=f"{name}.bn2")
+        self.relu_out = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Module = _StridedPointwiseShortcut(
+                in_channels, out_channels, stride, rng, name=f"{name}.shortcut")
+        else:
+            self.shortcut = None  # identity shortcut
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.relu1.forward(self.bn1.forward(self.conv1.forward(x)))
+        out = self.bn2.forward(self.conv2.forward(out))
+        residual = self.shortcut.forward(x) if self.shortcut is not None else x
+        return self.relu_out.forward(out + residual)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu_out.backward(grad_output)
+        # Main branch.
+        grad_main = self.conv1.backward(
+            self.relu1.backward(
+                self.bn1.backward(
+                    self.conv2.backward(self.bn2.backward(grad_sum)))))
+        # Shortcut branch.
+        if self.shortcut is not None:
+            grad_shortcut = self.shortcut.backward(grad_sum)
+        else:
+            grad_shortcut = grad_sum
+        return grad_main + grad_shortcut
+
+    def packable_layers(self, prefix: str) -> list[tuple[str, PointwiseConv2d]]:
+        layers = [
+            (f"{prefix}.conv1.pointwise", self.conv1.pointwise),
+            (f"{prefix}.conv2.pointwise", self.conv2.pointwise),
+        ]
+        if self.shortcut is not None:
+            layers.append((f"{prefix}.shortcut.pointwise", self.shortcut.pointwise))
+        return layers
+
+
+class ResNet20(Module):
+    """ResNet-20: a stem plus three stages of three residual blocks.
+
+    Stage widths are 16 / 32 / 64 before ``scale``; the second and third
+    stages halve the spatial resolution.  Exactly the topology described by
+    He et al. for CIFAR-10, with every convolution in shift + pointwise
+    form as in Section 5 of the paper.
+    """
+
+    def __init__(self, in_channels: int = 3, num_classes: int = 10, scale: float = 1.0,
+                 blocks_per_stage: int = 3, rng: np.random.Generator | None = None):
+        super().__init__()
+        if blocks_per_stage < 1:
+            raise ValueError("blocks_per_stage must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        widths = [_scaled(w, scale) for w in (16, 32, 64)]
+        self.stem = ShiftConv2d(in_channels, widths[0], rng=rng, name="stem")
+        self.stem_bn = BatchNorm2d(widths[0], name="stem_bn")
+        self.stem_relu = ReLU()
+        blocks: list[BasicBlock] = []
+        channels = widths[0]
+        for stage, width in enumerate(widths):
+            for index in range(blocks_per_stage):
+                stride = 2 if (stage > 0 and index == 0) else 1
+                blocks.append(BasicBlock(channels, width, stride=stride, rng=rng,
+                                         name=f"stage{stage}.block{index}"))
+                channels = width
+        self.blocks = Sequential(*blocks)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Dense(channels, num_classes, rng=rng, name="classifier")
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.stem_relu.forward(self.stem_bn.forward(self.stem.forward(x)))
+        out = self.blocks.forward(out)
+        return self.classifier.forward(self.pool.forward(out))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.pool.backward(self.classifier.backward(grad_output))
+        grad = self.blocks.backward(grad)
+        return self.stem.backward(self.stem_bn.backward(self.stem_relu.backward(grad)))
+
+    def packable_layers(self) -> list[tuple[str, PointwiseConv2d]]:
+        """All pointwise convolutional layers (stem, blocks, shortcuts) in order."""
+        layers: list[tuple[str, PointwiseConv2d]] = [("stem.pointwise", self.stem.pointwise)]
+        for i, block in enumerate(self.blocks):
+            layers.extend(block.packable_layers(f"blocks.{i}"))
+        return layers

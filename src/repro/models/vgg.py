@@ -1,0 +1,73 @@
+"""A VGG-style network in shift + pointwise form (CIFAR-class workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2d,
+    Dense,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    Module,
+    PointwiseConv2d,
+    ReLU,
+    Sequential,
+    ShiftConv2d,
+)
+
+
+def _scaled(width: int, scale: float, minimum: int = 4) -> int:
+    return max(minimum, int(round(width * scale)))
+
+
+class VGG(Module):
+    """VGG-style shift-convolution network.
+
+    ``stage_widths`` and ``convs_per_stage`` default to a compact VGG
+    (three stages of two convolutions, 64/128/256 channels before scaling),
+    mirroring the structure the paper uses for CIFAR-10 while keeping the
+    reproduction CPU-trainable.  Max pooling follows every stage except the
+    last, which feeds a global average pool and a dense classifier.
+    """
+
+    def __init__(self, in_channels: int = 3, num_classes: int = 10, scale: float = 1.0,
+                 stage_widths: tuple[int, ...] = (64, 128, 256),
+                 convs_per_stage: int = 2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if convs_per_stage < 1:
+            raise ValueError("convs_per_stage must be >= 1")
+        if not stage_widths:
+            raise ValueError("stage_widths must be non-empty")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        layers: list[Module] = []
+        channels = in_channels
+        for stage, width in enumerate(stage_widths):
+            width = _scaled(width, scale)
+            for conv in range(convs_per_stage):
+                layers.append(ShiftConv2d(channels, width, rng=rng,
+                                          name=f"stage{stage}.conv{conv}"))
+                layers.append(BatchNorm2d(width, name=f"stage{stage}.bn{conv}"))
+                layers.append(ReLU())
+                channels = width
+            if stage != len(stage_widths) - 1:
+                layers.append(MaxPool2d(2))
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Dense(channels, num_classes, rng=rng, name="classifier")
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.classifier.forward(self.pool.forward(self.features.forward(x)))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.features.backward(self.pool.backward(self.classifier.backward(grad_output)))
+
+    def packable_layers(self) -> list[tuple[str, PointwiseConv2d]]:
+        """The pointwise convolutional layers, in forward order."""
+        layers: list[tuple[str, PointwiseConv2d]] = []
+        for i, layer in enumerate(self.features):
+            if isinstance(layer, ShiftConv2d):
+                layers.append((f"features.{i}.pointwise", layer.pointwise))
+        return layers

@@ -1,0 +1,64 @@
+"""A compact NumPy neural-network framework with manual backpropagation.
+
+The framework provides exactly what the paper's training procedure needs:
+
+* parameterised modules with explicit ``forward`` / ``backward`` passes,
+* pointwise (1x1) convolution and the parameter-free shift operation used
+  by shift convolution (Wu et al., 2017), which the paper adopts so that
+  every convolutional layer becomes a plain filter *matrix*,
+* batch normalization, ReLU, pooling, and dense layers,
+* softmax cross-entropy loss,
+* SGD with Nesterov momentum and a cosine learning-rate schedule
+  (the optimizer setup described in Section 5 of the paper),
+* pruning-mask support on every weight matrix so that retraining keeps
+  pruned weights at zero.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.module import Module, Sequential
+from repro.nn.layers import (
+    Dense,
+    PointwiseConv2d,
+    Shift2d,
+    ShiftConv2d,
+    BatchNorm2d,
+    ReLU,
+    Flatten,
+    AvgPool2d,
+    MaxPool2d,
+    GlobalAvgPool2d,
+    Identity,
+    Dropout,
+)
+from repro.nn.loss import SoftmaxCrossEntropy, accuracy
+from repro.nn.optim import SGD
+from repro.nn.schedule import CosineSchedule, ConstantSchedule, StepSchedule
+from repro.nn import init
+from repro.nn.serialization import state_dict, load_state_dict
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Dense",
+    "PointwiseConv2d",
+    "Shift2d",
+    "ShiftConv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "Flatten",
+    "AvgPool2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Identity",
+    "Dropout",
+    "SoftmaxCrossEntropy",
+    "accuracy",
+    "SGD",
+    "CosineSchedule",
+    "ConstantSchedule",
+    "StepSchedule",
+    "init",
+    "state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,46 @@
+"""Loss functions and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SoftmaxCrossEntropy:
+    """Softmax followed by cross-entropy against integer class labels."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Return the mean cross-entropy loss over the batch."""
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (batch, classes), got {logits.shape}")
+        labels = np.asarray(labels)
+        if labels.shape[0] != logits.shape[0]:
+            raise ValueError("labels batch size does not match logits")
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._cache = (probs, labels)
+        batch = logits.shape[0]
+        eps = 1e-12
+        return float(-np.log(probs[np.arange(batch), labels] + eps).mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, labels = self._cache
+        batch = probs.shape[0]
+        grad = probs.copy()
+        grad[np.arange(batch), labels] -= 1.0
+        return grad / batch
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    predictions = np.argmax(logits, axis=1)
+    return float(np.mean(predictions == np.asarray(labels)))

@@ -1,0 +1,166 @@
+"""Module base class and Sequential container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses implement :meth:`forward` (caching whatever they need) and
+    :meth:`backward` (consuming the cache, writing parameter gradients, and
+    returning the gradient with respect to the input).  The design mirrors
+    a classic define-by-run framework without autograd: explicit, easy to
+    verify, and fast enough for the scaled-down experiments.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- forward / backward -------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- parameter / submodule discovery -------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its children."""
+        params: list[Parameter] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            for param in _collect_parameters(value):
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    params.append(param)
+        return params
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        """(name, parameter) pairs; names follow attribute paths."""
+        result: list[tuple[str, Parameter]] = []
+        seen: set[int] = set()
+        for attr, value in self.__dict__.items():
+            path = f"{prefix}{attr}" if not prefix else f"{prefix}.{attr}"
+            for name, param in _collect_named(value, path):
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    result.append((name, param))
+        return result
+
+    def modules(self) -> list["Module"]:
+        """This module followed by all nested submodules (depth-first)."""
+        found: list[Module] = [self]
+        seen = {id(self)}
+        for value in self.__dict__.values():
+            for sub in _collect_modules(value):
+                if id(sub) not in seen:
+                    seen.add(id(sub))
+                    found.append(sub)
+                    for nested in sub.modules():
+                        if id(nested) not in seen:
+                            seen.add(id(nested))
+                            found.append(nested)
+        return found
+
+    # -- training-mode toggles ------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # -- gradient helpers -----------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def apply_masks(self) -> None:
+        """Re-apply every pruning mask (used after optimizer steps)."""
+        for param in self.parameters():
+            param.apply_mask()
+
+    def nonzero_count(self) -> int:
+        """Total number of unpruned weights across all parameters."""
+        return sum(p.nonzero_count() for p in self.parameters())
+
+
+class Sequential(Module):
+    """Run modules in order; backward runs them in reverse order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = list(modules)
+
+    def add(self, module: Module) -> None:
+        self.layers.append(module)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+# -- attribute traversal helpers ---------------------------------------------
+
+def _collect_parameters(value) -> Iterable[Parameter]:
+    if isinstance(value, Parameter):
+        yield value
+    elif isinstance(value, Module):
+        yield from value.parameters()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect_parameters(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect_parameters(item)
+
+
+def _collect_named(value, path: str) -> Iterable[tuple[str, Parameter]]:
+    if isinstance(value, Parameter):
+        yield path, value
+    elif isinstance(value, Module):
+        yield from value.named_parameters(prefix=path)
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            yield from _collect_named(item, f"{path}.{i}")
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from _collect_named(item, f"{path}.{key}")
+
+
+def _collect_modules(value) -> Iterable[Module]:
+    if isinstance(value, Module):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect_modules(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect_modules(item)

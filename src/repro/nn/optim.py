@@ -1,0 +1,88 @@
+"""Optimizers.
+
+The paper trains all networks with SGD, Nesterov momentum of 0.9, and a
+cosine learning-rate schedule (Section 5).  The optimizer here respects
+pruning masks: after every step, masked weights are forced back to zero so
+that retraining never resurrects a pruned weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with (Nesterov) momentum and weight decay.
+
+    ``clip_norm`` optionally rescales the global gradient norm before every
+    step.  Heavily pruned networks can produce occasional large gradients
+    during retraining (few surviving weights carry all the signal), and
+    clipping keeps the joint optimization stable without changing its
+    steady-state behaviour.
+    """
+
+    def __init__(self, parameters: list[Parameter], lr: float = 0.05,
+                 momentum: float = 0.9, nesterov: bool = True,
+                 weight_decay: float = 0.0, clip_norm: float | None = None):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if clip_norm is not None and clip_norm <= 0:
+            raise ValueError("clip_norm must be positive when given")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+        self.clip_norm = clip_norm
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def global_grad_norm(self) -> float:
+        """L2 norm of all parameter gradients concatenated."""
+        total = 0.0
+        for param in self.parameters:
+            total += float(np.sum(param.grad ** 2))
+        return float(np.sqrt(total))
+
+    def _clip_gradients(self) -> None:
+        if self.clip_norm is None:
+            return
+        norm = self.global_grad_norm()
+        if norm > self.clip_norm and norm > 0:
+            scale = self.clip_norm / norm
+            for param in self.parameters:
+                param.grad *= scale
+
+    def step(self) -> None:
+        """Apply one update to every parameter, then re-apply pruning masks."""
+        self._clip_gradients()
+        for param, velocity in zip(self.parameters, self._velocity):
+            if not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                if self.nesterov:
+                    update = grad + self.momentum * velocity
+                else:
+                    update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+            param.apply_mask()
+
+    def set_lr(self, lr: float) -> None:
+        """Update the learning rate; zero is allowed (a schedule may decay to 0)."""
+        if lr < 0:
+            raise ValueError("learning rate must be non-negative")
+        self.lr = lr

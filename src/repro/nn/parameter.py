@@ -1,0 +1,67 @@
+"""Trainable parameters with optional pruning masks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with gradient storage and an optional binary mask.
+
+    The mask is how the pruning and column-combining machinery communicates
+    with the optimizer: a weight whose mask entry is ``0`` is pruned, stays
+    at exactly zero through retraining, and is excluded from the nonzero
+    count used by Algorithm 1's stopping criterion.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = bool(requires_grad)
+        #: binary mask with the same shape as ``data``; ``None`` means dense.
+        self.mask: np.ndarray | None = None
+
+    # -- shape helpers -----------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    # -- pruning -----------------------------------------------------------
+    def set_mask(self, mask: np.ndarray) -> None:
+        """Install a binary mask and immediately apply it to the data."""
+        mask = np.asarray(mask)
+        if mask.shape != self.data.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match parameter shape {self.data.shape}"
+            )
+        self.mask = (mask != 0).astype(self.data.dtype)
+        self.apply_mask()
+
+    def clear_mask(self) -> None:
+        """Remove the mask (the parameter becomes dense again)."""
+        self.mask = None
+
+    def apply_mask(self) -> None:
+        """Zero out data and gradient entries where the mask is zero."""
+        if self.mask is not None:
+            self.data *= self.mask
+            self.grad *= self.mask
+
+    def nonzero_count(self) -> int:
+        """Number of weights that survive the mask (or all weights if dense)."""
+        if self.mask is not None:
+            return int(np.count_nonzero(self.mask))
+        return int(np.count_nonzero(self.data))
+
+    # -- gradient management -------------------------------------------------
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        nz = self.nonzero_count()
+        return f"Parameter(name={self.name!r}, shape={self.shape}, nonzeros={nz})"

@@ -1,0 +1,66 @@
+"""Learning-rate schedules.
+
+The paper uses a cosine-shaped schedule over each iteration of Algorithm 1
+that ends at 20% of the initial learning rate, and decays to 0 during the
+final 100 epochs of fine-tuning.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class ConstantSchedule:
+    """Always return the same learning rate."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def __call__(self, step: int, total_steps: int) -> float:
+        return self.lr
+
+
+class CosineSchedule:
+    """Cosine decay from ``lr`` to ``lr * final_fraction`` over ``total_steps``.
+
+    With ``final_fraction=0.2`` this matches the per-iteration schedule of
+    Section 5; with ``final_fraction=0.0`` it matches the final fine-tuning
+    phase.
+    """
+
+    def __init__(self, lr: float, final_fraction: float = 0.2):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= final_fraction <= 1.0:
+            raise ValueError("final_fraction must be in [0, 1]")
+        self.lr = lr
+        self.final_fraction = final_fraction
+
+    def __call__(self, step: int, total_steps: int) -> float:
+        if total_steps <= 1:
+            return self.lr
+        step = min(max(step, 0), total_steps - 1)
+        progress = step / (total_steps - 1)
+        floor = self.lr * self.final_fraction
+        return floor + 0.5 * (self.lr - floor) * (1.0 + math.cos(math.pi * progress))
+
+
+class StepSchedule:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.1):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.lr = lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def __call__(self, step: int, total_steps: int) -> float:
+        drops = max(step, 0) // self.step_size
+        return self.lr * (self.gamma ** drops)

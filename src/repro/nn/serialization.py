@@ -1,0 +1,50 @@
+"""Parameter snapshotting (state dictionaries).
+
+Used by the limited-data experiment (Section 6), which starts from a
+pretrained dense model, and by tests that need to clone models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def state_dict(model: Module) -> dict[str, np.ndarray]:
+    """Copy all parameter data (and masks) keyed by parameter path.
+
+    Masks are stored under the key ``<name>::mask`` so that a pruned model
+    round-trips exactly.
+    """
+    state: dict[str, np.ndarray] = {}
+    for name, param in model.named_parameters():
+        state[name] = param.data.copy()
+        if param.mask is not None:
+            state[f"{name}::mask"] = param.mask.copy()
+    return state
+
+
+def load_state_dict(model: Module, state: dict[str, np.ndarray],
+                    strict: bool = True) -> None:
+    """Load parameter data (and masks) produced by :func:`state_dict`."""
+    named = dict(model.named_parameters())
+    missing = [k for k in state if not k.endswith("::mask") and k not in named]
+    if strict and missing:
+        raise KeyError(f"state contains unknown parameters: {missing}")
+    for name, param in named.items():
+        if name not in state:
+            if strict:
+                raise KeyError(f"state is missing parameter {name!r}")
+            continue
+        data = state[name]
+        if data.shape != param.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: state {data.shape} vs model {param.data.shape}"
+            )
+        param.data = data.copy()
+        mask_key = f"{name}::mask"
+        if mask_key in state:
+            param.set_mask(state[mask_key])
+        else:
+            param.clear_mask()

@@ -1,0 +1,19 @@
+"""Magnitude-based weight pruning (the "initial pruning" of Algorithm 1)."""
+
+from repro.pruning.magnitude import (
+    magnitude_prune_matrix,
+    magnitude_prune_parameter,
+    prune_model_layers,
+)
+from repro.pruning.schedule import BetaSchedule
+from repro.pruning.sparsity import sparsity, nonzero_count, layer_sparsity_report
+
+__all__ = [
+    "magnitude_prune_matrix",
+    "magnitude_prune_parameter",
+    "prune_model_layers",
+    "BetaSchedule",
+    "sparsity",
+    "nonzero_count",
+    "layer_sparsity_report",
+]

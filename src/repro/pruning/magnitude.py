@@ -1,0 +1,84 @@
+"""Magnitude pruning of filter matrices.
+
+Algorithm 1 begins every iteration by "removing the smallest magnitude
+weights up to a β percentage" of each layer before column grouping.  The
+percentage applies to the weights that are still unpruned, so repeated
+rounds with a decaying β produce the gradually sparsifying models of
+Figure 13a.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Module, PointwiseConv2d
+from repro.nn.parameter import Parameter
+
+
+def magnitude_prune_matrix(matrix: np.ndarray, fraction: float,
+                           mask: np.ndarray | None = None) -> np.ndarray:
+    """Return a binary mask that prunes ``fraction`` of the remaining weights.
+
+    Parameters
+    ----------
+    matrix:
+        The weight matrix (any shape).
+    fraction:
+        Fraction in [0, 1] of currently-unpruned weights to remove,
+        selected by smallest absolute value.
+    mask:
+        Existing binary mask (1 = kept).  ``None`` means all weights are
+        currently unpruned.
+
+    Returns
+    -------
+    A new binary mask of the same shape; it is always a subset of ``mask``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    matrix = np.asarray(matrix)
+    if mask is None:
+        current = np.ones(matrix.shape, dtype=bool)
+    else:
+        current = np.asarray(mask) != 0
+        if current.shape != matrix.shape:
+            raise ValueError("mask shape does not match matrix shape")
+    if fraction == 0.0:
+        return current.astype(np.float64)
+    kept_indices = np.flatnonzero(current)
+    num_to_prune = int(np.floor(fraction * len(kept_indices)))
+    if num_to_prune == 0:
+        return current.astype(np.float64)
+    magnitudes = np.abs(matrix.ravel()[kept_indices])
+    # Stable selection of the smallest magnitudes among kept weights.
+    order = np.argsort(magnitudes, kind="stable")
+    prune_flat = kept_indices[order[:num_to_prune]]
+    new_mask = current.copy()
+    new_mask.ravel()[prune_flat] = False
+    return new_mask.astype(np.float64)
+
+
+def magnitude_prune_parameter(param: Parameter, fraction: float) -> int:
+    """Prune a parameter in place; returns the number of weights removed."""
+    before = param.nonzero_count()
+    new_mask = magnitude_prune_matrix(param.data, fraction, param.mask)
+    param.set_mask(new_mask)
+    return before - param.nonzero_count()
+
+
+def prune_model_layers(model: Module, fraction: float,
+                       layers: list[tuple[str, PointwiseConv2d]] | None = None) -> int:
+    """Apply magnitude pruning to every packable layer of ``model``.
+
+    Returns the total number of weights pruned in this call.  If ``layers``
+    is omitted, the model's ``packable_layers()`` method is used.
+    """
+    if layers is None:
+        method = getattr(model, "packable_layers", None)
+        if not callable(method):
+            raise TypeError("model does not expose packable_layers(); pass layers explicitly")
+        layers = method()
+    removed = 0
+    for _, layer in layers:
+        removed += magnitude_prune_parameter(layer.weight, fraction)
+    return removed

@@ -1,0 +1,44 @@
+"""β decay schedule used across iterations of Algorithm 1."""
+
+from __future__ import annotations
+
+
+class BetaSchedule:
+    """Initial-pruning percentage that decays geometrically per iteration.
+
+    Algorithm 1 line 14: ``β ← 0.9 · β`` after every prune/retrain round, so
+    early rounds remove the bulk of the weights (Figure 13a) and later
+    rounds make smaller adjustments.
+    """
+
+    def __init__(self, initial_beta: float = 0.20, decay: float = 0.9,
+                 minimum: float = 0.0):
+        if not 0.0 <= initial_beta <= 1.0:
+            raise ValueError("initial_beta must be in [0, 1]")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if not 0.0 <= minimum <= initial_beta:
+            raise ValueError("minimum must be in [0, initial_beta]")
+        self.initial_beta = initial_beta
+        self.decay = decay
+        self.minimum = minimum
+        self._beta = initial_beta
+
+    @property
+    def value(self) -> float:
+        """The β to use for the current iteration."""
+        return self._beta
+
+    def step(self) -> float:
+        """Decay β and return the new value."""
+        self._beta = max(self.minimum, self._beta * self.decay)
+        return self._beta
+
+    def reset(self) -> None:
+        self._beta = self.initial_beta
+
+    def at_iteration(self, iteration: int) -> float:
+        """β that iteration ``iteration`` (0-based) would use, without mutating."""
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        return max(self.minimum, self.initial_beta * (self.decay ** iteration))

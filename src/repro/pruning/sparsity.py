@@ -1,0 +1,42 @@
+"""Sparsity accounting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Module, PointwiseConv2d
+
+
+def nonzero_count(matrix: np.ndarray) -> int:
+    """Number of nonzero entries in a matrix."""
+    return int(np.count_nonzero(matrix))
+
+
+def sparsity(matrix: np.ndarray) -> float:
+    """Fraction of entries that are zero (0.0 for a dense matrix)."""
+    matrix = np.asarray(matrix)
+    if matrix.size == 0:
+        return 0.0
+    return 1.0 - nonzero_count(matrix) / matrix.size
+
+
+def layer_sparsity_report(model: Module,
+                          layers: list[tuple[str, PointwiseConv2d]] | None = None
+                          ) -> list[dict]:
+    """Per-layer sparsity summary for every packable layer of a model."""
+    if layers is None:
+        method = getattr(model, "packable_layers", None)
+        if not callable(method):
+            raise TypeError("model does not expose packable_layers(); pass layers explicitly")
+        layers = method()
+    report = []
+    for name, layer in layers:
+        weight = layer.weight.data
+        report.append({
+            "layer": name,
+            "shape": weight.shape,
+            "total": int(weight.size),
+            "nonzeros": nonzero_count(weight),
+            "sparsity": sparsity(weight),
+        })
+    return report

@@ -1,0 +1,19 @@
+"""Linear fixed-point quantization (Section 2.5).
+
+Inputs and weights are quantized to 8-bit fixed point; accumulations inside
+a layer are kept at 32 bits (16 bits for the small LeNet-5 ASIC designs).
+"""
+
+from repro.quant.linear import (
+    LinearQuantizer,
+    quantize_tensor,
+    dequantize_tensor,
+    quantization_error,
+)
+
+__all__ = [
+    "LinearQuantizer",
+    "quantize_tensor",
+    "dequantize_tensor",
+    "quantization_error",
+]

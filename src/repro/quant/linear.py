@@ -1,0 +1,78 @@
+"""Symmetric linear fixed-point quantization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class LinearQuantizer:
+    """Symmetric linear quantizer mapping floats to signed ``bits``-bit integers.
+
+    ``scale`` is chosen so that the largest observed magnitude maps to the
+    largest representable integer; zero always maps to zero (symmetric,
+    zero-point-free), which keeps the bit-serial MAC design simple.
+    """
+
+    bits: int = 8
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise ValueError("bits must be >= 2")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable positive integer."""
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.bits - 1))
+
+    @classmethod
+    def fit(cls, tensor: np.ndarray, bits: int = 8) -> "LinearQuantizer":
+        """Calibrate the scale from the largest magnitude in ``tensor``."""
+        tensor = np.asarray(tensor)
+        max_abs = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+        qmax = 2 ** (bits - 1) - 1
+        scale = max_abs / qmax if max_abs > 0 else 1.0
+        return cls(bits=bits, scale=scale)
+
+    def quantize(self, tensor: np.ndarray) -> np.ndarray:
+        """Round to integers and clip to the representable range."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        q = np.round(tensor / self.scale)
+        return np.clip(q, self.qmin, self.qmax).astype(np.int64)
+
+    def dequantize(self, quantized: np.ndarray) -> np.ndarray:
+        """Map integers back to floats."""
+        return np.asarray(quantized, dtype=np.float64) * self.scale
+
+    def roundtrip(self, tensor: np.ndarray) -> np.ndarray:
+        """Quantize then dequantize (the simulated-quantization value)."""
+        return self.dequantize(self.quantize(tensor))
+
+
+def quantize_tensor(tensor: np.ndarray, bits: int = 8) -> tuple[np.ndarray, LinearQuantizer]:
+    """Calibrate a quantizer on ``tensor`` and return (integers, quantizer)."""
+    quantizer = LinearQuantizer.fit(tensor, bits=bits)
+    return quantizer.quantize(tensor), quantizer
+
+
+def dequantize_tensor(quantized: np.ndarray, quantizer: LinearQuantizer) -> np.ndarray:
+    """Inverse of :func:`quantize_tensor`."""
+    return quantizer.dequantize(quantized)
+
+
+def quantization_error(tensor: np.ndarray, bits: int = 8) -> float:
+    """Root-mean-square error introduced by ``bits``-bit quantization."""
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if tensor.size == 0:
+        return 0.0
+    quantizer = LinearQuantizer.fit(tensor, bits=bits)
+    return float(np.sqrt(np.mean((quantizer.roundtrip(tensor) - tensor) ** 2)))

@@ -1,0 +1,62 @@
+"""Weight-stationary bit-serial systolic array simulator (Section 4).
+
+Layers of the simulator, from smallest to largest:
+
+* :mod:`~repro.systolic.mac` — a genuinely bit-serial multiply-accumulate
+  that processes the 8-bit input one bit per cycle (Figure 7).
+* :mod:`~repro.systolic.cells` — the three systolic cell types of
+  Figure 10: BL (balanced), IL (interleaved, hiding the 32-bit
+  accumulation latency behind four input streams), and MX (multiplexed,
+  selecting one of up to α input channels per cell, the hardware support
+  for column combining).
+* :mod:`~repro.systolic.timing` — the cycle model for balanced /
+  unbalanced / interleaved cells and for whole tiles (Figures 8 and 9).
+* :mod:`~repro.systolic.array` — a functional weight-stationary array that
+  multiplies packed or unpacked filter matrices by data matrices and
+  reports cycle counts.
+* :mod:`~repro.systolic.cycle_sim` — a word-level cycle-accurate
+  simulation of the skewed dataflow, used to validate the analytic timing
+  model on small arrays.
+* :mod:`~repro.systolic.tiles` — partitioned matrix multiplication
+  (Figure 14a), alternating weight loads with matrix multiplication.
+* :mod:`~repro.systolic.blocks` — the shift, ReLU, and quantization blocks
+  that surround the array (Figure 12).
+* :mod:`~repro.systolic.pipeline` — cross-layer pipelining of a chain of
+  arrays (Section 3.6).
+* :mod:`~repro.systolic.system` — end-to-end integer inference of a packed
+  CNN through per-layer systolic arrays.
+"""
+
+from repro.systolic.mac import BitSerialMAC, bit_serial_multiply
+from repro.systolic.cells import BLCell, ILCell, MXCell
+from repro.systolic.timing import CellTiming, TileTiming, cycles_for_tile
+from repro.systolic.array import SystolicArray, ArrayConfig, MatmulResult
+from repro.systolic.cycle_sim import simulate_weight_stationary
+from repro.systolic.tiles import TiledMatmul, TiledMatmulResult
+from repro.systolic.blocks import ShiftBlock, ReluQuantBlock
+from repro.systolic.pipeline import LayerLatency, pipeline_latency, sequential_latency
+from repro.systolic.system import SystolicSystem, LayerExecution
+
+__all__ = [
+    "BitSerialMAC",
+    "bit_serial_multiply",
+    "BLCell",
+    "ILCell",
+    "MXCell",
+    "CellTiming",
+    "TileTiming",
+    "cycles_for_tile",
+    "SystolicArray",
+    "ArrayConfig",
+    "MatmulResult",
+    "simulate_weight_stationary",
+    "TiledMatmul",
+    "TiledMatmulResult",
+    "ShiftBlock",
+    "ReluQuantBlock",
+    "LayerLatency",
+    "pipeline_latency",
+    "sequential_latency",
+    "SystolicSystem",
+    "LayerExecution",
+]

@@ -1,0 +1,133 @@
+"""Functional weight-stationary systolic array (Figure 1c / Figure 11).
+
+The array computes exact integer (or float) matrix products with the same
+semantics as the hardware — including the MX-cell channel multiplexing used
+for packed filter matrices — and reports the cycle counts predicted by the
+timing model.  The word-level cycle-accurate simulation lives in
+:mod:`repro.systolic.cycle_sim`; this module is the fast path used by the
+tiled scheduler, the end-to-end system, and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.combining.packing import PackedFilterMatrix
+from repro.systolic.timing import CellTiming, cycles_for_tile
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Dimensions and numeric configuration of a systolic array."""
+
+    rows: int = 32
+    cols: int = 32
+    input_bits: int = 8
+    accumulation_bits: int = 32
+    #: maximum multiplexing degree of the MX cells (columns per group).
+    alpha: int = 8
+    interleaved: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array dimensions must be >= 1")
+        if self.alpha < 1:
+            raise ValueError("alpha must be >= 1")
+
+    @property
+    def timing(self) -> CellTiming:
+        return CellTiming(input_bits=self.input_bits,
+                          accumulation_bits=self.accumulation_bits,
+                          interleaved=self.interleaved)
+
+    @property
+    def num_cells(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass
+class MatmulResult:
+    """Output of one (untiled) matrix multiplication on the array."""
+
+    output: np.ndarray
+    cycles: int
+    #: multiply-accumulates that involved a nonzero weight (useful work).
+    useful_macs: int
+    #: cell-slots that were occupied for the duration of the multiplication
+    #: (useful or not) — the denominator of utilization efficiency.
+    occupied_macs: int
+
+    @property
+    def utilization(self) -> float:
+        if self.occupied_macs == 0:
+            return 0.0
+        return self.useful_macs / self.occupied_macs
+
+
+class SystolicArray:
+    """A weight-stationary array executing dense or packed filter matrices."""
+
+    def __init__(self, config: ArrayConfig | None = None):
+        self.config = config if config is not None else ArrayConfig()
+
+    # -- dense filter matrices --------------------------------------------------
+    def multiply_dense(self, filter_matrix: np.ndarray, data: np.ndarray) -> MatmulResult:
+        """Multiply an (N x M) filter matrix by an (M x L) data matrix.
+
+        The filter matrix must fit in the array (use
+        :class:`~repro.systolic.tiles.TiledMatmul` otherwise).  Zero weights
+        still occupy cells — this is the baseline behaviour column combining
+        removes.
+        """
+        filter_matrix = np.asarray(filter_matrix)
+        data = np.asarray(data)
+        self._check_fits(filter_matrix.shape[0], filter_matrix.shape[1])
+        if data.ndim != 2 or data.shape[0] != filter_matrix.shape[1]:
+            raise ValueError(
+                f"data shape {data.shape} incompatible with filter matrix {filter_matrix.shape}"
+            )
+        output = filter_matrix @ data
+        words = data.shape[1]
+        timing = cycles_for_tile(filter_matrix.shape[0], filter_matrix.shape[1], words,
+                                 self.config.timing)
+        nonzero_cells = int(np.count_nonzero(filter_matrix))
+        occupied_cells = int(filter_matrix.size)
+        return MatmulResult(output=output, cycles=timing.matmul_cycles,
+                            useful_macs=nonzero_cells * words,
+                            occupied_macs=occupied_cells * words)
+
+    # -- packed filter matrices ---------------------------------------------------
+    def multiply_packed(self, packed: PackedFilterMatrix, data: np.ndarray) -> MatmulResult:
+        """Multiply a packed filter matrix by an (M x L) data matrix.
+
+        ``M`` is the *original* number of input channels; the MX cells in
+        each combined column select the channel recorded in
+        ``packed.channel_index``.  The result is numerically identical to
+        multiplying the pruned, unpacked filter matrix.
+        """
+        data = np.asarray(data)
+        self._check_fits(packed.num_rows, packed.num_groups)
+        if packed.multiplexing_degree() > self.config.alpha:
+            raise ValueError(
+                f"packing needs multiplexing degree {packed.multiplexing_degree()}, "
+                f"but the array's MX cells support alpha={self.config.alpha}"
+            )
+        output = packed.multiply(data)
+        words = data.shape[1]
+        timing = cycles_for_tile(packed.num_rows, packed.num_groups, words,
+                                 self.config.timing)
+        nonzero_cells = int(np.count_nonzero(packed.weights))
+        occupied_cells = int(packed.weights.size)
+        return MatmulResult(output=output, cycles=timing.matmul_cycles,
+                            useful_macs=nonzero_cells * words,
+                            occupied_macs=occupied_cells * words)
+
+    # -- helpers ----------------------------------------------------------------
+    def _check_fits(self, rows: int, cols: int) -> None:
+        if rows > self.config.rows or cols > self.config.cols:
+            raise ValueError(
+                f"matrix of {rows}x{cols} does not fit the {self.config.rows}x"
+                f"{self.config.cols} array; use TiledMatmul for partitioned execution"
+            )

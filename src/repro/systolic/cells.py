@@ -1,0 +1,126 @@
+"""Systolic cell types: BL, IL, and MX (Figure 10).
+
+* **BL (balanced)** — one MAC, one input stream; appropriate when the
+  accumulation width equals the input width so I/O and compute are
+  balanced (Figure 8a).
+* **IL (interleaved)** — four MACs sharing one input stream position but
+  serving four independent, interleaved data streams; hides the 24-cycle
+  gap that 32-bit accumulation would otherwise leave (Figure 8c).
+* **MX (multiplexed)** — the cell that supports column combining: it
+  receives up to ``alpha`` input-channel streams and selects the one its
+  stored weight belongs to (Figure 10c / Figure 11c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.systolic.mac import BitSerialMAC
+
+
+@dataclass
+class BLCell:
+    """Balanced cell: a single MAC with matching I/O and compute time."""
+
+    weight: int = 0
+    input_bits: int = 8
+
+    def __post_init__(self) -> None:
+        self.mac = BitSerialMAC(weight=self.weight, input_bits=self.input_bits,
+                                accumulation_bits=self.input_bits)
+
+    def load_weight(self, weight: int) -> None:
+        self.weight = int(weight)
+        self.mac.load_weight(weight)
+
+    def process(self, x: int, y_in: int) -> int:
+        """Consume one input word and produce the updated accumulation."""
+        y_out, _ = self.mac.step(x, y_in)
+        return y_out
+
+
+@dataclass
+class ILCell:
+    """Interleaved cell: four MACs serving four interleaved data streams."""
+
+    weight: int = 0
+    input_bits: int = 8
+    accumulation_bits: int = 32
+    streams: int = 4
+
+    def __post_init__(self) -> None:
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
+        self.macs = [
+            BitSerialMAC(weight=self.weight, input_bits=self.input_bits,
+                         accumulation_bits=self.accumulation_bits)
+            for _ in range(self.streams)
+        ]
+
+    def load_weight(self, weight: int) -> None:
+        self.weight = int(weight)
+        for mac in self.macs:
+            mac.load_weight(weight)
+
+    def process(self, xs: list[int], ys_in: list[int]) -> list[int]:
+        """Process one word from each of the interleaved streams."""
+        if len(xs) != self.streams or len(ys_in) != self.streams:
+            raise ValueError(f"expected {self.streams} interleaved words")
+        return [mac.step(x, y)[0] for mac, x, y in zip(self.macs, xs, ys_in)]
+
+
+@dataclass
+class MXCell:
+    """Multiplexed cell: selects one of up to ``alpha`` input channels.
+
+    ``channel_select`` is the position (0-based, within the group) of the
+    input stream whose data this cell's weight multiplies; ``None`` marks
+    an empty cell that stores a zero weight and contributes nothing.  All
+    incoming channel streams are forwarded to the cell above unchanged.
+    """
+
+    weight: int = 0
+    channel_select: int | None = None
+    alpha: int = 8
+    input_bits: int = 8
+    accumulation_bits: int = 32
+    streams: int = 4
+    macs: list[BitSerialMAC] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.alpha < 1:
+            raise ValueError("alpha must be >= 1")
+        if self.channel_select is not None and not 0 <= self.channel_select < self.alpha:
+            raise ValueError("channel_select must be in [0, alpha)")
+        self.macs = [
+            BitSerialMAC(weight=self.weight, input_bits=self.input_bits,
+                         accumulation_bits=self.accumulation_bits)
+            for _ in range(self.streams)
+        ]
+
+    def load_weight(self, weight: int, channel_select: int | None) -> None:
+        if channel_select is not None and not 0 <= channel_select < self.alpha:
+            raise ValueError("channel_select must be in [0, alpha)")
+        self.weight = int(weight)
+        self.channel_select = channel_select
+        for mac in self.macs:
+            mac.load_weight(weight)
+
+    def process(self, channel_words: list[int], y_in: int, stream: int = 0) -> int:
+        """Consume one word from every multiplexed channel and accumulate.
+
+        ``channel_words`` carries the current word of each of the (up to
+        ``alpha``) input channels routed through this column.  The cell
+        multiplies only the selected channel; an empty cell passes the
+        accumulation through unchanged.
+        """
+        if len(channel_words) > self.alpha:
+            raise ValueError(f"cell multiplexes at most {self.alpha} channels")
+        if self.channel_select is None:
+            return y_in
+        if self.channel_select >= len(channel_words):
+            raise ValueError("channel_select outside the provided channel words")
+        if not 0 <= stream < self.streams:
+            raise ValueError("invalid interleaved stream index")
+        y_out, _ = self.macs[stream].step(channel_words[self.channel_select], y_in)
+        return y_out

@@ -1,0 +1,117 @@
+"""Word-level cycle-accurate simulation of the weight-stationary dataflow.
+
+This simulator moves data words bottom-to-top and partial sums left-to-right
+through a grid of registers with the input skew of Figure 1c, computes every
+output from the dataflow itself, and records the word-slot at which each
+result exits the right edge.  It validates (a) the functional correctness
+of the dataflow and (b) the analytic latency model in
+:mod:`repro.systolic.timing`: the last result exits at word-slot
+``(data_words - 1) + (rows - 1) + (cols - 1)``, i.e. after
+``data_words + rows + cols - 2`` word-slots in total.
+
+The simulation is O(rows x cols x slots) pure Python and is intended for
+the small arrays used in tests, not for full-network benchmarking (use
+:class:`repro.systolic.array.SystolicArray` for that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CycleSimResult:
+    """Output of the cycle-accurate simulation."""
+
+    output: np.ndarray
+    #: word-slot (0-based) at which the last result word left the array.
+    last_exit_slot: int
+    #: total word-slots during which the array was active.
+    total_slots: int
+    #: exit slot of every output word, shape (rows, data_words).
+    exit_slots: np.ndarray
+
+
+def simulate_weight_stationary(filter_matrix: np.ndarray, data: np.ndarray) -> CycleSimResult:
+    """Simulate ``filter_matrix @ data`` on a weight-stationary array.
+
+    ``filter_matrix`` is (rows x cols) and is pre-stored in the cells;
+    ``data`` is (cols x words).  Data word ``data[j, l]`` enters row 0 of
+    column ``j`` at word-slot ``l + j`` (the input skew of Figure 1c),
+    moves up one row per slot, and meets the partial sum for output
+    ``(i, l)`` at cell ``(i, j)`` at slot ``l + i + j``; the finished
+    result exits the right edge at slot ``l + i + cols - 1``.
+    """
+    filter_matrix = np.asarray(filter_matrix, dtype=np.float64)
+    data = np.asarray(data, dtype=np.float64)
+    if filter_matrix.ndim != 2 or data.ndim != 2:
+        raise ValueError("filter_matrix and data must be 2-D")
+    rows, cols = filter_matrix.shape
+    if data.shape[0] != cols:
+        raise ValueError("data must have one row per filter-matrix column")
+    words = data.shape[1]
+    if words == 0:
+        return CycleSimResult(np.zeros((rows, 0)), last_exit_slot=-1, total_slots=0,
+                              exit_slots=np.zeros((rows, 0), dtype=int))
+
+    # Per-cell registers: the data word and partial sum each cell consumes
+    # during the current slot, plus validity flags.
+    data_value = np.zeros((rows, cols))
+    data_valid = np.zeros((rows, cols), dtype=bool)
+    sum_value = np.zeros((rows, cols))
+    sum_valid = np.zeros((rows, cols), dtype=bool)
+
+    output = np.zeros((rows, words))
+    exit_slots = np.full((rows, words), -1, dtype=int)
+    exit_count = np.zeros(rows, dtype=int)
+    last_exit = -1
+
+    total_slots = words + rows + cols - 2
+    for slot in range(total_slots):
+        # Inject skewed data into row 0 and fresh zero partial sums into
+        # column 0 (aligned with the data word they will accumulate over).
+        for j in range(cols):
+            word_index = slot - j
+            if 0 <= word_index < words:
+                data_value[0, j] = data[j, word_index]
+                data_valid[0, j] = True
+            else:
+                data_value[0, j] = 0.0
+                data_valid[0, j] = False
+        sum_value[:, 0] = 0.0
+        sum_valid[:, 0] = data_valid[:, 0]
+
+        # Every cell with a valid (data, partial sum) pair performs its MAC.
+        active = data_valid & sum_valid
+        produced = np.where(active, sum_value + filter_matrix * data_value, 0.0)
+
+        # Results leaving the right edge this slot.
+        for i in range(rows):
+            if active[i, cols - 1]:
+                index = exit_count[i]
+                output[i, index] = produced[i, cols - 1]
+                exit_slots[i, index] = slot
+                exit_count[i] += 1
+                last_exit = max(last_exit, slot)
+
+        # Shift registers for the next slot: partial sums move one column
+        # right, data words move one row up.
+        next_sum_value = np.zeros_like(sum_value)
+        next_sum_valid = np.zeros_like(sum_valid)
+        next_sum_value[:, 1:] = produced[:, :-1]
+        next_sum_valid[:, 1:] = active[:, :-1]
+
+        next_data_value = np.zeros_like(data_value)
+        next_data_valid = np.zeros_like(data_valid)
+        next_data_value[1:, :] = data_value[:-1, :]
+        next_data_valid[1:, :] = data_valid[:-1, :]
+
+        data_value, data_valid = next_data_value, next_data_valid
+        sum_value, sum_valid = next_sum_value, next_sum_valid
+
+    if not np.all(exit_count == words):
+        raise RuntimeError("systolic simulation did not drain all results")
+    return CycleSimResult(output=output, last_exit_slot=last_exit,
+                          total_slots=total_slots, exit_slots=exit_slots)

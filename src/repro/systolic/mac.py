@@ -1,0 +1,87 @@
+"""Bit-serial multiplier-accumulator (Figure 7).
+
+The MAC multiplies an unsigned-magnitude representation of the 8-bit weight
+by the 8-bit input one input bit per cycle (shift-and-add), negates the
+product when the weight is negative, and adds the result to the incoming
+accumulation bit-serially.  The model here performs the same bit-by-bit
+schedule in software so tests can check that the serial arithmetic is
+exactly equivalent to an integer multiply-accumulate, and so cycle counts
+are grounded in the actual schedule rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _to_bits(value: int, width: int) -> list[int]:
+    """Little-endian bit list of a non-negative integer."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bit_serial_multiply(x: int, w: int, input_bits: int = 8) -> tuple[int, int]:
+    """Multiply ``x`` (unsigned input) by ``w`` (signed weight) bit-serially.
+
+    Returns ``(product, cycles)`` where ``cycles`` is the number of input
+    bits processed (one bit per cycle, as in Figure 7's serial design).
+    """
+    if not 0 <= x < 2 ** input_bits:
+        raise ValueError(f"x must fit in {input_bits} unsigned bits, got {x}")
+    magnitude = abs(int(w))
+    if magnitude >= 2 ** input_bits:
+        raise ValueError(f"|w| must fit in {input_bits} bits, got {w}")
+    partial = 0
+    for bit_index, bit in enumerate(_to_bits(int(x), input_bits)):
+        if bit:
+            partial += magnitude << bit_index
+    product = -partial if w < 0 else partial
+    return product, input_bits
+
+
+@dataclass
+class BitSerialMAC:
+    """A single multiplier-accumulator with a stored weight.
+
+    ``accumulation_bits`` determines how many cycles the serial addition of
+    the product into the accumulation stream takes (32 by default, 16 for
+    the small LeNet-5 designs of Section 7.1.2).
+    """
+
+    weight: int = 0
+    input_bits: int = 8
+    accumulation_bits: int = 32
+    cycles_elapsed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_bits < 1:
+            raise ValueError("input_bits must be >= 1")
+        if self.accumulation_bits < self.input_bits:
+            raise ValueError("accumulation_bits must be >= input_bits")
+        self._check_weight(self.weight)
+
+    def _check_weight(self, weight: int) -> None:
+        limit = 2 ** (self.input_bits - 1)
+        if not -limit <= weight < limit:
+            raise ValueError(f"weight {weight} does not fit in {self.input_bits} signed bits")
+
+    def load_weight(self, weight: int) -> None:
+        """Store a new (signed, 8-bit) weight in the cell."""
+        self._check_weight(int(weight))
+        self.weight = int(weight)
+
+    def step(self, x: int, y_in: int) -> tuple[int, int]:
+        """Process one input word: return ``(y_out, cycles_for_this_word)``.
+
+        The cycle cost is the accumulation width: the product is available
+        after ``input_bits`` cycles, but the serial addition into the
+        ``accumulation_bits``-wide partial sum dominates (Figure 8b).
+        """
+        product, _ = bit_serial_multiply(int(x), self.weight, self.input_bits)
+        cycles = self.accumulation_bits
+        self.cycles_elapsed += cycles
+        return y_in + product, cycles
+
+    def reset(self) -> None:
+        self.cycles_elapsed = 0

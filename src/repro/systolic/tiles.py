@@ -1,0 +1,147 @@
+"""Partitioned (tiled) matrix multiplication on a fixed-size array (Fig. 14a).
+
+When a layer's filter matrix is larger than the systolic array, it is split
+into tiles of at most (array_rows x array_cols).  The array alternates
+between loading the weights of the next tile and multiplying the current
+tile by the corresponding slice of the data matrix; as in the paper, weight
+loading overlaps with matrix multiplication so every cell is busy either
+computing or loading, and only the very first weight load is exposed.
+Partial results of tiles that share output rows are accumulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.combining.packing import PackedFilterMatrix
+from repro.systolic.array import ArrayConfig, SystolicArray
+from repro.systolic.timing import cycles_for_tile
+
+
+@dataclass
+class TileExecution:
+    """Record of one tile's execution."""
+
+    row_start: int
+    row_end: int
+    col_start: int
+    col_end: int
+    matmul_cycles: int
+    weight_load_cycles: int
+    useful_macs: int
+    occupied_macs: int
+
+
+@dataclass
+class TiledMatmulResult:
+    """Aggregate result of a partitioned matrix multiplication."""
+
+    output: np.ndarray
+    num_tiles: int
+    total_cycles: int
+    useful_macs: int
+    occupied_macs: int
+    tiles: list[TileExecution] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        if self.occupied_macs == 0:
+            return 0.0
+        return self.useful_macs / self.occupied_macs
+
+
+class TiledMatmul:
+    """Execute dense or packed filter matrices of arbitrary size."""
+
+    def __init__(self, config: ArrayConfig | None = None):
+        self.config = config if config is not None else ArrayConfig()
+        self.array = SystolicArray(self.config)
+
+    # -- dense ---------------------------------------------------------------
+    def multiply_dense(self, filter_matrix: np.ndarray, data: np.ndarray) -> TiledMatmulResult:
+        """Tiled multiplication of an (N x M) filter matrix by (M x L) data."""
+        filter_matrix = np.asarray(filter_matrix)
+        data = np.asarray(data)
+        if data.ndim != 2 or data.shape[0] != filter_matrix.shape[1]:
+            raise ValueError("data shape incompatible with filter matrix")
+        num_rows, num_cols = filter_matrix.shape
+        words = data.shape[1]
+        output = np.zeros((num_rows, words))
+        executions: list[TileExecution] = []
+        for row_start in range(0, num_rows, self.config.rows):
+            row_end = min(row_start + self.config.rows, num_rows)
+            for col_start in range(0, num_cols, self.config.cols):
+                col_end = min(col_start + self.config.cols, num_cols)
+                tile = filter_matrix[row_start:row_end, col_start:col_end]
+                tile_data = data[col_start:col_end]
+                output[row_start:row_end] += tile @ tile_data
+                executions.append(self._tile_record(tile, words, row_start, row_end,
+                                                    col_start, col_end))
+        return self._aggregate(output, executions)
+
+    # -- packed ----------------------------------------------------------------
+    def multiply_packed(self, packed: PackedFilterMatrix, data: np.ndarray) -> TiledMatmulResult:
+        """Tiled multiplication of a packed filter matrix by (M x L) data.
+
+        Tiles slice the packed matrix along rows and combined columns; the
+        MX cells of each tile route the original input channels recorded in
+        ``packed.channel_index``.
+        """
+        data = np.asarray(data)
+        if data.ndim != 2 or data.shape[0] != packed.original_shape[1]:
+            raise ValueError("data shape incompatible with the packed matrix")
+        if packed.multiplexing_degree() > self.config.alpha:
+            raise ValueError("packing exceeds the array's MX multiplexing degree")
+        num_rows, num_groups = packed.weights.shape
+        words = data.shape[1]
+        output = np.zeros((num_rows, words))
+        executions: list[TileExecution] = []
+        safe_index = np.where(packed.channel_index >= 0, packed.channel_index, 0)
+        for row_start in range(0, num_rows, self.config.rows):
+            row_end = min(row_start + self.config.rows, num_rows)
+            for col_start in range(0, num_groups, self.config.cols):
+                col_end = min(col_start + self.config.cols, num_groups)
+                weights = packed.weights[row_start:row_end, col_start:col_end]
+                index = safe_index[row_start:row_end, col_start:col_end]
+                gathered = data[index]                      # (rows, groups, words)
+                output[row_start:row_end] += (weights[..., None] * gathered).sum(axis=1)
+                executions.append(self._tile_record(weights, words, row_start, row_end,
+                                                    col_start, col_end))
+        return self._aggregate(output, executions)
+
+    # -- shared bookkeeping --------------------------------------------------------
+    def _tile_record(self, tile_weights: np.ndarray, words: int, row_start: int,
+                     row_end: int, col_start: int, col_end: int) -> TileExecution:
+        rows = row_end - row_start
+        cols = col_end - col_start
+        timing = cycles_for_tile(rows, cols, words, self.config.timing)
+        return TileExecution(
+            row_start=row_start, row_end=row_end, col_start=col_start, col_end=col_end,
+            matmul_cycles=timing.matmul_cycles,
+            weight_load_cycles=timing.weight_load_cycles,
+            useful_macs=int(np.count_nonzero(tile_weights)) * words,
+            occupied_macs=int(tile_weights.size) * words,
+        )
+
+    def _aggregate(self, output: np.ndarray, executions: list[TileExecution]
+                   ) -> TiledMatmulResult:
+        if not executions:
+            return TiledMatmulResult(output=output, num_tiles=0, total_cycles=0,
+                                     useful_macs=0, occupied_macs=0, tiles=[])
+        # The first tile's weight load is exposed; afterwards loading the
+        # next tile overlaps with the current tile's multiplication
+        # (Figure 14a), so each subsequent tile costs
+        # max(matmul, weight_load) cycles.
+        total = executions[0].weight_load_cycles + executions[0].matmul_cycles
+        for execution in executions[1:]:
+            total += max(execution.matmul_cycles, execution.weight_load_cycles)
+        return TiledMatmulResult(
+            output=output,
+            num_tiles=len(executions),
+            total_cycles=total,
+            useful_macs=sum(e.useful_macs for e in executions),
+            occupied_macs=sum(e.occupied_macs for e in executions),
+            tiles=executions,
+        )

@@ -1,0 +1,167 @@
+"""Cycle model for bit-serial systolic cells and tiles (Figures 8 and 9).
+
+Timing rules derived from the paper's bit-serial design:
+
+* An input word is 8 bits and enters a cell one bit per cycle, so the I/O
+  time per word is ``input_bits`` cycles.
+* The serial addition into the accumulation stream takes
+  ``accumulation_bits`` cycles, so an *unbalanced* cell (8-bit input,
+  32-bit accumulation) has a 24-cycle gap between the words of one stream
+  (Figure 8b / 9b).
+* An *interleaved* cell fills those gaps by serving
+  ``accumulation_bits / input_bits`` independent data streams, restoring
+  an effective throughput of one word per ``input_bits`` cycles per stream
+  (Figure 8c / 9c).  MX cells are interleaved cells with channel
+  multiplexing, so they share this timing.
+* Neighbouring input and accumulation streams are skewed by **one clock**
+  (Figure 9a) to cover the cell-to-cell communication delay, so the
+  pipeline-fill latency of a ``rows x cols`` tile is ``rows + cols - 2``
+  clocks, after which results stream out at the word rate.  A final
+  ``accumulation_bits``-cycle drain finishes the last partial sum.
+
+The word-level dataflow (which word meets which weight where) is validated
+separately by :mod:`repro.systolic.cycle_sim`, which counts *word-slots*
+rather than clocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Per-cell timing parameters."""
+
+    input_bits: int = 8
+    accumulation_bits: int = 32
+    interleaved: bool = True
+    #: clock skew between neighbouring rows / columns (Figure 9a).
+    skew_clocks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.input_bits < 1:
+            raise ValueError("input_bits must be >= 1")
+        if self.accumulation_bits < self.input_bits:
+            raise ValueError("accumulation_bits must be >= input_bits")
+        if self.skew_clocks < 1:
+            raise ValueError("skew_clocks must be >= 1")
+
+    @property
+    def interleave_factor(self) -> int:
+        """Number of independent streams an interleaved cell serves."""
+        return max(1, self.accumulation_bits // self.input_bits)
+
+    @property
+    def io_cycles_per_word(self) -> int:
+        """Cycles to shift one input word into a cell."""
+        return self.input_bits
+
+    @property
+    def compute_cycles_per_word(self) -> int:
+        """Cycles to fold one product into the accumulation stream."""
+        return self.accumulation_bits
+
+    @property
+    def effective_cycles_per_word(self) -> int:
+        """Cycles per input word per stream, accounting for interleaving.
+
+        Balanced cells and interleaved cells sustain one word every
+        ``input_bits`` cycles; unbalanced cells are limited by the
+        accumulation width.
+        """
+        if self.accumulation_bits == self.input_bits or self.interleaved:
+            return self.input_bits
+        return self.accumulation_bits
+
+    @property
+    def idle_gap_cycles(self) -> int:
+        """Idle cycles between words for a non-interleaved unbalanced cell."""
+        if self.interleaved:
+            return 0
+        return max(0, self.accumulation_bits - self.input_bits)
+
+
+@dataclass(frozen=True)
+class TileTiming:
+    """Cycle breakdown for one tile of a partitioned matrix multiplication."""
+
+    rows: int
+    cols: int
+    data_words: int
+    #: clocks of pipeline fill before the array reaches steady state.
+    fill_cycles: int
+    #: clocks of steady-state streaming (words x cycles-per-word).
+    stream_cycles: int
+    #: clocks to drain the final serial accumulation.
+    drain_cycles: int
+    #: clocks to shift the tile's weights into the cells.
+    weight_load_cycles: int
+
+    @property
+    def matmul_cycles(self) -> int:
+        """Cycles spent on the multiplication itself (fill + stream + drain)."""
+        return self.fill_cycles + self.stream_cycles + self.drain_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        """Matmul cycles plus (non-overlapped) weight loading."""
+        return self.matmul_cycles + self.weight_load_cycles
+
+
+def cycles_for_tile(rows: int, cols: int, data_words: int,
+                    timing: CellTiming | None = None) -> TileTiming:
+    """Cycle counts for streaming ``data_words`` vectors through a tile.
+
+    ``fill`` covers the one-clock-per-hop skew before the array reaches
+    steady state (``(rows + cols - 2) * skew_clocks``), ``stream`` covers
+    the ``data_words`` words at the per-word rate, and ``drain`` is the
+    final serial accumulation of the last word.  Weight loading shifts
+    ``rows`` 8-bit weights into each column, all columns in parallel.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    if data_words < 0:
+        raise ValueError("data_words must be non-negative")
+    timing = timing if timing is not None else CellTiming()
+    fill = (rows + cols - 2) * timing.skew_clocks
+    stream = data_words * timing.effective_cycles_per_word
+    drain = timing.accumulation_bits
+    weight_load = rows * timing.input_bits
+    return TileTiming(rows=rows, cols=cols, data_words=data_words,
+                      fill_cycles=fill, stream_cycles=stream, drain_cycles=drain,
+                      weight_load_cycles=weight_load)
+
+
+def first_output_cycles(cols: int, timing: CellTiming | None = None) -> int:
+    """Clocks until a layer's first output element leaves the array.
+
+    The first data word needs ``input_bits`` clocks to stream in and then
+    ``cols - 1`` skew hops to traverse the row and exit on the right; this
+    is the per-layer delay that cross-layer pipelining pays once per layer
+    (Section 3.6).
+    """
+    if cols < 1:
+        raise ValueError("cols must be >= 1")
+    timing = timing if timing is not None else CellTiming()
+    return timing.input_bits + (cols - 1) * timing.skew_clocks
+
+
+def words_per_sample(spatial_size: int, batch: int = 1) -> int:
+    """Number of data vectors a convolutional layer streams per sample.
+
+    Each spatial position of the (H x W) activation map is one column of
+    the data matrix (Figure 1b), so a layer streams ``H * W`` vectors per
+    sample (times the batch size).
+    """
+    if spatial_size < 1 or batch < 1:
+        raise ValueError("spatial_size and batch must be >= 1")
+    return spatial_size * spatial_size * batch
+
+
+def tiles_along(dimension: int, array_dimension: int) -> int:
+    """Number of tile slices needed to cover ``dimension``."""
+    if dimension <= 0:
+        return 0
+    return math.ceil(dimension / array_dimension)

@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic seeding, run configuration, logging."""
+
+from repro.utils.seeding import seed_everything, new_rng
+from repro.utils.logging import get_logger
+from repro.utils.config import RunConfig
+
+__all__ = ["seed_everything", "new_rng", "get_logger", "RunConfig"]

@@ -1,0 +1,48 @@
+"""Run configuration shared by experiments and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any
+
+
+@dataclass
+class RunConfig:
+    """Top-level knobs controlling experiment scale.
+
+    The paper trains full-size networks on MNIST / CIFAR-10 with a GPU.
+    This reproduction runs on CPU with synthetic data, so every experiment
+    accepts a :class:`RunConfig` that scales the workload.  The default
+    values give experiments that finish in seconds while exercising the
+    exact same code paths (pruning, grouping, combine-pruning, retraining,
+    packed deployment on the systolic array).
+    """
+
+    seed: int = 0
+    #: dataset samples for training (paper: 50-60k); scaled down for CPU.
+    train_samples: int = 512
+    #: dataset samples held out for evaluation.
+    test_samples: int = 256
+    #: spatial resolution of synthetic images (paper: 28 or 32).
+    image_size: int = 12
+    #: epochs per retraining round inside Algorithm 1 (paper: tens).
+    epochs_per_round: int = 2
+    #: epochs of final fine-tuning after the target sparsity is reached
+    #: (paper: 100).
+    final_epochs: int = 3
+    #: mini-batch size.
+    batch_size: int = 64
+    #: model width multiplier (1.0 = paper-sized channel counts).
+    model_scale: float = 0.25
+    #: extra keyword arguments forwarded to the model constructor.
+    model_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-serialisable view of the configuration."""
+        return asdict(self)
+
+    def scaled(self, **overrides: Any) -> "RunConfig":
+        """Return a copy with selected fields replaced."""
+        data = self.to_dict()
+        data.update(overrides)
+        return RunConfig(**data)

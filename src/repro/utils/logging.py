@@ -1,0 +1,29 @@
+"""Thin logging helpers shared by trainers, experiments, and benchmarks."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+_configured = False
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a module-level logger with a single stderr handler.
+
+    Repeated calls with the same ``name`` return the same logger and never
+    attach duplicate handlers.
+    """
+    global _configured
+    if not _configured:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root = logging.getLogger("repro")
+        root.addHandler(handler)
+        root.setLevel(level)
+        root.propagate = False
+        _configured = True
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

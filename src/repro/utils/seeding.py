@@ -1,0 +1,50 @@
+"""Deterministic random-number management.
+
+All stochastic components in the library (dataset synthesis, weight
+initialization, SGD shuffling) draw from ``numpy.random.Generator``
+instances created here so that experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+_GLOBAL_SEED: int | None = None
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed Python's and NumPy's global generators and return a new Generator.
+
+    Parameters
+    ----------
+    seed:
+        Any non-negative integer.  The same seed always yields the same
+        sequence of datasets, initial weights, and batch orders.
+    """
+    global _GLOBAL_SEED
+    if seed < 0:
+        raise ValueError(f"seed must be non-negative, got {seed}")
+    _GLOBAL_SEED = int(seed)
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
+    return np.random.default_rng(seed)
+
+
+def new_rng(seed: int | None = None) -> np.random.Generator:
+    """Create an independent ``numpy.random.Generator``.
+
+    If ``seed`` is ``None`` the generator is derived from the last seed
+    passed to :func:`seed_everything` (or entropy if none was set).
+    """
+    if seed is not None:
+        return np.random.default_rng(seed)
+    if _GLOBAL_SEED is not None:
+        return np.random.default_rng(_GLOBAL_SEED)
+    return np.random.default_rng()
+
+
+def global_seed() -> int | None:
+    """Return the last seed passed to :func:`seed_everything`, if any."""
+    return _GLOBAL_SEED

@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_cifar10, synthetic_mnist
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def sparse_matrix(rng: np.random.Generator) -> np.ndarray:
+    """A representative sparse filter matrix (24 filters x 40 channels, ~20% dense)."""
+    values = rng.normal(size=(24, 40))
+    mask = rng.random((24, 40)) < 0.2
+    return values * mask
+
+
+@pytest.fixture(scope="session")
+def tiny_mnist():
+    """Small synthetic MNIST-like train / test splits shared across tests."""
+    train = synthetic_mnist(128, image_size=8, seed=0, split_seed=0)
+    test = synthetic_mnist(64, image_size=8, seed=0, split_seed=1)
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def tiny_cifar():
+    """Small synthetic CIFAR-like train / test splits shared across tests."""
+    train = synthetic_cifar10(128, image_size=8, seed=0, split_seed=0)
+    test = synthetic_cifar10(64, image_size=8, seed=0, split_seed=1)
+    return train, test
+
+
+def numerical_gradient(func, array: np.ndarray, epsilon: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of a scalar function with respect to ``array``.
+
+    ``func`` must return a float and must depend on ``array`` *in place*
+    (the helper perturbs entries of the array it is given).
+    """
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = func()
+        flat[index] = original - epsilon
+        lower = func()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2.0 * epsilon)
+    return grad

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_parser_knows_all_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["pack", "--rows", "10", "--cols", "8"])
+    assert args.command == "pack"
+    args = parser.parse_args(["train", "--model", "lenet5"])
+    assert args.command == "train" and args.model == "lenet5"
+    args = parser.parse_args(["experiment", "fig14b"])
+    assert args.command == "experiment" and args.name == "fig14b"
+
+
+def test_experiment_registry_covers_every_table_and_figure():
+    expected = {"fig13a", "fig13b", "fig13c", "fig14b", "fig15a", "fig15b", "fig16",
+                "table1", "table2", "table3", "sec72", "ablation-grouping"}
+    assert set(EXPERIMENTS) == expected
+
+
+def test_pack_command_prints_report(capsys):
+    exit_code = main(["pack", "--rows", "64", "--cols", "60", "--density", "0.15"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "columns" in output
+    assert "tiles" in output
+    assert "multiplexing degree" in output
+
+
+def test_pack_command_loads_matrix_from_npy(tmp_path, capsys, rng):
+    matrix = rng.normal(size=(40, 30)) * (rng.random((40, 30)) < 0.2)
+    path = tmp_path / "matrix.npy"
+    np.save(path, matrix)
+    exit_code = main(["pack", "--matrix", str(path)])
+    assert exit_code == 0
+    assert "columns" in capsys.readouterr().out
+
+
+def test_pack_command_rejects_non_2d_matrix(tmp_path, capsys, rng):
+    path = tmp_path / "bad.npy"
+    np.save(path, rng.normal(size=(4,)))
+    assert main(["pack", "--matrix", str(path)]) == 2
+
+
+def test_train_command_runs_tiny_configuration(capsys):
+    exit_code = main([
+        "train", "--model", "lenet5", "--train-samples", "96", "--image-size", "8",
+        "--epochs-per-round", "1", "--final-epochs", "1", "--model-scale", "0.5",
+    ])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "final accuracy" in output
+    assert "packing eff." in output
+
+
+def test_experiment_command_runs_structural_experiment(capsys):
+    exit_code = main(["experiment", "fig14b"])
+    assert exit_code == 0
+    assert "tile reduction" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

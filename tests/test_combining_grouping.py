@@ -1,0 +1,158 @@
+"""Tests for Algorithm 2: column grouping under alpha / gamma constraints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combining import ColumnGrouping, count_conflicts, group_columns
+
+
+def sparse(rng, rows=20, cols=30, density=0.25):
+    return rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+
+
+# -- ColumnGrouping container -----------------------------------------------------------
+
+def test_grouping_validates_complete_partition():
+    with pytest.raises(ValueError):
+        ColumnGrouping([[0, 1]], num_columns=3, num_rows=4, alpha=8, gamma=0.5)
+
+
+def test_grouping_rejects_duplicate_columns():
+    with pytest.raises(ValueError):
+        ColumnGrouping([[0, 1], [1, 2]], num_columns=3, num_rows=4, alpha=8, gamma=0.5)
+
+
+def test_grouping_rejects_out_of_range_columns():
+    with pytest.raises(ValueError):
+        ColumnGrouping([[0, 5]], num_columns=2, num_rows=4, alpha=8, gamma=0.5)
+
+
+def test_group_of_and_assignment_are_consistent(rng):
+    grouping = group_columns(sparse(rng), alpha=4, gamma=0.5)
+    assignment = grouping.as_assignment()
+    for column in range(grouping.num_columns):
+        assert assignment[column] == grouping.group_of(column)
+
+
+# -- group_columns ------------------------------------------------------------------------
+
+def test_every_column_is_assigned_exactly_once(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    all_columns = sorted(c for group in grouping.groups for c in group)
+    assert all_columns == list(range(matrix.shape[1]))
+
+
+def test_alpha_one_gives_singleton_groups(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=1, gamma=0.5)
+    assert grouping.num_groups == matrix.shape[1]
+    assert all(len(group) == 1 for group in grouping.groups)
+
+
+def test_group_sizes_never_exceed_alpha(rng):
+    matrix = sparse(rng)
+    for alpha in (2, 4, 8):
+        grouping = group_columns(matrix, alpha=alpha, gamma=0.9)
+        assert max(grouping.group_sizes()) <= alpha
+
+
+def test_gamma_zero_produces_conflict_free_groups(rng):
+    matrix = sparse(rng, density=0.15)
+    grouping = group_columns(matrix, alpha=8, gamma=0.0)
+    for group in grouping.groups:
+        assert count_conflicts(matrix, group) == 0
+
+
+def test_limited_conflict_condition_holds_for_every_group(rng):
+    matrix = sparse(rng, rows=30, cols=40, density=0.3)
+    gamma = 0.5
+    grouping = group_columns(matrix, alpha=8, gamma=gamma)
+    for group in grouping.groups:
+        assert count_conflicts(matrix, group) <= gamma * matrix.shape[0]
+
+
+def test_larger_alpha_never_increases_group_count(rng):
+    matrix = sparse(rng, density=0.15)
+    counts = [group_columns(matrix, alpha=a, gamma=0.5).num_groups for a in (1, 2, 4, 8)]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+def test_combining_reduces_columns_substantially_for_sparse_matrices(rng):
+    matrix = sparse(rng, rows=64, cols=96, density=0.1)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    assert grouping.num_groups <= matrix.shape[1] // 3
+
+
+def test_disjoint_columns_are_combined_even_with_gamma_zero():
+    # Columns with disjoint supports never conflict, so gamma=0 can combine them.
+    matrix = np.zeros((4, 4))
+    matrix[0, 0] = 1.0
+    matrix[1, 1] = 2.0
+    matrix[2, 2] = 3.0
+    matrix[3, 3] = 4.0
+    grouping = group_columns(matrix, alpha=4, gamma=0.0)
+    assert grouping.num_groups == 1
+
+
+def test_dense_matrix_cannot_be_combined_with_gamma_zero(rng):
+    matrix = rng.normal(size=(6, 5))  # fully dense
+    grouping = group_columns(matrix, alpha=8, gamma=0.0)
+    assert grouping.num_groups == 5
+
+
+def test_empty_matrix_gives_empty_grouping():
+    grouping = group_columns(np.zeros((4, 0)), alpha=8, gamma=0.5)
+    assert grouping.num_groups == 0
+
+
+def test_policies_all_produce_valid_partitions(rng):
+    matrix = sparse(rng)
+    for policy in ("dense-first", "first-fit", "random"):
+        grouping = group_columns(matrix, alpha=8, gamma=0.5, policy=policy,
+                                 rng=np.random.default_rng(0))
+        assert sorted(c for g in grouping.groups for c in g) == list(range(matrix.shape[1]))
+
+
+def test_unknown_policy_raises(rng):
+    with pytest.raises(ValueError):
+        group_columns(sparse(rng), policy="best-fit")
+
+
+def test_parameter_validation(rng):
+    matrix = sparse(rng)
+    with pytest.raises(ValueError):
+        group_columns(matrix, alpha=0)
+    with pytest.raises(ValueError):
+        group_columns(matrix, gamma=-0.1)
+    with pytest.raises(ValueError):
+        group_columns(np.zeros(5))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       rows=st.integers(4, 24),
+       cols=st.integers(1, 24),
+       density=st.floats(0.05, 0.6),
+       alpha=st.integers(1, 8),
+       gamma=st.floats(0.0, 1.0))
+def test_property_grouping_invariants(seed, rows, cols, density, alpha, gamma):
+    """For any sparse matrix and any (alpha, gamma):
+
+    * every column appears in exactly one group,
+    * no group exceeds alpha columns,
+    * every group satisfies the limited-conflict condition.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+    grouping = group_columns(matrix, alpha=alpha, gamma=gamma)
+    seen = sorted(c for group in grouping.groups for c in group)
+    assert seen == list(range(cols))
+    assert all(len(group) <= alpha for group in grouping.groups)
+    budget = gamma * rows
+    assert all(count_conflicts(matrix, group) <= budget + 1e-9
+               for group in grouping.groups)

@@ -1,0 +1,97 @@
+"""Tests for density, conflict, and packing-efficiency metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combining.metrics import (
+    column_density,
+    count_conflicts,
+    density,
+    meets_limited_conflict,
+    packing_efficiency,
+    utilization_efficiency,
+)
+
+
+def test_density_counts_nonzero_fraction():
+    matrix = np.array([[1.0, 0.0], [0.0, 2.0]])
+    assert density(matrix) == pytest.approx(0.5)
+
+
+def test_density_of_empty_matrix_is_zero():
+    assert density(np.zeros((0, 4))) == 0.0
+
+
+def test_column_density_measures_occupied_rows():
+    matrix = np.array([
+        [1.0, 0.0, 0.0],
+        [0.0, 2.0, 0.0],
+        [0.0, 0.0, 0.0],
+        [3.0, 4.0, 0.0],
+    ])
+    # Columns 0 and 1 together occupy rows 0, 1, 3 -> 3 of 4 rows.
+    assert column_density(matrix, [0, 1]) == pytest.approx(0.75)
+    assert column_density(matrix, [2]) == 0.0
+    assert column_density(matrix, []) == 0.0
+
+
+def test_count_conflicts_counts_prunable_weights():
+    matrix = np.array([
+        [1.0, 2.0, 0.0],
+        [0.0, 3.0, 4.0],
+        [5.0, 0.0, 0.0],
+    ])
+    # Rows 0 and 1 each have two nonzeros among all three columns -> 2 conflicts.
+    assert count_conflicts(matrix, [0, 1, 2]) == 2
+    assert count_conflicts(matrix, [0]) == 0
+    assert count_conflicts(matrix, []) == 0
+
+
+def test_meets_limited_conflict_threshold():
+    matrix = np.array([[1.0, 1.0], [1.0, 0.0]])
+    # One conflict over two rows -> 0.5 conflicts per row.
+    assert meets_limited_conflict(matrix, [0, 1], gamma=0.5)
+    assert not meets_limited_conflict(matrix, [0, 1], gamma=0.4)
+    with pytest.raises(ValueError):
+        meets_limited_conflict(matrix, [0, 1], gamma=-1.0)
+
+
+def test_packing_and_utilization_efficiency_are_identical(rng):
+    matrix = rng.normal(size=(6, 4)) * (rng.random((6, 4)) < 0.5)
+    assert packing_efficiency(matrix) == utilization_efficiency(matrix)
+
+
+def test_metrics_reject_non_2d_input():
+    with pytest.raises(ValueError):
+        column_density(np.zeros(4), [0])
+    with pytest.raises(ValueError):
+        count_conflicts(np.zeros(4), [0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 500), cols=st.integers(1, 6))
+def test_property_conflicts_bounded_by_nonzeros(seed, cols):
+    """A group can never have more conflicts than nonzero weights."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(8, 6)) * (rng.random((8, 6)) < 0.4)
+    columns = list(range(cols))
+    conflicts = count_conflicts(matrix, columns)
+    nonzeros = int(np.count_nonzero(matrix[:, columns]))
+    assert 0 <= conflicts <= nonzeros
+    if cols == 1:
+        assert conflicts == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_property_column_density_monotone_in_columns(seed):
+    """Adding a column to a group never decreases the occupied-row count."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(10, 5)) * (rng.random((10, 5)) < 0.3)
+    base = column_density(matrix, [0, 1])
+    extended = column_density(matrix, [0, 1, 2])
+    assert extended >= base - 1e-12

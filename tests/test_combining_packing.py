@@ -1,0 +1,147 @@
+"""Tests for packed filter matrices (the MX-cell data structure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combining import (
+    ColumnGrouping,
+    column_combine_prune,
+    group_columns,
+    pack_filter_matrix,
+)
+
+
+def sparse(rng, rows=24, cols=40, density=0.2):
+    return rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+
+
+def test_packed_shape_is_rows_by_groups(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    assert packed.weights.shape == (24, grouping.num_groups)
+    assert packed.channel_index.shape == packed.weights.shape
+
+
+def test_channel_index_points_at_source_column(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    pruned, _ = column_combine_prune(matrix, grouping)
+    rows, groups = np.nonzero(packed.channel_index >= 0)
+    for row, group in zip(rows, groups):
+        column = packed.channel_index[row, group]
+        assert column in grouping.groups[group]
+        assert packed.weights[row, group] == pruned[row, column]
+
+
+def test_empty_cells_have_sentinel_and_zero_weight(rng):
+    matrix = sparse(rng, density=0.1)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    empty = packed.channel_index < 0
+    assert np.all(packed.weights[empty] == 0.0)
+
+
+def test_to_sparse_reconstructs_pruned_matrix(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    pruned, _ = column_combine_prune(matrix, grouping)
+    np.testing.assert_allclose(packed.to_sparse(), pruned)
+
+
+def test_multiply_matches_pruned_matmul(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    pruned, _ = column_combine_prune(matrix, grouping)
+    data = rng.normal(size=(matrix.shape[1], 17))
+    np.testing.assert_allclose(packed.multiply(data), pruned @ data)
+
+
+def test_multiply_validates_data_shape(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    with pytest.raises(ValueError):
+        packed.multiply(rng.normal(size=(matrix.shape[1] + 1, 3)))
+
+
+def test_packing_efficiency_increases_over_original_density(rng):
+    matrix = sparse(rng, rows=48, cols=80, density=0.12)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    original_density = np.count_nonzero(matrix) / matrix.size
+    assert packed.packing_efficiency() > 2 * original_density
+
+
+def test_multiplexing_degree_is_largest_group(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=6, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    assert packed.multiplexing_degree() == max(grouping.group_sizes())
+    assert packed.multiplexing_degree() <= 6
+
+
+def test_pack_without_pruning_requires_conflict_free_grouping():
+    matrix = np.array([[1.0, 2.0]])
+    grouping = ColumnGrouping([[0, 1]], num_columns=2, num_rows=1, alpha=8, gamma=1.0)
+    with pytest.raises(ValueError):
+        pack_filter_matrix(matrix, grouping, prune_conflicts=False)
+
+
+def test_pack_without_pruning_on_conflict_free_grouping_keeps_all_weights(rng):
+    matrix = sparse(rng, density=0.1)
+    grouping = group_columns(matrix, alpha=8, gamma=0.0)
+    packed = pack_filter_matrix(matrix, grouping, prune_conflicts=False)
+    assert np.count_nonzero(packed.weights) == np.count_nonzero(matrix)
+
+
+def test_pack_validates_grouping_shape(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    with pytest.raises(ValueError):
+        pack_filter_matrix(matrix[:, :-1], grouping)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       rows=st.integers(2, 24),
+       cols=st.integers(1, 24),
+       density=st.floats(0.05, 0.8),
+       alpha=st.integers(1, 8),
+       gamma=st.floats(0.0, 1.0))
+def test_property_packed_multiply_equals_pruned_matmul(seed, rows, cols, density,
+                                                       alpha, gamma):
+    """Functional-equivalence invariant: for any matrix and any grouping the
+    algorithm produces, MX-cell execution of the packed matrix computes
+    exactly the matrix product of the column-combine-pruned matrix."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+    grouping = group_columns(matrix, alpha=alpha, gamma=gamma)
+    packed = pack_filter_matrix(matrix, grouping)
+    pruned, _ = column_combine_prune(matrix, grouping)
+    data = rng.normal(size=(cols, 5))
+    np.testing.assert_allclose(packed.multiply(data), pruned @ data, atol=1e-9)
+    # Nonzero count is preserved by packing (pruning happened before packing).
+    assert np.count_nonzero(packed.weights) == np.count_nonzero(pruned)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_packing_never_loses_the_largest_weight_per_row(seed):
+    """The largest-magnitude weight of every row always survives packing."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(10, 15)) * (rng.random((10, 15)) < 0.3)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    reconstructed = packed.to_sparse()
+    for row in range(matrix.shape[0]):
+        if np.any(matrix[row] != 0):
+            largest = np.max(np.abs(matrix[row]))
+            assert np.max(np.abs(reconstructed[row])) == pytest.approx(largest)

@@ -1,0 +1,127 @@
+"""Tests for the row-permutation scheme of Section 3.5."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combining import (
+    apply_column_permutation,
+    apply_row_permutation,
+    column_combine_prune,
+    group_columns,
+    pack_filter_matrix,
+    permutation_from_groups,
+    plan_cross_layer_permutations,
+    remap_groups_contiguous,
+)
+
+
+def sparse(rng, rows=16, cols=16, density=0.3):
+    return rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+
+
+def test_permutation_lists_channels_group_by_group(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=4, gamma=0.5)
+    permutation = permutation_from_groups(grouping)
+    expected = [c for group in grouping.groups for c in group]
+    np.testing.assert_array_equal(permutation, expected)
+    assert sorted(permutation) == list(range(matrix.shape[1]))
+
+
+def test_row_and_column_permutations_are_inverse_relabelings(rng):
+    matrix = sparse(rng)
+    permutation = np.random.default_rng(0).permutation(matrix.shape[0])
+    permuted = apply_row_permutation(matrix, permutation)
+    # Row i of the permuted matrix is row permutation[i] of the original.
+    for i, original_row in enumerate(permutation):
+        np.testing.assert_array_equal(permuted[i], matrix[original_row])
+
+
+def test_invalid_permutations_are_rejected(rng):
+    matrix = sparse(rng)
+    with pytest.raises(ValueError):
+        apply_row_permutation(matrix, np.zeros(matrix.shape[0], dtype=int))
+    with pytest.raises(ValueError):
+        apply_column_permutation(matrix, np.arange(matrix.shape[1] - 1))
+
+
+def test_remapped_groups_are_contiguous_ranges(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=4, gamma=0.5)
+    remapped = remap_groups_contiguous(grouping)
+    offset = 0
+    for group in remapped.groups:
+        assert group == list(range(offset, offset + len(group)))
+        offset += len(group)
+    assert offset == grouping.num_columns
+
+
+def test_network_function_is_preserved_by_cross_layer_permutation(rng):
+    """Permuting layer i's rows and layer i+1's columns by the same
+    permutation leaves the two-layer composition unchanged — the key fact
+    that makes row permutation free (Section 3.5)."""
+    layer1 = sparse(rng, rows=12, cols=8)
+    layer2 = sparse(rng, rows=10, cols=12)
+    grouping2 = group_columns(layer2, alpha=4, gamma=0.5)
+    permutation = permutation_from_groups(grouping2)
+
+    data = rng.normal(size=(8, 5))
+    reference = layer2 @ (layer1 @ data)
+
+    permuted_layer1 = apply_row_permutation(layer1, permutation)
+    permuted_layer2 = apply_column_permutation(layer2, permutation)
+    np.testing.assert_allclose(permuted_layer2 @ (permuted_layer1 @ data), reference)
+
+
+def test_permuted_grouping_is_equivalent_after_column_relabeling(rng):
+    """Column combining commutes with the relabeling: packing the permuted
+    layer with contiguous groups gives the same packed weights as packing
+    the original layer with the original groups (up to group order)."""
+    layer = sparse(rng, rows=14, cols=10)
+    grouping = group_columns(layer, alpha=4, gamma=0.5)
+    permutation = permutation_from_groups(grouping)
+    permuted = apply_column_permutation(layer, permutation)
+    contiguous = remap_groups_contiguous(grouping)
+
+    original_pruned, _ = column_combine_prune(layer, grouping)
+    permuted_pruned, _ = column_combine_prune(permuted, contiguous)
+    np.testing.assert_allclose(permuted_pruned, original_pruned[:, permutation])
+
+    packed_original = pack_filter_matrix(layer, grouping)
+    packed_permuted = pack_filter_matrix(permuted, contiguous)
+    np.testing.assert_allclose(packed_original.weights, packed_permuted.weights)
+
+
+def test_plan_cross_layer_permutations_shapes(rng):
+    layers = [sparse(rng, rows=8, cols=6), sparse(rng, rows=10, cols=8),
+              sparse(rng, rows=4, cols=10)]
+    groupings = [group_columns(m, alpha=4, gamma=0.5) for m in layers]
+    permutations = plan_cross_layer_permutations(groupings)
+    assert len(permutations) == 3
+    # Layer l is permuted by layer l+1's grouping (over layer l's rows).
+    assert len(permutations[0]) == layers[1].shape[1]
+    assert len(permutations[1]) == layers[2].shape[1]
+    # The last layer keeps its natural order.
+    np.testing.assert_array_equal(permutations[-1], np.arange(layers[2].shape[0]))
+
+
+def test_permutation_from_incomplete_grouping_raises():
+    from repro.combining.grouping import ColumnGrouping
+    grouping = ColumnGrouping([[0], [1]], num_columns=2, num_rows=3, alpha=2, gamma=0.0)
+    grouping.groups.append([5])  # corrupt it after validation
+    with pytest.raises(ValueError):
+        permutation_from_groups(grouping)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_permutation_is_bijection(seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(12, 9)) * (rng.random((12, 9)) < 0.4)
+    grouping = group_columns(matrix, alpha=4, gamma=0.5)
+    permutation = permutation_from_groups(grouping)
+    assert sorted(permutation.tolist()) == list(range(9))

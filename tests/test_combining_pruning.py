@@ -1,0 +1,119 @@
+"""Tests for Algorithm 3: column-combine pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combining import ColumnGrouping, column_combine_prune, group_columns
+from repro.combining.pruning import conflict_mask, pruned_weight_count
+
+
+def test_keeps_largest_magnitude_per_row_within_group():
+    # The paper's Figure 3 blue-group example: -3 and 7 conflict with -8;
+    # only -8 (largest magnitude) survives.
+    matrix = np.array([[-3.0, 7.0, -8.0]])
+    grouping = ColumnGrouping([[0, 1, 2]], num_columns=3, num_rows=1, alpha=8, gamma=2.0)
+    pruned, keep = column_combine_prune(matrix, grouping)
+    np.testing.assert_array_equal(pruned, [[0.0, 0.0, -8.0]])
+    np.testing.assert_array_equal(keep, [[0.0, 0.0, 1.0]])
+
+
+def test_non_conflicting_weights_are_untouched():
+    matrix = np.array([
+        [1.0, 0.0],
+        [0.0, 2.0],
+    ])
+    grouping = ColumnGrouping([[0, 1]], num_columns=2, num_rows=2, alpha=8, gamma=1.0)
+    pruned, _ = column_combine_prune(matrix, grouping)
+    np.testing.assert_array_equal(pruned, matrix)
+
+
+def test_weights_in_different_groups_never_conflict():
+    matrix = np.array([[5.0, 4.0]])
+    grouping = ColumnGrouping([[0], [1]], num_columns=2, num_rows=1, alpha=8, gamma=0.0)
+    pruned, _ = column_combine_prune(matrix, grouping)
+    np.testing.assert_array_equal(pruned, matrix)
+
+
+def test_tie_breaks_toward_earlier_column_in_group():
+    matrix = np.array([[2.0, -2.0]])
+    grouping = ColumnGrouping([[0, 1]], num_columns=2, num_rows=1, alpha=8, gamma=1.0)
+    pruned, _ = column_combine_prune(matrix, grouping)
+    np.testing.assert_array_equal(pruned, [[2.0, 0.0]])
+
+
+def test_rows_with_no_nonzeros_stay_empty(rng):
+    matrix = np.zeros((3, 4))
+    matrix[0, 0] = 1.0
+    grouping = group_columns(matrix, alpha=4, gamma=0.5)
+    pruned, keep = column_combine_prune(matrix, grouping)
+    assert np.count_nonzero(pruned[1:]) == 0
+    assert np.count_nonzero(keep[1:]) == 0
+
+
+def test_conflict_mask_shape_mismatch_raises(rng):
+    matrix = rng.normal(size=(4, 4))
+    grouping = ColumnGrouping([[0], [1], [2]], num_columns=3, num_rows=4, alpha=8, gamma=0.5)
+    with pytest.raises(ValueError):
+        conflict_mask(matrix, grouping)
+
+
+def test_pruned_weight_count_matches_difference(rng):
+    matrix = rng.normal(size=(10, 12)) * (rng.random((10, 12)) < 0.4)
+    grouping = group_columns(matrix, alpha=4, gamma=0.9)
+    pruned, _ = column_combine_prune(matrix, grouping)
+    expected = int(np.count_nonzero(matrix) - np.count_nonzero(pruned))
+    assert pruned_weight_count(matrix, grouping) == expected
+
+
+def test_original_matrix_is_not_modified(rng):
+    matrix = rng.normal(size=(5, 6)) * (rng.random((5, 6)) < 0.5)
+    snapshot = matrix.copy()
+    grouping = group_columns(matrix, alpha=4, gamma=0.9)
+    column_combine_prune(matrix, grouping)
+    np.testing.assert_array_equal(matrix, snapshot)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       rows=st.integers(2, 20),
+       cols=st.integers(2, 20),
+       density=st.floats(0.1, 0.9),
+       alpha=st.integers(2, 8),
+       gamma=st.floats(0.0, 1.0))
+def test_property_after_pruning_each_group_row_has_at_most_one_nonzero(
+        seed, rows, cols, density, alpha, gamma):
+    """The defining invariant of column-combine pruning: within any group,
+    every row retains at most one nonzero weight — and it is the weight of
+    largest magnitude among that row's weights in the group."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+    grouping = group_columns(matrix, alpha=alpha, gamma=gamma)
+    pruned, keep = column_combine_prune(matrix, grouping)
+    for group in grouping.groups:
+        submatrix = pruned[:, group]
+        counts = np.count_nonzero(submatrix, axis=1)
+        assert np.all(counts <= 1)
+        original = np.abs(matrix[:, group])
+        survivors = np.abs(submatrix).max(axis=1)
+        has_any = original.max(axis=1) > 0
+        np.testing.assert_allclose(survivors[has_any], original.max(axis=1)[has_any])
+    # The keep mask is consistent with the pruned matrix.
+    np.testing.assert_array_equal((pruned != 0), (keep * (matrix != 0)) != 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), gamma=st.floats(0.0, 1.0))
+def test_property_pruned_count_bounded_by_conflict_budget(seed, gamma):
+    """Column-combine pruning removes at most gamma * rows weights per group."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(12, 16)) * (rng.random((12, 16)) < 0.4)
+    grouping = group_columns(matrix, alpha=8, gamma=gamma)
+    budget = gamma * matrix.shape[0]
+    for group in grouping.groups:
+        removed = (np.count_nonzero(matrix[:, group])
+                   - np.count_nonzero(column_combine_prune(matrix, grouping)[0][:, group]))
+        assert removed <= budget + 1e-9

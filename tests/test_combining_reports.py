@@ -1,0 +1,58 @@
+"""Tests for the model packing reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.combining import group_columns, pack_filter_matrix, packing_report
+
+
+def make_packed(rng, rows, cols, density=0.15):
+    matrix = rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    return pack_filter_matrix(matrix, grouping)
+
+
+def test_layer_report_fields_are_consistent(rng):
+    packed = make_packed(rng, 96, 94)
+    report = packing_report([("layer", packed)], array_rows=32, array_cols=32)
+    layer = report.layers[0]
+    assert layer.rows == 96
+    assert layer.columns_before == 94
+    assert layer.columns_after == packed.num_groups
+    assert layer.nonzeros == int(np.count_nonzero(packed.weights))
+    assert layer.column_reduction > 1.0
+    assert layer.tile_reduction >= 1.0
+    assert layer.tiles_before == 9
+
+
+def test_model_report_totals(rng):
+    packed_layers = [("a", make_packed(rng, 64, 80)), ("b", make_packed(rng, 96, 94))]
+    report = packing_report(packed_layers)
+    assert report.total_tiles_before == sum(l.tiles_before for l in report.layers)
+    assert report.total_tiles_after <= report.total_tiles_before
+    assert 0 < report.overall_packing_efficiency <= 1.0
+    assert report.max_multiplexing_degree <= 8
+    rows = report.to_rows()
+    assert len(rows) == 2 and rows[0][0] == "a"
+
+
+def test_report_with_spatial_sizes_includes_buffers(rng):
+    packed_layers = [("a", make_packed(rng, 64, 80)), ("b", make_packed(rng, 96, 64))]
+    report = packing_report(packed_layers, spatial_sizes=[16, 8])
+    assert report.buffers is not None
+    assert report.buffers.total_bytes > 0
+
+
+def test_report_spatial_size_mismatch_raises(rng):
+    packed_layers = [("a", make_packed(rng, 32, 32))]
+    with pytest.raises(ValueError):
+        packing_report(packed_layers, spatial_sizes=[8, 8])
+
+
+def test_empty_report_is_well_defined():
+    report = packing_report([])
+    assert report.total_nonzeros == 0
+    assert report.overall_packing_efficiency == 0.0
+    assert report.max_multiplexing_degree == 0

@@ -1,0 +1,80 @@
+"""Tests for tile-count arithmetic (Section 5.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combining import group_columns, tile_count, tiles_for_layer, tiles_for_model
+
+
+def test_tile_count_exact_fit():
+    assert tile_count(32, 32, 32, 32) == 1
+    assert tile_count(64, 64, 32, 32) == 4
+
+
+def test_tile_count_rounds_up():
+    assert tile_count(33, 31, 32, 32) == 2
+    assert tile_count(96, 94, 32, 32) == 9
+
+
+def test_tile_count_zero_dimension():
+    assert tile_count(0, 10, 32, 32) == 0
+    assert tile_count(10, 0, 32, 32) == 0
+
+
+def test_tile_count_validation():
+    with pytest.raises(ValueError):
+        tile_count(-1, 5, 32, 32)
+    with pytest.raises(ValueError):
+        tile_count(5, 5, 0, 32)
+
+
+def test_tiles_for_layer_without_grouping_uses_all_columns(rng):
+    matrix = rng.normal(size=(96, 94))
+    assert tiles_for_layer(matrix, 32, 32) == 9
+
+
+def test_tiles_for_layer_with_grouping_uses_combined_columns(rng):
+    matrix = rng.normal(size=(96, 94)) * (rng.random((96, 94)) < 0.16)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed_tiles = tiles_for_layer(matrix, 32, 32, grouping)
+    assert packed_tiles < 9
+    assert packed_tiles == tile_count(96, grouping.num_groups, 32, 32)
+
+
+def test_tiles_for_model_baseline_matches_per_layer_counts(rng):
+    matrices = [rng.normal(size=(40, 50)), rng.normal(size=(64, 64))]
+    counts = tiles_for_model(matrices, 32, 32, alpha=1)
+    assert counts == [tile_count(40, 50, 32, 32), tile_count(64, 64, 32, 32)]
+
+
+def test_tiles_for_model_combining_reduces_counts(rng):
+    matrices = [rng.normal(size=(64, 80)) * (rng.random((64, 80)) < 0.15)
+                for _ in range(3)]
+    baseline = tiles_for_model(matrices, 32, 32, alpha=1)
+    combined = tiles_for_model(matrices, 32, 32, alpha=8, gamma=0.5)
+    assert sum(combined) < sum(baseline)
+
+
+def test_tiles_for_layer_rejects_non_2d(rng):
+    with pytest.raises(ValueError):
+        tiles_for_layer(rng.normal(size=(4,)), 32, 32)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=st.integers(1, 200), cols=st.integers(1, 200),
+       array_rows=st.integers(1, 64), array_cols=st.integers(1, 64))
+def test_property_tile_count_covers_matrix(rows, cols, array_rows, array_cols):
+    """tiles * array area always covers the matrix, and removing one tile
+    row or column would not."""
+    tiles = tile_count(rows, cols, array_rows, array_cols)
+    row_tiles = -(-rows // array_rows)
+    col_tiles = -(-cols // array_cols)
+    assert tiles == row_tiles * col_tiles
+    assert row_tiles * array_rows >= rows
+    assert col_tiles * array_cols >= cols
+    assert (row_tiles - 1) * array_rows < rows
+    assert (col_tiles - 1) * array_cols < cols

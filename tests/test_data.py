@@ -1,0 +1,192 @@
+"""Tests for the synthetic datasets, loaders, and augmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    Dataset,
+    SyntheticImageConfig,
+    augment_batch,
+    make_synthetic_dataset,
+    random_crop,
+    random_horizontal_flip,
+    synthetic_cifar10,
+    synthetic_mnist,
+)
+
+
+# -- synthetic generation ------------------------------------------------------------
+
+def test_synthetic_mnist_shape_and_labels():
+    data = synthetic_mnist(50, image_size=10)
+    assert data.images.shape == (50, 1, 10, 10)
+    assert data.num_classes == 10
+    assert data.labels.min() >= 0 and data.labels.max() < 10
+
+
+def test_synthetic_cifar_has_three_channels():
+    data = synthetic_cifar10(30, image_size=8)
+    assert data.image_shape == (3, 8, 8)
+
+
+def test_same_seed_gives_identical_datasets():
+    a = synthetic_mnist(20, image_size=8, seed=3, split_seed=0)
+    b = synthetic_mnist(20, image_size=8, seed=3, split_seed=0)
+    np.testing.assert_array_equal(a.images, b.images)
+    np.testing.assert_array_equal(a.labels, b.labels)
+
+
+def test_different_split_seed_shares_class_structure_but_not_samples():
+    a = synthetic_mnist(20, image_size=8, seed=3, split_seed=0)
+    b = synthetic_mnist(20, image_size=8, seed=3, split_seed=1)
+    assert not np.array_equal(a.images, b.images)
+
+
+def test_synthetic_dataset_is_learnable_signal():
+    """Class prototypes must be separable: nearest-prototype beats chance."""
+    config = SyntheticImageConfig(num_classes=4, channels=1, image_size=8, noise_std=0.3,
+                                  max_shift=0, seed=0)
+    train = make_synthetic_dataset(config, 200, split_seed=0)
+    test = make_synthetic_dataset(config, 100, split_seed=1)
+    prototypes = np.stack([train.images[train.labels == c].mean(axis=0) for c in range(4)])
+    differences = test.images[:, None] - prototypes[None]
+    distances = np.sqrt((differences ** 2).sum(axis=(2, 3, 4)))
+    predictions = distances.argmin(axis=1)
+    assert (predictions == test.labels).mean() > 0.6
+
+
+def test_make_synthetic_dataset_validates_sample_count():
+    config = SyntheticImageConfig(num_classes=10)
+    with pytest.raises(ValueError):
+        make_synthetic_dataset(config, 5)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SyntheticImageConfig(num_classes=1)
+    with pytest.raises(ValueError):
+        SyntheticImageConfig(image_size=2)
+    with pytest.raises(ValueError):
+        SyntheticImageConfig(noise_std=-1.0)
+
+
+# -- Dataset container ------------------------------------------------------------------
+
+def test_dataset_validates_shapes():
+    with pytest.raises(ValueError):
+        Dataset(np.zeros((4, 3, 8)), np.zeros(4, dtype=int), 10)
+    with pytest.raises(ValueError):
+        Dataset(np.zeros((4, 1, 8, 8)), np.zeros(3, dtype=int), 10)
+
+
+def test_dataset_validates_label_range():
+    labels = np.array([0, 1, 2, 11])
+    with pytest.raises(ValueError):
+        Dataset(np.zeros((4, 1, 8, 8)), labels, 10)
+
+
+def test_split_partitions_all_samples():
+    data = synthetic_mnist(40, image_size=8)
+    first, second = data.split(10, rng=np.random.default_rng(0))
+    assert len(first) == 10
+    assert len(second) == 30
+
+
+def test_fraction_is_stratified_and_keeps_every_class():
+    data = synthetic_mnist(200, image_size=8)
+    subset = data.fraction(0.05, rng=np.random.default_rng(0))
+    assert set(np.unique(subset.labels)) == set(range(10))
+    assert len(subset) <= 0.15 * len(data)
+
+
+def test_fraction_one_returns_full_copy():
+    data = synthetic_mnist(20, image_size=8)
+    subset = data.fraction(1.0)
+    assert len(subset) == len(data)
+    subset.images[:] = 0
+    assert not np.array_equal(subset.images, data.images)
+
+
+def test_fraction_validates_ratio():
+    data = synthetic_mnist(20, image_size=8)
+    with pytest.raises(ValueError):
+        data.fraction(0.0)
+    with pytest.raises(ValueError):
+        data.fraction(1.5)
+
+
+def test_subset_selects_indices():
+    data = synthetic_mnist(20, image_size=8)
+    subset = data.subset(np.array([0, 5, 7]))
+    assert len(subset) == 3
+    np.testing.assert_array_equal(subset.labels, data.labels[[0, 5, 7]])
+
+
+# -- DataLoader ----------------------------------------------------------------------------
+
+def test_loader_yields_all_samples_once():
+    data = synthetic_mnist(25, image_size=8)
+    loader = DataLoader(data, batch_size=8, shuffle=True, rng=np.random.default_rng(0))
+    seen = sum(len(labels) for _, labels in loader)
+    assert seen == 25
+    assert len(loader) == 4
+
+
+def test_loader_drop_last_skips_partial_batch():
+    data = synthetic_mnist(25, image_size=8)
+    loader = DataLoader(data, batch_size=8, drop_last=True)
+    assert len(loader) == 3
+    assert sum(len(labels) for _, labels in loader) == 24
+
+
+def test_loader_without_shuffle_preserves_order():
+    data = synthetic_mnist(16, image_size=8)
+    loader = DataLoader(data, batch_size=4, shuffle=False)
+    labels = np.concatenate([batch_labels for _, batch_labels in loader])
+    np.testing.assert_array_equal(labels, data.labels)
+
+
+def test_loader_validates_batch_size():
+    data = synthetic_mnist(16, image_size=8)
+    with pytest.raises(ValueError):
+        DataLoader(data, batch_size=0)
+
+
+# -- augmentation ---------------------------------------------------------------------------
+
+def test_random_crop_preserves_shape(rng):
+    images = rng.normal(size=(4, 3, 8, 8))
+    out = random_crop(images, padding=2, rng=rng)
+    assert out.shape == images.shape
+
+
+def test_random_crop_zero_padding_is_identity(rng):
+    images = rng.normal(size=(2, 1, 6, 6))
+    np.testing.assert_array_equal(random_crop(images, 0, rng), images)
+
+
+def test_horizontal_flip_probability_one_reverses_width(rng):
+    images = rng.normal(size=(3, 1, 4, 4))
+    flipped = random_horizontal_flip(images, 1.0, rng)
+    np.testing.assert_array_equal(flipped, images[:, :, :, ::-1])
+
+
+def test_horizontal_flip_probability_zero_is_identity(rng):
+    images = rng.normal(size=(3, 1, 4, 4))
+    np.testing.assert_array_equal(random_horizontal_flip(images, 0.0, rng), images)
+
+
+def test_augment_batch_shape(rng):
+    images = rng.normal(size=(5, 3, 8, 8))
+    assert augment_batch(images, rng).shape == images.shape
+
+
+def test_augmentation_validation(rng):
+    images = rng.normal(size=(2, 1, 4, 4))
+    with pytest.raises(ValueError):
+        random_crop(images, -1, rng)
+    with pytest.raises(ValueError):
+        random_horizontal_flip(images, 1.5, rng)

@@ -1,0 +1,56 @@
+"""Smoke tests: the runnable examples must execute end-to-end.
+
+Only the fast examples are exercised here (the training-sweep examples are
+covered indirectly through the experiment and trainer tests); the goal is
+to catch API drift that would break the documented entry points.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without executing ``main()``."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_contains_documented_scripts():
+    names = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart", "lenet_mnist_packing", "resnet_cifar_sweep",
+            "limited_data_retraining", "cross_layer_pipelining"} <= names
+
+
+def test_quickstart_example_runs(capsys):
+    module = load_example("quickstart")
+    module.main()
+    output = capsys.readouterr().out
+    assert "packing efficiency" in output
+    assert "tiles on a 32x32 array" in output
+
+
+def test_cross_layer_pipelining_example_runs(capsys):
+    module = load_example("cross_layer_pipelining")
+    module.main()
+    output = capsys.readouterr().out
+    assert "resnet20" in output
+    assert "pipelined" in output
+
+
+@pytest.mark.parametrize("name", ["lenet_mnist_packing", "resnet_cifar_sweep",
+                                  "limited_data_retraining"])
+def test_training_examples_are_importable(name):
+    """The heavier training examples must at least import cleanly."""
+    module = load_example(name)
+    assert callable(module.main)

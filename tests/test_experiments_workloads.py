@@ -1,0 +1,84 @@
+"""Tests for the full-size workload generators used by the structural experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import (
+    PAPER_DENSITY,
+    lenet5_layer_shapes,
+    resnet20_layer_shapes,
+    sparse_filter_matrix,
+    sparse_network,
+    vgg_layer_shapes,
+)
+
+
+def test_lenet_shapes_match_classic_architecture():
+    shapes = lenet5_layer_shapes(image_size=32)
+    assert [s.name for s in shapes] == ["conv1", "conv2", "fc1", "fc2", "fc3"]
+    assert shapes[0].rows == 6 and shapes[0].cols == 25
+    assert shapes[1].rows == 16 and shapes[1].cols == 150
+    assert shapes[2].cols == 16 * 5 * 5  # the classic 400-input fc1
+    total_weights = sum(s.rows * s.cols for s in shapes)
+    assert 55_000 < total_weights < 70_000  # ~61.5K, the classic LeNet-5 size
+
+
+def test_resnet20_has_twenty_layers_and_matches_fig14b_example():
+    shapes = resnet20_layer_shapes(width_multiplier=6)
+    assert len(shapes) == 20
+    # The paper's Figure 14b example layer is a 96-row first-stage layer.
+    assert shapes[2].rows == 96
+    # Stage transitions double the width and halve the spatial size; the
+    # last weight layer is the 10-way classifier.
+    assert shapes[-2].rows == 384 and shapes[-2].spatial == 8
+    assert shapes[-1].name == "fc" and shapes[-1].rows == 10
+    assert shapes[0].spatial == 32
+
+
+def test_vgg_shapes_grow_in_width_and_shrink_in_space():
+    shapes = vgg_layer_shapes(image_size=32)
+    assert shapes[0].cols == 3
+    widths = [s.rows for s in shapes]
+    assert widths == sorted(widths)
+    assert shapes[-1].spatial < shapes[0].spatial
+
+
+def test_sparse_filter_matrix_density_and_row_coverage(rng):
+    matrix = sparse_filter_matrix(100, 80, density=0.15, rng=rng)
+    density = np.count_nonzero(matrix) / matrix.size
+    assert 0.10 < density < 0.20
+    # Every row keeps at least one nonzero.
+    assert np.all(np.count_nonzero(matrix, axis=1) >= 1)
+
+
+def test_sparse_filter_matrix_validation(rng):
+    with pytest.raises(ValueError):
+        sparse_filter_matrix(4, 4, density=0.0, rng=rng)
+    with pytest.raises(ValueError):
+        sparse_filter_matrix(4, 4, density=1.5, rng=rng)
+
+
+def test_sparse_network_returns_shape_matrix_pairs():
+    layers = sparse_network("resnet20", density=0.16, seed=0, width_multiplier=6)
+    assert len(layers) == 20
+    for shape, matrix in layers:
+        assert matrix.shape == (shape.rows, shape.cols)
+
+
+def test_sparse_network_is_deterministic_per_seed():
+    a = sparse_network("lenet5", density=0.13, seed=1)
+    b = sparse_network("lenet5", density=0.13, seed=1)
+    for (_, matrix_a), (_, matrix_b) in zip(a, b):
+        np.testing.assert_array_equal(matrix_a, matrix_b)
+
+
+def test_sparse_network_unknown_name_raises():
+    with pytest.raises(KeyError):
+        sparse_network("alexnet")
+
+
+def test_paper_density_covers_all_networks():
+    assert set(PAPER_DENSITY) == {"lenet5", "resnet20", "vgg"}
+    assert all(0 < d < 1 for d in PAPER_DENSITY.values())

@@ -1,0 +1,218 @@
+"""Tests for the energy / area models and ASIC / FPGA design evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.combining import group_columns, pack_filter_matrix
+from repro.hardware import (
+    ASICDesign,
+    AreaModel,
+    EnergyModel,
+    FPGADesign,
+    evaluate_asic,
+    evaluate_fpga,
+)
+from repro.hardware.energy import sram_traffic_bytes
+from repro.hardware.optimality import (
+    achieved_energy_efficiency,
+    energy_efficiency_ratio,
+    optimal_energy_efficiency,
+    ratio_from_packing_efficiency,
+)
+from repro.hardware.reference import PAPER_CLAIMS, TABLE1_ROWS, TABLE2_ROWS, TABLE3_ROWS
+from repro.systolic import ArrayConfig, SystolicSystem
+
+
+# -- energy model --------------------------------------------------------------------
+
+def test_compute_energy_scales_with_macs():
+    model = EnergyModel()
+    assert model.compute_energy(1000) == pytest.approx(1000 * model.mac_pj)
+    assert model.compute_energy(0) == 0.0
+
+
+def test_16bit_macs_are_cheaper():
+    model = EnergyModel()
+    assert model.mac_energy(16) < model.mac_energy(32)
+
+
+def test_memory_energy_includes_dram_when_present():
+    model = EnergyModel()
+    on_chip_only = model.memory_energy(100)
+    with_dram = model.memory_energy(100, dram_bytes=10)
+    assert with_dram > on_chip_only
+
+
+def test_inference_energy_breakdown_and_ratio():
+    model = EnergyModel()
+    breakdown = model.inference_energy(10_000, 500)
+    assert breakdown.total_pj == pytest.approx(breakdown.compute_pj + breakdown.memory_pj)
+    assert breakdown.total_joules == pytest.approx(breakdown.total_pj * 1e-12)
+    assert breakdown.memory_to_compute_ratio == pytest.approx(
+        breakdown.memory_pj / breakdown.compute_pj)
+
+
+def test_energy_validation():
+    model = EnergyModel()
+    with pytest.raises(ValueError):
+        model.compute_energy(-1)
+    with pytest.raises(ValueError):
+        model.memory_energy(-1)
+    with pytest.raises(ValueError):
+        sram_traffic_bytes(-1, 0, 0)
+
+
+def test_sram_traffic_sums_components():
+    assert sram_traffic_bytes(100, 50, 25) == 175
+
+
+# -- area model -----------------------------------------------------------------------
+
+def test_mx_cell_larger_than_il_cell_but_modestly():
+    model = AreaModel()
+    il = model.il_cell_mm2
+    mx = model.mx_cell_area(alpha=8)
+    assert il < mx < 1.5 * il
+
+
+def test_array_area_by_cell_type():
+    model = AreaModel()
+    assert model.array_area(32, 32, cell_type="bl") < model.array_area(32, 32, cell_type="il")
+    assert model.array_area(32, 32, alpha=8, cell_type="mx") > \
+        model.array_area(32, 32, cell_type="il")
+    with pytest.raises(ValueError):
+        model.array_area(32, 32, cell_type="unknown")
+
+
+def test_design_area_includes_sram_and_peripherals():
+    model = AreaModel()
+    total = model.design_area(32, 32, sram_kilobytes=64)
+    assert total > model.array_area(32, 32) + model.sram_area(64)
+
+
+def test_area_validation():
+    model = AreaModel()
+    with pytest.raises(ValueError):
+        model.mx_cell_area(0)
+    with pytest.raises(ValueError):
+        model.sram_area(-1)
+    with pytest.raises(ValueError):
+        model.array_area(0, 32)
+
+
+# -- ASIC / FPGA evaluation ----------------------------------------------------------------
+
+def make_plan(rng, alpha=8, gamma=0.5):
+    matrix = rng.normal(size=(96, 94)) * (rng.random((96, 94)) < 0.16)
+    grouping = group_columns(matrix, alpha=alpha, gamma=gamma)
+    packed = pack_filter_matrix(matrix, grouping)
+    system = SystolicSystem(ArrayConfig(rows=32, cols=32, alpha=max(alpha, 1)))
+    return system.plan_model([("layer", packed)], [16])
+
+
+def test_asic_report_metrics_are_consistent(rng):
+    plan = make_plan(rng)
+    report = evaluate_asic(ASICDesign(), plan, "net", accuracy=0.9)
+    assert report.latency_seconds > 0
+    assert report.throughput_fps == pytest.approx(1.0 / report.latency_seconds)
+    assert report.energy_efficiency_fpj == pytest.approx(
+        1.0 / report.energy_per_sample_joules)
+    assert report.area_efficiency == pytest.approx(report.throughput_fps / report.area_mm2)
+
+
+def test_column_combining_improves_asic_energy_efficiency(rng):
+    packed_plan = make_plan(rng, alpha=8, gamma=0.5)
+    baseline_plan = make_plan(rng, alpha=1, gamma=0.0)
+    design = ASICDesign()
+    packed_report = evaluate_asic(design, packed_plan, "net", 0.9)
+    baseline_report = evaluate_asic(design, baseline_plan, "net", 0.9)
+    gain = packed_report.energy_efficiency_fpj / baseline_report.energy_efficiency_fpj
+    assert gain > 2.0
+    assert packed_report.throughput_fps > baseline_report.throughput_fps
+
+
+def test_asic_design_validation():
+    with pytest.raises(ValueError):
+        ASICDesign(frequency_hz=0.0)
+
+
+def test_fpga_report_includes_static_energy(rng):
+    plan = make_plan(rng)
+    report = evaluate_fpga(FPGADesign(), plan, "net", 0.9)
+    assert report.static_energy_joules > 0
+    assert report.energy_per_sample_joules > report.dynamic_energy.total_joules
+    assert report.energy_efficiency_fpj == pytest.approx(
+        1.0 / report.energy_per_sample_joules)
+
+
+def test_fpga_less_energy_efficient_than_asic(rng):
+    plan = make_plan(rng)
+    asic = evaluate_asic(ASICDesign(), plan, "net", 0.9)
+    fpga = evaluate_fpga(FPGADesign(), plan, "net", 0.9)
+    assert fpga.energy_per_sample_joules > asic.energy_per_sample_joules
+
+
+def test_fpga_design_validation():
+    with pytest.raises(ValueError):
+        FPGADesign(frequency_hz=-1)
+    with pytest.raises(ValueError):
+        FPGADesign(fabric_energy_overhead=0.5)
+    with pytest.raises(ValueError):
+        FPGADesign(static_power_w=-1)
+
+
+# -- optimality analysis (Section 7.2) ------------------------------------------------------
+
+def test_efficiency_ratio_approaches_packing_efficiency_for_small_r():
+    assert energy_efficiency_ratio(c=1.0, r=0.0) == pytest.approx(1.0)
+    assert ratio_from_packing_efficiency(0.945, 0.0) == pytest.approx(0.945)
+    # With r = 0.06 (LeNet-5) the ratio stays close to the packing efficiency.
+    assert ratio_from_packing_efficiency(0.945, 0.06) == pytest.approx(0.948, abs=5e-3)
+
+
+def test_efficiency_ratio_monotone_in_c_and_r():
+    assert energy_efficiency_ratio(2.0, 0.1) < energy_efficiency_ratio(1.5, 0.1)
+    # Larger memory share dampens the penalty of extra MACs.
+    assert energy_efficiency_ratio(2.0, 1.0) > energy_efficiency_ratio(2.0, 0.0)
+
+
+def test_efficiency_ratio_validation():
+    with pytest.raises(ValueError):
+        energy_efficiency_ratio(0.5, 0.1)
+    with pytest.raises(ValueError):
+        energy_efficiency_ratio(1.0, -0.1)
+    with pytest.raises(ValueError):
+        ratio_from_packing_efficiency(0.0, 0.1)
+
+
+def test_achieved_vs_optimal_energy_efficiency_consistent():
+    optimal = optimal_energy_efficiency(0.3, 1_000_000, 10_000)
+    achieved = achieved_energy_efficiency(0.3, 1_000_000, c=2.0, memory_energy_pj=10_000)
+    assert achieved < optimal
+    ratio = achieved / optimal
+    # r is measured against the achieved design's compute energy (c * Nopt MACs).
+    r = 10_000 / (0.3 * 2.0 * 1_000_000)
+    assert ratio == pytest.approx(energy_efficiency_ratio(2.0, r))
+
+
+# -- reference tables -------------------------------------------------------------------------
+
+def test_reference_tables_contain_the_papers_rows():
+    assert any(row.platform.startswith("Ours") for row in TABLE1_ROWS)
+    assert any("SC-DCNN" in row.platform for row in TABLE1_ROWS)
+    assert any(row.platform == "Ours" for row in TABLE2_ROWS)
+    assert any(row.platform == "Ours" for row in TABLE3_ROWS)
+
+
+def test_paper_claims_are_self_consistent():
+    ours_t2 = next(row for row in TABLE2_ROWS if row.platform == "Ours")
+    best_other = max(row.energy_efficiency_fpj for row in TABLE2_ROWS
+                     if row.platform != "Ours")
+    assert ours_t2.energy_efficiency_fpj / best_other >= PAPER_CLAIMS["fpga_energy_gain"]
+
+    ours_t3 = next(row for row in TABLE3_ROWS if row.platform == "Ours")
+    best_other_latency = min(row.latency_microseconds for row in TABLE3_ROWS
+                             if row.platform != "Ours")
+    assert best_other_latency / ours_t3.latency_microseconds >= PAPER_CLAIMS["latency_gain"] - 1

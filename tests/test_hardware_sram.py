@@ -1,0 +1,83 @@
+"""Tests for the SRAM model and buffer sizing (Figure 6's memory subsystem)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.sram import (
+    BufferRequirements,
+    SRAMConfig,
+    buffer_requirements,
+    estimate_sram,
+)
+
+
+def test_anchor_macro_reproduces_anchor_values():
+    estimate = estimate_sram(SRAMConfig(capacity_bytes=16 * 1024))
+    assert estimate.access_energy_pj_per_byte == pytest.approx(1.25)
+    assert estimate.area_mm2 == pytest.approx(0.05)
+    assert estimate.leakage_mw == pytest.approx(0.5)
+
+
+def test_larger_macros_cost_more_per_access_and_area():
+    small = estimate_sram(SRAMConfig(capacity_bytes=16 * 1024))
+    large = estimate_sram(SRAMConfig(capacity_bytes=64 * 1024))
+    assert large.access_energy_pj_per_byte > small.access_energy_pj_per_byte
+    assert large.area_mm2 > small.area_mm2
+    assert large.leakage_mw > small.leakage_mw
+
+
+def test_tiny_macros_have_floored_access_energy():
+    tiny = estimate_sram(SRAMConfig(capacity_bytes=256))
+    assert tiny.access_energy_pj_per_byte >= 0.25 * 1.25
+
+
+def test_banking_reduces_access_energy_at_small_area_cost():
+    flat = estimate_sram(SRAMConfig(capacity_bytes=64 * 1024, banks=1))
+    banked = estimate_sram(SRAMConfig(capacity_bytes=64 * 1024, banks=4))
+    assert banked.access_energy_pj_per_byte < flat.access_energy_pj_per_byte
+    assert banked.area_mm2 == pytest.approx(flat.area_mm2, rel=0.5)
+
+
+def test_read_and_write_energy_scale_with_bytes():
+    estimate = estimate_sram(SRAMConfig(capacity_bytes=16 * 1024))
+    assert estimate.read_energy_pj(100) == pytest.approx(125.0)
+    assert estimate.write_energy_pj(100) > estimate.read_energy_pj(100)
+    with pytest.raises(ValueError):
+        estimate.read_energy_pj(-1)
+
+
+def test_sram_config_validation():
+    with pytest.raises(ValueError):
+        SRAMConfig(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        SRAMConfig(capacity_bytes=1024, word_bytes=0)
+    with pytest.raises(ValueError):
+        SRAMConfig(capacity_bytes=1024, banks=0)
+
+
+def test_buffer_requirements_cover_weights_and_activations():
+    layers = [(96, 17), (192, 32)]
+    buffers = buffer_requirements(layers, max_spatial=32, max_channels=192)
+    # Weights plus one byte of channel-select metadata per packed cell.
+    assert buffers.weight_buffer_bytes == (96 * 17 + 192 * 32) * 2
+    # Input buffer is double-buffered.
+    assert buffers.input_buffer_bytes == 2 * 192 * 32 * 32
+    assert buffers.output_buffer_bytes == 192 * 32 * 32
+    assert buffers.total_bytes == (buffers.weight_buffer_bytes
+                                   + buffers.input_buffer_bytes
+                                   + buffers.output_buffer_bytes)
+    assert buffers.total_kilobytes == pytest.approx(buffers.total_bytes / 1024)
+
+
+def test_buffer_requirements_single_buffered_option():
+    single = buffer_requirements([(8, 2)], max_spatial=8, max_channels=8,
+                                 double_buffered=False)
+    double = buffer_requirements([(8, 2)], max_spatial=8, max_channels=8,
+                                 double_buffered=True)
+    assert double.input_buffer_bytes == 2 * single.input_buffer_bytes
+
+
+def test_buffer_requirements_validation():
+    with pytest.raises(ValueError):
+        buffer_requirements([(8, 2)], max_spatial=0, max_channels=8)

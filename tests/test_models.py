@@ -1,0 +1,124 @@
+"""Tests for the LeNet-5 / VGG / ResNet-20 shift + pointwise models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import LeNet5, ResNet20, VGG, build_model, packable_layers
+from repro.models.registry import filter_matrices
+from repro.nn import PointwiseConv2d, SoftmaxCrossEntropy
+
+
+@pytest.mark.parametrize("name,in_channels,image_size", [
+    ("lenet5", 1, 8),
+    ("vgg", 3, 8),
+    ("resnet20", 3, 8),
+])
+def test_forward_produces_logits(name, in_channels, image_size, rng):
+    kwargs = {"in_channels": in_channels, "num_classes": 10, "scale": 0.25, "rng": rng}
+    if name == "lenet5":
+        kwargs["image_size"] = image_size
+    model = build_model(name, **kwargs)
+    x = rng.normal(size=(4, in_channels, image_size, image_size))
+    logits = model.forward(x)
+    assert logits.shape == (4, 10)
+    assert np.all(np.isfinite(logits))
+
+
+@pytest.mark.parametrize("name,in_channels", [("lenet5", 1), ("vgg", 3), ("resnet20", 3)])
+def test_backward_populates_every_gradient(name, in_channels, rng):
+    kwargs = {"in_channels": in_channels, "num_classes": 10, "scale": 0.25, "rng": rng}
+    if name == "lenet5":
+        kwargs["image_size"] = 8
+    model = build_model(name, **kwargs)
+    x = rng.normal(size=(4, in_channels, 8, 8))
+    labels = rng.integers(0, 10, size=4)
+    loss_fn = SoftmaxCrossEntropy()
+    loss_fn(model.forward(x), labels)
+    model.backward(loss_fn.backward())
+    grads = [np.abs(p.grad).sum() for p in model.parameters()]
+    assert all(np.isfinite(g) for g in grads)
+    # The vast majority of parameters receive gradient signal.
+    nonzero = sum(g > 0 for g in grads)
+    assert nonzero >= 0.8 * len(grads)
+
+
+def test_lenet_packable_layers_are_its_two_convolutions(rng):
+    model = LeNet5(in_channels=1, scale=1.0, image_size=8, rng=rng)
+    layers = model.packable_layers()
+    assert len(layers) == 2
+    assert all(isinstance(layer, PointwiseConv2d) for _, layer in layers)
+
+
+def test_vgg_packable_layers_count_matches_structure(rng):
+    model = VGG(in_channels=3, scale=0.25, stage_widths=(16, 32), convs_per_stage=2, rng=rng)
+    assert len(model.packable_layers()) == 4
+
+
+def test_resnet_packable_layers_include_shortcuts(rng):
+    model = ResNet20(in_channels=3, scale=0.25, rng=rng)
+    layers = model.packable_layers()
+    # stem + 9 blocks x 2 convs + 2 projection shortcuts (stage transitions)
+    assert len(layers) == 1 + 18 + 2
+    names = [name for name, _ in layers]
+    assert names[0] == "stem.pointwise"
+    assert any("shortcut" in name for name in names)
+
+
+def test_resnet_strided_blocks_halve_spatial_size(rng):
+    model = ResNet20(in_channels=3, scale=0.25, rng=rng)
+    x = rng.normal(size=(2, 3, 8, 8))
+    assert model.forward(x).shape == (2, 10)
+
+
+def test_lenet_requires_divisible_image_size(rng):
+    with pytest.raises(ValueError):
+        LeNet5(image_size=10, rng=rng)
+
+
+def test_build_model_unknown_name_raises():
+    with pytest.raises(KeyError):
+        build_model("alexnet")
+
+
+def test_registry_packable_layers_helper_uses_model_method(rng):
+    model = ResNet20(in_channels=3, scale=0.25, rng=rng)
+    assert packable_layers(model) == model.packable_layers()
+
+
+def test_filter_matrices_returns_weight_arrays(rng):
+    model = LeNet5(in_channels=1, scale=0.5, image_size=8, rng=rng)
+    matrices = filter_matrices(model)
+    assert len(matrices) == 2
+    assert matrices[0].ndim == 2
+
+
+def test_scale_changes_channel_widths(rng):
+    small = ResNet20(in_channels=3, scale=0.25, rng=rng)
+    large = ResNet20(in_channels=3, scale=1.0, rng=np.random.default_rng(0))
+    small_params = sum(p.size for p in small.parameters())
+    large_params = sum(p.size for p in large.parameters())
+    assert large_params > 4 * small_params
+
+
+def test_models_are_trainable_end_to_end(rng, tiny_mnist):
+    """A few SGD steps on LeNet must reduce the training loss."""
+    from repro.nn import SGD
+
+    train, _ = tiny_mnist
+    model = LeNet5(in_channels=1, scale=1.0, image_size=8, rng=rng)
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    loss_fn = SoftmaxCrossEntropy()
+    x, y = train.images[:64], train.labels[:64]
+    first_loss = None
+    last_loss = None
+    for _ in range(15):
+        loss = loss_fn(model.forward(x), y)
+        if first_loss is None:
+            first_loss = loss
+        optimizer.zero_grad()
+        model.backward(loss_fn.backward())
+        optimizer.step()
+        last_loss = loss
+    assert last_loss < first_loss

@@ -1,0 +1,186 @@
+"""Tests for the loss function, optimizer, and learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ConstantSchedule,
+    CosineSchedule,
+    Dense,
+    SGD,
+    SoftmaxCrossEntropy,
+    StepSchedule,
+    accuracy,
+)
+from repro.nn.parameter import Parameter
+
+from tests.conftest import numerical_gradient
+
+
+# -- softmax cross-entropy -------------------------------------------------------
+
+def test_loss_of_perfect_prediction_is_small():
+    loss_fn = SoftmaxCrossEntropy()
+    logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+    labels = np.array([0, 1])
+    assert loss_fn(logits, labels) < 1e-4
+
+
+def test_loss_of_uniform_prediction_is_log_classes():
+    loss_fn = SoftmaxCrossEntropy()
+    logits = np.zeros((4, 5))
+    labels = np.array([0, 1, 2, 3])
+    assert loss_fn(logits, labels) == pytest.approx(math.log(5))
+
+
+def test_loss_gradient_matches_finite_differences(rng):
+    loss_fn = SoftmaxCrossEntropy()
+    logits = rng.normal(size=(3, 4))
+    labels = np.array([1, 0, 3])
+
+    def loss() -> float:
+        return loss_fn(logits, labels)
+
+    numeric = numerical_gradient(loss, logits)
+    loss_fn(logits, labels)
+    analytic = loss_fn.backward()
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-7)
+
+
+def test_loss_rejects_mismatched_batch():
+    loss_fn = SoftmaxCrossEntropy()
+    with pytest.raises(ValueError):
+        loss_fn(np.zeros((3, 2)), np.array([0, 1]))
+
+
+def test_loss_is_stable_for_large_logits():
+    loss_fn = SoftmaxCrossEntropy()
+    logits = np.array([[1e4, -1e4]])
+    assert np.isfinite(loss_fn(logits, np.array([0])))
+
+
+def test_accuracy_counts_argmax_matches():
+    logits = np.array([[2.0, 1.0], [0.0, 3.0], [5.0, 4.0], [0.0, 1.0]])
+    labels = np.array([0, 1, 1, 1])
+    assert accuracy(logits, labels) == pytest.approx(0.75)
+
+
+# -- SGD ---------------------------------------------------------------------------
+
+def test_sgd_plain_step_moves_against_gradient():
+    param = Parameter(np.array([1.0, 2.0]))
+    optimizer = SGD([param], lr=0.1, momentum=0.0)
+    param.grad[:] = [1.0, -1.0]
+    optimizer.step()
+    np.testing.assert_allclose(param.data, [0.9, 2.1])
+
+
+def test_sgd_momentum_accumulates_velocity():
+    param = Parameter(np.array([0.0]))
+    optimizer = SGD([param], lr=1.0, momentum=0.9, nesterov=False)
+    for _ in range(2):
+        param.grad[:] = 1.0
+        optimizer.step()
+    # step 1: v = 1, x = -1;  step 2: v = 1.9, x = -2.9
+    np.testing.assert_allclose(param.data, [-2.9])
+
+
+def test_sgd_nesterov_differs_from_plain_momentum():
+    plain = Parameter(np.array([0.0]))
+    nesterov = Parameter(np.array([0.0]))
+    opt_plain = SGD([plain], lr=1.0, momentum=0.9, nesterov=False)
+    opt_nesterov = SGD([nesterov], lr=1.0, momentum=0.9, nesterov=True)
+    plain.grad[:] = 1.0
+    nesterov.grad[:] = 1.0
+    opt_plain.step()
+    opt_nesterov.step()
+    assert nesterov.data[0] < plain.data[0]
+
+
+def test_sgd_weight_decay_shrinks_weights():
+    param = Parameter(np.array([10.0]))
+    optimizer = SGD([param], lr=0.1, momentum=0.0, weight_decay=0.5)
+    param.grad[:] = 0.0
+    optimizer.step()
+    np.testing.assert_allclose(param.data, [9.5])
+
+
+def test_sgd_respects_pruning_masks():
+    param = Parameter(np.array([1.0, 1.0]))
+    param.set_mask(np.array([1.0, 0.0]))
+    optimizer = SGD([param], lr=0.1, momentum=0.9)
+    param.grad[:] = [1.0, 1.0]
+    optimizer.step()
+    assert param.data[1] == 0.0
+    assert param.data[0] != 1.0
+
+
+def test_sgd_set_lr_accepts_zero_but_not_negative():
+    param = Parameter(np.array([1.0]))
+    optimizer = SGD([param], lr=0.1)
+    optimizer.set_lr(0.0)
+    assert optimizer.lr == 0.0
+    with pytest.raises(ValueError):
+        optimizer.set_lr(-0.1)
+
+
+def test_sgd_training_reduces_loss_on_linear_regression(rng):
+    layer = Dense(3, 1, rng=rng)
+    optimizer = SGD(layer.parameters(), lr=0.05, momentum=0.9)
+    true_w = np.array([[1.0, -2.0, 0.5]])
+    x = rng.normal(size=(64, 3))
+    y = x @ true_w.T
+    losses = []
+    for _ in range(50):
+        pred = layer.forward(x)
+        error = pred - y
+        losses.append(float((error ** 2).mean()))
+        optimizer.zero_grad()
+        layer.backward(2 * error / len(x))
+        optimizer.step()
+    assert losses[-1] < 0.05 * losses[0]
+
+
+# -- schedules ----------------------------------------------------------------------
+
+def test_constant_schedule_is_constant():
+    schedule = ConstantSchedule(0.1)
+    assert schedule(0, 10) == schedule(9, 10) == 0.1
+
+
+def test_cosine_schedule_starts_at_lr_and_ends_at_fraction():
+    schedule = CosineSchedule(1.0, final_fraction=0.2)
+    assert schedule(0, 100) == pytest.approx(1.0)
+    assert schedule(99, 100) == pytest.approx(0.2)
+
+
+def test_cosine_schedule_is_monotonically_decreasing():
+    schedule = CosineSchedule(0.5, final_fraction=0.0)
+    values = [schedule(step, 20) for step in range(20)]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_cosine_schedule_single_step_returns_lr():
+    schedule = CosineSchedule(0.3)
+    assert schedule(0, 1) == 0.3
+
+
+def test_step_schedule_decays_every_step_size():
+    schedule = StepSchedule(1.0, step_size=2, gamma=0.1)
+    assert schedule(0, 10) == 1.0
+    assert schedule(1, 10) == 1.0
+    assert schedule(2, 10) == pytest.approx(0.1)
+    assert schedule(4, 10) == pytest.approx(0.01)
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        CosineSchedule(-1.0)
+    with pytest.raises(ValueError):
+        CosineSchedule(1.0, final_fraction=1.5)
+    with pytest.raises(ValueError):
+        StepSchedule(1.0, step_size=0)

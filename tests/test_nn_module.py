@@ -1,0 +1,89 @@
+"""Tests for the Module base class and Sequential container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Dense, Module, ReLU, Sequential
+
+
+def make_mlp(rng):
+    return Sequential(Dense(4, 8, rng=rng), ReLU(), Dense(8, 3, rng=rng))
+
+
+def test_parameters_discovered_through_nesting(rng):
+    model = make_mlp(rng)
+    params = model.parameters()
+    # Two Dense layers, each with weight and bias.
+    assert len(params) == 4
+
+
+def test_named_parameters_have_unique_paths(rng):
+    model = make_mlp(rng)
+    names = [name for name, _ in model.named_parameters()]
+    assert len(names) == len(set(names)) == 4
+
+
+def test_modules_enumerates_all_submodules(rng):
+    model = make_mlp(rng)
+    modules = model.modules()
+    assert model in modules
+    assert sum(isinstance(m, Dense) for m in modules) == 2
+    assert sum(isinstance(m, ReLU) for m in modules) == 1
+
+
+def test_train_and_eval_toggle_every_submodule(rng):
+    model = make_mlp(rng)
+    model.eval()
+    assert all(not m.training for m in model.modules())
+    model.train()
+    assert all(m.training for m in model.modules())
+
+
+def test_zero_grad_clears_all_parameter_gradients(rng):
+    model = make_mlp(rng)
+    for param in model.parameters():
+        param.grad += 1.0
+    model.zero_grad()
+    assert all(np.all(p.grad == 0) for p in model.parameters())
+
+
+def test_sequential_forward_backward_roundtrip(rng):
+    model = make_mlp(rng)
+    x = rng.normal(size=(5, 4))
+    out = model.forward(x)
+    assert out.shape == (5, 3)
+    grad_in = model.backward(np.ones_like(out))
+    assert grad_in.shape == x.shape
+
+
+def test_sequential_supports_len_getitem_iteration(rng):
+    model = make_mlp(rng)
+    assert len(model) == 3
+    assert isinstance(model[0], Dense)
+    assert [type(m).__name__ for m in model] == ["Dense", "ReLU", "Dense"]
+
+
+def test_nonzero_count_sums_parameters(rng):
+    model = Sequential(Dense(3, 2, bias=False, rng=rng))
+    assert model.nonzero_count() == 6
+    model[0].weight.set_mask(np.array([[1, 0, 0], [0, 1, 0]]))
+    assert model.nonzero_count() == 2
+
+
+def test_parameters_in_lists_and_dicts_are_found(rng):
+    class Container(Module):
+        def __init__(self):
+            super().__init__()
+            self.branches = [Dense(2, 2, rng=rng), Dense(2, 2, rng=rng)]
+            self.lookup = {"head": Dense(2, 1, rng=rng)}
+
+        def forward(self, x):
+            return x
+
+        def backward(self, grad):
+            return grad
+
+    model = Container()
+    assert len(model.parameters()) == 6
+    assert len(model.modules()) == 4  # container + three Dense layers

@@ -1,0 +1,59 @@
+"""Tests for gradient-norm clipping in the SGD optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD
+from repro.nn.parameter import Parameter
+
+
+def test_global_grad_norm_is_l2_over_all_parameters():
+    a = Parameter(np.zeros(2))
+    b = Parameter(np.zeros(2))
+    a.grad[:] = [3.0, 0.0]
+    b.grad[:] = [0.0, 4.0]
+    optimizer = SGD([a, b], lr=0.1)
+    assert optimizer.global_grad_norm() == pytest.approx(5.0)
+
+
+def test_clipping_rescales_large_gradients():
+    param = Parameter(np.zeros(2))
+    param.grad[:] = [30.0, 40.0]  # norm 50
+    optimizer = SGD([param], lr=1.0, momentum=0.0, clip_norm=5.0)
+    optimizer.step()
+    # After clipping the gradient is (3, 4): step moves by exactly that.
+    np.testing.assert_allclose(param.data, [-3.0, -4.0])
+
+
+def test_small_gradients_are_not_rescaled():
+    param = Parameter(np.zeros(2))
+    param.grad[:] = [0.3, 0.4]
+    optimizer = SGD([param], lr=1.0, momentum=0.0, clip_norm=5.0)
+    optimizer.step()
+    np.testing.assert_allclose(param.data, [-0.3, -0.4])
+
+
+def test_clipping_disabled_by_default():
+    param = Parameter(np.zeros(1))
+    param.grad[:] = [100.0]
+    optimizer = SGD([param], lr=1.0, momentum=0.0)
+    optimizer.step()
+    np.testing.assert_allclose(param.data, [-100.0])
+
+
+def test_invalid_clip_norm_rejected():
+    with pytest.raises(ValueError):
+        SGD([Parameter(np.zeros(1))], lr=0.1, clip_norm=0.0)
+
+
+def test_clipping_keeps_divergent_training_bounded(rng):
+    """With an absurdly large learning rate, clipping bounds the update size."""
+    param = Parameter(rng.normal(size=(4, 4)))
+    optimizer = SGD([param], lr=10.0, momentum=0.0, clip_norm=1.0)
+    for _ in range(5):
+        param.grad[:] = rng.normal(size=(4, 4)) * 1e6
+        before = param.data.copy()
+        optimizer.step()
+        assert np.linalg.norm(param.data - before) <= 10.0 + 1e-9

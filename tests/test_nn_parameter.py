@@ -1,0 +1,71 @@
+"""Tests for Parameter: masks, gradients, and nonzero accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+
+
+def test_parameter_holds_data_and_zero_grad():
+    param = Parameter(np.arange(6, dtype=float).reshape(2, 3), name="w")
+    assert param.shape == (2, 3)
+    assert param.size == 6
+    assert np.all(param.grad == 0)
+
+
+def test_zero_grad_resets_gradient():
+    param = Parameter(np.ones((2, 2)))
+    param.grad += 3.0
+    param.zero_grad()
+    assert np.all(param.grad == 0)
+
+
+def test_set_mask_zeroes_masked_weights():
+    param = Parameter(np.ones((2, 2)))
+    param.set_mask(np.array([[1, 0], [0, 1]]))
+    assert param.data[0, 1] == 0
+    assert param.data[1, 0] == 0
+    assert param.data[0, 0] == 1
+
+
+def test_set_mask_rejects_wrong_shape():
+    param = Parameter(np.ones((2, 2)))
+    with pytest.raises(ValueError):
+        param.set_mask(np.ones((3, 3)))
+
+
+def test_apply_mask_also_masks_gradient():
+    param = Parameter(np.ones((2, 2)))
+    param.set_mask(np.array([[1, 0], [1, 1]]))
+    param.grad[:] = 5.0
+    param.apply_mask()
+    assert param.grad[0, 1] == 0
+    assert param.grad[1, 1] == 5.0
+
+
+def test_nonzero_count_uses_mask_when_present():
+    param = Parameter(np.ones((3, 3)))
+    assert param.nonzero_count() == 9
+    param.set_mask(np.eye(3))
+    assert param.nonzero_count() == 3
+
+
+def test_nonzero_count_counts_data_when_dense():
+    param = Parameter(np.array([[0.0, 1.0], [2.0, 0.0]]))
+    assert param.nonzero_count() == 2
+
+
+def test_clear_mask_restores_dense_behaviour():
+    param = Parameter(np.ones((2, 2)))
+    param.set_mask(np.zeros((2, 2)))
+    param.clear_mask()
+    param.data[:] = 1.0
+    assert param.nonzero_count() == 4
+
+
+def test_mask_is_binary_even_for_float_input():
+    param = Parameter(np.ones((2, 2)))
+    param.set_mask(np.array([[0.5, 0.0], [2.0, 0.0]]))
+    assert set(np.unique(param.mask)) <= {0.0, 1.0}

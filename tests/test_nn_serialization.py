@@ -1,0 +1,77 @@
+"""Tests for state-dict save / load round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, ReLU, Sequential
+from repro.nn.serialization import load_state_dict, state_dict
+
+
+def make_model(rng):
+    return Sequential(Dense(4, 3, rng=rng), ReLU(), Dense(3, 2, rng=rng))
+
+
+def test_state_dict_contains_every_parameter(rng):
+    model = make_model(rng)
+    state = state_dict(model)
+    assert len(state) == 4  # two weights + two biases, no masks
+
+
+def test_roundtrip_restores_exact_values(rng):
+    source = make_model(rng)
+    target = make_model(np.random.default_rng(99))
+    load_state_dict(target, state_dict(source))
+    for (_, p_src), (_, p_dst) in zip(source.named_parameters(), target.named_parameters()):
+        np.testing.assert_array_equal(p_src.data, p_dst.data)
+
+
+def test_masks_roundtrip(rng):
+    source = make_model(rng)
+    mask = np.zeros_like(source[0].weight.data)
+    mask[0, :] = 1
+    source[0].weight.set_mask(mask)
+    target = make_model(np.random.default_rng(7))
+    load_state_dict(target, state_dict(source))
+    np.testing.assert_array_equal(target[0].weight.mask, mask)
+    assert target[0].weight.nonzero_count() == int(mask.sum())
+
+
+def test_loading_clears_stale_masks(rng):
+    source = make_model(rng)
+    target = make_model(rng)
+    target[0].weight.set_mask(np.zeros_like(target[0].weight.data))
+    load_state_dict(target, state_dict(source))
+    assert target[0].weight.mask is None
+
+
+def test_state_dict_is_a_copy_not_a_view(rng):
+    model = make_model(rng)
+    state = state_dict(model)
+    key = next(iter(state))
+    state[key][:] = 123.0
+    assert not np.any(model.parameters()[0].data == 123.0) or key not in (
+        model.named_parameters()[0][0],
+    )
+
+
+def test_strict_load_rejects_missing_and_unknown_keys(rng):
+    model = make_model(rng)
+    state = state_dict(model)
+    state.pop(next(iter(state)))
+    with pytest.raises(KeyError):
+        load_state_dict(model, state)
+    state = state_dict(model)
+    state["nonexistent"] = np.zeros(3)
+    with pytest.raises(KeyError):
+        load_state_dict(model, state)
+
+
+def test_shape_mismatch_raises(rng):
+    model = make_model(rng)
+    state = state_dict(model)
+    key = next(iter(state))
+    state[key] = np.zeros((1, 1))
+    with pytest.raises(ValueError):
+        load_state_dict(model, state)

@@ -1,0 +1,173 @@
+"""Tests for magnitude pruning, the beta schedule, and sparsity accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import LeNet5
+from repro.nn.parameter import Parameter
+from repro.pruning import (
+    BetaSchedule,
+    layer_sparsity_report,
+    magnitude_prune_matrix,
+    magnitude_prune_parameter,
+    nonzero_count,
+    prune_model_layers,
+    sparsity,
+)
+
+
+# -- magnitude_prune_matrix -------------------------------------------------------
+
+def test_prunes_smallest_magnitudes_first():
+    matrix = np.array([[1.0, -0.1, 3.0], [0.2, -5.0, 0.05]])
+    mask = magnitude_prune_matrix(matrix, fraction=0.5)
+    # Half of six weights pruned: the three smallest magnitudes 0.05, 0.1, 0.2.
+    assert mask.sum() == 3
+    assert mask[0, 1] == 0 and mask[1, 2] == 0 and mask[1, 0] == 0
+    assert mask[0, 2] == 1 and mask[1, 1] == 1
+
+
+def test_fraction_zero_keeps_everything(rng):
+    matrix = rng.normal(size=(5, 5))
+    mask = magnitude_prune_matrix(matrix, 0.0)
+    assert mask.sum() == 25
+
+
+def test_fraction_one_prunes_everything(rng):
+    matrix = rng.normal(size=(4, 4))
+    mask = magnitude_prune_matrix(matrix, 1.0)
+    assert mask.sum() == 0
+
+
+def test_existing_mask_is_respected_and_shrunk(rng):
+    matrix = rng.normal(size=(10, 10))
+    first = magnitude_prune_matrix(matrix, 0.5)
+    second = magnitude_prune_matrix(matrix, 0.5, mask=first)
+    # The second pass removes half of the *remaining* weights.
+    assert second.sum() == 25
+    # Never resurrects pruned weights.
+    assert np.all(second <= first)
+
+
+def test_invalid_fraction_raises(rng):
+    with pytest.raises(ValueError):
+        magnitude_prune_matrix(rng.normal(size=(2, 2)), 1.5)
+
+
+def test_mask_shape_mismatch_raises(rng):
+    with pytest.raises(ValueError):
+        magnitude_prune_matrix(rng.normal(size=(2, 2)), 0.5, mask=np.ones((3, 3)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(fraction=st.floats(min_value=0.0, max_value=1.0),
+       rows=st.integers(2, 8), cols=st.integers(2, 8))
+def test_property_prune_count_matches_fraction(fraction, rows, cols):
+    """Pruning removes exactly floor(fraction * remaining) weights."""
+    rng = np.random.default_rng(0)
+    matrix = rng.normal(size=(rows, cols))
+    mask = magnitude_prune_matrix(matrix, fraction)
+    expected_removed = int(np.floor(fraction * rows * cols))
+    assert int(mask.sum()) == rows * cols - expected_removed
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_surviving_weights_dominate_pruned_ones(seed):
+    """Every kept weight has magnitude >= every pruned weight."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(6, 6))
+    mask = magnitude_prune_matrix(matrix, 0.4)
+    kept = np.abs(matrix[mask == 1])
+    pruned = np.abs(matrix[mask == 0])
+    if kept.size and pruned.size:
+        assert kept.min() >= pruned.max() - 1e-12
+
+
+# -- parameter / model level --------------------------------------------------------
+
+def test_magnitude_prune_parameter_installs_mask(rng):
+    param = Parameter(rng.normal(size=(4, 4)))
+    removed = magnitude_prune_parameter(param, 0.25)
+    assert removed == 4
+    assert param.nonzero_count() == 12
+    assert param.mask is not None
+
+
+def test_prune_model_layers_touches_every_packable_layer(rng):
+    model = LeNet5(in_channels=1, scale=1.0, image_size=8, rng=rng)
+    before = sum(layer.weight.nonzero_count() for _, layer in model.packable_layers())
+    removed = prune_model_layers(model, 0.5)
+    after = sum(layer.weight.nonzero_count() for _, layer in model.packable_layers())
+    assert before - after == removed
+    assert removed > 0
+
+
+def test_prune_model_layers_requires_packable_layers(rng):
+    with pytest.raises(TypeError):
+        prune_model_layers(object(), 0.5)
+
+
+# -- beta schedule ----------------------------------------------------------------------
+
+def test_beta_schedule_decays_geometrically():
+    schedule = BetaSchedule(0.2, decay=0.9)
+    assert schedule.value == pytest.approx(0.2)
+    schedule.step()
+    assert schedule.value == pytest.approx(0.18)
+    schedule.step()
+    assert schedule.value == pytest.approx(0.162)
+
+
+def test_beta_schedule_at_iteration_is_pure():
+    schedule = BetaSchedule(0.2, decay=0.5)
+    assert schedule.at_iteration(2) == pytest.approx(0.05)
+    assert schedule.value == pytest.approx(0.2)
+
+
+def test_beta_schedule_respects_minimum():
+    schedule = BetaSchedule(0.2, decay=0.1, minimum=0.05)
+    schedule.step()
+    assert schedule.value == pytest.approx(0.05)
+
+
+def test_beta_schedule_reset():
+    schedule = BetaSchedule(0.3)
+    schedule.step()
+    schedule.reset()
+    assert schedule.value == pytest.approx(0.3)
+
+
+def test_beta_schedule_validation():
+    with pytest.raises(ValueError):
+        BetaSchedule(1.5)
+    with pytest.raises(ValueError):
+        BetaSchedule(0.2, decay=0.0)
+    with pytest.raises(ValueError):
+        BetaSchedule(0.2, minimum=0.5)
+
+
+# -- sparsity accounting --------------------------------------------------------------------
+
+def test_sparsity_and_nonzero_count():
+    matrix = np.array([[0.0, 1.0], [0.0, 0.0]])
+    assert nonzero_count(matrix) == 1
+    assert sparsity(matrix) == pytest.approx(0.75)
+
+
+def test_sparsity_of_empty_matrix_is_zero():
+    assert sparsity(np.zeros((0, 3))) == 0.0
+
+
+def test_layer_sparsity_report_lists_every_layer(rng):
+    model = LeNet5(in_channels=1, scale=1.0, image_size=8, rng=rng)
+    prune_model_layers(model, 0.5)
+    report = layer_sparsity_report(model)
+    assert len(report) == 2
+    for entry in report:
+        assert 0.0 <= entry["sparsity"] <= 1.0
+        assert entry["nonzeros"] <= entry["total"]

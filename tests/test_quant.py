@@ -1,0 +1,100 @@
+"""Tests for 8-bit linear fixed-point quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    LinearQuantizer,
+    dequantize_tensor,
+    quantization_error,
+    quantize_tensor,
+)
+
+
+def test_quantizer_range_for_8_bits():
+    quantizer = LinearQuantizer(bits=8, scale=1.0)
+    assert quantizer.qmax == 127
+    assert quantizer.qmin == -128
+
+
+def test_fit_maps_largest_magnitude_to_qmax(rng):
+    tensor = rng.normal(size=(10, 10))
+    quantizer = LinearQuantizer.fit(tensor, bits=8)
+    quantized = quantizer.quantize(tensor)
+    assert np.abs(quantized).max() == 127
+
+
+def test_quantize_clips_to_representable_range():
+    quantizer = LinearQuantizer(bits=8, scale=1.0)
+    quantized = quantizer.quantize(np.array([1000.0, -1000.0]))
+    np.testing.assert_array_equal(quantized, [127, -128])
+
+
+def test_zero_maps_to_zero(rng):
+    tensor = rng.normal(size=(5, 5))
+    tensor[0, 0] = 0.0
+    quantizer = LinearQuantizer.fit(tensor)
+    assert quantizer.quantize(tensor)[0, 0] == 0
+
+
+def test_roundtrip_error_is_bounded_by_half_scale(rng):
+    tensor = rng.normal(size=(100,))
+    quantizer = LinearQuantizer.fit(tensor)
+    error = np.abs(quantizer.roundtrip(tensor) - tensor)
+    assert error.max() <= quantizer.scale / 2 + 1e-12
+
+
+def test_fit_on_all_zero_tensor_uses_unit_scale():
+    quantizer = LinearQuantizer.fit(np.zeros((3, 3)))
+    assert quantizer.scale == 1.0
+    assert np.all(quantizer.quantize(np.zeros((3, 3))) == 0)
+
+
+def test_quantize_dequantize_helpers(rng):
+    tensor = rng.normal(size=(6, 6))
+    quantized, quantizer = quantize_tensor(tensor, bits=8)
+    restored = dequantize_tensor(quantized, quantizer)
+    assert np.abs(restored - tensor).max() <= quantizer.scale / 2 + 1e-12
+
+
+def test_quantization_error_decreases_with_more_bits(rng):
+    tensor = rng.normal(size=(200,))
+    assert quantization_error(tensor, bits=8) < quantization_error(tensor, bits=4)
+
+
+def test_quantization_error_of_empty_tensor_is_zero():
+    assert quantization_error(np.zeros((0,))) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LinearQuantizer(bits=1)
+    with pytest.raises(ValueError):
+        LinearQuantizer(bits=8, scale=0.0)
+
+
+def test_integer_matmul_with_scales_approximates_float_matmul(rng):
+    """The hardware path: quantize weights and inputs, multiply integers,
+    rescale — the result must be close to the float product."""
+    weights = rng.normal(size=(16, 24))
+    data = rng.normal(size=(24, 10))
+    w_int, w_quant = quantize_tensor(weights)
+    d_int, d_quant = quantize_tensor(data)
+    approx = (w_int @ d_int) * (w_quant.scale * d_quant.scale)
+    exact = weights @ data
+    relative = np.abs(approx - exact).mean() / np.abs(exact).mean()
+    assert relative < 0.02
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000), bits=st.integers(4, 12))
+def test_property_roundtrip_error_bounded(seed, bits):
+    rng = np.random.default_rng(seed)
+    tensor = rng.normal(size=(32,)) * rng.uniform(0.1, 10.0)
+    quantizer = LinearQuantizer.fit(tensor, bits=bits)
+    error = np.abs(quantizer.roundtrip(tensor) - tensor).max()
+    assert error <= quantizer.scale / 2 + 1e-9

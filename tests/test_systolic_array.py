@@ -1,0 +1,110 @@
+"""Tests for the functional weight-stationary systolic array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combining import group_columns, column_combine_prune, pack_filter_matrix
+from repro.systolic import ArrayConfig, SystolicArray
+
+
+def sparse(rng, rows=24, cols=28, density=0.25):
+    return rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+
+
+def test_array_config_defaults_and_validation():
+    config = ArrayConfig()
+    assert config.rows == config.cols == 32
+    assert config.num_cells == 1024
+    with pytest.raises(ValueError):
+        ArrayConfig(rows=0)
+    with pytest.raises(ValueError):
+        ArrayConfig(alpha=0)
+
+
+def test_dense_multiply_is_exact(rng):
+    array = SystolicArray(ArrayConfig(rows=32, cols=32))
+    matrix = sparse(rng)
+    data = rng.normal(size=(28, 9))
+    result = array.multiply_dense(matrix, data)
+    np.testing.assert_allclose(result.output, matrix @ data)
+
+
+def test_dense_multiply_counts_macs(rng):
+    array = SystolicArray(ArrayConfig(rows=32, cols=32))
+    matrix = sparse(rng)
+    data = rng.normal(size=(28, 5))
+    result = array.multiply_dense(matrix, data)
+    assert result.occupied_macs == matrix.size * 5
+    assert result.useful_macs == np.count_nonzero(matrix) * 5
+    assert 0 < result.utilization < 1
+
+
+def test_dense_multiply_rejects_oversized_matrix(rng):
+    array = SystolicArray(ArrayConfig(rows=8, cols=8))
+    with pytest.raises(ValueError):
+        array.multiply_dense(rng.normal(size=(9, 8)), rng.normal(size=(8, 2)))
+
+
+def test_dense_multiply_rejects_mismatched_data(rng):
+    array = SystolicArray(ArrayConfig(rows=32, cols=32))
+    with pytest.raises(ValueError):
+        array.multiply_dense(rng.normal(size=(4, 4)), rng.normal(size=(5, 2)))
+
+
+def test_packed_multiply_matches_pruned_matrix(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    pruned, _ = column_combine_prune(matrix, grouping)
+    array = SystolicArray(ArrayConfig(rows=32, cols=32, alpha=8))
+    data = rng.normal(size=(matrix.shape[1], 11))
+    result = array.multiply_packed(packed, data)
+    np.testing.assert_allclose(result.output, pruned @ data)
+
+
+def test_packed_multiply_has_higher_utilization_than_dense(rng):
+    matrix = sparse(rng, density=0.15)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    array = SystolicArray(ArrayConfig(rows=32, cols=32, alpha=8))
+    data = rng.normal(size=(matrix.shape[1], 7))
+    dense_result = array.multiply_dense(matrix, data)
+    packed_result = array.multiply_packed(packed, data)
+    assert packed_result.utilization > dense_result.utilization
+    assert packed_result.cycles <= dense_result.cycles
+
+
+def test_packed_multiply_rejects_excessive_multiplexing(rng):
+    matrix = sparse(rng, density=0.05)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    if packed.multiplexing_degree() <= 2:
+        pytest.skip("grouping did not exercise multiplexing")
+    array = SystolicArray(ArrayConfig(rows=32, cols=32, alpha=2))
+    with pytest.raises(ValueError):
+        array.multiply_packed(packed, rng.normal(size=(matrix.shape[1], 2)))
+
+
+def test_zero_utilization_when_no_macs():
+    from repro.systolic.array import MatmulResult
+    result = MatmulResult(output=np.zeros((1, 1)), cycles=0, useful_macs=0, occupied_macs=0)
+    assert result.utilization == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 5000), words=st.integers(1, 16))
+def test_property_packed_and_dense_agree_on_unpruned_weights(seed, words):
+    """Where no conflicts exist (gamma=0 grouping), packed execution equals
+    the original dense product exactly."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(12, 16)) * (rng.random((12, 16)) < 0.15)
+    grouping = group_columns(matrix, alpha=8, gamma=0.0)
+    packed = pack_filter_matrix(matrix, grouping, prune_conflicts=False)
+    data = rng.normal(size=(16, words))
+    array = SystolicArray(ArrayConfig(rows=16, cols=16, alpha=8))
+    np.testing.assert_allclose(array.multiply_packed(packed, data).output,
+                               matrix @ data, atol=1e-9)

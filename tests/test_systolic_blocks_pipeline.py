@@ -1,0 +1,126 @@
+"""Tests for the shift / ReLU blocks and cross-layer pipelining model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Shift2d
+from repro.systolic import LayerLatency, ReluQuantBlock, ShiftBlock
+from repro.systolic.blocks import data_matrix_to_activations
+from repro.systolic.pipeline import (
+    layer_latency,
+    pipeline_latency,
+    pipeline_speedup,
+    sequential_latency,
+)
+from repro.systolic.timing import CellTiming
+
+
+# -- shift block -------------------------------------------------------------------
+
+def test_shift_block_matches_network_shift_layer(rng):
+    channels = 7
+    block = ShiftBlock(channels)
+    layer = Shift2d(channels)
+    activations = rng.normal(size=(3, channels, 6, 6))
+    np.testing.assert_allclose(block.apply(activations), layer.forward(activations))
+
+
+def test_shift_block_to_data_matrix_roundtrip(rng):
+    block = ShiftBlock(4)
+    activations = rng.normal(size=(2, 4, 5, 5))
+    data_matrix = block.to_data_matrix(activations)
+    assert data_matrix.shape == (4, 2 * 25)
+    restored = data_matrix_to_activations(data_matrix, 2, 5, 5)
+    np.testing.assert_allclose(restored, block.apply(activations))
+
+
+def test_shift_block_validates_channels(rng):
+    block = ShiftBlock(3)
+    with pytest.raises(ValueError):
+        block.apply(rng.normal(size=(1, 4, 5, 5)))
+    with pytest.raises(ValueError):
+        ShiftBlock(0)
+
+
+def test_data_matrix_to_activations_validates_width(rng):
+    with pytest.raises(ValueError):
+        data_matrix_to_activations(rng.normal(size=(3, 10)), 2, 2, 2)
+
+
+# -- ReLU + quantization block ----------------------------------------------------------
+
+def test_relu_quant_block_zeroes_negatives_and_quantizes(rng):
+    block = ReluQuantBlock(output_bits=8)
+    accumulations = np.array([[-5.0, 3.0], [10.0, -1.0]])
+    quantized, quantizer = block.apply(accumulations)
+    assert np.all(quantized >= 0)
+    assert quantized[0, 0] == 0 and quantized[1, 1] == 0
+    assert quantized.max() == 127
+    np.testing.assert_allclose(quantizer.dequantize(quantized),
+                               np.maximum(accumulations, 0), atol=quantizer.scale / 2)
+
+
+def test_relu_quant_block_with_fixed_scale():
+    block = ReluQuantBlock(output_bits=8)
+    quantized, quantizer = block.apply(np.array([[1.0]]), scale=0.5)
+    assert quantizer.scale == 0.5
+    assert quantized[0, 0] == 2
+
+
+# -- cross-layer pipelining ----------------------------------------------------------------
+
+def test_layer_latency_components():
+    timing = CellTiming()
+    latency = layer_latency("layer", rows=96, cols=17, spatial_size=32, timing=timing)
+    assert latency.first_output_cycles == 8 + 16
+    assert latency.stream_cycles == 1024 * 8
+    assert latency.tail_cycles == 95 + 32
+    assert latency.completion_cycles == (96 + 17 - 2) + 8192 + 32
+
+
+def test_sequential_latency_is_sum_of_completions():
+    layers = [
+        LayerLatency("a", first_output_cycles=10, stream_cycles=100, tail_cycles=5,
+                     completion_cycles=120),
+        LayerLatency("b", first_output_cycles=20, stream_cycles=200, tail_cycles=6,
+                     completion_cycles=230),
+    ]
+    assert sequential_latency(layers) == 350
+
+
+def test_pipeline_latency_is_fills_plus_bottleneck_plus_tail():
+    layers = [
+        LayerLatency("a", first_output_cycles=10, stream_cycles=100, tail_cycles=5,
+                     completion_cycles=120),
+        LayerLatency("b", first_output_cycles=20, stream_cycles=300, tail_cycles=6,
+                     completion_cycles=330),
+    ]
+    assert pipeline_latency(layers) == 10 + 20 + 300 + 6
+
+
+def test_pipeline_never_slower_than_bottleneck_and_faster_than_sequential():
+    layers = [layer_latency(f"l{i}", rows=64, cols=16, spatial_size=16) for i in range(6)]
+    pipelined = pipeline_latency(layers)
+    sequential = sequential_latency(layers)
+    bottleneck = max(l.stream_cycles for l in layers)
+    assert bottleneck < pipelined < sequential
+    assert pipeline_speedup(layers) > 1.0
+
+
+def test_deeper_networks_benefit_more_from_pipelining():
+    shallow = [layer_latency(f"l{i}", 32, 8, 16) for i in range(3)]
+    deep = [layer_latency(f"l{i}", 32, 8, 16) for i in range(20)]
+    assert pipeline_speedup(deep) > pipeline_speedup(shallow)
+
+
+def test_empty_pipeline_latency_is_zero():
+    assert pipeline_latency([]) == 0
+    assert pipeline_speedup([]) == 1.0
+
+
+def test_single_layer_pipeline_equals_its_own_cost():
+    layer = layer_latency("only", 16, 4, 8)
+    assert pipeline_latency([layer]) <= layer.completion_cycles + layer.first_output_cycles
+    assert sequential_latency([layer]) == layer.completion_cycles

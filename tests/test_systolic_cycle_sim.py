@@ -1,0 +1,78 @@
+"""Tests for the word-level cycle-accurate dataflow simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.systolic import simulate_weight_stationary
+
+
+def test_output_matches_matrix_product(rng):
+    matrix = rng.normal(size=(5, 6))
+    data = rng.normal(size=(6, 9))
+    result = simulate_weight_stationary(matrix, data)
+    np.testing.assert_allclose(result.output, matrix @ data)
+
+
+def test_last_exit_slot_matches_analytic_formula(rng):
+    rows, cols, words = 4, 7, 10
+    matrix = rng.normal(size=(rows, cols))
+    data = rng.normal(size=(cols, words))
+    result = simulate_weight_stationary(matrix, data)
+    assert result.last_exit_slot == (words - 1) + (rows - 1) + (cols - 1)
+    assert result.total_slots == words + rows + cols - 2
+
+
+def test_exit_slots_are_skewed_by_row_and_word(rng):
+    matrix = rng.normal(size=(3, 4))
+    data = rng.normal(size=(4, 5))
+    result = simulate_weight_stationary(matrix, data)
+    # Result (i, l) exits at slot l + i + cols - 1.
+    for i in range(3):
+        for l in range(5):
+            assert result.exit_slots[i, l] == l + i + 3
+
+
+def test_single_cell_array(rng):
+    matrix = np.array([[2.5]])
+    data = np.array([[1.0, 2.0, 3.0]])
+    result = simulate_weight_stationary(matrix, data)
+    np.testing.assert_allclose(result.output, [[2.5, 5.0, 7.5]])
+    assert result.last_exit_slot == 2
+
+
+def test_empty_data_returns_empty_output(rng):
+    result = simulate_weight_stationary(np.ones((3, 3)), np.zeros((3, 0)))
+    assert result.output.shape == (3, 0)
+    assert result.total_slots == 0
+
+
+def test_dimension_validation(rng):
+    with pytest.raises(ValueError):
+        simulate_weight_stationary(np.ones((2, 3)), np.ones((4, 5)))
+    with pytest.raises(ValueError):
+        simulate_weight_stationary(np.ones(3), np.ones((3, 2)))
+
+
+def test_sparse_matrix_dataflow_is_exact(rng):
+    matrix = rng.normal(size=(6, 8)) * (rng.random((6, 8)) < 0.3)
+    data = rng.normal(size=(8, 4))
+    result = simulate_weight_stationary(matrix, data)
+    np.testing.assert_allclose(result.output, matrix @ data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows=st.integers(1, 6), cols=st.integers(1, 6), words=st.integers(1, 8),
+       seed=st.integers(0, 100))
+def test_property_simulation_equals_matmul_and_latency_formula(rows, cols, words, seed):
+    """The register-level dataflow computes the exact product and the last
+    result always leaves at slot (words + rows + cols - 3)."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(rows, cols))
+    data = rng.normal(size=(cols, words))
+    result = simulate_weight_stationary(matrix, data)
+    np.testing.assert_allclose(result.output, matrix @ data, atol=1e-9)
+    assert result.last_exit_slot == words + rows + cols - 3

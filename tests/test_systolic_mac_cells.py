@@ -1,0 +1,160 @@
+"""Tests for the bit-serial MAC and the BL / IL / MX cell models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.systolic import BitSerialMAC, BLCell, ILCell, MXCell, bit_serial_multiply
+
+
+# -- bit-serial multiplication -------------------------------------------------
+
+def test_bit_serial_multiply_matches_integer_product():
+    product, cycles = bit_serial_multiply(200, 57)
+    assert product == 200 * 57
+    assert cycles == 8
+
+
+def test_bit_serial_multiply_handles_negative_weights():
+    product, _ = bit_serial_multiply(100, -3)
+    assert product == -300
+
+
+def test_bit_serial_multiply_zero_cases():
+    assert bit_serial_multiply(0, 127)[0] == 0
+    assert bit_serial_multiply(255, 0)[0] == 0
+
+
+def test_bit_serial_multiply_validates_ranges():
+    with pytest.raises(ValueError):
+        bit_serial_multiply(256, 1)
+    with pytest.raises(ValueError):
+        bit_serial_multiply(1, 256)
+    with pytest.raises(ValueError):
+        bit_serial_multiply(-1, 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(x=st.integers(0, 255), w=st.integers(-128, 127))
+def test_property_bit_serial_multiply_is_exact(x, w):
+    """The shift-and-add serial schedule computes exactly x * w."""
+    product, cycles = bit_serial_multiply(x, w)
+    assert product == x * w
+    assert cycles == 8
+
+
+# -- BitSerialMAC -----------------------------------------------------------------
+
+def test_mac_accumulates_products():
+    mac = BitSerialMAC(weight=3)
+    y, cycles = mac.step(10, 5)
+    assert y == 35
+    assert cycles == 32  # 32-bit accumulation dominates
+
+
+def test_mac_16bit_accumulation_halves_cycles():
+    mac = BitSerialMAC(weight=1, accumulation_bits=16)
+    _, cycles = mac.step(1, 0)
+    assert cycles == 16
+
+
+def test_mac_tracks_elapsed_cycles_and_resets():
+    mac = BitSerialMAC(weight=2)
+    mac.step(1, 0)
+    mac.step(1, 0)
+    assert mac.cycles_elapsed == 64
+    mac.reset()
+    assert mac.cycles_elapsed == 0
+
+
+def test_mac_weight_range_validation():
+    with pytest.raises(ValueError):
+        BitSerialMAC(weight=200)
+    mac = BitSerialMAC()
+    with pytest.raises(ValueError):
+        mac.load_weight(-200)
+
+
+def test_mac_accumulation_narrower_than_input_rejected():
+    with pytest.raises(ValueError):
+        BitSerialMAC(accumulation_bits=4, input_bits=8)
+
+
+# -- cells ---------------------------------------------------------------------------
+
+def test_bl_cell_single_stream_mac():
+    cell = BLCell(weight=5)
+    assert cell.process(3, 10) == 25
+
+
+def test_il_cell_processes_four_interleaved_streams():
+    cell = ILCell(weight=2)
+    ys = cell.process([1, 2, 3, 4], [0, 0, 0, 0])
+    assert ys == [2, 4, 6, 8]
+
+
+def test_il_cell_validates_stream_count():
+    cell = ILCell(weight=1)
+    with pytest.raises(ValueError):
+        cell.process([1, 2], [0, 0])
+
+
+def test_il_cell_streams_are_independent():
+    cell = ILCell(weight=1, streams=2)
+    first = cell.process([10, 20], [1, 2])
+    second = cell.process([1, 1], first)
+    assert second == [12, 23]
+
+
+def test_mx_cell_selects_configured_channel():
+    cell = MXCell(weight=3, channel_select=1, alpha=4)
+    assert cell.process([100, 7, 50], 0) == 21
+
+
+def test_mx_cell_empty_cell_passes_accumulation_through():
+    cell = MXCell(weight=0, channel_select=None)
+    assert cell.process([5, 6], 42) == 42
+
+
+def test_mx_cell_load_weight_updates_selection():
+    cell = MXCell(alpha=4)
+    cell.load_weight(-2, channel_select=0)
+    assert cell.process([10, 99], 0) == -20
+
+
+def test_mx_cell_validates_channel_select():
+    with pytest.raises(ValueError):
+        MXCell(weight=1, channel_select=9, alpha=8)
+    cell = MXCell(alpha=2)
+    with pytest.raises(ValueError):
+        cell.load_weight(1, channel_select=5)
+
+
+def test_mx_cell_rejects_too_many_channels():
+    cell = MXCell(weight=1, channel_select=0, alpha=2)
+    with pytest.raises(ValueError):
+        cell.process([1, 2, 3], 0)
+
+
+def test_mx_cell_channel_select_beyond_provided_words_raises():
+    cell = MXCell(weight=1, channel_select=3, alpha=8)
+    with pytest.raises(ValueError):
+        cell.process([1, 2], 0)
+
+
+def test_mx_cell_column_computes_packed_dot_product(rng):
+    """A column of MX cells computes the combined-column dot product: each
+    cell multiplies the channel its weight came from, and the partial sums
+    accumulate down the column."""
+    weights = [3, -2, 0, 7]
+    selects = [0, 2, None, 1]
+    cells = [MXCell(weight=w, channel_select=s, alpha=4)
+             for w, s in zip(weights, selects)]
+    # Input data is unsigned 8-bit (activations after ReLU and quantization).
+    channels = [5, 11, 4]
+    outputs = [cell.process(channels, 0) for cell in cells]
+    expected = [3 * 5, -2 * 4, 0, 7 * 11]
+    assert outputs == expected

@@ -1,0 +1,100 @@
+"""Tests for the end-to-end systolic array system (planning + quantized execution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.combining import group_columns, pack_filter_matrix
+from repro.nn import PointwiseConv2d, Shift2d
+from repro.systolic import ArrayConfig, SystolicSystem
+
+
+def packed_layer(rng, rows=24, cols=16, density=0.25, alpha=8, gamma=0.5):
+    matrix = rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+    grouping = group_columns(matrix, alpha=alpha, gamma=gamma)
+    return matrix, pack_filter_matrix(matrix, grouping)
+
+
+def test_plan_layer_reports_tiles_cycles_and_macs(rng):
+    _, packed = packed_layer(rng, rows=96, cols=94, density=0.16)
+    system = SystolicSystem(ArrayConfig(rows=32, cols=32, alpha=8))
+    execution = system.plan_layer("layer", packed, spatial_size=16)
+    assert execution.rows == 96
+    assert execution.packed_columns == packed.num_groups
+    assert execution.num_tiles >= 1
+    assert execution.cycles > 0
+    assert execution.useful_macs <= execution.occupied_macs
+    assert execution.occupied_macs == packed.weights.size * 256
+
+
+def test_plan_model_totals_are_sums(rng):
+    layers = [packed_layer(rng)[1] for _ in range(3)]
+    system = SystolicSystem(ArrayConfig(rows=32, cols=32, alpha=8))
+    plan = system.plan_model([(f"l{i}", p) for i, p in enumerate(layers)], [8, 8, 4])
+    assert plan.total_cycles == sum(l.cycles for l in plan.layers)
+    assert plan.total_tiles == sum(l.num_tiles for l in plan.layers)
+    assert 0 < plan.utilization <= 1
+
+
+def test_plan_model_requires_matching_spatial_sizes(rng):
+    _, packed = packed_layer(rng)
+    system = SystolicSystem()
+    with pytest.raises(ValueError):
+        system.plan_model([("l", packed)], [8, 8])
+
+
+def test_packed_layer_plan_needs_fewer_cycles_than_baseline(rng):
+    matrix, packed = packed_layer(rng, rows=96, cols=94, density=0.16)
+    baseline_grouping = group_columns(matrix, alpha=1, gamma=0.0)
+    baseline_packed = pack_filter_matrix(matrix, baseline_grouping)
+    system = SystolicSystem(ArrayConfig(rows=32, cols=32, alpha=8))
+    packed_plan = system.plan_layer("packed", packed, 16)
+    baseline_plan = system.plan_layer("baseline", baseline_packed, 16)
+    assert packed_plan.cycles < baseline_plan.cycles
+    assert packed_plan.num_tiles < baseline_plan.num_tiles
+    assert packed_plan.utilization > baseline_plan.utilization
+
+
+def test_run_layer_matches_float_reference_within_quantization_error(rng):
+    """Quantized integer execution through the packed array must match the
+    float shift + pointwise layer up to 8-bit quantization error."""
+    in_channels, out_channels = 12, 20
+    matrix = rng.normal(size=(out_channels, in_channels)) * \
+        (rng.random((out_channels, in_channels)) < 0.4)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    pruned = packed.to_sparse()
+
+    activations = rng.normal(size=(4, in_channels, 6, 6))
+    system = SystolicSystem(ArrayConfig(rows=32, cols=32, alpha=8))
+    output, info = system.run_layer(packed, activations, apply_shift=True, apply_relu=True)
+
+    shift = Shift2d(in_channels)
+    reference = np.maximum(
+        np.einsum("nc,bchw->bnhw", pruned, shift.forward(activations)), 0.0)
+    scale = np.abs(reference).max()
+    assert np.abs(output - reference).max() < 0.05 * scale + 1e-9
+    assert info["num_tiles"] >= 1
+    assert 0 < info["utilization"] <= 1
+
+
+def test_run_layer_without_shift_or_relu(rng):
+    matrix = rng.normal(size=(8, 6))
+    grouping = group_columns(matrix, alpha=4, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    activations = rng.normal(size=(2, 6, 3, 3))
+    system = SystolicSystem(ArrayConfig(rows=16, cols=16, alpha=4))
+    output, _ = system.run_layer(packed, activations, apply_shift=False, apply_relu=False)
+    reference = np.einsum("nc,bchw->bnhw", packed.to_sparse(), activations)
+    assert np.abs(output - reference).max() < 0.05 * np.abs(reference).max() + 1e-9
+    assert np.any(output < 0)  # ReLU really was skipped
+
+
+def test_run_layer_validates_activation_shape(rng):
+    _, packed = packed_layer(rng, rows=8, cols=6)
+    system = SystolicSystem()
+    with pytest.raises(ValueError):
+        system.run_layer(packed, rng.normal(size=(2, 5, 3, 3)))
+    with pytest.raises(ValueError):
+        system.run_layer(packed, rng.normal(size=(2, 6, 3)))

@@ -1,0 +1,104 @@
+"""Tests for the bit-serial timing model (Figures 8 and 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systolic.timing import (
+    CellTiming,
+    cycles_for_tile,
+    first_output_cycles,
+    tiles_along,
+    words_per_sample,
+)
+
+
+def test_balanced_cell_has_no_idle_gap():
+    timing = CellTiming(input_bits=8, accumulation_bits=8, interleaved=False)
+    assert timing.effective_cycles_per_word == 8
+    assert timing.idle_gap_cycles == 0
+
+
+def test_unbalanced_cell_has_24_cycle_gap():
+    timing = CellTiming(input_bits=8, accumulation_bits=32, interleaved=False)
+    assert timing.effective_cycles_per_word == 32
+    assert timing.idle_gap_cycles == 24
+
+
+def test_interleaved_cell_restores_word_rate():
+    timing = CellTiming(input_bits=8, accumulation_bits=32, interleaved=True)
+    assert timing.effective_cycles_per_word == 8
+    assert timing.interleave_factor == 4
+    assert timing.idle_gap_cycles == 0
+
+
+def test_16bit_accumulation_interleave_factor_is_two():
+    timing = CellTiming(input_bits=8, accumulation_bits=16)
+    assert timing.interleave_factor == 2
+
+
+def test_timing_validation():
+    with pytest.raises(ValueError):
+        CellTiming(input_bits=0)
+    with pytest.raises(ValueError):
+        CellTiming(input_bits=8, accumulation_bits=4)
+    with pytest.raises(ValueError):
+        CellTiming(skew_clocks=0)
+
+
+def test_tile_cycles_breakdown():
+    timing = CellTiming()
+    tile = cycles_for_tile(32, 32, 1024, timing)
+    assert tile.fill_cycles == 62          # (32 + 32 - 2) x 1-clock skew
+    assert tile.stream_cycles == 8192      # 1024 words x 8 cycles
+    assert tile.drain_cycles == 32
+    assert tile.weight_load_cycles == 32 * 8
+    assert tile.matmul_cycles == 62 + 8192 + 32
+    assert tile.total_cycles == tile.matmul_cycles + 256
+
+
+def test_tile_cycles_scale_linearly_with_words():
+    small = cycles_for_tile(16, 16, 100)
+    large = cycles_for_tile(16, 16, 200)
+    assert large.stream_cycles == 2 * small.stream_cycles
+    assert large.fill_cycles == small.fill_cycles
+
+
+def test_fewer_columns_means_fewer_fill_cycles():
+    wide = cycles_for_tile(32, 94, 100)
+    narrow = cycles_for_tile(32, 17, 100)
+    assert narrow.fill_cycles < wide.fill_cycles
+
+
+def test_tile_cycle_validation():
+    with pytest.raises(ValueError):
+        cycles_for_tile(0, 4, 10)
+    with pytest.raises(ValueError):
+        cycles_for_tile(4, 4, -1)
+
+
+def test_zero_words_tile_still_pays_fill_and_drain():
+    tile = cycles_for_tile(4, 4, 0)
+    assert tile.stream_cycles == 0
+    assert tile.matmul_cycles > 0
+
+
+def test_first_output_cycles_is_input_word_plus_column_skew():
+    timing = CellTiming()
+    assert first_output_cycles(1, timing) == 8
+    assert first_output_cycles(17, timing) == 8 + 16
+    with pytest.raises(ValueError):
+        first_output_cycles(0)
+
+
+def test_words_per_sample_is_spatial_area_times_batch():
+    assert words_per_sample(32) == 1024
+    assert words_per_sample(8, batch=4) == 256
+    with pytest.raises(ValueError):
+        words_per_sample(0)
+
+
+def test_tiles_along():
+    assert tiles_along(94, 32) == 3
+    assert tiles_along(32, 32) == 1
+    assert tiles_along(0, 32) == 0

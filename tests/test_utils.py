@@ -1,0 +1,73 @@
+"""Tests for seeding, run configuration, and logging utilities."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils import RunConfig, get_logger, new_rng, seed_everything
+from repro.utils.seeding import global_seed
+
+
+def test_seed_everything_makes_numpy_deterministic():
+    seed_everything(42)
+    a = np.random.rand(5)
+    seed_everything(42)
+    b = np.random.rand(5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_seed_everything_returns_generator_and_records_seed():
+    generator = seed_everything(7)
+    assert isinstance(generator, np.random.Generator)
+    assert global_seed() == 7
+
+
+def test_seed_everything_rejects_negative_seed():
+    with pytest.raises(ValueError):
+        seed_everything(-1)
+
+
+def test_new_rng_with_explicit_seed_is_deterministic():
+    a = new_rng(3).random(4)
+    b = new_rng(3).random(4)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_new_rng_defaults_to_global_seed():
+    seed_everything(11)
+    a = new_rng().random(3)
+    b = np.random.default_rng(11).random(3)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_get_logger_namespaces_under_repro():
+    logger = get_logger("something")
+    assert logger.name == "repro.something"
+    assert isinstance(logger, logging.Logger)
+
+
+def test_get_logger_does_not_duplicate_handlers():
+    get_logger("a")
+    get_logger("b")
+    root = logging.getLogger("repro")
+    assert len(root.handlers) == 1
+
+
+def test_run_config_roundtrips_through_dict():
+    config = RunConfig(seed=3, train_samples=100)
+    data = config.to_dict()
+    assert data["seed"] == 3
+    rebuilt = RunConfig(**data)
+    assert rebuilt == config
+
+
+def test_run_config_scaled_overrides_selected_fields():
+    config = RunConfig()
+    scaled = config.scaled(model_scale=2.0, epochs_per_round=7)
+    assert scaled.model_scale == 2.0
+    assert scaled.epochs_per_round == 7
+    assert scaled.train_samples == config.train_samples
+    assert config.model_scale != 2.0
