@@ -9,9 +9,27 @@ a few minutes on a CPU while exercising the full Algorithm 1 code path.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.utils.config import RunConfig
+
+
+_BENCHMARK_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items: list[pytest.Item]) -> None:
+    """Mark every benchmark in this directory as ``slow``.
+
+    The ``slow`` marker (registered in ``pytest.ini``) lets
+    ``pytest -m "not slow"`` skip the whole benchmark harness for a quick
+    tier-1 signal; ``scripts/check.sh`` relies on this.  The hook sees the
+    whole session's items, so it filters to this directory's.
+    """
+    for item in items:
+        if _BENCHMARK_DIR in Path(item.fspath).parents:
+            item.add_marker(pytest.mark.slow)
 
 #: Scaled-down configuration for training-based benchmarks.  Large enough
 #: that the accuracy trends of Figures 13 and 15b are visible (the models

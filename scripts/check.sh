@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Quick local check: fast tier-1 signal plus the grouping differential suite.
+#
+#   scripts/check.sh            # fast tests only (benchmarks are marked slow)
+#   scripts/check.sh -k metric  # extra pytest args are forwarded to the fast run
+#
+# The full tier-1 gate remains `PYTHONPATH=src python -m pytest -x -q`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== grouping engine differential suite =="
+python -m pytest -x -q tests/test_combining_grouping_engines.py
+
+echo "== fast test suite (pytest -m 'not slow') =="
+python -m pytest -x -q -m "not slow" \
+    --ignore=tests/test_combining_grouping_engines.py "$@"

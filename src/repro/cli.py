@@ -30,7 +30,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.combining import group_columns, pack_filter_matrix, packing_report
+from repro.combining import (
+    GROUPING_ENGINES,
+    group_columns,
+    pack_filter_matrix,
+    packing_report,
+)
 from repro.experiments import (
     ablation_grouping,
     fig13a,
@@ -83,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument("--gamma", type=float, default=0.5)
     pack.add_argument("--array-rows", type=int, default=32)
     pack.add_argument("--array-cols", type=int, default=32)
+    pack.add_argument("--engine", choices=list(GROUPING_ENGINES), default="fast",
+                      help="column-grouping engine (vectorized fast path or the "
+                           "reference Python loop)")
     pack.add_argument("--seed", type=int, default=0)
 
     train = subparsers.add_parser("train", help="run Algorithm 1 on a built-in model")
@@ -97,6 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--image-size", type=int, default=FAST_RUN.image_size)
     train.add_argument("--model-scale", type=float, default=FAST_RUN.model_scale)
     train.add_argument("--lr", type=float, default=0.05)
+    train.add_argument("--engine", choices=list(GROUPING_ENGINES), default="fast",
+                      help="column-grouping engine used by every grouping step")
     train.add_argument("--seed", type=int, default=0)
 
     experiment = subparsers.add_parser("experiment", help="run a paper experiment")
@@ -114,7 +124,8 @@ def _command_pack(args: argparse.Namespace) -> int:
     else:
         rng = np.random.default_rng(args.seed)
         matrix = sparse_filter_matrix(args.rows, args.cols, args.density, rng)
-    grouping = group_columns(matrix, alpha=args.alpha, gamma=args.gamma)
+    grouping = group_columns(matrix, alpha=args.alpha, gamma=args.gamma,
+                             engine=args.engine)
     packed = pack_filter_matrix(matrix, grouping)
     report = packing_report([("matrix", packed)], array_rows=args.array_rows,
                             array_cols=args.array_cols)
@@ -137,7 +148,8 @@ def _command_train(args: argparse.Namespace) -> int:
                           final_epochs=args.final_epochs, model_scale=args.model_scale,
                           seed=args.seed)
     config = combine_config(run, alpha=args.alpha, beta=args.beta, gamma=args.gamma,
-                            target_fraction=args.target_fraction, lr=args.lr)
+                            target_fraction=args.target_fraction, lr=args.lr,
+                            grouping_engine=args.engine)
     result = run_column_combining(args.model, run, config)
     trainer = result["trainer"]
     history = result["history"]

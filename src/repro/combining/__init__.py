@@ -15,9 +15,32 @@ The public surface mirrors the paper's algorithms:
   that makes each next-layer group contiguous, removing the switchbox.
 * :mod:`~repro.combining.metrics` / :mod:`~repro.combining.tiling` —
   packing / utilization efficiency and tile-count arithmetic.
+
+Engine selection
+----------------
+
+:func:`~repro.combining.grouping.group_columns` accepts an ``engine``
+keyword choosing between two implementations of Algorithm 2 that produce
+bit-identical groupings:
+
+* ``"fast"`` (the default) — the vectorized bitset engine.  Each group's
+  occupied-row set lives in a ``(G, ceil(N / 64))`` uint64 bitset matrix
+  (:mod:`~repro.combining.bitset`), so one broadcasted ``bitwise_and`` +
+  popcount pass scores a candidate column against every open group at
+  once.
+* ``"reference"`` — the original per-group Python loop, retained as the
+  executable specification for differential testing and debugging.
+
+The knob threads through the rest of the stack as
+:attr:`~repro.combining.trainer.ColumnCombineConfig.grouping_engine`
+(Algorithm 1 training), the ``engine`` parameter of
+:func:`~repro.combining.tiling.tiles_for_model`, the ``grouping_engine``
+keyword of :func:`repro.experiments.common.combine_config`, and the
+``--engine`` flag of the ``pack`` / ``train`` CLI subcommands.  Valid
+names are listed in :data:`~repro.combining.grouping.GROUPING_ENGINES`.
 """
 
-from repro.combining.grouping import ColumnGrouping, group_columns
+from repro.combining.grouping import GROUPING_ENGINES, ColumnGrouping, group_columns
 from repro.combining.pruning import column_combine_prune, conflict_mask
 from repro.combining.packing import PackedFilterMatrix, pack_filter_matrix
 from repro.combining.permutation import (
@@ -48,6 +71,7 @@ from repro.combining.reports import (
 )
 
 __all__ = [
+    "GROUPING_ENGINES",
     "ColumnGrouping",
     "group_columns",
     "column_combine_prune",

@@ -7,6 +7,18 @@ assigned with the *dense-column-first combining policy*: each candidate
 column joins the group that yields the densest combined column among the
 groups that can legally accept it, which the paper likens to bin-packing
 algorithms that place large items first.
+
+Two interchangeable engines implement the greedy assignment:
+
+* ``engine="fast"`` (the default) keeps each group's occupied-row set as a
+  packed uint64 bitset (:mod:`repro.combining.bitset`) and scores a
+  candidate column against *all* existing groups with one broadcasted
+  ``bitwise_and`` + popcount pass.
+* ``engine="reference"`` is the straightforward per-group Python loop,
+  kept as the executable specification for differential testing.
+
+Both engines produce bit-identical groupings — same group contents, same
+ordering, same tie-breaks — for every matrix, policy, and (α, γ) setting.
 """
 
 from __future__ import annotations
@@ -14,6 +26,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.combining.bitset import pack_columns, popcount, words_for_rows
+
+#: Engines accepted by :func:`group_columns`.
+GROUPING_ENGINES = ("fast", "reference")
 
 
 @dataclass
@@ -90,9 +107,157 @@ def _column_order(matrix: np.ndarray, policy: str,
     raise ValueError(f"unknown grouping policy {policy!r}")
 
 
+def _group_columns_reference(nonzero: np.ndarray, alpha: int, gamma: float,
+                             order: np.ndarray) -> list[list[int]]:
+    """Per-group Python loop: the executable specification of Algorithm 2."""
+    num_rows = nonzero.shape[0]
+    conflict_budget = gamma * num_rows
+    # Densities are union-size / num_rows; guard the degenerate zero-row
+    # matrix (every density is 0 there, so any denominator works).
+    density_rows = max(num_rows, 1)
+
+    groups: list[list[int]] = []
+    # Per-group bookkeeping: rows occupied by at least one nonzero, and the
+    # total number of conflicts accumulated so far.
+    occupied: list[np.ndarray] = []
+    conflicts: list[int] = []
+
+    for column in order:
+        column = int(column)
+        column_rows = nonzero[:, column]
+        best_group = -1
+        best_density = -1.0
+        best_new_conflicts = 0
+        for index, group in enumerate(groups):
+            if len(group) >= alpha:
+                continue
+            new_conflicts = int(np.count_nonzero(occupied[index] & column_rows))
+            if conflicts[index] + new_conflicts > conflict_budget:
+                continue
+            combined_density = np.count_nonzero(occupied[index] | column_rows) / density_rows
+            better = combined_density > best_density + 1e-12
+            tie = abs(combined_density - best_density) <= 1e-12
+            if better or (tie and new_conflicts < best_new_conflicts):
+                best_group = index
+                best_density = combined_density
+                best_new_conflicts = new_conflicts
+        if best_group < 0:
+            groups.append([column])
+            occupied.append(column_rows.copy())
+            conflicts.append(0)
+        else:
+            groups[best_group].append(column)
+            conflicts[best_group] += best_new_conflicts
+            occupied[best_group] |= column_rows
+
+    return groups
+
+
+def _group_columns_fast(nonzero: np.ndarray, alpha: int, gamma: float,
+                        order: np.ndarray) -> list[list[int]]:
+    """Bitset engine: score a candidate against every group in one pass.
+
+    Equivalence with the reference engine rests on densities being exact
+    multiples of ``1 / num_rows``: two candidate placements compare "equal
+    within 1e-12" iff their combined columns occupy the same number of
+    rows, so the reference's tolerance-based scan reduces to an exact
+    lexicographic argmax over (union size, -new conflicts) with the lowest
+    group index winning remaining ties — which is what this engine computes
+    from the popcounts.
+    """
+    num_rows, _ = nonzero.shape
+    if alpha == 1:
+        # Every column is its own group; the reference loop opens them in
+        # candidate order because no existing group can ever accept.
+        return [[int(column)] for column in order]
+    conflict_budget = gamma * num_rows
+    words = words_for_rows(num_rows)
+    column_bits = pack_columns(nonzero)
+    column_pops = np.count_nonzero(nonzero, axis=0).astype(np.int64)
+    # Lexicographic selection key: maximize the union size first, then
+    # minimize the overlap (new conflicts).  Unions and overlaps are both
+    # in [0, num_rows], so scaling the union by num_rows + 2 keeps the two
+    # components from interfering; argmax picks the first (lowest-id)
+    # maximum, matching the reference scan's tie-break.  The key for a
+    # candidate against one group is ``union * scale - overlap`` where
+    # ``union = group_pop + column_pop - overlap``; the per-group part
+    # ``group_pop * scale`` is maintained incrementally as ``pops_scaled``.
+    union_scale = num_rows + 2
+    overlap_scale = union_scale + 1
+
+    groups: list[list[int]] = []
+    # Only groups that can still accept a column (size < alpha) are scored.
+    # The active arrays hold them packed in group-id order: ``active_ids``
+    # maps array rows back to group ids, and a group's row is shifted out
+    # once the group reaches alpha columns.
+    active_ids: list[int] = []
+    capacity = 16
+    occupied = np.zeros((capacity, words), dtype=np.uint64)
+    pops_scaled = np.zeros(capacity, dtype=np.int64)
+    conflicts = np.zeros(capacity, dtype=np.int64)
+    sizes = np.zeros(capacity, dtype=np.int64)
+
+    for column in order:
+        column = int(column)
+        bits = column_bits[column]
+        column_pop = int(column_pops[column])
+        num_active = len(active_ids)
+        best_position = -1
+        if num_active:
+            overlaps = popcount(occupied[:num_active] & bits)
+            keys = np.where(
+                conflicts[:num_active] + overlaps <= conflict_budget,
+                pops_scaled[:num_active] + (column_pop * union_scale - overlaps * overlap_scale),
+                -1,
+            )
+            position = int(np.argmax(keys))
+            if keys[position] >= 0:
+                best_position = position
+        if best_position < 0:
+            if num_active == capacity:
+                capacity *= 2
+                occupied = np.concatenate([occupied, np.zeros_like(occupied)])
+                pops_scaled = np.concatenate([pops_scaled, np.zeros_like(pops_scaled)])
+                conflicts = np.concatenate([conflicts, np.zeros_like(conflicts)])
+                sizes = np.concatenate([sizes, np.zeros_like(sizes)])
+            groups.append([column])
+            active_ids.append(len(groups) - 1)
+            occupied[num_active] = bits
+            pops_scaled[num_active] = column_pop * union_scale
+            conflicts[num_active] = 0
+            sizes[num_active] = 1
+        else:
+            groups[active_ids[best_position]].append(column)
+            overlap = int(overlaps[best_position])
+            conflicts[best_position] += overlap
+            occupied[best_position] |= bits
+            pops_scaled[best_position] += (column_pop - overlap) * union_scale
+            sizes[best_position] += 1
+            if sizes[best_position] == alpha:
+                # Retire the full group, keeping the active rows packed in
+                # group-id order so argmax ties keep resolving to the
+                # lowest group id.
+                tail = slice(best_position, num_active - 1)
+                shifted = slice(best_position + 1, num_active)
+                occupied[tail] = occupied[shifted]
+                pops_scaled[tail] = pops_scaled[shifted]
+                conflicts[tail] = conflicts[shifted]
+                sizes[tail] = sizes[shifted]
+                active_ids.pop(best_position)
+
+    return groups
+
+
+_ENGINES = {
+    "fast": _group_columns_fast,
+    "reference": _group_columns_reference,
+}
+
+
 def group_columns(matrix: np.ndarray, alpha: int = 8, gamma: float = 0.5,
                   policy: str = "dense-first",
-                  rng: np.random.Generator | None = None) -> ColumnGrouping:
+                  rng: np.random.Generator | None = None,
+                  engine: str = "fast") -> ColumnGrouping:
     """Partition the columns of ``matrix`` into combinable groups (Algorithm 2).
 
     Parameters
@@ -109,6 +274,11 @@ def group_columns(matrix: np.ndarray, alpha: int = 8, gamma: float = 0.5,
         ``"first-fit"``, or ``"random"`` (used by the grouping ablation).
     rng:
         Only used by the ``"random"`` policy.
+    engine:
+        ``"fast"`` (default) for the vectorized bitset engine, or
+        ``"reference"`` for the per-group Python loop.  The two produce
+        identical groupings; the reference engine exists as the executable
+        specification for differential testing.
 
     Returns
     -------
@@ -123,45 +293,14 @@ def group_columns(matrix: np.ndarray, alpha: int = 8, gamma: float = 0.5,
         raise ValueError("alpha must be >= 1")
     if gamma < 0:
         raise ValueError("gamma must be non-negative")
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"unknown grouping engine {engine!r}; expected one of {GROUPING_ENGINES}")
     num_rows, num_columns = matrix.shape
     if num_columns == 0:
         return ColumnGrouping([], 0, num_rows, alpha, gamma, policy)
 
     nonzero = matrix != 0
-    conflict_budget = gamma * num_rows
-
-    groups: list[list[int]] = []
-    # Per-group bookkeeping: rows occupied by at least one nonzero, and the
-    # total number of conflicts accumulated so far.
-    occupied: list[np.ndarray] = []
-    conflicts: list[int] = []
-
-    for column in _column_order(matrix, policy, rng):
-        column = int(column)
-        column_rows = nonzero[:, column]
-        best_group = -1
-        best_density = -1.0
-        best_new_conflicts = 0
-        for index, group in enumerate(groups):
-            if len(group) >= alpha:
-                continue
-            new_conflicts = int(np.count_nonzero(occupied[index] & column_rows))
-            if conflicts[index] + new_conflicts > conflict_budget:
-                continue
-            combined_density = np.count_nonzero(occupied[index] | column_rows) / num_rows
-            better = combined_density > best_density + 1e-12
-            tie = abs(combined_density - best_density) <= 1e-12
-            if better or (tie and new_conflicts < best_new_conflicts):
-                best_group = index
-                best_density = combined_density
-                best_new_conflicts = new_conflicts
-        if best_group < 0:
-            groups.append([column])
-            occupied.append(column_rows.copy())
-            conflicts.append(0)
-        else:
-            groups[best_group].append(column)
-            conflicts[best_group] += best_new_conflicts
-            occupied[best_group] |= column_rows
-
+    order = _column_order(matrix, policy, rng)
+    groups = _ENGINES[engine](nonzero, alpha, gamma, order)
     return ColumnGrouping(groups, num_columns, num_rows, alpha, gamma, policy)

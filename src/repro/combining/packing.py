@@ -45,10 +45,46 @@ class PackedFilterMatrix:
     def __post_init__(self) -> None:
         self.weights = np.asarray(self.weights, dtype=np.float64)
         self.channel_index = np.asarray(self.channel_index, dtype=np.int64)
+        self.original_shape = tuple(int(side) for side in self.original_shape)
         if self.weights.shape != self.channel_index.shape:
             raise ValueError("weights and channel_index must have the same shape")
         if self.weights.shape[1] != self.grouping.num_groups:
             raise ValueError("packed width does not match the number of groups")
+        if len(self.original_shape) != 2:
+            raise ValueError("original_shape must be (rows, columns)")
+        if self.weights.shape[0] != self.original_shape[0]:
+            raise ValueError("packed height does not match original_shape")
+        if self.grouping.num_columns != self.original_shape[1]:
+            raise ValueError("grouping does not cover original_shape's columns")
+        self._validate_channel_index()
+
+    def _validate_channel_index(self) -> None:
+        """Reject routing metadata that would silently corrupt the packing.
+
+        Every non-empty cell must name an original column that exists
+        (``0 <= channel < M``) and that belongs to the cell's own group —
+        otherwise :meth:`to_sparse` scatters weights into the wrong columns
+        and :meth:`multiply` routes the wrong input channels.
+        """
+        num_columns = self.original_shape[1]
+        if np.any(self.channel_index < -1) or np.any(self.channel_index >= num_columns):
+            bad = self.channel_index[(self.channel_index < -1)
+                                     | (self.channel_index >= num_columns)]
+            raise ValueError(
+                f"channel_index contains out-of-range channels (e.g. {int(bad[0])}); "
+                f"expected -1 or 0..{num_columns - 1}")
+        rows, groups = np.nonzero(self.channel_index >= 0)
+        if rows.size == 0:
+            return
+        assignment = self.grouping.as_assignment()
+        channels = self.channel_index[rows, groups]
+        misrouted = assignment[channels] != groups
+        if np.any(misrouted):
+            where = int(np.argmax(misrouted))
+            raise ValueError(
+                f"channel_index[{int(rows[where])}, {int(groups[where])}] routes "
+                f"channel {int(channels[where])}, which belongs to group "
+                f"{int(assignment[channels[where]])}, not group {int(groups[where])}")
 
     # -- shape / metric helpers ---------------------------------------------
     @property

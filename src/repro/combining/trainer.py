@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.combining.grouping import ColumnGrouping, group_columns
+from repro.combining.grouping import GROUPING_ENGINES, ColumnGrouping, group_columns
 from repro.combining.packing import PackedFilterMatrix, pack_filter_matrix
 from repro.combining.pruning import conflict_mask
 from repro.data.augment import augment_batch
@@ -57,6 +57,10 @@ class ColumnCombineConfig:
     target_fraction: float = 0.15
     beta_decay: float = 0.9
     grouping_policy: str = "dense-first"
+    #: column-grouping engine: ``"fast"`` (vectorized bitset) or
+    #: ``"reference"`` (the per-group Python loop kept for differential
+    #: testing); see :func:`repro.combining.grouping.group_columns`.
+    grouping_engine: str = "fast"
     lr: float = 0.05
     momentum: float = 0.9
     nesterov: bool = True
@@ -80,10 +84,24 @@ class ColumnCombineConfig:
             raise ValueError("beta must be in [0, 1]")
         if self.gamma < 0:
             raise ValueError("gamma must be non-negative")
-        if not 0.0 < self.target_fraction <= 1.0:
+        if self.target_nonzeros is not None:
+            # target_nonzeros overrides target_fraction, so only the
+            # override is validated — a caller pinning an absolute target
+            # should not be rejected over the unused fraction.
+            if self.target_nonzeros < 1:
+                raise ValueError("target_nonzeros must be >= 1")
+        elif not 0.0 < self.target_fraction <= 1.0:
             raise ValueError("target_fraction must be in (0, 1]")
+        if self.epochs_per_round < 0:
+            raise ValueError("epochs_per_round must be non-negative")
+        if self.final_epochs < 0:
+            raise ValueError("final_epochs must be non-negative")
         if self.max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
+        if self.grouping_engine not in GROUPING_ENGINES:
+            raise ValueError(
+                f"unknown grouping engine {self.grouping_engine!r}; "
+                f"expected one of {GROUPING_ENGINES}")
 
 
 @dataclass
@@ -224,7 +242,8 @@ class ColumnCombineTrainer:
             grouping = group_columns(layer.weight.data, alpha=self.config.alpha,
                                      gamma=self.config.gamma,
                                      policy=self.config.grouping_policy,
-                                     rng=self.rng)
+                                     rng=self.rng,
+                                     engine=self.config.grouping_engine)
             # Step 3: prune conflicts within each group and install the mask
             # so retraining keeps pruned weights at zero.
             keep = conflict_mask(layer.weight.data, grouping)
@@ -282,7 +301,8 @@ class ColumnCombineTrainer:
             if grouping is None:
                 grouping = group_columns(layer.weight.data, alpha=self.config.alpha,
                                          gamma=self.config.gamma,
-                                         policy=self.config.grouping_policy)
+                                         policy=self.config.grouping_policy,
+                                         engine=self.config.grouping_engine)
             packed.append((name, pack_filter_matrix(layer.weight.data, grouping)))
         return packed
 

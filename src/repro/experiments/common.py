@@ -67,13 +67,14 @@ def prepare_model(name: str, config: RunConfig) -> Module:
 def combine_config(run: RunConfig, *, alpha: int = 8, beta: float = 0.20,
                    gamma: float = 0.5, target_fraction: float = 0.2,
                    max_rounds: int = 6, lr: float = 0.05,
-                   grouping_policy: str = "dense-first") -> ColumnCombineConfig:
+                   grouping_policy: str = "dense-first",
+                   grouping_engine: str = "fast") -> ColumnCombineConfig:
     """Algorithm 1 configuration derived from a :class:`RunConfig`."""
     return ColumnCombineConfig(
         alpha=alpha, beta=beta, gamma=gamma, target_fraction=target_fraction,
         epochs_per_round=run.epochs_per_round, final_epochs=run.final_epochs,
         batch_size=run.batch_size, max_rounds=max_rounds, lr=lr, seed=run.seed,
-        grouping_policy=grouping_policy,
+        grouping_policy=grouping_policy, grouping_engine=grouping_engine,
     )
 
 

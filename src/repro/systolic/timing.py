@@ -119,15 +119,25 @@ def cycles_for_tile(rows: int, cols: int, data_words: int,
     the ``data_words`` words at the per-word rate, and ``drain`` is the
     final serial accumulation of the last word.  Weight loading shifts
     ``rows`` 8-bit weights into each column, all columns in parallel.
+
+    A tile that streams no data words performs no multiplication at all,
+    so it reports zero fill / stream / drain cycles (``matmul_cycles == 0``)
+    and degenerate tiles no longer inflate the matmul portion of
+    :class:`~repro.systolic.tiles.TiledMatmul` totals.  Weight loading is
+    still charged: it models shifting the tile's weights in, which is
+    independent of how many words the tile then streams.
     """
     if rows < 1 or cols < 1:
         raise ValueError("rows and cols must be >= 1")
     if data_words < 0:
         raise ValueError("data_words must be non-negative")
     timing = timing if timing is not None else CellTiming()
-    fill = (rows + cols - 2) * timing.skew_clocks
-    stream = data_words * timing.effective_cycles_per_word
-    drain = timing.accumulation_bits
+    if data_words == 0:
+        fill = stream = drain = 0
+    else:
+        fill = (rows + cols - 2) * timing.skew_clocks
+        stream = data_words * timing.effective_cycles_per_word
+        drain = timing.accumulation_bits
     weight_load = rows * timing.input_bits
     return TileTiming(rows=rows, cols=cols, data_words=data_words,
                       fill_cycles=fill, stream_cycles=stream, drain_cycles=drain,

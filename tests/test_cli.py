@@ -33,6 +33,19 @@ def test_pack_command_prints_report(capsys):
     assert "multiplexing degree" in output
 
 
+def test_pack_command_engines_print_identical_reports(capsys):
+    assert main(["pack", "--rows", "48", "--cols", "40", "--engine", "fast"]) == 0
+    fast_output = capsys.readouterr().out
+    assert main(["pack", "--rows", "48", "--cols", "40", "--engine", "reference"]) == 0
+    reference_output = capsys.readouterr().out
+    assert fast_output == reference_output
+
+
+def test_pack_command_rejects_unknown_engine():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["pack", "--engine", "turbo"])
+
+
 def test_pack_command_loads_matrix_from_npy(tmp_path, capsys, rng):
     matrix = rng.normal(size=(40, 30)) * (rng.random((40, 30)) < 0.2)
     path = tmp_path / "matrix.npy"

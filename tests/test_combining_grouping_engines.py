@@ -1,0 +1,164 @@
+"""Differential tests: the fast grouping engine against the reference loop.
+
+The fast bitset engine promises *bit-identical* groupings — same group
+contents, same group ordering, same tie-breaks — for every matrix, policy,
+and (α, γ) setting.  These tests sweep seeded random matrices across the
+parameter grid and assert exact equality, plus the packing round-trip
+through ``to_sparse``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combining import (
+    GROUPING_ENGINES,
+    column_combine_prune,
+    group_columns,
+    pack_filter_matrix,
+)
+from repro.combining.bitset import pack_columns, popcount, words_for_rows
+
+ALPHAS = (1, 2, 8, 16)
+GAMMAS = (0.0, 0.5, 2.0)
+POLICIES = ("dense-first", "first-fit", "random")
+
+
+def seeded_matrix(seed: int, rows: int = 28, cols: int = 36,
+                  density: float = 0.2) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+
+
+def assert_engines_identical(matrix: np.ndarray, alpha: int, gamma: float,
+                             policy: str = "dense-first") -> None:
+    fast = group_columns(matrix, alpha=alpha, gamma=gamma, policy=policy,
+                         rng=np.random.default_rng(99), engine="fast")
+    reference = group_columns(matrix, alpha=alpha, gamma=gamma, policy=policy,
+                              rng=np.random.default_rng(99), engine="reference")
+    assert fast.groups == reference.groups
+
+
+# -- bitset primitives --------------------------------------------------------------------
+
+def test_words_for_rows():
+    assert words_for_rows(0) == 1
+    assert words_for_rows(1) == 1
+    assert words_for_rows(64) == 1
+    assert words_for_rows(65) == 2
+    with pytest.raises(ValueError):
+        words_for_rows(-1)
+
+
+def test_pack_columns_popcount_matches_count_nonzero(rng):
+    mask = rng.random((70, 23)) < 0.3
+    bits = pack_columns(mask)
+    assert bits.shape == (23, 2)
+    np.testing.assert_array_equal(popcount(bits), np.count_nonzero(mask, axis=0))
+
+
+def test_pack_columns_and_or_match_set_algebra(rng):
+    mask = rng.random((130, 8)) < 0.4
+    bits = pack_columns(mask)
+    for first in range(8):
+        for second in range(8):
+            overlap = int(np.count_nonzero(mask[:, first] & mask[:, second]))
+            union = int(np.count_nonzero(mask[:, first] | mask[:, second]))
+            assert int(popcount(bits[first] & bits[second])) == overlap
+            assert int(popcount(bits[first] | bits[second])) == union
+
+
+def test_pack_columns_validates_dimensions():
+    with pytest.raises(ValueError):
+        pack_columns(np.zeros(5, dtype=bool))
+
+
+# -- engine selection ---------------------------------------------------------------------
+
+def test_unknown_engine_raises():
+    with pytest.raises(ValueError):
+        group_columns(seeded_matrix(0), engine="turbo")
+
+
+def test_engine_names_exported():
+    assert set(GROUPING_ENGINES) == {"fast", "reference"}
+
+
+# -- differential sweep -------------------------------------------------------------------
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+@pytest.mark.parametrize("gamma", GAMMAS)
+def test_engines_identical_across_alpha_gamma(alpha, gamma):
+    for seed, density in ((0, 0.1), (1, 0.25), (2, 0.5)):
+        assert_engines_identical(seeded_matrix(seed, density=density), alpha, gamma)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_engines_identical_across_policies(policy):
+    for seed in range(3):
+        assert_engines_identical(seeded_matrix(seed), alpha=8, gamma=0.5,
+                                 policy=policy)
+
+
+def test_engines_identical_with_all_zero_columns():
+    matrix = seeded_matrix(3, rows=20, cols=30, density=0.3)
+    matrix[:, [0, 7, 29]] = 0.0
+    for alpha in ALPHAS:
+        for gamma in GAMMAS:
+            assert_engines_identical(matrix, alpha, gamma)
+
+
+def test_engines_identical_on_all_zero_matrix():
+    assert_engines_identical(np.zeros((12, 9)), alpha=4, gamma=0.5)
+
+
+def test_engines_identical_on_empty_matrix():
+    for engine in GROUPING_ENGINES:
+        grouping = group_columns(np.zeros((4, 0)), alpha=8, gamma=0.5, engine=engine)
+        assert grouping.num_groups == 0
+
+
+def test_engines_identical_on_zero_row_matrix():
+    assert_engines_identical(np.zeros((0, 11)), alpha=4, gamma=0.5)
+
+
+def test_engines_identical_on_single_column():
+    assert_engines_identical(seeded_matrix(4, cols=1), alpha=8, gamma=0.5)
+
+
+def test_engines_identical_on_wide_matrix_many_rows():
+    # More than 64 rows exercises multi-word bitsets.
+    assert_engines_identical(seeded_matrix(5, rows=150, cols=80, density=0.15),
+                             alpha=8, gamma=0.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       rows=st.integers(1, 70),
+       cols=st.integers(1, 40),
+       density=st.floats(0.0, 1.0),
+       alpha=st.sampled_from(ALPHAS),
+       gamma=st.sampled_from(GAMMAS),
+       policy=st.sampled_from(POLICIES))
+def test_property_engines_bit_identical(seed, rows, cols, density, alpha, gamma,
+                                        policy):
+    matrix = seeded_matrix(seed, rows=rows, cols=cols, density=density)
+    assert_engines_identical(matrix, alpha, gamma, policy)
+
+
+# -- packing round-trip -------------------------------------------------------------------
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+@pytest.mark.parametrize("gamma", GAMMAS)
+def test_fast_grouping_packs_and_round_trips(alpha, gamma):
+    """pack_filter_matrix on a fast-engine grouping reconstructs the pruned matrix."""
+    matrix = seeded_matrix(6, rows=30, cols=44, density=0.2)
+    grouping = group_columns(matrix, alpha=alpha, gamma=gamma, engine="fast")
+    packed = pack_filter_matrix(matrix, grouping)
+    pruned, _ = column_combine_prune(matrix, grouping)
+    np.testing.assert_allclose(packed.to_sparse(), pruned)
+    data = np.random.default_rng(6).normal(size=(matrix.shape[1], 7))
+    np.testing.assert_allclose(packed.multiply(data), pruned @ data, atol=1e-9)

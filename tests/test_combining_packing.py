@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.combining import (
     ColumnGrouping,
+    PackedFilterMatrix,
     column_combine_prune,
     group_columns,
     pack_filter_matrix,
@@ -107,6 +108,62 @@ def test_pack_validates_grouping_shape(rng):
     grouping = group_columns(matrix, alpha=8, gamma=0.5)
     with pytest.raises(ValueError):
         pack_filter_matrix(matrix[:, :-1], grouping)
+
+
+# -- channel_index validation -------------------------------------------------------------
+
+def valid_packed(rng):
+    matrix = sparse(rng)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    return pack_filter_matrix(matrix, grouping)
+
+
+def test_channel_index_out_of_range_rejected(rng):
+    packed = valid_packed(rng)
+    channel_index = packed.channel_index.copy()
+    row, group = np.argwhere(channel_index >= 0)[0]
+    channel_index[row, group] = packed.original_shape[1]
+    with pytest.raises(ValueError, match="out-of-range"):
+        PackedFilterMatrix(packed.weights, channel_index, packed.grouping,
+                           packed.original_shape)
+
+
+def test_channel_index_below_sentinel_rejected(rng):
+    packed = valid_packed(rng)
+    channel_index = packed.channel_index.copy()
+    channel_index[0, 0] = -2
+    with pytest.raises(ValueError, match="out-of-range"):
+        PackedFilterMatrix(packed.weights, channel_index, packed.grouping,
+                           packed.original_shape)
+
+
+def test_channel_routed_to_wrong_group_rejected(rng):
+    packed = valid_packed(rng)
+    channel_index = packed.channel_index.copy()
+    rows, groups = np.nonzero(channel_index >= 0)
+    # Move one cell's channel into a different group than it belongs to.
+    victim = next(i for i in range(rows.size)
+                  if groups[i] != packed.grouping.num_groups - 1)
+    wrong_group_column = packed.grouping.groups[-1][0]
+    channel_index[rows[victim], groups[victim]] = wrong_group_column
+    with pytest.raises(ValueError, match="belongs to group"):
+        PackedFilterMatrix(packed.weights, channel_index, packed.grouping,
+                           packed.original_shape)
+
+
+def test_packed_height_mismatch_rejected(rng):
+    packed = valid_packed(rng)
+    with pytest.raises(ValueError):
+        PackedFilterMatrix(packed.weights[:-1], packed.channel_index[:-1],
+                           packed.grouping, packed.original_shape)
+
+
+def test_grouping_column_count_mismatch_rejected(rng):
+    packed = valid_packed(rng)
+    wrong_shape = (packed.original_shape[0], packed.original_shape[1] + 1)
+    with pytest.raises(ValueError):
+        PackedFilterMatrix(packed.weights, packed.channel_index,
+                           packed.grouping, wrong_shape)
 
 
 @settings(max_examples=40, deadline=None)

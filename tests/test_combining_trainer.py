@@ -40,6 +40,25 @@ def test_config_validation():
         ColumnCombineConfig(target_fraction=0.0)
     with pytest.raises(ValueError):
         ColumnCombineConfig(max_rounds=0)
+    with pytest.raises(ValueError):
+        ColumnCombineConfig(target_nonzeros=0)
+    with pytest.raises(ValueError):
+        ColumnCombineConfig(epochs_per_round=-1)
+    with pytest.raises(ValueError):
+        ColumnCombineConfig(final_epochs=-1)
+    with pytest.raises(ValueError):
+        ColumnCombineConfig(grouping_engine="turbo")
+
+
+def test_target_nonzeros_overrides_unused_target_fraction():
+    # An absolute target must not be rejected over the fraction it overrides.
+    config = ColumnCombineConfig(target_nonzeros=17, target_fraction=0.0)
+    assert config.target_nonzeros == 17
+
+
+def test_config_accepts_both_engines():
+    assert ColumnCombineConfig(grouping_engine="fast").grouping_engine == "fast"
+    assert ColumnCombineConfig(grouping_engine="reference").grouping_engine == "reference"
 
 
 def test_trainer_requires_packable_layers(tiny_mnist):

@@ -77,10 +77,21 @@ def test_tile_cycle_validation():
         cycles_for_tile(4, 4, -1)
 
 
-def test_zero_words_tile_still_pays_fill_and_drain():
+def test_zero_words_tile_does_no_matmul_work():
+    # A degenerate tile that streams no data performs no multiplication,
+    # so it must not charge fill / drain cycles into TiledMatmul totals.
     tile = cycles_for_tile(4, 4, 0)
+    assert tile.fill_cycles == 0
     assert tile.stream_cycles == 0
-    assert tile.matmul_cycles > 0
+    assert tile.drain_cycles == 0
+    assert tile.matmul_cycles == 0
+
+
+def test_single_word_tile_still_pays_fill_and_drain():
+    tile = cycles_for_tile(4, 4, 1)
+    assert tile.fill_cycles == 6
+    assert tile.drain_cycles == 32
+    assert tile.matmul_cycles == 6 + 8 + 32
 
 
 def test_first_output_cycles_is_input_word_plus_column_skew():
