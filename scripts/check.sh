@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Quick local check: fast tier-1 signal plus the grouping differential suite.
+# Quick local check: fast tier-1 signal plus the engine differential suites.
 #
 #   scripts/check.sh            # fast tests only (benchmarks are marked slow)
 #   scripts/check.sh -k metric  # extra pytest args are forwarded to the fast run
@@ -9,9 +9,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== grouping engine differential suite =="
-python -m pytest -x -q tests/test_combining_grouping_engines.py
+echo "== engine differential suites (grouping + conflict pruning) =="
+python -m pytest -x -q tests/test_combining_grouping_engines.py \
+    tests/test_combining_pruning_engines.py
 
 echo "== fast test suite (pytest -m 'not slow') =="
 python -m pytest -x -q -m "not slow" \
-    --ignore=tests/test_combining_grouping_engines.py "$@"
+    --ignore=tests/test_combining_grouping_engines.py \
+    --ignore=tests/test_combining_pruning_engines.py "$@"

@@ -25,6 +25,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Sequence
 
@@ -32,6 +33,7 @@ import numpy as np
 
 from repro.combining import (
     GROUPING_ENGINES,
+    PRUNE_ENGINES,
     group_columns,
     pack_filter_matrix,
     packing_report,
@@ -69,6 +71,13 @@ EXPERIMENTS = {
 }
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -91,6 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument("--engine", choices=list(GROUPING_ENGINES), default="fast",
                       help="column-grouping engine (vectorized fast path or the "
                            "reference Python loop)")
+    pack.add_argument("--prune-engine", choices=list(PRUNE_ENGINES), default="fast",
+                      help="conflict-pruning engine for Algorithm 3")
     pack.add_argument("--seed", type=int, default=0)
 
     train = subparsers.add_parser("train", help="run Algorithm 1 on a built-in model")
@@ -107,10 +118,16 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--lr", type=float, default=0.05)
     train.add_argument("--engine", choices=list(GROUPING_ENGINES), default="fast",
                       help="column-grouping engine used by every grouping step")
+    train.add_argument("--prune-engine", choices=list(PRUNE_ENGINES), default="fast",
+                      help="conflict-pruning engine used by every prune round")
     train.add_argument("--seed", type=int, default=0)
 
     experiment = subparsers.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--workers", type=_positive_int, default=1,
+                            help="fan the experiment's per-layer / per-point "
+                                 "sweeps out over N processes (results are "
+                                 "identical to a serial run)")
 
     return parser
 
@@ -126,7 +143,7 @@ def _command_pack(args: argparse.Namespace) -> int:
         matrix = sparse_filter_matrix(args.rows, args.cols, args.density, rng)
     grouping = group_columns(matrix, alpha=args.alpha, gamma=args.gamma,
                              engine=args.engine)
-    packed = pack_filter_matrix(matrix, grouping)
+    packed = pack_filter_matrix(matrix, grouping, engine=args.prune_engine)
     report = packing_report([("matrix", packed)], array_rows=args.array_rows,
                             array_cols=args.array_cols)
     layer = report.layers[0]
@@ -149,7 +166,8 @@ def _command_train(args: argparse.Namespace) -> int:
                           seed=args.seed)
     config = combine_config(run, alpha=args.alpha, beta=args.beta, gamma=args.gamma,
                             target_fraction=args.target_fraction, lr=args.lr,
-                            grouping_engine=args.engine)
+                            grouping_engine=args.engine,
+                            prune_engine=args.prune_engine)
     result = run_column_combining(args.model, run, config)
     trainer = result["trainer"]
     history = result["history"]
@@ -168,7 +186,14 @@ def _command_train(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
-    EXPERIMENTS[args.name]()
+    runner = EXPERIMENTS[args.name]
+    kwargs = {}
+    if "workers" in inspect.signature(runner).parameters:
+        kwargs["workers"] = args.workers
+    elif args.workers != 1:
+        print(f"note: experiment {args.name!r} has no parallel sweep; "
+              "running serially", file=sys.stderr)
+    runner(**kwargs)
     return 0
 
 

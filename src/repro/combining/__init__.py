@@ -15,34 +15,70 @@ The public surface mirrors the paper's algorithms:
   that makes each next-layer group contiguous, removing the switchbox.
 * :mod:`~repro.combining.metrics` / :mod:`~repro.combining.tiling` —
   packing / utilization efficiency and tile-count arithmetic.
+* :class:`~repro.combining.pipeline.PackingPipeline` — the end-to-end
+  group / conflict-prune / pack / tile flow over a list of layers, with
+  optional layer-parallel fan-out over a process pool (``workers=N``);
+  every figure/table sweep routes through it.
 
 Engine selection
 ----------------
 
-:func:`~repro.combining.grouping.group_columns` accepts an ``engine``
-keyword choosing between two implementations of Algorithm 2 that produce
-bit-identical groupings:
+Both greedy algorithms ship two implementations that produce bit-identical
+results; the ``"reference"`` variants are the executable specifications
+kept for differential testing and debugging.
 
-* ``"fast"`` (the default) — the vectorized bitset engine.  Each group's
-  occupied-row set lives in a ``(G, ceil(N / 64))`` uint64 bitset matrix
+:func:`~repro.combining.grouping.group_columns` (Algorithm 2) accepts
+``engine="fast"`` (the default) or ``engine="reference"``:
+
+* ``"fast"`` — the vectorized bitset engine.  Each group's occupied-row
+  set lives in a ``(G, ceil(N / 64))`` uint64 bitset matrix
   (:mod:`~repro.combining.bitset`), so one broadcasted ``bitwise_and`` +
   popcount pass scores a candidate column against every open group at
-  once.
-* ``"reference"`` — the original per-group Python loop, retained as the
-  executable specification for differential testing and debugging.
+  once; when only 1-2 groups are open it drops to a scalar Python-int
+  micro-path that avoids the vectorized call overhead entirely.
+* ``"reference"`` — the original per-group Python loop.
 
-The knob threads through the rest of the stack as
-:attr:`~repro.combining.trainer.ColumnCombineConfig.grouping_engine`
-(Algorithm 1 training), the ``engine`` parameter of
-:func:`~repro.combining.tiling.tiles_for_model`, the ``grouping_engine``
-keyword of :func:`repro.experiments.common.combine_config`, and the
-``--engine`` flag of the ``pack`` / ``train`` CLI subcommands.  Valid
-names are listed in :data:`~repro.combining.grouping.GROUPING_ENGINES`.
+:func:`~repro.combining.pruning.conflict_mask` (Algorithm 3) accepts the
+same two names: ``"fast"`` selects every group's row winners in one
+``ufunc.at`` scatter pass over the packed nonzero-entry list, while
+``"reference"`` is the per-group dense-slice loop.
+
+The knobs thread through the rest of the stack as
+:attr:`~repro.combining.trainer.ColumnCombineConfig.grouping_engine` /
+:attr:`~repro.combining.trainer.ColumnCombineConfig.prune_engine`
+(Algorithm 1 training), the ``engine`` parameters of
+:func:`~repro.combining.tiling.tiles_for_model` and
+:func:`~repro.combining.packing.pack_filter_matrix`, the
+``grouping_engine`` / ``prune_engine`` fields of
+:class:`~repro.combining.pipeline.PipelineConfig` and keywords of
+:func:`repro.experiments.common.combine_config`, and the ``--engine`` /
+``--prune-engine`` flags of the ``pack`` / ``train`` CLI subcommands.
+Valid names are listed in
+:data:`~repro.combining.grouping.GROUPING_ENGINES` and
+:data:`~repro.combining.pruning.PRUNE_ENGINES`.
 """
 
-from repro.combining.grouping import GROUPING_ENGINES, ColumnGrouping, group_columns
-from repro.combining.pruning import column_combine_prune, conflict_mask
+from repro.combining.grouping import (
+    GROUPING_ENGINES,
+    GROUPING_POLICIES,
+    ColumnGrouping,
+    group_columns,
+    group_layout,
+)
+from repro.combining.pruning import (
+    PRUNE_ENGINES,
+    column_combine_prune,
+    conflict_mask,
+    pruned_weight_count,
+)
 from repro.combining.packing import PackedFilterMatrix, pack_filter_matrix
+from repro.combining.pipeline import (
+    LayerResult,
+    PackingPipeline,
+    PipelineConfig,
+    PipelineResult,
+    ordered_pool_map,
+)
 from repro.combining.permutation import (
     permutation_from_groups,
     apply_row_permutation,
@@ -72,12 +108,21 @@ from repro.combining.reports import (
 
 __all__ = [
     "GROUPING_ENGINES",
+    "GROUPING_POLICIES",
+    "PRUNE_ENGINES",
     "ColumnGrouping",
     "group_columns",
     "column_combine_prune",
     "conflict_mask",
+    "group_layout",
+    "pruned_weight_count",
     "PackedFilterMatrix",
     "pack_filter_matrix",
+    "LayerResult",
+    "PackingPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "ordered_pool_map",
     "permutation_from_groups",
     "apply_row_permutation",
     "apply_column_permutation",

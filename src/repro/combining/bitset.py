@@ -1,10 +1,21 @@
-"""Packed uint64 bitset helpers for the vectorized grouping engine.
+"""Packed uint64 bitset helpers for the vectorized combining engines.
 
-The fast column-grouping engine represents the occupied-row set of every
-group as a row of a ``(G, ceil(N / 64))`` uint64 matrix.  Candidate columns
-are packed the same way, so the overlap (new conflicts) and union size
-(combined density) of a candidate against *all* existing groups reduce to
-one broadcasted ``bitwise_and`` plus a popcount — no per-group Python loop.
+The fast column-grouping engine (Algorithm 2) represents the occupied-row
+set of every group as a row of a ``(G, ceil(N / 64))`` uint64 matrix.
+Candidate columns are packed the same way, so the overlap (new conflicts)
+and union size (combined density) of a candidate against *all* existing
+groups reduce to one broadcasted ``bitwise_and`` plus a popcount — no
+per-group Python loop.
+
+The substrate also covers per-group occupancy for Algorithm 3's packed
+flat layout (:func:`repro.combining.grouping.group_layout`):
+:func:`group_occupancy` ORs the member columns of every group into the
+``(G, ceil(N / 64))`` occupancy matrix with one ``bitwise_or.reduceat``
+pass, and :func:`unpack_rows` turns those words back into the boolean
+rows-with-a-weight matrix.  The differential suite uses the pair to
+cross-check which (row, group) cells the prune engines may keep a weight
+in; the fast prune engine itself derives occupancy implicitly from its
+scatter pass (see :mod:`repro.combining.pruning`).
 
 Popcounts use :func:`numpy.bitwise_count` when available (NumPy >= 2.0)
 and otherwise fall back to a precomputed byte-popcount table applied to a
@@ -50,6 +61,42 @@ def pack_columns(mask: np.ndarray) -> np.ndarray:
     padded = np.zeros((num_columns, words * (WORD_BITS // 8)), dtype=np.uint8)
     padded[:, :packed_bytes.shape[1]] = packed_bytes
     return padded.view(np.uint64)
+
+
+def unpack_rows(bits: np.ndarray, num_rows: int) -> np.ndarray:
+    """Inverse of :func:`pack_columns`: expand bitsets back to boolean rows.
+
+    For a ``(..., W)`` uint64 bitset array, returns a ``(..., num_rows)``
+    boolean array whose entry ``[..., n]`` is bit ``n`` of the bitset —
+    i.e. ``unpack_rows(pack_columns(mask), N).T`` reconstructs ``mask``.
+    """
+    bits = np.ascontiguousarray(np.asarray(bits, dtype=np.uint64))
+    if num_rows < 0:
+        raise ValueError("num_rows must be non-negative")
+    if bits.shape[-1] * WORD_BITS < num_rows:
+        raise ValueError("bitsets are narrower than num_rows")
+    as_bytes = bits.view(np.uint8).reshape(*bits.shape[:-1], -1)
+    expanded = np.unpackbits(as_bytes, axis=-1, bitorder="little",
+                             count=num_rows)
+    return expanded.astype(bool)
+
+
+def group_occupancy(column_bits: np.ndarray, member_columns: np.ndarray,
+                    group_starts: np.ndarray) -> np.ndarray:
+    """Per-group occupied-row bitsets, one ``bitwise_or.reduceat`` pass.
+
+    ``column_bits`` is the ``(M, W)`` per-column bitset matrix from
+    :func:`pack_columns`; ``member_columns`` concatenates every group's
+    column indices and ``group_starts`` marks where each group begins in
+    that concatenation.  Returns the ``(G, W)`` occupancy matrix whose row
+    ``g`` ORs together the bitsets of group ``g``'s member columns.
+    """
+    column_bits = np.asarray(column_bits, dtype=np.uint64)
+    group_starts = np.asarray(group_starts, dtype=np.intp)
+    if group_starts.size == 0:
+        return np.zeros((0, column_bits.shape[-1]), dtype=np.uint64)
+    return np.bitwise_or.reduceat(column_bits[member_columns], group_starts,
+                                  axis=0)
 
 
 def popcount(bits: np.ndarray) -> np.ndarray:

@@ -32,6 +32,21 @@ from repro.combining.bitset import pack_columns, popcount, words_for_rows
 #: Engines accepted by :func:`group_columns`.
 GROUPING_ENGINES = ("fast", "reference")
 
+#: Column consideration orders accepted by :func:`group_columns`.
+GROUPING_POLICIES = ("dense-first", "first-fit", "random")
+
+#: With this many open groups or fewer, the fast engine scores candidates
+#: with Python-int bitsets instead of broadcasted NumPy calls: at very low
+#: densities almost every candidate lands in one of 1-2 open groups, and
+#: the fixed per-call overhead of the vectorized scoring would dominate.
+_SCALAR_OPEN_GROUP_LIMIT = 2
+
+try:
+    _int_bit_count = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - exercised only on old Pythons
+    def _int_bit_count(value: int) -> int:
+        return bin(value).count("1")
+
 
 @dataclass
 class ColumnGrouping:
@@ -85,10 +100,35 @@ class ColumnGrouping:
 
     def as_assignment(self) -> np.ndarray:
         """Array mapping column index -> group index."""
-        assignment = np.empty(self.num_columns, dtype=int)
-        for column, group in self._column_to_group.items():
-            assignment[column] = group
-        return assignment
+        return group_layout(self)[1].astype(int)
+
+
+def group_layout(grouping: ColumnGrouping
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Packed flat layout of a grouping, shared by the fast engines.
+
+    Returns ``(flat_columns, assignment, position)`` where ``flat_columns``
+    concatenates every group's member columns in group order (the same
+    layout :func:`repro.combining.bitset.group_occupancy` consumes),
+    ``assignment[column]`` is the column's group index, and
+    ``position[column]`` is the column's position within its group's order
+    (the tie-break rank of Algorithm 3's first-found-wins loop).
+    """
+    groups = grouping.groups
+    num_columns = grouping.num_columns
+    sizes = np.fromiter((len(group) for group in groups), dtype=np.intp,
+                        count=len(groups))
+    flat_columns = np.fromiter((column for group in groups for column in group),
+                               dtype=np.intp, count=num_columns)
+    starts = np.zeros(len(groups), dtype=np.intp)
+    if len(groups) > 1:
+        np.cumsum(sizes[:-1], out=starts[1:])
+    group_of = np.repeat(np.arange(len(groups), dtype=np.intp), sizes)
+    assignment = np.empty(num_columns, dtype=np.intp)
+    assignment[flat_columns] = group_of
+    position = np.empty(num_columns, dtype=np.intp)
+    position[flat_columns] = np.arange(num_columns, dtype=np.intp) - starts[group_of]
+    return flat_columns, assignment, position
 
 
 def _column_order(matrix: np.ndarray, policy: str,
@@ -189,8 +229,12 @@ def _group_columns_fast(nonzero: np.ndarray, alpha: int, gamma: float,
     # Only groups that can still accept a column (size < alpha) are scored.
     # The active arrays hold them packed in group-id order: ``active_ids``
     # maps array rows back to group ids, and a group's row is shifted out
-    # once the group reaches alpha columns.
+    # once the group reaches alpha columns.  ``occupied_ints`` mirrors the
+    # ``occupied`` bitset rows as arbitrary-precision Python ints so the
+    # scalar micro-path below can score 1-2 open groups without any NumPy
+    # call overhead.
     active_ids: list[int] = []
+    occupied_ints: list[int] = []
     capacity = 16
     occupied = np.zeros((capacity, words), dtype=np.uint64)
     pops_scaled = np.zeros(capacity, dtype=np.int64)
@@ -200,10 +244,28 @@ def _group_columns_fast(nonzero: np.ndarray, alpha: int, gamma: float,
     for column in order:
         column = int(column)
         bits = column_bits[column]
+        column_int = int.from_bytes(bits.tobytes(), "little")
         column_pop = int(column_pops[column])
         num_active = len(active_ids)
         best_position = -1
-        if num_active:
+        best_overlap = 0
+        if 0 < num_active <= _SCALAR_OPEN_GROUP_LIMIT:
+            # Scalar micro-path: with so few open groups the broadcasted
+            # scoring pass is all fixed overhead, so score them with plain
+            # Python-int bit operations instead (same key, same
+            # lowest-position tie-break as the argmax below).
+            best_key = -1
+            for position in range(num_active):
+                overlap = _int_bit_count(occupied_ints[position] & column_int)
+                if int(conflicts[position]) + overlap > conflict_budget:
+                    continue
+                key = (int(pops_scaled[position])
+                       + column_pop * union_scale - overlap * overlap_scale)
+                if key > best_key:
+                    best_key = key
+                    best_position = position
+                    best_overlap = overlap
+        elif num_active:
             overlaps = popcount(occupied[:num_active] & bits)
             keys = np.where(
                 conflicts[:num_active] + overlaps <= conflict_budget,
@@ -213,6 +275,7 @@ def _group_columns_fast(nonzero: np.ndarray, alpha: int, gamma: float,
             position = int(np.argmax(keys))
             if keys[position] >= 0:
                 best_position = position
+                best_overlap = int(overlaps[position])
         if best_position < 0:
             if num_active == capacity:
                 capacity *= 2
@@ -222,16 +285,17 @@ def _group_columns_fast(nonzero: np.ndarray, alpha: int, gamma: float,
                 sizes = np.concatenate([sizes, np.zeros_like(sizes)])
             groups.append([column])
             active_ids.append(len(groups) - 1)
+            occupied_ints.append(column_int)
             occupied[num_active] = bits
             pops_scaled[num_active] = column_pop * union_scale
             conflicts[num_active] = 0
             sizes[num_active] = 1
         else:
             groups[active_ids[best_position]].append(column)
-            overlap = int(overlaps[best_position])
-            conflicts[best_position] += overlap
+            conflicts[best_position] += best_overlap
             occupied[best_position] |= bits
-            pops_scaled[best_position] += (column_pop - overlap) * union_scale
+            occupied_ints[best_position] |= column_int
+            pops_scaled[best_position] += (column_pop - best_overlap) * union_scale
             sizes[best_position] += 1
             if sizes[best_position] == alpha:
                 # Retire the full group, keeping the active rows packed in
@@ -244,6 +308,7 @@ def _group_columns_fast(nonzero: np.ndarray, alpha: int, gamma: float,
                 conflicts[tail] = conflicts[shifted]
                 sizes[tail] = sizes[shifted]
                 active_ids.pop(best_position)
+                occupied_ints.pop(best_position)
 
     return groups
 

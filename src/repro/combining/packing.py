@@ -132,7 +132,8 @@ class PackedFilterMatrix:
 
 
 def pack_filter_matrix(matrix: np.ndarray, grouping: ColumnGrouping,
-                       prune_conflicts: bool = True) -> PackedFilterMatrix:
+                       prune_conflicts: bool = True,
+                       engine: str = "fast") -> PackedFilterMatrix:
     """Build a :class:`PackedFilterMatrix` from a filter matrix and grouping.
 
     If ``prune_conflicts`` is true (the normal case), Algorithm 3 is applied
@@ -140,7 +141,12 @@ def pack_filter_matrix(matrix: np.ndarray, grouping: ColumnGrouping,
     ``prune_conflicts=False`` the matrix must already satisfy that property
     (e.g. the γ=0 "column-combine without pruning" baseline); a conflict in
     that case raises ``ValueError`` because the packing would silently drop
-    weights.
+    weights.  ``engine`` selects the Algorithm 3 implementation (see
+    :data:`~repro.combining.pruning.PRUNE_ENGINES`).
+
+    After conflict pruning every (row, group) cell holds at most one
+    nonzero, so the packing itself is one scatter over the nonzero entries
+    of the pruned matrix — no per-group dense slicing.
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2:
@@ -149,7 +155,7 @@ def pack_filter_matrix(matrix: np.ndarray, grouping: ColumnGrouping,
         raise ValueError("grouping does not match matrix shape")
 
     if prune_conflicts:
-        pruned, _ = column_combine_prune(matrix, grouping)
+        pruned, _ = column_combine_prune(matrix, grouping, engine=engine)
     else:
         pruned = matrix
 
@@ -157,22 +163,27 @@ def pack_filter_matrix(matrix: np.ndarray, grouping: ColumnGrouping,
     num_groups = grouping.num_groups
     weights = np.zeros((num_rows, num_groups), dtype=np.float64)
     channel_index = np.full((num_rows, num_groups), -1, dtype=np.int64)
+    if num_groups == 0 or num_rows == 0:
+        return PackedFilterMatrix(weights, channel_index, grouping, matrix.shape)
 
-    for group_id, group in enumerate(grouping.groups):
-        columns = np.asarray(group, dtype=int)
-        submatrix = pruned[:, columns]
-        per_row_nonzeros = np.count_nonzero(submatrix != 0, axis=1)
-        if not prune_conflicts and np.any(per_row_nonzeros > 1):
-            bad_row = int(np.argmax(per_row_nonzeros > 1))
+    assignment = grouping.as_assignment()
+    rows, columns = np.nonzero(pruned)
+    groups_of_entries = assignment[columns]
+    if not prune_conflicts:
+        cells = rows * num_groups + groups_of_entries
+        per_cell = np.bincount(cells, minlength=num_rows * num_groups)
+        if np.any(per_cell > 1):
+            # Report the first conflicting group (and its first bad row),
+            # in the group-major order the per-group loop would have used.
+            grid = per_cell.reshape(num_rows, num_groups)
+            bad_group = int(np.argmax((grid > 1).any(axis=0)))
+            bad_row = int(np.argmax(grid[:, bad_group] > 1))
             raise ValueError(
-                f"group {group_id} has {per_row_nonzeros.max()} nonzeros in row {bad_row}; "
-                "apply column-combine pruning first or pass prune_conflicts=True"
+                f"group {bad_group} has {int(grid[:, bad_group].max())} nonzeros "
+                f"in row {bad_row}; apply column-combine pruning first or pass "
+                "prune_conflicts=True"
             )
-        rows = np.flatnonzero(per_row_nonzeros > 0)
-        if rows.size == 0:
-            continue
-        winner = np.argmax(np.abs(submatrix[rows]) > 0, axis=1)
-        weights[rows, group_id] = submatrix[rows, winner]
-        channel_index[rows, group_id] = columns[winner]
+    weights[rows, groups_of_entries] = pruned[rows, columns]
+    channel_index[rows, groups_of_entries] = columns
 
     return PackedFilterMatrix(weights, channel_index, grouping, matrix.shape)

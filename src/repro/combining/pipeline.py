@@ -1,0 +1,255 @@
+"""End-to-end packing pipeline: group -> conflict-prune -> pack -> tile.
+
+Every figure/table sweep runs the same per-layer flow — Algorithm 2
+grouping under (α, γ), Algorithm 3 conflict pruning, packing into the
+MX-cell layout, and tile counting for a systolic array — over a list of
+layers.  :class:`PackingPipeline` is that flow as a reusable subsystem: it
+takes ``(name_or_shape, matrix)`` layers plus a :class:`PipelineConfig`
+and returns one :class:`LayerResult` per layer, optionally fanning the
+layers out over a ``ProcessPoolExecutor``.
+
+``workers=1`` (the default) runs serially and is deterministic by
+construction; ``workers=N`` runs layers concurrently but returns results
+in layer order, and every layer's work is seeded independently of its
+schedule (the ``"random"`` grouping policy derives a per-layer generator
+from ``(config.seed, layer_index)``), so parallel results are identical
+to serial ones.
+
+Usage::
+
+    import numpy as np
+    from repro.combining.pipeline import PackingPipeline, PipelineConfig
+
+    rng = np.random.default_rng(0)
+    matrix = rng.normal(size=(96, 94)) * (rng.random((96, 94)) < 0.16)
+    pipeline = PackingPipeline(PipelineConfig(alpha=8, gamma=0.5,
+                                              array_rows=32, array_cols=32,
+                                              workers=4))
+    result = pipeline.run([("conv3", matrix)])
+    layer = result.layers[0]
+    print(layer.columns_before, "->", layer.columns_after,
+          f"tiles {layer.tiles_before} -> {layer.tiles_after}")
+
+Both engine knobs thread through: ``grouping_engine`` selects the
+Algorithm 2 implementation (:data:`~repro.combining.grouping.GROUPING_ENGINES`)
+and ``prune_engine`` the Algorithm 3 one
+(:data:`~repro.combining.pruning.PRUNE_ENGINES`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.combining.grouping import (
+    GROUPING_ENGINES,
+    GROUPING_POLICIES,
+    ColumnGrouping,
+    group_columns,
+)
+from repro.combining.packing import PackedFilterMatrix, pack_filter_matrix
+from repro.combining.pruning import PRUNE_ENGINES
+from repro.combining.tiling import tile_count
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def ordered_pool_map(function: Callable[[_ItemT], _ResultT],
+                     items: Iterable[_ItemT], workers: int = 1,
+                     initializer: Callable[..., None] | None = None,
+                     initargs: tuple = ()) -> list[_ResultT]:
+    """Map ``function`` over ``items``, optionally on a process pool.
+
+    ``workers <= 1`` (or a single item) runs serially in-process; larger
+    values fan out over a ``ProcessPoolExecutor``.  Results always come
+    back in input order, and the serial path calls the *same* function on
+    the same items, so parallel and serial runs are interchangeable as
+    long as ``function`` is deterministic.  For ``workers > 1`` the
+    function, items, and ``initargs`` must be picklable (module-level
+    function, plain data arguments).
+
+    ``initializer(*initargs)`` runs once per worker process (and once
+    up-front on the serial path) — the place to install shared read-only
+    context (e.g. datasets) so it is shipped per worker rather than
+    pickled into every item.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [function(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items)),
+                             initializer=initializer,
+                             initargs=initargs) as pool:
+        return list(pool.map(function, items))
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of the per-layer packing flow plus the layer fan-out.
+
+    ``alpha`` / ``gamma`` / ``policy`` parameterize Algorithm 2,
+    ``grouping_engine`` / ``prune_engine`` select the Algorithm 2 / 3
+    implementations, ``array_rows`` / ``array_cols`` size the systolic
+    array the tile counts are computed for, ``workers`` is the number of
+    layer-parallel processes (1 = serial), and ``seed`` feeds the
+    per-layer generators of the ``"random"`` grouping policy.
+    """
+
+    alpha: int = 8
+    gamma: float = 0.5
+    policy: str = "dense-first"
+    grouping_engine: str = "fast"
+    prune_engine: str = "fast"
+    array_rows: int = 32
+    array_cols: int = 32
+    workers: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 1:
+            raise ValueError("alpha must be >= 1")
+        if self.gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        if self.policy not in GROUPING_POLICIES:
+            raise ValueError(
+                f"unknown grouping policy {self.policy!r}; "
+                f"expected one of {GROUPING_POLICIES}")
+        if self.grouping_engine not in GROUPING_ENGINES:
+            raise ValueError(
+                f"unknown grouping engine {self.grouping_engine!r}; "
+                f"expected one of {GROUPING_ENGINES}")
+        if self.prune_engine not in PRUNE_ENGINES:
+            raise ValueError(
+                f"unknown prune engine {self.prune_engine!r}; "
+                f"expected one of {PRUNE_ENGINES}")
+        if self.array_rows < 1 or self.array_cols < 1:
+            raise ValueError("array dimensions must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+@dataclass
+class LayerResult:
+    """Everything the prune/group/pack/tile flow produced for one layer."""
+
+    name: str
+    rows: int
+    columns_before: int
+    columns_after: int
+    density_before: float
+    packing_efficiency: float
+    tiles_before: int
+    tiles_after: int
+    grouping: ColumnGrouping
+    packed: PackedFilterMatrix
+
+    @property
+    def tile_reduction(self) -> float:
+        """Tile-count reduction factor (>= 1 when combining helps)."""
+        return self.tiles_before / max(1, self.tiles_after)
+
+
+@dataclass
+class PipelineResult:
+    """Ordered per-layer results of one :meth:`PackingPipeline.run` call."""
+
+    config: PipelineConfig
+    layers: list[LayerResult] = field(default_factory=list)
+
+    def layer_names(self) -> list[str]:
+        return [layer.name for layer in self.layers]
+
+    def packed_layers(self) -> list[tuple[str, PackedFilterMatrix]]:
+        """``(name, packed)`` pairs, the shape the systolic planners take."""
+        return [(layer.name, layer.packed) for layer in self.layers]
+
+    def tiles_before(self) -> list[int]:
+        return [layer.tiles_before for layer in self.layers]
+
+    def tiles_after(self) -> list[int]:
+        return [layer.tiles_after for layer in self.layers]
+
+    @property
+    def total_tiles_before(self) -> int:
+        return sum(layer.tiles_before for layer in self.layers)
+
+    @property
+    def total_tiles_after(self) -> int:
+        return sum(layer.tiles_after for layer in self.layers)
+
+
+def _layer_name(layer_id: Any, index: int) -> str:
+    """Display name for a layer: LayerShape.name, a string, or a default."""
+    name = getattr(layer_id, "name", layer_id)
+    if isinstance(name, str):
+        return name
+    return f"layer{index}"
+
+
+def _pack_one_layer(task: tuple[PipelineConfig, str, np.ndarray, int]
+                    ) -> LayerResult:
+    """Run the whole per-layer flow; module-level so process pools can pickle it."""
+    config, name, matrix, layer_index = task
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"layer {name!r}: matrix must be 2-D")
+    rng = None
+    if config.policy == "random":
+        # Seeded per layer (not shared across layers) so results do not
+        # depend on which worker processes which layer.
+        rng = np.random.default_rng((config.seed, layer_index))
+    grouping = group_columns(matrix, alpha=config.alpha, gamma=config.gamma,
+                             policy=config.policy, rng=rng,
+                             engine=config.grouping_engine)
+    packed = pack_filter_matrix(matrix, grouping, engine=config.prune_engine)
+    return LayerResult(
+        name=name,
+        rows=matrix.shape[0],
+        columns_before=matrix.shape[1],
+        columns_after=grouping.num_groups,
+        density_before=(float(np.count_nonzero(matrix) / matrix.size)
+                        if matrix.size else 0.0),
+        packing_efficiency=packed.packing_efficiency(),
+        tiles_before=tile_count(matrix.shape[0], matrix.shape[1],
+                                config.array_rows, config.array_cols),
+        tiles_after=tile_count(matrix.shape[0], grouping.num_groups,
+                               config.array_rows, config.array_cols),
+        grouping=grouping,
+        packed=packed,
+    )
+
+
+class PackingPipeline:
+    """Runs group -> conflict-prune -> pack -> tile over a list of layers."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config if config is not None else PipelineConfig()
+
+    def run_layer(self, name: str, matrix: np.ndarray,
+                  layer_index: int = 0) -> LayerResult:
+        """The per-layer flow for a single matrix, always in-process."""
+        return _pack_one_layer((self.config, name, matrix, layer_index))
+
+    def run(self, layers: Sequence[tuple[Any, np.ndarray] | np.ndarray]
+            ) -> PipelineResult:
+        """Run every layer through the flow, fanning out when ``workers > 1``.
+
+        ``layers`` items may be ``(LayerShape, matrix)`` pairs (as produced
+        by :func:`repro.experiments.workloads.sparse_network`),
+        ``(name, matrix)`` pairs, or bare matrices (named ``layerN``).
+        """
+        tasks = []
+        for index, item in enumerate(layers):
+            if isinstance(item, tuple):
+                layer_id, matrix = item
+            else:
+                layer_id, matrix = None, item
+            tasks.append((self.config, _layer_name(layer_id, index),
+                          matrix, index))
+        results = ordered_pool_map(_pack_one_layer, tasks, self.config.workers)
+        return PipelineResult(self.config, results)

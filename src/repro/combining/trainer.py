@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.combining.grouping import GROUPING_ENGINES, ColumnGrouping, group_columns
 from repro.combining.packing import PackedFilterMatrix, pack_filter_matrix
-from repro.combining.pruning import conflict_mask
+from repro.combining.pruning import PRUNE_ENGINES, conflict_mask
 from repro.data.augment import augment_batch
 from repro.data.dataset import Dataset
 from repro.data.loader import DataLoader
@@ -61,6 +61,10 @@ class ColumnCombineConfig:
     #: ``"reference"`` (the per-group Python loop kept for differential
     #: testing); see :func:`repro.combining.grouping.group_columns`.
     grouping_engine: str = "fast"
+    #: conflict-pruning engine for Algorithm 3's per-round prune step:
+    #: ``"fast"`` (one-pass scatter) or ``"reference"`` (per-group loop);
+    #: see :func:`repro.combining.pruning.conflict_mask`.
+    prune_engine: str = "fast"
     lr: float = 0.05
     momentum: float = 0.9
     nesterov: bool = True
@@ -102,6 +106,10 @@ class ColumnCombineConfig:
             raise ValueError(
                 f"unknown grouping engine {self.grouping_engine!r}; "
                 f"expected one of {GROUPING_ENGINES}")
+        if self.prune_engine not in PRUNE_ENGINES:
+            raise ValueError(
+                f"unknown prune engine {self.prune_engine!r}; "
+                f"expected one of {PRUNE_ENGINES}")
 
 
 @dataclass
@@ -246,7 +254,8 @@ class ColumnCombineTrainer:
                                      engine=self.config.grouping_engine)
             # Step 3: prune conflicts within each group and install the mask
             # so retraining keeps pruned weights at zero.
-            keep = conflict_mask(layer.weight.data, grouping)
+            keep = conflict_mask(layer.weight.data, grouping,
+                                 engine=self.config.prune_engine)
             layer.weight.set_mask(keep)
             groupings[name] = grouping
         self.groupings = groupings
@@ -303,7 +312,8 @@ class ColumnCombineTrainer:
                                          gamma=self.config.gamma,
                                          policy=self.config.grouping_policy,
                                          engine=self.config.grouping_engine)
-            packed.append((name, pack_filter_matrix(layer.weight.data, grouping)))
+            packed.append((name, pack_filter_matrix(layer.weight.data, grouping,
+                                                    engine=self.config.prune_engine)))
         return packed
 
 

@@ -13,43 +13,44 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.combining import group_columns, pack_filter_matrix
-from repro.experiments.common import format_table
+from repro.combining import GROUPING_POLICIES
+from repro.experiments.common import format_table, packing_pipeline
 from repro.experiments.workloads import PAPER_DENSITY, sparse_network
 
-POLICIES: tuple[str, ...] = ("dense-first", "first-fit", "random")
+POLICIES: tuple[str, ...] = GROUPING_POLICIES
 
 
 def run(network: str = "resnet20", alpha: int = 8, gamma: float = 0.5,
-        policies: Sequence[str] = POLICIES, seed: int = 0) -> dict[str, Any]:
-    """Compare grouping policies across every layer of a full-size network."""
+        policies: Sequence[str] = POLICIES, seed: int = 0,
+        workers: int = 1) -> dict[str, Any]:
+    """Compare grouping policies across every layer of a full-size network.
+
+    The ``"random"`` policy draws each layer's column order from a
+    generator seeded per layer (via the pipeline's ``seed``), so results
+    are identical for any ``workers`` setting.
+    """
     shape_kwargs = {"width_multiplier": 6} if network == "resnet20" else {}
     layers = sparse_network(network, density=PAPER_DENSITY[network], seed=seed,
                             **shape_kwargs)
     results: dict[str, dict[str, float]] = {}
-    rng = np.random.default_rng(seed)
     for policy in policies:
-        total_groups = 0
-        total_columns = 0
-        efficiencies: list[float] = []
-        for _, matrix in layers:
-            grouping = group_columns(matrix, alpha=alpha, gamma=gamma, policy=policy,
-                                     rng=rng)
-            packed = pack_filter_matrix(matrix, grouping)
-            total_groups += grouping.num_groups
-            total_columns += matrix.shape[1]
-            efficiencies.append(packed.packing_efficiency())
+        pipeline = packing_pipeline(alpha=alpha, gamma=gamma, policy=policy,
+                                    workers=workers, seed=seed)
+        packed = pipeline.run(layers)
         results[policy] = {
-            "total_combined_columns": total_groups,
-            "total_original_columns": total_columns,
-            "mean_packing_efficiency": float(np.mean(efficiencies)),
+            "total_combined_columns": sum(layer.columns_after
+                                          for layer in packed.layers),
+            "total_original_columns": sum(layer.columns_before
+                                          for layer in packed.layers),
+            "mean_packing_efficiency": float(np.mean(
+                [layer.packing_efficiency for layer in packed.layers])),
         }
     return {"experiment": "ablation-grouping", "network": network, "alpha": alpha,
             "gamma": gamma, "policies": results}
 
 
-def main() -> dict[str, Any]:
-    result = run()
+def main(workers: int = 1) -> dict[str, Any]:
+    result = run(workers=workers)
     rows = [(policy, values["total_combined_columns"],
              f"{values['mean_packing_efficiency']:.1%}")
             for policy, values in result["policies"].items()]

@@ -6,6 +6,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.combining.pipeline import PackingPipeline, PipelineConfig
 from repro.combining.trainer import (
     ColumnCombineConfig,
     ColumnCombineTrainer,
@@ -68,14 +69,36 @@ def combine_config(run: RunConfig, *, alpha: int = 8, beta: float = 0.20,
                    gamma: float = 0.5, target_fraction: float = 0.2,
                    max_rounds: int = 6, lr: float = 0.05,
                    grouping_policy: str = "dense-first",
-                   grouping_engine: str = "fast") -> ColumnCombineConfig:
+                   grouping_engine: str = "fast",
+                   prune_engine: str = "fast") -> ColumnCombineConfig:
     """Algorithm 1 configuration derived from a :class:`RunConfig`."""
     return ColumnCombineConfig(
         alpha=alpha, beta=beta, gamma=gamma, target_fraction=target_fraction,
         epochs_per_round=run.epochs_per_round, final_epochs=run.final_epochs,
         batch_size=run.batch_size, max_rounds=max_rounds, lr=lr, seed=run.seed,
         grouping_policy=grouping_policy, grouping_engine=grouping_engine,
+        prune_engine=prune_engine,
     )
+
+
+def packing_pipeline(*, alpha: int = 8, gamma: float = 0.5,
+                     policy: str = "dense-first",
+                     grouping_engine: str = "fast",
+                     prune_engine: str = "fast",
+                     array_rows: int = 32, array_cols: int = 32,
+                     workers: int = 1, seed: int = 0) -> PackingPipeline:
+    """A :class:`PackingPipeline` for the structural experiment sweeps.
+
+    Thin keyword wrapper around :class:`PipelineConfig` so every runner
+    builds its pipeline the same way and gains the ``workers`` /
+    ``grouping_engine`` / ``prune_engine`` knobs uniformly.
+    """
+    return PackingPipeline(PipelineConfig(
+        alpha=alpha, gamma=gamma, policy=policy,
+        grouping_engine=grouping_engine, prune_engine=prune_engine,
+        array_rows=array_rows, array_cols=array_cols,
+        workers=workers, seed=seed,
+    ))
 
 
 def run_column_combining(model_name: str, run: RunConfig | None = None,

@@ -14,38 +14,40 @@ from typing import Any
 
 import numpy as np
 
-from repro.combining import group_columns, pack_filter_matrix, tile_count
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, packing_pipeline
 from repro.experiments.workloads import sparse_filter_matrix
 
 
 def run(rows: int = 96, cols: int = 94, density: float = 0.16, alpha: int = 8,
         gamma: float = 0.5, array_rows: int = 32, array_cols: int = 32,
-        seed: int = 0) -> dict[str, Any]:
+        seed: int = 0, grouping_engine: str = "fast",
+        prune_engine: str = "fast", workers: int = 1) -> dict[str, Any]:
     """Pack one sparse layer and report columns / density / tiles before and after."""
     rng = np.random.default_rng(seed)
     matrix = sparse_filter_matrix(rows, cols, density, rng)
-    grouping = group_columns(matrix, alpha=alpha, gamma=gamma)
-    packed = pack_filter_matrix(matrix, grouping)
-    tiles_before = tile_count(rows, cols, array_rows, array_cols)
-    tiles_after = tile_count(rows, packed.num_groups, array_rows, array_cols)
+    pipeline = packing_pipeline(alpha=alpha, gamma=gamma,
+                                grouping_engine=grouping_engine,
+                                prune_engine=prune_engine,
+                                array_rows=array_rows, array_cols=array_cols,
+                                workers=workers)
+    layer = pipeline.run([("fig14b-layer", matrix)]).layers[0]
     return {
         "experiment": "fig14b",
         "rows": rows,
-        "columns_before": cols,
-        "columns_after": packed.num_groups,
-        "density_before": float(np.count_nonzero(matrix) / matrix.size),
-        "density_after": packed.packing_efficiency(),
-        "tiles_before": tiles_before,
-        "tiles_after": tiles_after,
-        "tile_reduction": tiles_before / max(1, tiles_after),
+        "columns_before": layer.columns_before,
+        "columns_after": layer.columns_after,
+        "density_before": layer.density_before,
+        "density_after": layer.packing_efficiency,
+        "tiles_before": layer.tiles_before,
+        "tiles_after": layer.tiles_after,
+        "tile_reduction": layer.tile_reduction,
         "alpha": alpha,
         "gamma": gamma,
     }
 
 
-def main() -> dict[str, Any]:
-    result = run()
+def main(workers: int = 1) -> dict[str, Any]:
+    result = run(workers=workers)
     rows = [
         ("columns", result["columns_before"], result["columns_after"]),
         ("density", f"{result['density_before']:.0%}", f"{result['density_after']:.0%}"),

@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.combining import group_columns, tile_count
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, packing_pipeline
 from repro.experiments.workloads import PAPER_DENSITY, sparse_network
 
 SETTINGS: tuple[tuple[str, int, float], ...] = (
@@ -28,23 +27,21 @@ SETTINGS: tuple[tuple[str, int, float], ...] = (
 
 
 def run(density: float | None = None, array_rows: int = 32, array_cols: int = 32,
-        width_multiplier: int = 6, seed: int = 0) -> dict[str, Any]:
+        width_multiplier: int = 6, seed: int = 0, grouping_engine: str = "fast",
+        prune_engine: str = "fast", workers: int = 1) -> dict[str, Any]:
     """Count per-layer tiles for the three parameter settings."""
     density = density if density is not None else PAPER_DENSITY["resnet20"]
     layers = sparse_network("resnet20", density=density, seed=seed,
                             width_multiplier=width_multiplier)
     per_setting: dict[str, list[int]] = {}
+    layer_names: list[str] = [shape.name for shape, _ in layers]
     for setting, alpha, gamma in SETTINGS:
-        counts: list[int] = []
-        for shape, matrix in layers:
-            if alpha <= 1:
-                columns = matrix.shape[1]
-            else:
-                grouping = group_columns(matrix, alpha=alpha, gamma=gamma)
-                columns = grouping.num_groups
-            counts.append(tile_count(matrix.shape[0], columns, array_rows, array_cols))
-        per_setting[setting] = counts
-    layer_names = [shape.name for shape, _ in layers]
+        pipeline = packing_pipeline(alpha=alpha, gamma=gamma,
+                                    grouping_engine=grouping_engine,
+                                    prune_engine=prune_engine,
+                                    array_rows=array_rows, array_cols=array_cols,
+                                    workers=workers)
+        per_setting[setting] = pipeline.run(layers).tiles_after()
     largest = max(range(len(layers)), key=lambda i: per_setting["baseline"][i])
     largest_reduction = (per_setting["baseline"][largest]
                          / max(1, per_setting["column-combine-pruning"][largest]))
@@ -59,8 +56,8 @@ def run(density: float | None = None, array_rows: int = 32, array_cols: int = 32
     }
 
 
-def main() -> dict[str, Any]:
-    result = run()
+def main(workers: int = 1) -> dict[str, Any]:
+    result = run(workers=workers)
     tiles = result["tiles"]
     rows = [
         (index + 1, name, tiles["baseline"][index], tiles["column-combine"][index],

@@ -20,6 +20,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.combining.pipeline import ordered_pool_map
 from repro.combining.trainer import ColumnCombineTrainer, train_dense
 from repro.experiments.common import (
     FAST_RUN,
@@ -35,9 +36,40 @@ from repro.utils.seeding import seed_everything
 DEFAULT_FRACTIONS: tuple[float, ...] = (0.05, 0.1, 0.25, 0.5, 1.0)
 
 
+#: Shared read-only context of one sweep: installed once per worker process
+#: by :func:`_install_sweep_context` (via ``ordered_pool_map``'s
+#: initializer) instead of being pickled into every task.
+_SWEEP_CONTEXT: dict = {}
+
+
+def _install_sweep_context(train, test, pretrained_state) -> None:
+    _SWEEP_CONTEXT["train"] = train
+    _SWEEP_CONTEXT["test"] = test
+    _SWEEP_CONTEXT["pretrained_state"] = pretrained_state
+
+
+def _train_point(task: tuple[RunConfig, str, float, str]) -> float:
+    """Train one (fraction, variant) cell of the sweep and return its accuracy.
+
+    Module-level and fully seeded from its arguments plus the installed
+    sweep context, so the sweep can fan the grid out over a process pool
+    and every cell computes the same number no matter which worker (or
+    the serial path) runs it.
+    """
+    run_config, model_name, fraction, variant = task
+    train, test = _SWEEP_CONTEXT["train"], _SWEEP_CONTEXT["test"]
+    seed_everything(run_config.seed)
+    subset = train.fraction(fraction, rng=np.random.default_rng(run_config.seed))
+    model = prepare_model(model_name, run_config)
+    if variant == "pretrained":
+        load_state_dict(model, _SWEEP_CONTEXT["pretrained_state"])
+    trainer = ColumnCombineTrainer(model, subset, test, combine_config(run_config))
+    return trainer.run().final_accuracy
+
+
 def run(run_config: RunConfig | None = None, model_name: str = "resnet20",
         fractions: Sequence[float] = DEFAULT_FRACTIONS,
-        pretrain_epochs: int = 4) -> dict[str, Any]:
+        pretrain_epochs: int = 4, workers: int = 1) -> dict[str, Any]:
     """Compare new-model vs pretrained-model column combining across data fractions."""
     run_config = run_config if run_config is not None else FAST_RUN
     seed_everything(run_config.seed)
@@ -49,23 +81,17 @@ def run(run_config: RunConfig | None = None, model_name: str = "resnet20",
                 seed=run_config.seed)
     pretrained_state = state_dict(pretrained)
 
-    points: list[dict[str, Any]] = []
-    for fraction in fractions:
-        subset = train.fraction(fraction, rng=np.random.default_rng(run_config.seed))
-        results: dict[str, float] = {}
-        for variant in ("new", "pretrained"):
-            model = prepare_model(model_name, run_config)
-            if variant == "pretrained":
-                load_state_dict(model, pretrained_state)
-            cc_config = combine_config(run_config)
-            trainer = ColumnCombineTrainer(model, subset, test, cc_config)
-            history = trainer.run()
-            results[variant] = history.final_accuracy
-        points.append({
-            "fraction": fraction,
-            "new_model_accuracy": results["new"],
-            "pretrained_model_accuracy": results["pretrained"],
-        })
+    tasks = [(run_config, model_name, fraction, variant)
+             for fraction in fractions
+             for variant in ("new", "pretrained")]
+    accuracies = ordered_pool_map(_train_point, tasks, workers,
+                                  initializer=_install_sweep_context,
+                                  initargs=(train, test, pretrained_state))
+    points = [{
+        "fraction": fraction,
+        "new_model_accuracy": accuracies[2 * index],
+        "pretrained_model_accuracy": accuracies[2 * index + 1],
+    } for index, fraction in enumerate(fractions)]
     return {
         "experiment": "fig15b",
         "model": model_name,
@@ -73,8 +99,8 @@ def run(run_config: RunConfig | None = None, model_name: str = "resnet20",
     }
 
 
-def main() -> dict[str, Any]:
-    result = run()
+def main(workers: int = 1) -> dict[str, Any]:
+    result = run(workers=workers)
     rows = [(f"{p['fraction']:.0%}", p["new_model_accuracy"], p["pretrained_model_accuracy"])
             for p in result["points"]]
     print("Figure 15b — column combining with limited training data")

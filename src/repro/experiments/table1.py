@@ -17,11 +17,11 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.combining import group_columns, pack_filter_matrix
 from repro.experiments.common import (
     FAST_RUN,
     combine_config,
     format_table,
+    packing_pipeline,
     run_column_combining,
 )
 from repro.experiments.workloads import lenet5_layer_shapes, sparse_filter_matrix
@@ -39,22 +39,18 @@ DESIGNS: dict[str, float] = {"design 1": 0.13, "design 2": 0.081}
 
 
 def _plan_lenet(density: float, alpha: int, gamma: float, accumulation_bits: int,
-                seed: int = 0):
+                seed: int = 0, workers: int = 1):
     """Pack the full-size LeNet-5 layers and plan per-layer (untiled) arrays."""
     shapes = lenet5_layer_shapes(image_size=32)
     rng = np.random.default_rng(seed)
-    packed_layers = []
-    spatial_sizes = []
-    max_rows = 1
-    max_groups = 1
-    for shape in shapes:
-        matrix = sparse_filter_matrix(shape.rows, shape.cols, density, rng)
-        grouping = group_columns(matrix, alpha=alpha, gamma=gamma)
-        packed = pack_filter_matrix(matrix, grouping)
-        packed_layers.append((shape.name, packed))
-        spatial_sizes.append(max(1, shape.spatial))
-        max_rows = max(max_rows, packed.num_rows)
-        max_groups = max(max_groups, packed.num_groups)
+    layers = [(shape, sparse_filter_matrix(shape.rows, shape.cols, density, rng))
+              for shape in shapes]
+    pipeline = packing_pipeline(alpha=alpha, gamma=gamma, workers=workers)
+    result = pipeline.run(layers)
+    packed_layers = result.packed_layers()
+    spatial_sizes = [max(1, shape.spatial) for shape in shapes]
+    max_rows = max(1, max(layer.rows for layer in result.layers))
+    max_groups = max(1, max(layer.columns_after for layer in result.layers))
     # Each layer fits entirely into its systolic array (Section 7.1.2), so
     # size the array to the largest packed layer.
     config = ArrayConfig(rows=max_rows, cols=max_groups, alpha=alpha,
@@ -65,13 +61,14 @@ def _plan_lenet(density: float, alpha: int, gamma: float, accumulation_bits: int
 
 def run(run_config: RunConfig | None = None, alpha: int = 8, gamma: float = 0.5,
         accumulation_bits: int = 16, include_accuracy: bool = True,
-        seed: int = 0) -> dict[str, Any]:
+        seed: int = 0, workers: int = 1) -> dict[str, Any]:
     """Evaluate the two LeNet-5 ASIC design points and collect Table 1."""
     run_config = run_config if run_config is not None else FAST_RUN
     measured: dict[str, ASICReport] = {}
     accuracies: dict[str, float] = {}
     for name, density in DESIGNS.items():
-        plan = _plan_lenet(density, alpha, gamma, accumulation_bits, seed=seed)
+        plan = _plan_lenet(density, alpha, gamma, accumulation_bits, seed=seed,
+                           workers=workers)
         accuracy = float("nan")
         if include_accuracy:
             cc_config = combine_config(run_config, alpha=alpha, gamma=gamma,
@@ -91,8 +88,8 @@ def run(run_config: RunConfig | None = None, alpha: int = 8, gamma: float = 0.5,
     }
 
 
-def main(include_accuracy: bool = True) -> dict[str, Any]:
-    result = run(include_accuracy=include_accuracy)
+def main(include_accuracy: bool = True, workers: int = 1) -> dict[str, Any]:
+    result = run(include_accuracy=include_accuracy, workers=workers)
     rows = []
     for name, report in result["measured"].items():
         rows.append((f"Ours ({name}) [measured]", f"{report.accuracy:.3f}",

@@ -14,13 +14,11 @@ from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
-
-from repro.combining import group_columns, pack_filter_matrix
 from repro.experiments.common import (
     FAST_RUN,
     combine_config,
     format_table,
+    packing_pipeline,
     run_column_combining,
 )
 from repro.experiments.workloads import PAPER_DENSITY, sparse_network
@@ -31,40 +29,37 @@ from repro.systolic.system import SystolicSystem
 from repro.utils.config import RunConfig
 
 
-def _plan_resnet(alpha: int, gamma: float, seed: int = 0):
+def _plan_resnet(alpha: int, gamma: float, seed: int = 0, workers: int = 1):
     """Pack the full-size ResNet-20 and plan per-layer (untiled) arrays."""
     layers = sparse_network("resnet20", density=PAPER_DENSITY["resnet20"], seed=seed,
                             width_multiplier=6)
-    packed_layers = []
-    spatial_sizes = []
-    max_rows = 1
-    max_groups = 1
-    for shape, matrix in layers:
-        grouping = group_columns(matrix, alpha=alpha, gamma=gamma)
-        packed = pack_filter_matrix(matrix, grouping)
-        packed_layers.append((shape.name, packed))
-        spatial_sizes.append(shape.spatial)
-        max_rows = max(max_rows, packed.num_rows)
-        max_groups = max(max_groups, packed.num_groups)
+    pipeline = packing_pipeline(alpha=alpha, gamma=gamma, workers=workers)
+    result = pipeline.run(layers)
+    packed_layers = result.packed_layers()
+    spatial_sizes = [shape.spatial for shape, _ in layers]
+    max_rows = max(1, max(layer.rows for layer in result.layers))
+    max_groups = max(1, max(layer.columns_after for layer in result.layers))
     config = ArrayConfig(rows=max_rows, cols=max_groups, alpha=alpha)
     return SystolicSystem(config).plan_model(packed_layers, spatial_sizes)
 
 
-def _pipelined_latency_cycles(alpha: int, gamma: float, seed: int) -> int:
+def _pipelined_latency_cycles(alpha: int, gamma: float, seed: int,
+                              workers: int = 1) -> int:
     """Cross-layer-pipelined single-sample latency (the paper's FPGA mode)."""
     from repro.experiments.table3 import network_latencies
     from repro.systolic.pipeline import pipeline_latency
 
     latencies = network_latencies("resnet20", alpha=alpha, gamma=gamma, seed=seed,
-                                  width_multiplier=6, image_size=32)
+                                  workers=workers, width_multiplier=6, image_size=32)
     return pipeline_latency(latencies)
 
 
 def run(run_config: RunConfig | None = None, alpha: int = 8, gamma: float = 0.5,
-        include_accuracy: bool = True, seed: int = 0) -> dict[str, Any]:
+        include_accuracy: bool = True, seed: int = 0,
+        workers: int = 1) -> dict[str, Any]:
     """Evaluate the FPGA ResNet-20 design point and collect Table 2."""
     run_config = run_config if run_config is not None else FAST_RUN
-    plan = _plan_resnet(alpha, gamma, seed=seed)
+    plan = _plan_resnet(alpha, gamma, seed=seed, workers=workers)
     accuracy = float("nan")
     if include_accuracy:
         cc_config = combine_config(run_config, alpha=alpha, gamma=gamma)
@@ -73,12 +68,12 @@ def run(run_config: RunConfig | None = None, alpha: int = 8, gamma: float = 0.5,
     design = FPGADesign(frequency_hz=1.5e8)
     report: FPGAReport = evaluate_fpga(
         design, plan, "resnet20", accuracy,
-        latency_cycles=_pipelined_latency_cycles(alpha, gamma, seed))
+        latency_cycles=_pipelined_latency_cycles(alpha, gamma, seed, workers))
     # Baseline FPGA design without column combining, for the relative factor.
-    baseline_plan = _plan_resnet(alpha=1, gamma=0.0, seed=seed)
+    baseline_plan = _plan_resnet(alpha=1, gamma=0.0, seed=seed, workers=workers)
     baseline_report = evaluate_fpga(
         design, baseline_plan, "resnet20-baseline", accuracy,
-        latency_cycles=_pipelined_latency_cycles(1, 0.0, seed))
+        latency_cycles=_pipelined_latency_cycles(1, 0.0, seed, workers))
     return {
         "experiment": "table2",
         "measured": report,
@@ -89,8 +84,8 @@ def run(run_config: RunConfig | None = None, alpha: int = 8, gamma: float = 0.5,
     }
 
 
-def main(include_accuracy: bool = True) -> dict[str, Any]:
-    result = run(include_accuracy=include_accuracy)
+def main(include_accuracy: bool = True, workers: int = 1) -> dict[str, Any]:
+    result = run(include_accuracy=include_accuracy, workers=workers)
     report = result["measured"]
     rows = [("Ours [measured]", "150", "8-bit", f"{report.accuracy:.3f}",
              f"{report.energy_efficiency_fpj:.0f}")]

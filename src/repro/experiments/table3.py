@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.combining import group_columns, pack_filter_matrix
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, packing_pipeline
 from repro.experiments.workloads import PAPER_DENSITY, sparse_network
 from repro.hardware.reference import TABLE3_ROWS
 from repro.systolic.pipeline import (
@@ -29,22 +28,20 @@ from repro.systolic.timing import CellTiming
 
 def network_latencies(network: str, alpha: int = 8, gamma: float = 0.5,
                       accumulation_bits: int = 32, seed: int = 0,
-                      **shape_kwargs) -> list[LayerLatency]:
+                      workers: int = 1, **shape_kwargs) -> list[LayerLatency]:
     """Per-layer latencies of the packed network on per-layer arrays."""
     density = PAPER_DENSITY[network]
     layers = sparse_network(network, density=density, seed=seed, **shape_kwargs)
     timing = CellTiming(accumulation_bits=accumulation_bits)
-    latencies: list[LayerLatency] = []
-    for shape, matrix in layers:
-        grouping = group_columns(matrix, alpha=alpha, gamma=gamma)
-        packed = pack_filter_matrix(matrix, grouping)
-        latencies.append(layer_latency(shape.name, packed.num_rows, packed.num_groups,
-                                       max(1, shape.spatial), timing))
-    return latencies
+    pipeline = packing_pipeline(alpha=alpha, gamma=gamma, workers=workers)
+    packed = pipeline.run(layers)
+    return [layer_latency(shape.name, layer.rows, layer.columns_after,
+                          max(1, shape.spatial), timing)
+            for (shape, _), layer in zip(layers, packed.layers)]
 
 
 def run(frequency_hz: float = 1.5e8, alpha: int = 8, gamma: float = 0.5,
-        seed: int = 0) -> dict[str, Any]:
+        seed: int = 0, workers: int = 1) -> dict[str, Any]:
     """Compute pipelined / sequential latencies for LeNet-5 and ResNet-20."""
     results: dict[str, Any] = {}
     for network, kwargs, accumulation in (
@@ -53,7 +50,7 @@ def run(frequency_hz: float = 1.5e8, alpha: int = 8, gamma: float = 0.5,
     ):
         latencies = network_latencies(network, alpha=alpha, gamma=gamma,
                                       accumulation_bits=accumulation, seed=seed,
-                                      **kwargs)
+                                      workers=workers, **kwargs)
         sequential = sequential_latency(latencies)
         pipelined = pipeline_latency(latencies)
         results[network] = {
@@ -72,8 +69,8 @@ def run(frequency_hz: float = 1.5e8, alpha: int = 8, gamma: float = 0.5,
     }
 
 
-def main() -> dict[str, Any]:
-    result = run()
+def main(workers: int = 1) -> dict[str, Any]:
+    result = run(workers=workers)
     rows = []
     for network, values in result["networks"].items():
         rows.append((network, f"{values['sequential_us']:.1f}",

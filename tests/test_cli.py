@@ -44,6 +44,18 @@ def test_pack_command_engines_print_identical_reports(capsys):
 def test_pack_command_rejects_unknown_engine():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["pack", "--engine", "turbo"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["pack", "--prune-engine", "turbo"])
+
+
+def test_pack_command_prune_engines_print_identical_reports(capsys):
+    assert main(["pack", "--rows", "48", "--cols", "40",
+                 "--prune-engine", "fast"]) == 0
+    fast_output = capsys.readouterr().out
+    assert main(["pack", "--rows", "48", "--cols", "40",
+                 "--prune-engine", "reference"]) == 0
+    reference_output = capsys.readouterr().out
+    assert fast_output == reference_output
 
 
 def test_pack_command_loads_matrix_from_npy(tmp_path, capsys, rng):
@@ -76,6 +88,48 @@ def test_experiment_command_runs_structural_experiment(capsys):
     exit_code = main(["experiment", "fig14b"])
     assert exit_code == 0
     assert "tile reduction" in capsys.readouterr().out
+
+
+def test_experiment_command_accepts_workers(capsys):
+    """--workers fans the sweep out over a process pool; the printed report
+    must match the serial run exactly (order-stable parallel results)."""
+    assert main(["experiment", "fig14b"]) == 0
+    serial_output = capsys.readouterr().out
+    assert main(["experiment", "fig14b", "--workers", "2"]) == 0
+    parallel_output = capsys.readouterr().out
+    assert parallel_output == serial_output
+
+
+def test_experiment_command_workers_on_serial_experiment_warns(capsys, monkeypatch):
+    """An experiment without a parallel sweep still runs, with a stderr note."""
+    import repro.cli as cli_module
+
+    calls: list[int] = []
+    monkeypatch.setitem(cli_module.EXPERIMENTS, "fig13a", lambda: calls.append(1))
+    assert main(["experiment", "fig13a", "--workers", "4"]) == 0
+    assert calls == [1]
+    assert "no parallel sweep" in capsys.readouterr().err
+
+
+def test_experiment_command_passes_workers_to_parallel_runner(monkeypatch):
+    """--workers must reach runners that declare a workers parameter."""
+    import repro.cli as cli_module
+
+    received: dict[str, int] = {}
+
+    def fake_runner(workers: int = 1):
+        received["workers"] = workers
+
+    monkeypatch.setitem(cli_module.EXPERIMENTS, "fig15a", fake_runner)
+    assert main(["experiment", "fig15a", "--workers", "3"]) == 0
+    assert received == {"workers": 3}
+
+
+def test_experiment_command_rejects_non_positive_workers():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig14b", "--workers", "0"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig14b", "--workers", "-2"])
 
 
 def test_unknown_experiment_rejected():

@@ -1,0 +1,178 @@
+"""Tests for the PackingPipeline subsystem and its layer-parallel fan-out.
+
+The pipeline promises that ``workers=N`` returns exactly the results of
+the serial ``workers=1`` run, in layer order, for every policy and engine
+— including the ``"random"`` grouping policy, whose per-layer generators
+are derived from ``(seed, layer_index)`` rather than shared state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.combining import (
+    PackingPipeline,
+    PipelineConfig,
+    column_combine_prune,
+    group_columns,
+    ordered_pool_map,
+    pack_filter_matrix,
+    tile_count,
+)
+from repro.combining.pipeline import _pack_one_layer
+from repro.experiments.workloads import sparse_network
+
+
+def small_layers(seed: int = 0, count: int = 3):
+    rng = np.random.default_rng(seed)
+    layers = []
+    for index in range(count):
+        rows, cols = 40 + 8 * index, 36 + 4 * index
+        matrix = rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < 0.2)
+        layers.append((f"layer-{index}", matrix))
+    return layers
+
+
+def assert_results_identical(first, second):
+    assert first.layer_names() == second.layer_names()
+    for a, b in zip(first.layers, second.layers):
+        assert a.grouping.groups == b.grouping.groups
+        np.testing.assert_array_equal(a.packed.weights, b.packed.weights)
+        np.testing.assert_array_equal(a.packed.channel_index, b.packed.channel_index)
+        assert (a.tiles_before, a.tiles_after) == (b.tiles_before, b.tiles_after)
+
+
+# -- config validation --------------------------------------------------------------------
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PipelineConfig(alpha=0)
+    with pytest.raises(ValueError):
+        PipelineConfig(gamma=-0.5)
+    with pytest.raises(ValueError):
+        PipelineConfig(policy="densest")
+    with pytest.raises(ValueError):
+        PipelineConfig(grouping_engine="turbo")
+    with pytest.raises(ValueError):
+        PipelineConfig(prune_engine="turbo")
+    with pytest.raises(ValueError):
+        PipelineConfig(array_rows=0)
+    with pytest.raises(ValueError):
+        PipelineConfig(workers=0)
+
+
+def test_config_defaults_match_paper():
+    config = PipelineConfig()
+    assert config.alpha == 8 and config.gamma == 0.5
+    assert config.workers == 1
+
+
+# -- per-layer flow -----------------------------------------------------------------------
+
+def test_layer_result_matches_direct_calls():
+    name, matrix = small_layers()[0]
+    result = PackingPipeline(PipelineConfig(alpha=8, gamma=0.5)).run_layer(name, matrix)
+    grouping = group_columns(matrix, alpha=8, gamma=0.5)
+    packed = pack_filter_matrix(matrix, grouping)
+    assert result.name == name
+    assert result.grouping.groups == grouping.groups
+    np.testing.assert_array_equal(result.packed.weights, packed.weights)
+    assert result.columns_before == matrix.shape[1]
+    assert result.columns_after == grouping.num_groups
+    assert result.tiles_before == tile_count(matrix.shape[0], matrix.shape[1], 32, 32)
+    assert result.tiles_after == tile_count(matrix.shape[0], grouping.num_groups, 32, 32)
+    assert result.density_before == pytest.approx(
+        np.count_nonzero(matrix) / matrix.size)
+    assert result.tile_reduction == result.tiles_before / max(1, result.tiles_after)
+
+
+def test_packed_layer_round_trips_pruned_matrix():
+    name, matrix = small_layers(seed=3)[1]
+    result = PackingPipeline().run_layer(name, matrix)
+    pruned, _ = column_combine_prune(matrix, result.grouping)
+    np.testing.assert_allclose(result.packed.to_sparse(), pruned)
+
+
+def test_rejects_non_2d_matrix():
+    with pytest.raises(ValueError):
+        PackingPipeline().run_layer("bad", np.zeros(5))
+
+
+def test_run_accepts_layer_shapes_strings_and_bare_matrices():
+    layers = sparse_network("lenet5", density=0.2, seed=0)
+    named = small_layers()
+    pipeline = PackingPipeline()
+    from_shapes = pipeline.run(layers)
+    assert from_shapes.layer_names() == [shape.name for shape, _ in layers]
+    from_names = pipeline.run(named)
+    assert from_names.layer_names() == [name for name, _ in named]
+    bare = pipeline.run([matrix for _, matrix in named])
+    assert bare.layer_names() == [f"layer{i}" for i in range(len(named))]
+
+
+def test_result_helpers_aggregate_layers():
+    result = PackingPipeline().run(small_layers())
+    assert result.total_tiles_before == sum(result.tiles_before())
+    assert result.total_tiles_after == sum(result.tiles_after())
+    assert [name for name, _ in result.packed_layers()] == result.layer_names()
+    assert result.total_tiles_after <= result.total_tiles_before
+
+
+# -- serial vs parallel -------------------------------------------------------------------
+
+def test_parallel_results_identical_to_serial():
+    layers = small_layers()
+    serial = PackingPipeline(PipelineConfig(workers=1)).run(layers)
+    parallel = PackingPipeline(PipelineConfig(workers=3)).run(layers)
+    assert_results_identical(serial, parallel)
+
+
+def test_parallel_random_policy_identical_to_serial():
+    layers = small_layers(seed=7)
+    serial = PackingPipeline(PipelineConfig(policy="random", seed=11,
+                                            workers=1)).run(layers)
+    parallel = PackingPipeline(PipelineConfig(policy="random", seed=11,
+                                              workers=2)).run(layers)
+    assert_results_identical(serial, parallel)
+
+
+def test_random_policy_depends_on_seed_not_schedule():
+    layers = small_layers(seed=7)
+    first = PackingPipeline(PipelineConfig(policy="random", seed=1)).run(layers)
+    second = PackingPipeline(PipelineConfig(policy="random", seed=2)).run(layers)
+    assert any(a.grouping.groups != b.grouping.groups
+               for a, b in zip(first.layers, second.layers))
+
+
+def test_reference_engines_through_pipeline_match_fast():
+    layers = small_layers(seed=5)
+    fast = PackingPipeline(PipelineConfig(grouping_engine="fast",
+                                          prune_engine="fast")).run(layers)
+    reference = PackingPipeline(PipelineConfig(grouping_engine="reference",
+                                               prune_engine="reference")).run(layers)
+    assert_results_identical(fast, reference)
+
+
+# -- ordered_pool_map ---------------------------------------------------------------------
+
+def test_ordered_pool_map_serial_path_preserves_order():
+    assert ordered_pool_map(abs, [-3, 1, -2], workers=1) == [3, 1, 2]
+
+
+def test_ordered_pool_map_serial_path_runs_initializer():
+    installed: list[int] = []
+    result = ordered_pool_map(abs, [-4, 4], workers=1,
+                              initializer=installed.append, initargs=(7,))
+    assert result == [4, 4]
+    assert installed == [7]
+
+
+def test_ordered_pool_map_parallel_preserves_order():
+    tasks = [(PipelineConfig(), f"m{i}", matrix, i)
+             for i, (_, matrix) in enumerate(small_layers())]
+    serial = ordered_pool_map(_pack_one_layer, tasks, workers=1)
+    parallel = ordered_pool_map(_pack_one_layer, tasks, workers=3)
+    assert [r.name for r in serial] == [r.name for r in parallel] == ["m0", "m1", "m2"]
+    for a, b in zip(serial, parallel):
+        assert a.grouping.groups == b.grouping.groups

@@ -48,6 +48,8 @@ def test_config_validation():
         ColumnCombineConfig(final_epochs=-1)
     with pytest.raises(ValueError):
         ColumnCombineConfig(grouping_engine="turbo")
+    with pytest.raises(ValueError):
+        ColumnCombineConfig(prune_engine="turbo")
 
 
 def test_target_nonzeros_overrides_unused_target_fraction():
@@ -59,6 +61,8 @@ def test_target_nonzeros_overrides_unused_target_fraction():
 def test_config_accepts_both_engines():
     assert ColumnCombineConfig(grouping_engine="fast").grouping_engine == "fast"
     assert ColumnCombineConfig(grouping_engine="reference").grouping_engine == "reference"
+    assert ColumnCombineConfig(prune_engine="fast").prune_engine == "fast"
+    assert ColumnCombineConfig(prune_engine="reference").prune_engine == "reference"
 
 
 def test_trainer_requires_packable_layers(tiny_mnist):
@@ -97,6 +101,7 @@ def test_prune_and_group_leaves_groups_conflict_free(lenet_trainer):
             assert count_conflicts(layer.weight.data, group) == 0
 
 
+@pytest.mark.slow  # runs real training epochs
 def test_run_reaches_target_and_records_history(lenet_trainer):
     history = lenet_trainer.run()
     assert lenet_trainer.conv_nonzeros() <= lenet_trainer.target_nonzeros or \
@@ -109,6 +114,7 @@ def test_run_reaches_target_and_records_history(lenet_trainer):
     assert all(a >= b for a, b in zip(nonzeros, nonzeros[1:]))
 
 
+@pytest.mark.slow  # runs real training epochs
 def test_retraining_recovers_accuracy_after_pruning(tiny_mnist):
     """Accuracy after the full Algorithm 1 run must recover to a level well
     above chance and above the immediately-post-pruning accuracy."""
@@ -126,6 +132,7 @@ def test_retraining_recovers_accuracy_after_pruning(tiny_mnist):
     assert history.final_accuracy > 0.2  # well above 10-class chance
 
 
+@pytest.mark.slow  # runs real training epochs
 def test_masks_keep_pruned_weights_at_zero_through_training(lenet_trainer):
     lenet_trainer.run()
     for _, layer in lenet_trainer.layers:
@@ -134,6 +141,7 @@ def test_masks_keep_pruned_weights_at_zero_through_training(lenet_trainer):
         assert np.all(layer.weight.data[mask == 0] == 0.0)
 
 
+@pytest.mark.slow  # runs real training epochs
 def test_packed_layers_match_current_weights(lenet_trainer):
     lenet_trainer.run()
     packed = dict(lenet_trainer.packed_layers())
@@ -141,6 +149,7 @@ def test_packed_layers_match_current_weights(lenet_trainer):
         np.testing.assert_allclose(packed[name].to_sparse(), layer.weight.data)
 
 
+@pytest.mark.slow  # runs real training epochs
 def test_utilization_improves_over_unpacked_density(tiny_cifar):
     train, test = tiny_cifar
     model = ResNet20(in_channels=3, scale=0.5, rng=np.random.default_rng(0))
@@ -154,6 +163,7 @@ def test_utilization_improves_over_unpacked_density(tiny_cifar):
     assert trainer.utilization() > unpacked_density
 
 
+@pytest.mark.slow  # runs real training epochs
 def test_alpha_one_trainer_never_prunes_conflicts(tiny_mnist):
     train, test = tiny_mnist
     model = LeNet5(in_channels=1, scale=1.0, image_size=8, rng=np.random.default_rng(0))
@@ -163,6 +173,7 @@ def test_alpha_one_trainer_never_prunes_conflicts(tiny_mnist):
         assert all(len(group) == 1 for group in grouping.groups)
 
 
+@pytest.mark.slow  # runs real training epochs
 def test_train_dense_improves_accuracy(tiny_mnist):
     train, test = tiny_mnist
     model = LeNet5(in_channels=1, scale=1.0, image_size=8, rng=np.random.default_rng(0))
@@ -172,6 +183,7 @@ def test_train_dense_improves_accuracy(tiny_mnist):
     assert history.final_nonzeros == history.records[0].nonzeros
 
 
+@pytest.mark.slow  # runs real training epochs
 def test_history_helpers(lenet_trainer):
     history = lenet_trainer.run()
     assert len(history.epochs()) == len(history.records)

@@ -13,6 +13,10 @@ from pathlib import Path
 
 import pytest
 
+#: The examples run small packing / pipelining workloads end-to-end; keep
+#: them out of the quick ``-m "not slow"`` tier (tier-1 still runs them).
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 

@@ -23,6 +23,10 @@ from repro.experiments.common import (
 )
 from repro.utils.config import RunConfig
 
+#: Every test in this module runs real training epochs; keep them out of
+#: the quick ``-m "not slow"`` tier (the full tier-1 gate still runs them).
+pytestmark = pytest.mark.slow
+
 TINY_RUN = RunConfig(train_samples=128, test_samples=64, image_size=8,
                      epochs_per_round=1, final_epochs=1, batch_size=32,
                      model_scale=0.25)

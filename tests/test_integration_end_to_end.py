@@ -19,6 +19,10 @@ from repro.nn import accuracy as top1_accuracy
 from repro.systolic import ArrayConfig, SystolicSystem
 from repro.utils.seeding import seed_everything
 
+#: The module-scoped fixture trains a LeNet-5 end-to-end; keep the whole
+#: module out of the quick ``-m "not slow"`` tier (tier-1 still runs it).
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def trained_lenet(tiny_mnist):
