@@ -1,0 +1,64 @@
+"""Benchmark: the persistent PackingPipeline pool beats fresh pools.
+
+Sweeps that call the pipeline repeatedly (fig15a's three settings,
+table2's measured + baseline plans, fig16's settings x networks grid)
+used to fork a ProcessPoolExecutor per ``run()`` call; the persistent
+pool forks once per pipeline.  This benchmark times both shapes on the
+same workload and asserts the reused pool wins, so a regression back to
+per-run forking fails loudly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.combining import PackingPipeline, PipelineConfig
+from repro.experiments.workloads import sparse_network
+
+SWEEPS = 5
+WORKERS = 2
+
+
+def _layers():
+    return sparse_network("lenet5", density=0.13, seed=0)
+
+
+def _fresh_pool_sweeps(layers) -> list:
+    results = []
+    for _ in range(SWEEPS):
+        with PackingPipeline(PipelineConfig(workers=WORKERS)) as pipeline:
+            results.append(pipeline.run(layers))
+    return results
+
+
+def _reused_pool_sweeps(layers) -> list:
+    with PackingPipeline(PipelineConfig(workers=WORKERS)) as pipeline:
+        return [pipeline.run(layers) for _ in range(SWEEPS)]
+
+
+def _best_of(function, layers, repeats: int = 3) -> tuple[float, list]:
+    best = float("inf")
+    results = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = function(layers)
+        best = min(best, time.perf_counter() - start)
+    return best, results
+
+
+def test_bench_persistent_pool_beats_fresh_pools():
+    layers = _layers()
+    fresh_seconds, fresh_results = _best_of(_fresh_pool_sweeps, layers)
+    reused_seconds, reused_results = _best_of(_reused_pool_sweeps, layers)
+    print(f"\n{SWEEPS} sweeps x {WORKERS} workers: "
+          f"fresh pools {fresh_seconds * 1e3:.0f} ms, "
+          f"reused pool {reused_seconds * 1e3:.0f} ms "
+          f"({fresh_seconds / reused_seconds:.2f}x)")
+    # Identical results either way (the acceptance property) ...
+    for fresh, reused in zip(fresh_results, reused_results):
+        assert fresh.layer_names() == reused.layer_names()
+        assert fresh.tiles_after() == reused.tiles_after()
+    # ... and the reused pool must amortize the per-sweep fork cost.
+    assert reused_seconds < fresh_seconds, (
+        f"persistent pool ({reused_seconds:.3f}s) did not beat fresh pools "
+        f"({fresh_seconds:.3f}s) over {SWEEPS} sweeps")

@@ -1,0 +1,86 @@
+"""Packed inference: PackingPipeline -> PackedModel -> batched forward pass.
+
+This example shows the model-level consumer of the packing flow end to
+end:
+
+1. build a (sparsified) LeNet-5 in shift + pointwise form,
+2. pack every packable layer through the :class:`PackingPipeline`
+   (Algorithm 2 grouping + Algorithm 3 conflict pruning + packing +
+   tiling, optionally fanned out over the pipeline's persistent worker
+   pool),
+3. assemble the per-layer packings into a :class:`PackedModel`,
+4. run a batched forward pass through the packed representations and
+   check it against the dense reference forward — bit-identical in
+   ``"exact"`` mode, numerically equal under the MX-cell routing
+   semantics (``"mx"`` mode),
+5. read the model-level tile / cycle accounting off the systolic timing
+   plan.
+
+Run with:  python examples/packed_inference.py
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.combining import PackedModel, PackingPipeline, PipelineConfig
+from repro.models import build_model
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # A LeNet-5 slice whose pointwise weights are ~80% pruned, the regime
+    # where column combining pays off.
+    model = build_model("lenet5", in_channels=1, num_classes=10, scale=1.0,
+                        image_size=12, rng=np.random.default_rng(1))
+    for _, layer in model.packable_layers():
+        weights = layer.weight.data
+        weights *= rng.random(weights.shape) < 0.2
+    print("model:", ", ".join(f"{name} {layer.weight.data.shape}"
+                              for name, layer in model.packable_layers()))
+
+    # Pack every layer through the pipeline.  The pipeline's process pool
+    # is persistent — reused across run() calls until the context exits.
+    config = PipelineConfig(alpha=8, gamma=0.5, workers=2)
+    with PackingPipeline(config) as pipeline:
+        packed = PackedModel.from_model(model, pipeline=pipeline)
+    for name, matrix in packed.packed_layers():
+        print(f"  {name}: {matrix.original_shape[1]} columns -> "
+              f"{matrix.num_groups} groups, "
+              f"packing efficiency {matrix.packing_efficiency():.0%}")
+
+    # Batched forward pass through the packed representations.
+    images = rng.normal(size=(8, 1, 12, 12))
+    outputs = packed.forward(images)            # bit-exact dense realization
+    mx_outputs = packed.forward(images, mode="mx")  # MX-cell routing
+
+    # Dense reference: the same model holding the conflict-pruned weights.
+    reference = copy.deepcopy(model)
+    for (_, layer), (_, sparse) in zip(reference.packable_layers(),
+                                       packed.to_sparse()):
+        layer.weight.data = sparse
+    reference.eval()
+    expected = reference.forward(images)
+
+    exact_match = np.array_equal(outputs, expected)
+    mx_close = np.allclose(mx_outputs, expected, rtol=1e-10, atol=1e-12)
+    print(f"exact mode bit-identical to dense reference: {exact_match}")
+    print(f"mx mode matches dense reference numerically: {mx_close}")
+    print(f"predictions: {packed.predict(images).tolist()}")
+
+    # Model-level accounting from the systolic timing plan (the spatial
+    # sizes were observed during the forward pass).
+    plan = packed.plan()
+    summary = packed.summary(plan)
+    print(f"packed model totals: {summary['num_layers']} layers, "
+          f"{summary['total_tiles']} tiles, {summary['total_cycles']} cycles, "
+          f"utilization {summary['utilization']:.0%}, "
+          f"packing efficiency {summary['packing_efficiency']:.0%}, "
+          f"MX fan-in {summary['multiplexing_degree']}")
+
+
+if __name__ == "__main__":
+    main()

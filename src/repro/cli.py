@@ -6,6 +6,13 @@ Three subcommands cover the library's main workflows:
     Pack a single sparse filter matrix (random, or loaded from a ``.npy``
     file) and print the packing / tiling report — the quickest way to see
     what column combining does to a layer.
+``pack-model``
+    Pack every layer of a full-size network workload through the
+    :class:`~repro.combining.pipeline.PackingPipeline`, assemble the
+    :class:`~repro.combining.inference.PackedModel`, and print the
+    packed-model report: per-layer columns / packing efficiency / pruned
+    weights / tiles / cycles plus the model-level totals from the
+    systolic timing plan.
 ``train``
     Run Algorithm 1 (iterative pruning + column combining + retraining) on
     one of the built-in shift + pointwise networks over the synthetic
@@ -18,6 +25,7 @@ Three subcommands cover the library's main workflows:
 Examples::
 
     python -m repro pack --rows 96 --cols 94 --density 0.16
+    python -m repro pack-model --network resnet20 --workers 4
     python -m repro train --model lenet5 --alpha 8 --gamma 0.5
     python -m repro experiment fig15a
 """
@@ -34,6 +42,7 @@ import numpy as np
 from repro.combining import (
     GROUPING_ENGINES,
     PRUNE_ENGINES,
+    PackedModel,
     group_columns,
     pack_filter_matrix,
     packing_report,
@@ -52,8 +61,20 @@ from repro.experiments import (
     table2,
     table3,
 )
-from repro.experiments.common import FAST_RUN, combine_config, format_table, run_column_combining
-from repro.experiments.workloads import sparse_filter_matrix
+from repro.experiments.common import (
+    FAST_RUN,
+    combine_config,
+    format_table,
+    packing_pipeline,
+    run_column_combining,
+)
+from repro.experiments.workloads import (
+    NETWORK_SHAPES,
+    PAPER_DENSITY,
+    sparse_filter_matrix,
+    sparse_network,
+    spatial_sizes,
+)
 
 EXPERIMENTS = {
     "fig13a": fig13a.main,
@@ -103,6 +124,28 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument("--prune-engine", choices=list(PRUNE_ENGINES), default="fast",
                       help="conflict-pruning engine for Algorithm 3")
     pack.add_argument("--seed", type=int, default=0)
+
+    pack_model = subparsers.add_parser(
+        "pack-model",
+        help="pack a whole network workload and print the packed-model report")
+    pack_model.add_argument("--network", choices=sorted(NETWORK_SHAPES),
+                            default="lenet5")
+    pack_model.add_argument("--density", type=float, default=None,
+                            help="nonzero density of the sparse workload "
+                                 "(default: the paper's density for the network)")
+    pack_model.add_argument("--alpha", type=int, default=8)
+    pack_model.add_argument("--gamma", type=float, default=0.5)
+    pack_model.add_argument("--array-rows", type=int, default=32)
+    pack_model.add_argument("--array-cols", type=int, default=32)
+    pack_model.add_argument("--workers", type=_positive_int, default=1,
+                            help="fan the per-layer packing out over N processes "
+                                 "(results are identical to a serial run)")
+    pack_model.add_argument("--engine", choices=list(GROUPING_ENGINES), default="fast",
+                            help="column-grouping engine (Algorithm 2)")
+    pack_model.add_argument("--prune-engine", choices=list(PRUNE_ENGINES),
+                            default="fast",
+                            help="conflict-pruning engine (Algorithm 3)")
+    pack_model.add_argument("--seed", type=int, default=0)
 
     train = subparsers.add_parser("train", help="run Algorithm 1 on a built-in model")
     train.add_argument("--model", choices=["lenet5", "vgg", "resnet20"], default="resnet20")
@@ -159,6 +202,41 @@ def _command_pack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_pack_model(args: argparse.Namespace) -> int:
+    density = args.density if args.density is not None else PAPER_DENSITY[args.network]
+    layers = sparse_network(args.network, density=density, seed=args.seed)
+    with packing_pipeline(alpha=args.alpha, gamma=args.gamma,
+                          grouping_engine=args.engine,
+                          prune_engine=args.prune_engine,
+                          array_rows=args.array_rows, array_cols=args.array_cols,
+                          workers=args.workers, seed=args.seed) as pipeline:
+        result = pipeline.run(layers)
+    model = PackedModel.from_pipeline_result(result)
+    plan = model.plan(spatial_sizes(layers))
+    rows = [
+        (layer.name, f"{layer.rows}x{layer.columns_before}", layer.columns_after,
+         f"{layer.packing_efficiency:.1%}", layer.pruned_weights,
+         execution.num_tiles, execution.cycles)
+        for layer, execution in zip(result.layers, plan.layers)
+    ]
+    print(f"packed model: {args.network} at {density:.0%} density, "
+          f"alpha={args.alpha}, gamma={args.gamma}, "
+          f"{args.array_rows}x{args.array_cols} array")
+    print(format_table(
+        ["layer", "shape", "combined cols", "packing eff.", "pruned weights",
+         "tiles", "cycles"], rows))
+    summary = model.summary(plan)
+    pruned_total = sum(layer.pruned_weights for layer in result.layers)
+    print(f"model totals: {summary['num_layers']} layers, "
+          f"{summary['total_tiles']} tiles, {summary['total_cycles']} cycles, "
+          f"utilization {summary['utilization']:.1%}, "
+          f"packing efficiency {summary['packing_efficiency']:.1%}, "
+          f"{summary['total_nonzeros']} nonzeros "
+          f"({pruned_total} pruned by Algorithm 3), "
+          f"MX fan-in {summary['multiplexing_degree']}")
+    return 0
+
+
 def _command_train(args: argparse.Namespace) -> int:
     run = FAST_RUN.scaled(train_samples=args.train_samples, image_size=args.image_size,
                           epochs_per_round=args.epochs_per_round,
@@ -203,6 +281,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "pack":
         return _command_pack(args)
+    if args.command == "pack-model":
+        return _command_pack_model(args)
     if args.command == "train":
         return _command_train(args)
     if args.command == "experiment":

@@ -17,8 +17,15 @@ The public surface mirrors the paper's algorithms:
   packing / utilization efficiency and tile-count arithmetic.
 * :class:`~repro.combining.pipeline.PackingPipeline` — the end-to-end
   group / conflict-prune / pack / tile flow over a list of layers, with
-  optional layer-parallel fan-out over a process pool (``workers=N``);
-  every figure/table sweep routes through it.
+  optional layer-parallel fan-out over a persistent process pool
+  (``workers=N``; spawned lazily, reused across ``run()`` calls, released
+  by ``close()`` / the context-manager exit); every figure/table sweep
+  routes through it.
+* :class:`~repro.combining.inference.PackedModel` — the model-level
+  consumer of ``PipelineResult.packed_layers()``: batched multi-layer
+  forward passes through the packed representations (bit-exact dense
+  realization or MX-cell routing), batched ``to_sparse`` export, and
+  per-model cycle / tile accounting via the systolic timing model.
 
 Engine selection
 ----------------
@@ -79,6 +86,11 @@ from repro.combining.pipeline import (
     PipelineResult,
     ordered_pool_map,
 )
+from repro.combining.inference import (
+    FORWARD_MODES,
+    PackedLayerSpec,
+    PackedModel,
+)
 from repro.combining.permutation import (
     permutation_from_groups,
     apply_row_permutation,
@@ -118,6 +130,9 @@ __all__ = [
     "pruned_weight_count",
     "PackedFilterMatrix",
     "pack_filter_matrix",
+    "FORWARD_MODES",
+    "PackedLayerSpec",
+    "PackedModel",
     "LayerResult",
     "PackingPipeline",
     "PipelineConfig",

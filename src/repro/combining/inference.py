@@ -1,0 +1,380 @@
+"""Model-level batched inference over packed filter matrices.
+
+The rest of :mod:`repro.combining` stops at per-layer
+:class:`~repro.combining.packing.PackedFilterMatrix` objects;
+:class:`PackedModel` is the model-level consumer.  It assembles from a
+:class:`~repro.combining.pipeline.PipelineResult` (or directly from an nn
+model via :class:`~repro.combining.pipeline.PackingPipeline`) and provides:
+
+* **Batched forward passes** — :meth:`PackedModel.forward` runs the whole
+  network (shift blocks, batch norm, pooling, classifier heads) with each
+  packable pointwise layer computed from its packed representation, in
+  one of two modes:
+
+  - ``"exact"`` (default): the packed weights are realized back into the
+    layer's dense filter matrix via
+    :meth:`~repro.combining.packing.PackedFilterMatrix.to_sparse` (an
+    exact reconstruction of the conflict-pruned matrix) and the model's
+    own module graph runs unchanged.  The output is therefore
+    **bit-identical** to the dense reference forward of a model holding
+    the pruned weights — any corruption of the channel routing, group
+    assignment, or layer ordering changes the output.
+  - ``"mx"``: every packed layer runs the true MX-cell computation
+    (:meth:`~repro.combining.packing.PackedFilterMatrix.multiply_activations`):
+    each cell multiplies its stored weight by the input channel it routes
+    and the group outputs are summed.  This matches the dense forward up
+    to floating-point summation order (the hardware sums across groups,
+    a dense matmul across channels).
+
+* **Batched sparse export** — :meth:`PackedModel.to_sparse` reconstructs
+  every layer's pruned dense filter matrix in one call.
+
+* **Model-level cycle / tile accounting** — :meth:`PackedModel.plan` runs
+  the systolic timing model (:meth:`repro.systolic.system.SystolicSystem.plan_model`)
+  over all packed layers and :meth:`PackedModel.summary` aggregates tiles,
+  cycles, utilization, packing efficiency, and pruned-weight counts per
+  model.
+
+Usage::
+
+    from repro.combining import PackedModel, PipelineConfig
+    from repro.models import build_model
+
+    model = build_model("lenet5", image_size=12)
+    packed = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
+    outputs = packed.forward(images)              # bit-exact packed inference
+    mx_outputs = packed.forward(images, mode="mx")  # MX-cell routing semantics
+    plan = packed.plan(spatial_sizes=[12, 6])
+    print(packed.summary(plan))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.combining.packing import PackedFilterMatrix
+from repro.combining.pipeline import (
+    PackingPipeline,
+    PipelineConfig,
+    PipelineResult,
+)
+from repro.models.registry import packable_layers as _model_packable_layers
+from repro.nn import Module, PointwiseConv2d
+from repro.systolic.array import ArrayConfig
+from repro.systolic.system import ModelExecutionPlan, SystolicSystem
+
+#: Forward-pass modes of :meth:`PackedModel.forward`.
+FORWARD_MODES: tuple[str, ...] = ("exact", "mx")
+
+
+@dataclass
+class PackedLayerSpec:
+    """One packed layer of a :class:`PackedModel`.
+
+    ``module`` is the live :class:`~repro.nn.layers.PointwiseConv2d` the
+    packing came from, when the model was assembled from an nn model; it is
+    ``None`` for pure matrix workloads (e.g. the structural experiments'
+    :func:`~repro.experiments.workloads.sparse_network` layers).
+    """
+
+    name: str
+    packed: PackedFilterMatrix
+    module: PointwiseConv2d | None = None
+
+    def __post_init__(self) -> None:
+        if self.module is not None:
+            expected = (self.module.out_channels, self.module.in_channels)
+            if self.packed.original_shape != expected:
+                raise ValueError(
+                    f"layer {self.name!r}: packed original_shape "
+                    f"{self.packed.original_shape} does not match the module's "
+                    f"filter matrix shape {expected}")
+
+    @property
+    def nonzeros(self) -> int:
+        """Nonzero weights surviving in the packed representation."""
+        return int(np.count_nonzero(self.packed.weights))
+
+
+class PackedModel:
+    """A whole network in packed form: the unit of work is the model.
+
+    Assemble with :meth:`from_pipeline_result` (matrix workloads or an
+    already-run pipeline) or :meth:`from_model` (packs an nn model's
+    packable layers through a :class:`PackingPipeline`).  Specs preserve
+    the pipeline's layer order, which in turn preserves the input layer
+    order even under parallel fan-out (see
+    :meth:`~repro.combining.pipeline.PipelineResult.packed_layers`).
+    """
+
+    def __init__(self, specs: Sequence[PackedLayerSpec],
+                 model: Module | None = None,
+                 array_rows: int = 32, array_cols: int = 32):
+        if array_rows < 1 or array_cols < 1:
+            raise ValueError("array dimensions must be >= 1")
+        self.specs = list(specs)
+        self.model = model
+        self.array_rows = array_rows
+        self.array_cols = array_cols
+        #: per-layer (H, W) observed during the last :meth:`forward` call.
+        self._observed_spatial: dict[str, tuple[int, int]] = {}
+        if model is not None and any(spec.module is None for spec in self.specs):
+            raise ValueError("model-backed PackedModel needs a module per spec")
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_pipeline_result(cls, result: PipelineResult,
+                             model: Module | None = None) -> "PackedModel":
+        """Assemble from a pipeline run's ordered per-layer results.
+
+        With ``model``, the result's layers are matched positionally to the
+        model's ``packable_layers()`` (both are in forward order), enabling
+        :meth:`forward`; shape mismatches raise ``ValueError``.
+        """
+        modules: list[PointwiseConv2d | None]
+        if model is not None:
+            layers = _model_packable_layers(model)
+            if len(layers) != len(result.layers):
+                raise ValueError(
+                    f"pipeline result has {len(result.layers)} layers but the "
+                    f"model has {len(layers)} packable layers")
+            modules = [module for _, module in layers]
+        else:
+            modules = [None] * len(result.layers)
+        specs = [PackedLayerSpec(layer.name, layer.packed, module)
+                 for layer, module in zip(result.layers, modules)]
+        return cls(specs, model=model,
+                   array_rows=result.config.array_rows,
+                   array_cols=result.config.array_cols)
+
+    @classmethod
+    def from_model(cls, model: Module,
+                   config: PipelineConfig | None = None,
+                   pipeline: PackingPipeline | None = None) -> "PackedModel":
+        """Pack an nn model's packable layers and assemble the packed model.
+
+        The packing snapshots the model's *current* weights; training the
+        model afterwards does not update the packed matrices.  Pass an
+        existing ``pipeline`` to reuse its (persistent) worker pool; when
+        omitted a temporary pipeline is built from ``config`` and closed
+        after the run.
+        """
+        layers = _model_packable_layers(model)
+        if not layers:
+            raise ValueError("model has no packable layers")
+        owns_pipeline = pipeline is None
+        if pipeline is None:
+            pipeline = PackingPipeline(config)
+        elif config is not None:
+            raise ValueError("pass either config or pipeline, not both")
+        try:
+            result = pipeline.run([(name, module.weight.data)
+                                   for name, module in layers])
+        finally:
+            if owns_pipeline:
+                pipeline.close()
+        return cls.from_pipeline_result(result, model=model)
+
+    # -- batched forward ----------------------------------------------------
+    def forward(self, activations: np.ndarray, mode: str = "exact",
+                batch_size: int | None = None) -> np.ndarray:
+        """Run a batched forward pass through the packed network.
+
+        ``activations`` is an NCHW batch.  ``mode`` selects the packed
+        computation (see the module docstring): ``"exact"`` is bit-identical
+        to the dense forward over the pruned weights *for the same batch*;
+        ``"mx"`` runs the MX-cell routing semantics.  ``batch_size``
+        optionally splits the batch into chunks whose outputs are
+        concatenated; every layer is a per-sample computation in eval
+        mode, so chunking changes the result only through BLAS summation
+        order (numerically equivalent, not necessarily the same bits as
+        the unchunked batch).
+        """
+        if self.model is None:
+            raise RuntimeError(
+                "this PackedModel was assembled without an nn model; "
+                "forward needs one (use from_model or pass model=...)")
+        if mode not in FORWARD_MODES:
+            raise ValueError(f"unknown forward mode {mode!r}; "
+                             f"expected one of {FORWARD_MODES}")
+        activations = np.asarray(activations, dtype=np.float64)
+        if activations.ndim != 4:
+            raise ValueError("activations must be (batch, channels, H, W)")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        total = activations.shape[0]
+        if batch_size is None or total <= batch_size:
+            chunks = [activations]
+        else:
+            chunks = [activations[start:start + batch_size]
+                      for start in range(0, total, batch_size)]
+        self._observed_spatial = {}
+        with self._packed_layers_installed(mode):
+            outputs = [self.model.forward(chunk) for chunk in chunks]
+        return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
+
+    def predict(self, activations: np.ndarray, mode: str = "exact",
+                batch_size: int | None = None) -> np.ndarray:
+        """Class predictions (argmax over the final logits)."""
+        return np.argmax(self.forward(activations, mode=mode,
+                                      batch_size=batch_size), axis=1)
+
+    @contextmanager
+    def _packed_layers_installed(self, mode: str) -> Iterator[None]:
+        """Temporarily run the model in eval mode with packed layers installed.
+
+        ``"exact"`` swaps each packable layer's weight data for the packed
+        reconstruction; ``"mx"`` overrides the layer's ``forward`` with the
+        MX-cell multiply.  Both record the spatial size each packed layer
+        observes (for :meth:`plan`) and restore the model afterwards.
+        """
+        model = self.model
+        assert model is not None
+        # Snapshot every module's instance dict: it holds the training flag,
+        # the activation caches layers keep for backward (which this forward
+        # must neither clobber for a pending training backward nor retain
+        # afterwards), and is where the forward overrides below are
+        # installed.  Parameter *objects* are shared with the snapshot, so
+        # swapped weight data is restored explicitly.
+        saved_attributes = [(module, vars(module).copy())
+                            for module in model.modules()]
+        saved_weights: list[tuple[PointwiseConv2d, np.ndarray]] = []
+        model.eval()
+        try:
+            for spec in self.specs:
+                module = spec.module
+                assert module is not None
+                if mode == "exact":
+                    saved_weights.append((module, module.weight.data))
+                    module.weight.data = spec.packed.to_sparse()
+                    module.forward = _recording_forward(module, spec,
+                                                        self._observed_spatial)
+                else:
+                    module.forward = _mx_forward(module, spec,
+                                                 self._observed_spatial)
+            yield
+        finally:
+            for module, weights in saved_weights:
+                module.weight.data = weights
+            for module, attributes in saved_attributes:
+                vars(module).clear()
+                vars(module).update(attributes)
+
+    # -- batched exports ----------------------------------------------------
+    def packed_layers(self) -> list[tuple[str, PackedFilterMatrix]]:
+        """``(name, packed)`` pairs in layer order (the planners' shape)."""
+        return [(spec.name, spec.packed) for spec in self.specs]
+
+    def to_sparse(self) -> list[tuple[str, np.ndarray]]:
+        """Reconstruct every layer's pruned dense filter matrix, in order."""
+        return [(spec.name, spec.packed.to_sparse()) for spec in self.specs]
+
+    def layer_names(self) -> list[str]:
+        return [spec.name for spec in self.specs]
+
+    # -- aggregate metrics ---------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return len(self.specs)
+
+    def packing_efficiency(self) -> float:
+        """Cell-weighted packing efficiency across all packed layers."""
+        total_cells = sum(spec.packed.weights.size for spec in self.specs)
+        if total_cells == 0:
+            return 0.0
+        nonzero = sum(spec.nonzeros for spec in self.specs)
+        return nonzero / total_cells
+
+    def total_nonzeros(self) -> int:
+        """Nonzero weights across all packed layers (after conflict pruning)."""
+        return sum(spec.nonzeros for spec in self.specs)
+
+    def multiplexing_degree(self) -> int:
+        """Largest MX fan-in any layer needs."""
+        degrees = [spec.packed.multiplexing_degree() for spec in self.specs]
+        return max(degrees) if degrees else 0
+
+    # -- cycle / tile accounting --------------------------------------------
+    def observed_spatial_sizes(self) -> list[int]:
+        """Linear spatial sizes recorded by the last :meth:`forward` call."""
+        if len(self._observed_spatial) != len(self.specs):
+            raise RuntimeError(
+                "no spatial sizes observed yet; run forward() first or pass "
+                "spatial_sizes to plan()")
+        sizes: list[int] = []
+        for spec in self.specs:
+            height, width = self._observed_spatial[spec.name]
+            if height != width:
+                raise ValueError(
+                    f"layer {spec.name!r} saw a non-square {height}x{width} "
+                    "activation map; pass spatial_sizes to plan() explicitly")
+            sizes.append(height)
+        return sizes
+
+    def plan(self, spatial_sizes: Sequence[int] | None = None,
+             batch: int = 1,
+             array_config: ArrayConfig | None = None) -> ModelExecutionPlan:
+        """Plan the whole model on a systolic array via the timing model.
+
+        ``spatial_sizes[i]`` is layer i's linear activation-map size (1 for
+        fully connected layers); when omitted, the sizes observed during
+        the last :meth:`forward` call are used.  The returned
+        :class:`~repro.systolic.system.ModelExecutionPlan` aggregates
+        tiles, cycles, and MAC counts across layers.
+        """
+        if spatial_sizes is None:
+            spatial_sizes = self.observed_spatial_sizes()
+        if array_config is None:
+            array_config = ArrayConfig(rows=self.array_rows, cols=self.array_cols,
+                                       alpha=max(1, self.multiplexing_degree()))
+        system = SystolicSystem(array_config)
+        return system.plan_model(self.packed_layers(), list(spatial_sizes),
+                                 batch=batch)
+
+    def summary(self, plan: ModelExecutionPlan | None = None) -> dict[str, Any]:
+        """Aggregate packed-model accounting, optionally with a timing plan."""
+        result: dict[str, Any] = {
+            "num_layers": self.num_layers,
+            "packing_efficiency": self.packing_efficiency(),
+            "total_nonzeros": self.total_nonzeros(),
+            "multiplexing_degree": self.multiplexing_degree(),
+        }
+        if plan is not None:
+            result.update({
+                "total_tiles": plan.total_tiles,
+                "total_cycles": plan.total_cycles,
+                "utilization": plan.utilization,
+            })
+        return result
+
+
+def _recording_forward(module: PointwiseConv2d, spec: PackedLayerSpec,
+                       observed: dict[str, tuple[int, int]]):
+    """The module's own forward, plus spatial-size recording.
+
+    Runs the *original class* forward on the (swapped-in) pruned weights,
+    so the computation — and therefore the bits of the output — is exactly
+    the dense reference forward.
+    """
+    def forward(x: np.ndarray) -> np.ndarray:
+        if x.ndim == 4:
+            observed[spec.name] = (x.shape[2], x.shape[3])
+        return PointwiseConv2d.forward(module, x)
+    return forward
+
+
+def _mx_forward(module: PointwiseConv2d, spec: PackedLayerSpec,
+                observed: dict[str, tuple[int, int]]):
+    """Forward through the MX-cell multiply (hardware routing semantics)."""
+    def forward(x: np.ndarray) -> np.ndarray:
+        module.check_input(x)
+        observed[spec.name] = (x.shape[2], x.shape[3])
+        out = spec.packed.multiply_activations(x)
+        if module.bias is not None:
+            out = out + module.bias.data[None, :, None, None]
+        return out
+    return forward

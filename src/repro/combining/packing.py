@@ -130,6 +130,28 @@ class PackedFilterMatrix:
         contributions = self.weights[..., None] * gathered
         return contributions.sum(axis=1)
 
+    def multiply_activations(self, activations: np.ndarray) -> np.ndarray:
+        """MX-cell :meth:`multiply` over NCHW activations.
+
+        ``activations`` has shape (batch, in_channels, H, W); the result has
+        shape (batch, num_rows, H, W) — the layout a pointwise convolution
+        produces, so packed layers drop into an nn forward pass unchanged.
+        The sum runs over the packed groups (one product per occupied MX
+        cell), so it equals the pruned dense convolution up to float
+        summation order; see
+        :meth:`repro.combining.inference.PackedModel.forward` for the
+        bit-exact dense-realized path.
+        """
+        activations = np.asarray(activations, dtype=np.float64)
+        if activations.ndim != 4 or activations.shape[1] != self.original_shape[1]:
+            raise ValueError(
+                f"activations must have shape (batch, {self.original_shape[1]}, H, W), "
+                f"got {activations.shape}")
+        batch, channels, height, width = activations.shape
+        data = activations.transpose(1, 0, 2, 3).reshape(channels, -1)
+        out = self.multiply(data)
+        return out.reshape(self.num_rows, batch, height, width).transpose(1, 0, 2, 3)
+
 
 def pack_filter_matrix(matrix: np.ndarray, grouping: ColumnGrouping,
                        prune_conflicts: bool = True,

@@ -13,7 +13,10 @@ construction; ``workers=N`` runs layers concurrently but returns results
 in layer order, and every layer's work is seeded independently of its
 schedule (the ``"random"`` grouping policy derives a per-layer generator
 from ``(config.seed, layer_index)``), so parallel results are identical
-to serial ones.
+to serial ones.  The worker pool is persistent: it is spawned lazily on
+the first parallel ``run()`` and reused by later calls until
+:meth:`PackingPipeline.close` (or the context-manager exit) shuts it
+down, so repeated sweeps do not re-pay the process fork cost.
 
 Usage::
 
@@ -61,7 +64,8 @@ _ResultT = TypeVar("_ResultT")
 def ordered_pool_map(function: Callable[[_ItemT], _ResultT],
                      items: Iterable[_ItemT], workers: int = 1,
                      initializer: Callable[..., None] | None = None,
-                     initargs: tuple = ()) -> list[_ResultT]:
+                     initargs: tuple = (),
+                     pool: ProcessPoolExecutor | None = None) -> list[_ResultT]:
     """Map ``function`` over ``items``, optionally on a process pool.
 
     ``workers <= 1`` (or a single item) runs serially in-process; larger
@@ -76,16 +80,29 @@ def ordered_pool_map(function: Callable[[_ItemT], _ResultT],
     up-front on the serial path) — the place to install shared read-only
     context (e.g. datasets) so it is shipped per worker rather than
     pickled into every item.
+
+    ``pool`` lends an already-running executor: the map runs on it and the
+    caller keeps ownership (it is not shut down here), which is how
+    :class:`PackingPipeline` reuses one persistent pool across ``run()``
+    calls.  A lent pool must already carry any initializer it needs, so
+    combining ``pool`` with ``initializer`` is rejected — the lent pool's
+    workers were spawned long before this call and would silently skip it.
     """
+    if pool is not None and initializer is not None:
+        raise ValueError(
+            "pass either initializer or pool, not both: a lent pool's workers "
+            "are already running and would never execute the initializer")
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         if initializer is not None:
             initializer(*initargs)
         return [function(item) for item in items]
+    if pool is not None:
+        return list(pool.map(function, items))
     with ProcessPoolExecutor(max_workers=min(workers, len(items)),
                              initializer=initializer,
-                             initargs=initargs) as pool:
-        return list(pool.map(function, items))
+                             initargs=initargs) as fresh_pool:
+        return list(fresh_pool.map(function, items))
 
 
 @dataclass(frozen=True)
@@ -147,11 +164,19 @@ class LayerResult:
     tiles_after: int
     grouping: ColumnGrouping
     packed: PackedFilterMatrix
+    #: nonzero weights in the input matrix / surviving after Algorithm 3.
+    nonzeros_before: int = 0
+    nonzeros_after: int = 0
 
     @property
     def tile_reduction(self) -> float:
         """Tile-count reduction factor (>= 1 when combining helps)."""
         return self.tiles_before / max(1, self.tiles_after)
+
+    @property
+    def pruned_weights(self) -> int:
+        """Weights Algorithm 3 dropped to make every group conflict-free."""
+        return self.nonzeros_before - self.nonzeros_after
 
 
 @dataclass
@@ -165,7 +190,18 @@ class PipelineResult:
         return [layer.name for layer in self.layers]
 
     def packed_layers(self) -> list[tuple[str, PackedFilterMatrix]]:
-        """``(name, packed)`` pairs, the shape the systolic planners take."""
+        """``(name, packed)`` pairs, the shape the systolic planners take.
+
+        Ordering guarantee: pairs appear in the *input layer order* of the
+        :meth:`PackingPipeline.run` call that produced this result —
+        ``packed_layers()[i]`` is the packing of ``layers[i]`` — even when
+        the run fanned layers out over a process pool (``workers > 1``),
+        because :func:`ordered_pool_map` returns results in input order
+        regardless of completion order.  Consumers that depend on forward
+        order (cross-layer permutation, :class:`~repro.combining.inference.PackedModel`
+        assembly, the systolic planners' per-layer spatial sizes) may rely
+        on this.
+        """
         return [(layer.name, layer.packed) for layer in self.layers]
 
     def tiles_before(self) -> list[int]:
@@ -221,15 +257,79 @@ def _pack_one_layer(task: tuple[PipelineConfig, str, np.ndarray, int]
                                config.array_rows, config.array_cols),
         grouping=grouping,
         packed=packed,
+        nonzeros_before=int(np.count_nonzero(matrix)),
+        nonzeros_after=int(np.count_nonzero(packed.weights)),
     )
 
 
 class PackingPipeline:
-    """Runs group -> conflict-prune -> pack -> tile over a list of layers."""
+    """Runs group -> conflict-prune -> pack -> tile over a list of layers.
 
-    def __init__(self, config: PipelineConfig | None = None):
+    With ``workers > 1`` the pipeline owns a **persistent**
+    ``ProcessPoolExecutor``: it is spawned lazily on the first parallel
+    :meth:`run` and reused by every subsequent call, so sweeps that call
+    the pipeline many times (fig15a's three settings, table2's measured +
+    baseline plans, fig16's settings x networks grid) pay the ~100 ms
+    worker fork cost once instead of per call.  The pool holds OS
+    processes, so use the pipeline as a context manager (or call
+    :meth:`close`) when its lifetime is scoped::
+
+        with PackingPipeline(PipelineConfig(workers=4)) as pipeline:
+            for layers in sweeps:
+                results.append(pipeline.run(layers))
+
+    ``close()`` is idempotent and a closed pipeline may keep running —
+    serial runs never need the pool, and the next parallel ``run()``
+    simply spawns a fresh one.  Results are identical whether the pool is
+    fresh, reused, borrowed, or absent (``workers=1``).
+
+    Several pipelines with *different* configs can also share one
+    executor: pass a running ``ProcessPoolExecutor`` as ``pool`` and the
+    pipeline borrows it instead of spawning its own (the borrower never
+    shuts it down — the lender keeps ownership).  The figure/table sweeps
+    that plan multiple (α, γ) settings per run (fig15a, table2) fork one
+    pool this way instead of one per setting.
+    """
+
+    def __init__(self, config: PipelineConfig | None = None,
+                 pool: ProcessPoolExecutor | None = None):
         self.config = config if config is not None else PipelineConfig()
+        self._pool = pool
+        self._owns_pool = pool is None
 
+    # -- persistent-pool lifecycle ------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent executor: borrowed, or spawned (once) on first use."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+            self._owns_pool = True
+        return self._pool
+
+    @property
+    def pool_active(self) -> bool:
+        """Whether a worker pool (owned or borrowed) is currently attached."""
+        return self._pool is not None
+
+    def close(self) -> None:
+        """Release the worker pool: shut it down if owned, detach if borrowed."""
+        pool, self._pool = self._pool, None
+        owned, self._owns_pool = self._owns_pool, True
+        if pool is not None and owned:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PackingPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- running ------------------------------------------------------------
     def run_layer(self, name: str, matrix: np.ndarray,
                   layer_index: int = 0) -> LayerResult:
         """The per-layer flow for a single matrix, always in-process."""
@@ -242,6 +342,8 @@ class PackingPipeline:
         ``layers`` items may be ``(LayerShape, matrix)`` pairs (as produced
         by :func:`repro.experiments.workloads.sparse_network`),
         ``(name, matrix)`` pairs, or bare matrices (named ``layerN``).
+        Results come back in input layer order (see
+        :meth:`PipelineResult.packed_layers`).
         """
         tasks = []
         for index, item in enumerate(layers):
@@ -251,5 +353,9 @@ class PackingPipeline:
                 layer_id, matrix = None, item
             tasks.append((self.config, _layer_name(layer_id, index),
                           matrix, index))
-        results = ordered_pool_map(_pack_one_layer, tasks, self.config.workers)
+        pool = None
+        if self.config.workers > 1 and len(tasks) > 1:
+            pool = self._ensure_pool()
+        results = ordered_pool_map(_pack_one_layer, tasks, self.config.workers,
+                                   pool=pool)
         return PipelineResult(self.config, results)

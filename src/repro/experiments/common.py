@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
@@ -86,19 +88,43 @@ def packing_pipeline(*, alpha: int = 8, gamma: float = 0.5,
                      grouping_engine: str = "fast",
                      prune_engine: str = "fast",
                      array_rows: int = 32, array_cols: int = 32,
-                     workers: int = 1, seed: int = 0) -> PackingPipeline:
+                     workers: int = 1, seed: int = 0,
+                     pool: ProcessPoolExecutor | None = None) -> PackingPipeline:
     """A :class:`PackingPipeline` for the structural experiment sweeps.
 
     Thin keyword wrapper around :class:`PipelineConfig` so every runner
     builds its pipeline the same way and gains the ``workers`` /
-    ``grouping_engine`` / ``prune_engine`` knobs uniformly.
+    ``grouping_engine`` / ``prune_engine`` knobs uniformly.  ``pool``
+    lends a shared executor to the pipeline (see
+    :class:`~repro.combining.pipeline.PackingPipeline`), letting sweeps
+    that plan several (α, γ) settings fork one pool for all of them.
     """
     return PackingPipeline(PipelineConfig(
         alpha=alpha, gamma=gamma, policy=policy,
         grouping_engine=grouping_engine, prune_engine=prune_engine,
         array_rows=array_rows, array_cols=array_cols,
         workers=workers, seed=seed,
-    ))
+    ), pool=pool)
+
+
+@contextmanager
+def shared_packing_pool(workers: int) -> Iterator[ProcessPoolExecutor | None]:
+    """One worker pool lent to every pipeline of a multi-setting sweep.
+
+    Sweeps that plan several (α, γ) settings build one pipeline per
+    setting (the config is frozen per pipeline); lending them all the
+    same executor forks the workers once per sweep instead of once per
+    setting.  Yields ``None`` for serial sweeps (``workers <= 1``), which
+    pipelines accept as "no borrowed pool".
+    """
+    if workers <= 1:
+        yield None
+        return
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        yield pool
+    finally:
+        pool.shutdown(wait=True)
 
 
 def run_column_combining(model_name: str, run: RunConfig | None = None,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.experiments.common import format_table, packing_pipeline
+from repro.experiments.common import format_table, packing_pipeline, shared_packing_pool
 from repro.experiments.workloads import PAPER_DENSITY, sparse_network
 
 SETTINGS: tuple[tuple[str, int, float], ...] = (
@@ -35,13 +35,14 @@ def run(density: float | None = None, array_rows: int = 32, array_cols: int = 32
                             width_multiplier=width_multiplier)
     per_setting: dict[str, list[int]] = {}
     layer_names: list[str] = [shape.name for shape, _ in layers]
-    for setting, alpha, gamma in SETTINGS:
-        pipeline = packing_pipeline(alpha=alpha, gamma=gamma,
-                                    grouping_engine=grouping_engine,
-                                    prune_engine=prune_engine,
-                                    array_rows=array_rows, array_cols=array_cols,
-                                    workers=workers)
-        per_setting[setting] = pipeline.run(layers).tiles_after()
+    with shared_packing_pool(workers) as pool:
+        for setting, alpha, gamma in SETTINGS:
+            pipeline = packing_pipeline(alpha=alpha, gamma=gamma,
+                                        grouping_engine=grouping_engine,
+                                        prune_engine=prune_engine,
+                                        array_rows=array_rows, array_cols=array_cols,
+                                        workers=workers, pool=pool)
+            per_setting[setting] = pipeline.run(layers).tiles_after()
     largest = max(range(len(layers)), key=lambda i: per_setting["baseline"][i])
     largest_reduction = (per_setting["baseline"][largest]
                          / max(1, per_setting["column-combine-pruning"][largest]))

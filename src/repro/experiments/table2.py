@@ -20,8 +20,9 @@ from repro.experiments.common import (
     format_table,
     packing_pipeline,
     run_column_combining,
+    shared_packing_pool,
 )
-from repro.experiments.workloads import PAPER_DENSITY, sparse_network
+from repro.experiments.workloads import PAPER_DENSITY, sparse_network, spatial_sizes
 from repro.hardware.fpga import FPGADesign, FPGAReport, evaluate_fpga
 from repro.hardware.reference import TABLE2_ROWS
 from repro.systolic.array import ArrayConfig
@@ -29,28 +30,30 @@ from repro.systolic.system import SystolicSystem
 from repro.utils.config import RunConfig
 
 
-def _plan_resnet(alpha: int, gamma: float, seed: int = 0, workers: int = 1):
+def _plan_resnet(alpha: int, gamma: float, seed: int = 0, workers: int = 1,
+                 pool=None):
     """Pack the full-size ResNet-20 and plan per-layer (untiled) arrays."""
     layers = sparse_network("resnet20", density=PAPER_DENSITY["resnet20"], seed=seed,
                             width_multiplier=6)
-    pipeline = packing_pipeline(alpha=alpha, gamma=gamma, workers=workers)
-    result = pipeline.run(layers)
+    with packing_pipeline(alpha=alpha, gamma=gamma, workers=workers,
+                          pool=pool) as pipeline:
+        result = pipeline.run(layers)
     packed_layers = result.packed_layers()
-    spatial_sizes = [shape.spatial for shape, _ in layers]
     max_rows = max(1, max(layer.rows for layer in result.layers))
     max_groups = max(1, max(layer.columns_after for layer in result.layers))
     config = ArrayConfig(rows=max_rows, cols=max_groups, alpha=alpha)
-    return SystolicSystem(config).plan_model(packed_layers, spatial_sizes)
+    return SystolicSystem(config).plan_model(packed_layers, spatial_sizes(layers))
 
 
 def _pipelined_latency_cycles(alpha: int, gamma: float, seed: int,
-                              workers: int = 1) -> int:
+                              workers: int = 1, pool=None) -> int:
     """Cross-layer-pipelined single-sample latency (the paper's FPGA mode)."""
     from repro.experiments.table3 import network_latencies
     from repro.systolic.pipeline import pipeline_latency
 
     latencies = network_latencies("resnet20", alpha=alpha, gamma=gamma, seed=seed,
-                                  workers=workers, width_multiplier=6, image_size=32)
+                                  workers=workers, pool=pool,
+                                  width_multiplier=6, image_size=32)
     return pipeline_latency(latencies)
 
 
@@ -59,7 +62,16 @@ def run(run_config: RunConfig | None = None, alpha: int = 8, gamma: float = 0.5,
         workers: int = 1) -> dict[str, Any]:
     """Evaluate the FPGA ResNet-20 design point and collect Table 2."""
     run_config = run_config if run_config is not None else FAST_RUN
-    plan = _plan_resnet(alpha, gamma, seed=seed, workers=workers)
+    # One worker pool serves all four packing passes (measured + baseline,
+    # plans + latencies) instead of forking per pass.
+    with shared_packing_pool(workers) as pool:
+        plan = _plan_resnet(alpha, gamma, seed=seed, workers=workers, pool=pool)
+        measured_latency = _pipelined_latency_cycles(alpha, gamma, seed, workers,
+                                                     pool=pool)
+        baseline_plan = _plan_resnet(alpha=1, gamma=0.0, seed=seed,
+                                     workers=workers, pool=pool)
+        baseline_latency = _pipelined_latency_cycles(1, 0.0, seed, workers,
+                                                     pool=pool)
     accuracy = float("nan")
     if include_accuracy:
         cc_config = combine_config(run_config, alpha=alpha, gamma=gamma)
@@ -67,13 +79,11 @@ def run(run_config: RunConfig | None = None, alpha: int = 8, gamma: float = 0.5,
         accuracy = trained["final_accuracy"]
     design = FPGADesign(frequency_hz=1.5e8)
     report: FPGAReport = evaluate_fpga(
-        design, plan, "resnet20", accuracy,
-        latency_cycles=_pipelined_latency_cycles(alpha, gamma, seed, workers))
+        design, plan, "resnet20", accuracy, latency_cycles=measured_latency)
     # Baseline FPGA design without column combining, for the relative factor.
-    baseline_plan = _plan_resnet(alpha=1, gamma=0.0, seed=seed, workers=workers)
     baseline_report = evaluate_fpga(
         design, baseline_plan, "resnet20-baseline", accuracy,
-        latency_cycles=_pipelined_latency_cycles(1, 0.0, seed, workers))
+        latency_cycles=baseline_latency)
     return {
         "experiment": "table2",
         "measured": report,

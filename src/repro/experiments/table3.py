@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.experiments.common import format_table, packing_pipeline
-from repro.experiments.workloads import PAPER_DENSITY, sparse_network
+from repro.experiments.common import format_table, packing_pipeline, shared_packing_pool
+from repro.experiments.workloads import PAPER_DENSITY, sparse_network, spatial_sizes
 from repro.hardware.reference import TABLE3_ROWS
 from repro.systolic.pipeline import (
     LayerLatency,
@@ -28,38 +28,46 @@ from repro.systolic.timing import CellTiming
 
 def network_latencies(network: str, alpha: int = 8, gamma: float = 0.5,
                       accumulation_bits: int = 32, seed: int = 0,
-                      workers: int = 1, **shape_kwargs) -> list[LayerLatency]:
-    """Per-layer latencies of the packed network on per-layer arrays."""
+                      workers: int = 1, pool=None,
+                      **shape_kwargs) -> list[LayerLatency]:
+    """Per-layer latencies of the packed network on per-layer arrays.
+
+    ``pool`` lends a shared executor to the packing pipeline (see
+    :func:`repro.experiments.common.shared_packing_pool`).
+    """
     density = PAPER_DENSITY[network]
     layers = sparse_network(network, density=density, seed=seed, **shape_kwargs)
     timing = CellTiming(accumulation_bits=accumulation_bits)
-    pipeline = packing_pipeline(alpha=alpha, gamma=gamma, workers=workers)
-    packed = pipeline.run(layers)
+    with packing_pipeline(alpha=alpha, gamma=gamma, workers=workers,
+                          pool=pool) as pipeline:
+        packed = pipeline.run(layers)
     return [layer_latency(shape.name, layer.rows, layer.columns_after,
-                          max(1, shape.spatial), timing)
-            for (shape, _), layer in zip(layers, packed.layers)]
+                          spatial, timing)
+            for (shape, _), layer, spatial
+            in zip(layers, packed.layers, spatial_sizes(layers))]
 
 
 def run(frequency_hz: float = 1.5e8, alpha: int = 8, gamma: float = 0.5,
         seed: int = 0, workers: int = 1) -> dict[str, Any]:
     """Compute pipelined / sequential latencies for LeNet-5 and ResNet-20."""
     results: dict[str, Any] = {}
-    for network, kwargs, accumulation in (
-        ("lenet5", {"image_size": 32}, 16),
-        ("resnet20", {"width_multiplier": 6, "image_size": 32}, 32),
-    ):
-        latencies = network_latencies(network, alpha=alpha, gamma=gamma,
-                                      accumulation_bits=accumulation, seed=seed,
-                                      workers=workers, **kwargs)
-        sequential = sequential_latency(latencies)
-        pipelined = pipeline_latency(latencies)
-        results[network] = {
-            "sequential_cycles": sequential,
-            "pipelined_cycles": pipelined,
-            "speedup": pipeline_speedup(latencies),
-            "sequential_us": sequential / frequency_hz * 1e6,
-            "pipelined_us": pipelined / frequency_hz * 1e6,
-        }
+    with shared_packing_pool(workers) as pool:
+        for network, kwargs, accumulation in (
+            ("lenet5", {"image_size": 32}, 16),
+            ("resnet20", {"width_multiplier": 6, "image_size": 32}, 32),
+        ):
+            latencies = network_latencies(network, alpha=alpha, gamma=gamma,
+                                          accumulation_bits=accumulation, seed=seed,
+                                          workers=workers, pool=pool, **kwargs)
+            sequential = sequential_latency(latencies)
+            pipelined = pipeline_latency(latencies)
+            results[network] = {
+                "sequential_cycles": sequential,
+                "pipelined_cycles": pipelined,
+                "speedup": pipeline_speedup(latencies),
+                "sequential_us": sequential / frequency_hz * 1e6,
+                "pipelined_us": pipelined / frequency_hz * 1e6,
+            }
     return {
         "experiment": "table3",
         "frequency_hz": frequency_hz,

@@ -130,6 +130,17 @@ def sparse_network(network: str, density: float = 0.12, seed: int = 0,
             for shape in shapes]
 
 
+def spatial_sizes(layers: list[tuple[LayerShape, np.ndarray]]) -> list[int]:
+    """Per-layer linear activation-map sizes for the systolic planners.
+
+    Fully connected layers carry ``spatial=0`` in some shape tables but
+    stream one vector per sample, so sizes are clamped to at least 1 —
+    the single place that convention lives (the CLI, fig16, table3, and
+    the golden harness all plan with these sizes).
+    """
+    return [max(1, shape.spatial) for shape, _ in layers]
+
+
 #: Approximate per-layer nonzero density of the paper's pruned networks
 #: ("as low as 10% nonzero in each convolution layer"; the Figure 14b layer
 #: has 16% nonzeros).

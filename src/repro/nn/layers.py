@@ -81,11 +81,20 @@ class PointwiseConv2d(Module):
         self.bias = Parameter(init.zeros((out_channels,)), name=f"{name}.bias") if bias else None
         self._cache_x: np.ndarray | None = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def check_input(self, x: np.ndarray) -> None:
+        """Validate an NCHW activation batch for this layer.
+
+        Shared by :meth:`forward` and the packed-inference substitutes
+        (:mod:`repro.combining.inference`), so every path that stands in
+        for this layer rejects malformed inputs identically.
+        """
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"PointwiseConv2d expected (batch, {self.in_channels}, H, W), got {x.shape}"
             )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.check_input(x)
         self._cache_x = x
         # (B, C, H, W) -> einsum over channel dimension.
         out = np.einsum("nc,bchw->bnhw", self.weight.data, x, optimize=True)

@@ -2,10 +2,72 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.data import synthetic_cifar10, synthetic_mnist
+
+#: Frozen JSON fixtures the golden regression harness diffs against.
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite the golden JSON fixtures under tests/golden/ from the "
+             "current engine outputs instead of comparing against them")
+
+
+@pytest.fixture
+def golden_check(request: pytest.FixtureRequest):
+    """Compare a JSON-serializable payload against a frozen golden fixture.
+
+    ``golden_check(name, payload)`` asserts ``payload`` equals the stored
+    ``tests/golden/<name>.json`` exactly (floats survive the JSON round
+    trip bit-for-bit via ``repr``-based shortest-round-trip encoding).
+    Running pytest with ``--regen-golden`` rewrites the fixture instead,
+    so intentional engine changes are re-frozen in one command and show
+    up as a reviewable diff.  When several tests (e.g. the engine-combo
+    parametrizations) feed the same fixture name during one regen run,
+    the first writes and the rest are compared against it — a divergence
+    between engines fails the regen instead of being silently overwritten
+    by whichever combo ran last.
+    """
+    regen = request.config.getoption("--regen-golden")
+    session = request.session
+    regenerated = getattr(session, "_golden_regenerated", None)
+    if regenerated is None:
+        regenerated = session._golden_regenerated = {}
+
+    def check(name: str, payload) -> None:
+        path = GOLDEN_DIR / f"{name}.json"
+        encoded = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if regen:
+            if name in regenerated:
+                assert encoded == regenerated[name], (
+                    f"two tests produced different payloads for golden "
+                    f"fixture {name!r} during --regen-golden; the engines "
+                    "disagree — fix that before refreezing")
+                return
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(encoded)
+            regenerated[name] = encoded
+            return
+        assert path.exists(), (
+            f"golden fixture {path} is missing; generate it with "
+            f"`pytest {request.node.nodeid} --regen-golden`")
+        stored = json.loads(path.read_text())
+        # Round-trip the payload through JSON so the comparison sees exactly
+        # what a regen would have written (e.g. tuples become lists).
+        assert json.loads(encoded) == stored, (
+            f"output diverged from frozen golden fixture {path.name}; if the "
+            "change is intentional, refreeze with `pytest --regen-golden` "
+            "and review the JSON diff")
+
+    return check
 
 
 @pytest.fixture

@@ -73,6 +73,47 @@ def test_pack_command_rejects_non_2d_matrix(tmp_path, capsys, rng):
     assert main(["pack", "--matrix", str(path)]) == 2
 
 
+def test_pack_model_command_prints_packed_model_report(capsys):
+    exit_code = main(["pack-model", "--network", "lenet5"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "packed model: lenet5" in output
+    assert "combined cols" in output
+    assert "model totals" in output
+    assert "pruned by Algorithm 3" in output
+
+
+def test_pack_model_command_workers_print_identical_reports(capsys):
+    assert main(["pack-model", "--network", "lenet5"]) == 0
+    serial_output = capsys.readouterr().out
+    assert main(["pack-model", "--network", "lenet5", "--workers", "3"]) == 0
+    parallel_output = capsys.readouterr().out
+    assert parallel_output == serial_output
+
+
+def test_pack_model_command_engines_print_identical_reports(capsys):
+    assert main(["pack-model", "--network", "lenet5",
+                 "--engine", "fast", "--prune-engine", "fast"]) == 0
+    fast_output = capsys.readouterr().out
+    assert main(["pack-model", "--network", "lenet5",
+                 "--engine", "reference", "--prune-engine", "reference"]) == 0
+    reference_output = capsys.readouterr().out
+    assert fast_output == reference_output
+
+
+def test_pack_model_command_respects_density_and_alpha(capsys):
+    assert main(["pack-model", "--network", "lenet5", "--density", "0.3",
+                 "--alpha", "4", "--gamma", "0.25"]) == 0
+    output = capsys.readouterr().out
+    assert "at 30% density" in output
+    assert "alpha=4" in output
+
+
+def test_pack_model_command_rejects_unknown_network():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["pack-model", "--network", "alexnet"])
+
+
 def test_train_command_runs_tiny_configuration(capsys):
     exit_code = main([
         "train", "--model", "lenet5", "--train-samples", "96", "--image-size", "8",

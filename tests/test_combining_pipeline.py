@@ -154,6 +154,111 @@ def test_reference_engines_through_pipeline_match_fast():
     assert_results_identical(fast, reference)
 
 
+# -- persistent worker pool ----------------------------------------------------------------
+
+def test_persistent_pool_reused_across_runs_matches_fresh_pipelines():
+    """Three run() calls on one (pool-reusing) pipeline must equal three
+    runs on fresh pipelines — the pool is an optimization, never a result
+    change."""
+    layers = small_layers()
+    with PackingPipeline(PipelineConfig(workers=2)) as pipeline:
+        reused = [pipeline.run(layers) for _ in range(3)]
+        assert pipeline.pool_active  # one pool served all three runs
+    assert not pipeline.pool_active
+    for result in reused:
+        with PackingPipeline(PipelineConfig(workers=2)) as fresh:
+            assert_results_identical(fresh.run(layers), result)
+
+
+def test_pool_spawns_lazily_and_respawns_after_close():
+    pipeline = PackingPipeline(PipelineConfig(workers=2))
+    assert not pipeline.pool_active  # constructing never forks
+    first = pipeline.run(small_layers())
+    assert pipeline.pool_active
+    pipeline.close()
+    pipeline.close()  # idempotent
+    assert not pipeline.pool_active
+    second = pipeline.run(small_layers())  # closed pipeline keeps working
+    assert pipeline.pool_active
+    pipeline.close()
+    assert_results_identical(first, second)
+
+
+def test_serial_pipeline_never_spawns_a_pool():
+    with PackingPipeline(PipelineConfig(workers=1)) as pipeline:
+        pipeline.run(small_layers())
+        assert not pipeline.pool_active
+
+
+def test_single_layer_run_stays_in_process():
+    with PackingPipeline(PipelineConfig(workers=4)) as pipeline:
+        pipeline.run(small_layers(count=1))
+        assert not pipeline.pool_active
+
+
+def test_packed_layers_preserve_input_order_under_parallel_fanout():
+    """packed_layers() documents that it preserves input layer order even
+    under parallel fan-out; pin that with names whose sorted order differs
+    from the input order."""
+    names = ["zeta", "alpha", "mid", "omega", "beta"]
+    rng = np.random.default_rng(2)
+    layers = [(name, rng.normal(size=(30, 24)) * (rng.random((30, 24)) < 0.25))
+              for name in names]
+    serial = PackingPipeline(PipelineConfig(workers=1)).run(layers)
+    with PackingPipeline(PipelineConfig(workers=4)) as pipeline:
+        parallel = pipeline.run(layers)
+    assert [name for name, _ in serial.packed_layers()] == names
+    assert [name for name, _ in parallel.packed_layers()] == names
+    for (_, a), (_, b) in zip(serial.packed_layers(), parallel.packed_layers()):
+        np.testing.assert_array_equal(a.weights, b.weights)
+        np.testing.assert_array_equal(a.channel_index, b.channel_index)
+
+
+def test_borrowed_pool_is_shared_and_never_shut_down_by_borrowers():
+    """Pipelines with different configs can borrow one executor; closing a
+    borrower must leave the lender's pool alive for the others."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    layers = small_layers()
+    with ProcessPoolExecutor(max_workers=2) as shared:
+        first = PackingPipeline(PipelineConfig(workers=2), pool=shared)
+        second = PackingPipeline(PipelineConfig(alpha=4, workers=2), pool=shared)
+        assert first.pool_active and second.pool_active
+        first_result = first.run(layers)
+        first.close()
+        assert not first.pool_active
+        second_result = second.run(layers)  # pool still alive after close()
+        second.close()
+    assert_results_identical(
+        first_result, PackingPipeline(PipelineConfig(workers=1)).run(layers))
+    assert_results_identical(
+        second_result,
+        PackingPipeline(PipelineConfig(alpha=4, workers=1)).run(layers))
+
+
+def test_closed_borrower_spawns_its_own_pool_next_time():
+    from concurrent.futures import ProcessPoolExecutor
+
+    layers = small_layers()
+    with ProcessPoolExecutor(max_workers=2) as shared:
+        pipeline = PackingPipeline(PipelineConfig(workers=2), pool=shared)
+        pipeline.close()  # detaches the borrowed pool
+        result = pipeline.run(layers)  # spawns (and now owns) a fresh pool
+        assert pipeline.pool_active
+        pipeline.close()
+    assert_results_identical(
+        result, PackingPipeline(PipelineConfig(workers=1)).run(layers))
+
+
+def test_layer_result_counts_nonzeros_and_pruned_weights():
+    name, matrix = small_layers()[0]
+    result = PackingPipeline().run_layer(name, matrix)
+    assert result.nonzeros_before == int(np.count_nonzero(matrix))
+    assert result.nonzeros_after == int(np.count_nonzero(result.packed.weights))
+    assert result.pruned_weights == result.nonzeros_before - result.nonzeros_after
+    assert result.pruned_weights >= 0
+
+
 # -- ordered_pool_map ---------------------------------------------------------------------
 
 def test_ordered_pool_map_serial_path_preserves_order():
@@ -175,4 +280,18 @@ def test_ordered_pool_map_parallel_preserves_order():
     parallel = ordered_pool_map(_pack_one_layer, tasks, workers=3)
     assert [r.name for r in serial] == [r.name for r in parallel] == ["m0", "m1", "m2"]
     for a, b in zip(serial, parallel):
+        assert a.grouping.groups == b.grouping.groups
+
+
+def test_ordered_pool_map_lent_pool_is_not_shut_down():
+    from concurrent.futures import ProcessPoolExecutor
+
+    tasks = [(PipelineConfig(), f"m{i}", matrix, i)
+             for i, (_, matrix) in enumerate(small_layers())]
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        first = ordered_pool_map(_pack_one_layer, tasks, workers=2, pool=pool)
+        # The pool must survive the call so the owner can reuse it.
+        second = ordered_pool_map(_pack_one_layer, tasks, workers=2, pool=pool)
+    assert [r.name for r in first] == [r.name for r in second]
+    for a, b in zip(first, second):
         assert a.grouping.groups == b.grouping.groups

@@ -33,7 +33,8 @@ def load_example(name: str):
 def test_examples_directory_contains_documented_scripts():
     names = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart", "lenet_mnist_packing", "resnet_cifar_sweep",
-            "limited_data_retraining", "cross_layer_pipelining"} <= names
+            "limited_data_retraining", "cross_layer_pipelining",
+            "packed_inference"} <= names
 
 
 def test_quickstart_example_runs(capsys):
@@ -42,6 +43,15 @@ def test_quickstart_example_runs(capsys):
     output = capsys.readouterr().out
     assert "packing efficiency" in output
     assert "tiles on a 32x32 array" in output
+
+
+def test_packed_inference_example_runs(capsys):
+    module = load_example("packed_inference")
+    module.main()
+    output = capsys.readouterr().out
+    assert "exact mode bit-identical to dense reference: True" in output
+    assert "mx mode matches dense reference numerically: True" in output
+    assert "packed model totals" in output
 
 
 def test_cross_layer_pipelining_example_runs(capsys):

@@ -1,0 +1,109 @@
+"""Golden regression harness for the packing engines.
+
+Small frozen JSON fixtures under ``tests/golden/`` pin the exact outputs
+of the group -> conflict-prune -> pack -> tile flow — tile counts, packing
+efficiency, pruned-weight counts — for seeded 64x128 layers and a seeded
+LeNet-5 workload.  Every engine combination must reproduce the frozen
+numbers bit-for-bit, so future engine rewrites are diffed against the
+frozen behaviour instead of only against each other.
+
+To re-freeze after an intentional behaviour change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_regression.py --regen-golden
+
+and review the JSON diff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.combining import (
+    GROUPING_ENGINES,
+    PRUNE_ENGINES,
+    PackedModel,
+    PackingPipeline,
+    PipelineConfig,
+)
+from repro.experiments.workloads import sparse_filter_matrix, sparse_network, spatial_sizes
+
+ENGINE_COMBOS = [(grouping, prune)
+                 for grouping in GROUPING_ENGINES for prune in PRUNE_ENGINES]
+
+#: Seeded 64x128 layers at the densities the paper's workloads span.
+LAYER_CASES: tuple[tuple[int, float], ...] = (
+    (0, 0.10), (1, 0.10), (2, 0.10),
+    (0, 0.16), (1, 0.16), (2, 0.16),
+)
+
+
+def layer_metrics(seed: int, density: float, grouping_engine: str,
+                  prune_engine: str) -> dict:
+    rng = np.random.default_rng(seed)
+    matrix = sparse_filter_matrix(64, 128, density, rng)
+    config = PipelineConfig(alpha=8, gamma=0.5, grouping_engine=grouping_engine,
+                            prune_engine=prune_engine)
+    layer = PackingPipeline(config).run_layer(f"seed{seed}", matrix)
+    return {
+        "rows": layer.rows,
+        "columns_before": layer.columns_before,
+        "columns_after": layer.columns_after,
+        "tiles_before": layer.tiles_before,
+        "tiles_after": layer.tiles_after,
+        "packing_efficiency": layer.packing_efficiency,
+        "nonzeros_before": layer.nonzeros_before,
+        "nonzeros_after": layer.nonzeros_after,
+        "pruned_weights": layer.pruned_weights,
+    }
+
+
+@pytest.mark.parametrize("grouping_engine,prune_engine", ENGINE_COMBOS)
+def test_seeded_layers_match_golden(golden_check, grouping_engine, prune_engine):
+    payload = {
+        f"seed{seed}_density{int(round(density * 100))}":
+            layer_metrics(seed, density, grouping_engine, prune_engine)
+        for seed, density in LAYER_CASES
+    }
+    golden_check("packed_layers_64x128", payload)
+
+
+@pytest.mark.parametrize("grouping_engine,prune_engine", ENGINE_COMBOS)
+def test_lenet5_packed_model_matches_golden(golden_check, grouping_engine,
+                                            prune_engine):
+    layers = sparse_network("lenet5", density=0.13, seed=0)
+    config = PipelineConfig(alpha=8, gamma=0.5, grouping_engine=grouping_engine,
+                            prune_engine=prune_engine)
+    with PackingPipeline(config) as pipeline:
+        result = pipeline.run(layers)
+    model = PackedModel.from_pipeline_result(result)
+    plan = model.plan(spatial_sizes(layers))
+    payload = {
+        "layers": {
+            layer.name: {
+                "columns_after": layer.columns_after,
+                "tiles_after": layer.tiles_after,
+                "packing_efficiency": layer.packing_efficiency,
+                "pruned_weights": layer.pruned_weights,
+            }
+            for layer in result.layers
+        },
+        "model": {
+            "packing_efficiency": model.packing_efficiency(),
+            "total_nonzeros": model.total_nonzeros(),
+            "multiplexing_degree": model.multiplexing_degree(),
+            "total_tiles": plan.total_tiles,
+            "total_cycles": plan.total_cycles,
+            "utilization": plan.utilization,
+        },
+    }
+    golden_check("packed_model_lenet5", payload)
+
+
+def test_golden_fixtures_are_checked_in():
+    """The harness must fail loudly if the frozen fixtures go missing."""
+    from pathlib import Path
+
+    golden_dir = Path(__file__).resolve().parent / "golden"
+    names = {path.name for path in golden_dir.glob("*.json")}
+    assert {"packed_layers_64x128.json", "packed_model_lenet5.json"} <= names
