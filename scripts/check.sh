@@ -23,13 +23,19 @@ echo "== packed-model inference differential + golden regression suites =="
 python -m pytest -x -q tests/test_combining_inference.py \
     tests/test_golden_regression.py
 
+echo "== quantized inference differential + accuracy-vs-bits sweep suites =="
+python -m pytest -x -q -m "not slow" tests/test_combining_quantized.py \
+    tests/test_experiments_quant_sweep.py
+
 echo "== fast test suite (pytest -m 'not slow') =="
 quick_start=$(date +%s)
 python -m pytest -x -q -m "not slow" \
     --ignore=tests/test_combining_grouping_engines.py \
     --ignore=tests/test_combining_pruning_engines.py \
     --ignore=tests/test_combining_inference.py \
-    --ignore=tests/test_golden_regression.py "$@"
+    --ignore=tests/test_golden_regression.py \
+    --ignore=tests/test_combining_quantized.py \
+    --ignore=tests/test_experiments_quant_sweep.py "$@"
 quick_elapsed=$(( $(date +%s) - quick_start ))
 echo "quick tier took ${quick_elapsed}s (budget ${QUICK_TIER_BUDGET_SECONDS}s)"
 if (( quick_elapsed > QUICK_TIER_BUDGET_SECONDS )); then

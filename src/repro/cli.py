@@ -13,6 +13,11 @@ Three subcommands cover the library's main workflows:
     packed-model report: per-layer columns / packing efficiency / pruned
     weights / tiles / cycles plus the model-level totals from the
     systolic timing plan.
+``quantize-model``
+    Pack a sparsified network, calibrate per-layer quantizers on
+    synthetic training batches, run the quantized integer forward on the
+    systolic system at ``--bits``, and print the per-layer quantization
+    report plus the accuracy-vs-bits sweep table.
 ``train``
     Run Algorithm 1 (iterative pruning + column combining + retraining) on
     one of the built-in shift + pointwise networks over the synthetic
@@ -20,12 +25,14 @@ Three subcommands cover the library's main workflows:
     report.
 ``experiment``
     Run one of the paper's experiment runners (fig13a ... table3, sec72,
-    ablation-grouping) and print the same rows / series the paper reports.
+    ablation-grouping, quant-sweep) and print the same rows / series the
+    paper reports.
 
 Examples::
 
     python -m repro pack --rows 96 --cols 94 --density 0.16
     python -m repro pack-model --network resnet20 --workers 4
+    python -m repro quantize-model --bits 8 --calibration-batches 2
     python -m repro train --model lenet5 --alpha 8 --gamma 0.5
     python -m repro experiment fig15a
 """
@@ -41,8 +48,11 @@ import numpy as np
 
 from repro.combining import (
     GROUPING_ENGINES,
+    MAX_BITS,
+    MIN_BITS,
     PRUNE_ENGINES,
     PackedModel,
+    QuantizedPackedModel,
     group_columns,
     pack_filter_matrix,
     packing_report,
@@ -56,18 +66,22 @@ from repro.experiments import (
     fig15a,
     fig15b,
     fig16,
+    quant_sweep,
     sec72,
     table1,
     table2,
     table3,
 )
 from repro.experiments.common import (
+    DATASET_FOR_MODEL,
     FAST_RUN,
     combine_config,
     format_table,
     packing_pipeline,
+    prepare_data,
     run_column_combining,
 )
+from repro.quant import CALIBRATIONS
 from repro.experiments.workloads import (
     NETWORK_SHAPES,
     PAPER_DENSITY,
@@ -89,6 +103,7 @@ EXPERIMENTS = {
     "table3": table3.main,
     "sec72": sec72.main,
     "ablation-grouping": ablation_grouping.main,
+    "quant-sweep": quant_sweep.main,
 }
 
 
@@ -146,6 +161,42 @@ def build_parser() -> argparse.ArgumentParser:
                             default="fast",
                             help="conflict-pruning engine (Algorithm 3)")
     pack_model.add_argument("--seed", type=int, default=0)
+
+    quantize = subparsers.add_parser(
+        "quantize-model",
+        help="run calibrated quantized packed inference and the "
+             "accuracy-vs-bits sweep")
+    quantize.add_argument("--model", choices=["lenet5", "vgg", "resnet20"],
+                          default="lenet5")
+    quantize.add_argument("--bits", type=int, default=8,
+                          help=f"cell bit width for the per-layer report "
+                               f"({MIN_BITS}-{MAX_BITS})")
+    quantize.add_argument("--calibration-batches", type=_positive_int, default=1,
+                          help="number of training batches the per-layer "
+                               "quantizers are calibrated on (frozen afterwards)")
+    quantize.add_argument("--batch-size", type=_positive_int, default=64)
+    quantize.add_argument("--calibration", choices=list(CALIBRATIONS),
+                          default="max",
+                          help="activation-scale calibration strategy")
+    quantize.add_argument("--percentile", type=float, default=99.5,
+                          help="percentile for --calibration percentile")
+    quantize.add_argument("--density", type=float, default=0.5,
+                          help="fraction of packable weights kept when "
+                               "sparsifying the synthetic checkpoint")
+    quantize.add_argument("--alpha", type=int, default=8)
+    quantize.add_argument("--gamma", type=float, default=0.5)
+    quantize.add_argument("--image-size", type=int, default=FAST_RUN.image_size)
+    quantize.add_argument("--model-scale", type=float, default=FAST_RUN.model_scale)
+    quantize.add_argument("--workers", type=_positive_int, default=1,
+                          help="fan the per-layer packing out over N processes "
+                               "(results are identical to a serial run)")
+    quantize.add_argument("--engine", choices=list(GROUPING_ENGINES),
+                          default="fast",
+                          help="column-grouping engine (Algorithm 2)")
+    quantize.add_argument("--prune-engine", choices=list(PRUNE_ENGINES),
+                          default="fast",
+                          help="conflict-pruning engine (Algorithm 3)")
+    quantize.add_argument("--seed", type=int, default=0)
 
     train = subparsers.add_parser("train", help="run Algorithm 1 on a built-in model")
     train.add_argument("--model", choices=["lenet5", "vgg", "resnet20"], default="resnet20")
@@ -237,6 +288,84 @@ def _command_pack_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_quantize_model(args: argparse.Namespace) -> int:
+    if not MIN_BITS <= args.bits <= MAX_BITS:
+        print(f"error: --bits must be in [{MIN_BITS}, {MAX_BITS}], "
+              f"got {args.bits}", file=sys.stderr)
+        return 2
+    if not 0.0 < args.percentile <= 100.0:
+        print(f"error: --percentile must be in (0, 100], got {args.percentile}",
+              file=sys.stderr)
+        return 2
+    run_cfg = FAST_RUN.scaled(seed=args.seed, image_size=args.image_size,
+                              model_scale=args.model_scale)
+    model = quant_sweep.sparsified_model(args.model, run_cfg,
+                                         density=args.density, seed=args.seed)
+    train, test = prepare_data(DATASET_FOR_MODEL[args.model], run_cfg)
+    calibration_images = train.images[:args.calibration_batches * args.batch_size]
+    with packing_pipeline(alpha=args.alpha, gamma=args.gamma,
+                          grouping_engine=args.engine,
+                          prune_engine=args.prune_engine,
+                          workers=args.workers, seed=args.seed) as pipeline:
+        packed = PackedModel.from_model(model, pipeline=pipeline)
+
+    quantized = QuantizedPackedModel(packed, bits=args.bits,
+                                     calibration=args.calibration,
+                                     percentile=args.percentile)
+    quantized.calibrate(calibration_images)
+    outputs = quantized.forward(test.images, batch_size=args.batch_size)
+    predictions = np.argmax(outputs, axis=1)
+    # One exact forward serves both the report and the bits sweep below.
+    exact_outputs = packed.forward(test.images, batch_size=args.batch_size)
+    exact_predictions = np.argmax(exact_outputs, axis=1)
+    agreement = float(np.mean(predictions == exact_predictions))
+    accuracy = float(np.mean(predictions == test.labels))
+
+    print(f"quantized packed model: {args.model} at {args.bits} bits, "
+          f"density {args.density:.0%}, alpha={args.alpha}, gamma={args.gamma}, "
+          f"calibration={args.calibration} on "
+          f"{len(calibration_images)} samples")
+    print(format_table(
+        ["layer", "weight rmse", "input rmse", "input saturation",
+         "divergence rmse", "tiles", "cycles"],
+        [(r.name, f"{r.weight_rmse:.2e}", f"{r.input_rmse:.2e}",
+          f"{r.input_saturation:.2%}", f"{r.divergence_rmse:.2e}",
+          r.num_tiles, r.cycles) for r in quantized.layer_report()]))
+    summary = quantized.summary()
+    print(f"model totals at {args.bits} bits: "
+          f"{summary['quantized_tiles']} tiles, "
+          f"{summary['quantized_cycles']} cycles, "
+          f"output divergence rmse {summary['divergence_rmse']:.2e}, "
+          f"exact-prediction agreement {agreement:.1%}, "
+          f"test accuracy {accuracy:.3f}")
+
+    # The requested width is already fully evaluated above — seed its sweep
+    # row from those numbers instead of re-calibrating and re-forwarding.
+    report_point = {
+        "bits": args.bits,
+        "agreement": agreement,
+        "accuracy": accuracy,
+        "output_rmse": float(np.sqrt(np.mean((outputs - exact_outputs) ** 2))),
+        "quantized_cycles": summary["quantized_cycles"],
+    }
+    sweep = quant_sweep.sweep_packed(
+        packed, calibration_images=calibration_images,
+        eval_images=test.images, eval_labels=test.labels,
+        bits_values=[bits for bits in quant_sweep.BITS_SWEEP
+                     if bits != args.bits],
+        calibration=args.calibration, percentile=args.percentile,
+        batch_size=args.batch_size, exact_outputs=exact_outputs)
+    points = sorted(sweep["points"] + [report_point],
+                    key=lambda point: point["bits"])
+    print("accuracy vs bits:")
+    print(format_table(
+        ["bits", "agreement", "accuracy", "output rmse", "quantized cycles"],
+        [(point["bits"], f"{point['agreement']:.1%}",
+          f"{point['accuracy']:.3f}", f"{point['output_rmse']:.2e}",
+          point["quantized_cycles"]) for point in points]))
+    return 0
+
+
 def _command_train(args: argparse.Namespace) -> int:
     run = FAST_RUN.scaled(train_samples=args.train_samples, image_size=args.image_size,
                           epochs_per_round=args.epochs_per_round,
@@ -283,6 +412,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_pack(args)
     if args.command == "pack-model":
         return _command_pack_model(args)
+    if args.command == "quantize-model":
+        return _command_quantize_model(args)
     if args.command == "train":
         return _command_train(args)
     if args.command == "experiment":

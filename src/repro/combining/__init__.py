@@ -26,6 +26,13 @@ The public surface mirrors the paper's algorithms:
   forward passes through the packed representations (bit-exact dense
   realization or MX-cell routing), batched ``to_sparse`` export, and
   per-model cycle / tile accounting via the systolic timing model.
+* :class:`~repro.combining.quantized.QuantizedPackedModel` — the
+  serving-path integer twin of ``PackedModel``: per-layer quantizers
+  calibrated once and frozen, every packed layer chained through
+  :meth:`repro.systolic.system.SystolicSystem.run_layer`'s quantized
+  execution (``bits``-bit MX routing, 32-bit accumulation, per-layer
+  re-quantization), with per-layer error reports and bit-width-aware
+  cycle accounting.
 
 Engine selection
 ----------------
@@ -91,6 +98,13 @@ from repro.combining.inference import (
     PackedLayerSpec,
     PackedModel,
 )
+from repro.combining.quantized import (
+    MAX_BITS,
+    MIN_BITS,
+    LayerCalibration,
+    QuantizedLayerReport,
+    QuantizedPackedModel,
+)
 from repro.combining.permutation import (
     permutation_from_groups,
     apply_row_permutation,
@@ -133,6 +147,11 @@ __all__ = [
     "FORWARD_MODES",
     "PackedLayerSpec",
     "PackedModel",
+    "MIN_BITS",
+    "MAX_BITS",
+    "LayerCalibration",
+    "QuantizedLayerReport",
+    "QuantizedPackedModel",
     "LayerResult",
     "PackingPipeline",
     "PipelineConfig",

@@ -14,8 +14,9 @@ model via :class:`~repro.combining.pipeline.PackingPipeline`) and provides:
   - ``"exact"`` (default): the packed weights are realized back into the
     layer's dense filter matrix via
     :meth:`~repro.combining.packing.PackedFilterMatrix.to_sparse` (an
-    exact reconstruction of the conflict-pruned matrix) and the model's
-    own module graph runs unchanged.  The output is therefore
+    exact reconstruction of the conflict-pruned matrix, cached per layer
+    across forwards — see :meth:`PackedLayerSpec.realized`) and the
+    model's own module graph runs unchanged.  The output is therefore
     **bit-identical** to the dense reference forward of a model holding
     the pruned weights — any corruption of the channel routing, group
     assignment, or layer ordering changes the output.
@@ -50,9 +51,10 @@ Usage::
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -84,6 +86,10 @@ class PackedLayerSpec:
     name: str
     packed: PackedFilterMatrix
     module: PointwiseConv2d | None = None
+    #: cache of :meth:`realized` — the dense matrix and the fingerprint of
+    #: the packed weights / routing it was realized from.
+    _realized: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _realized_key: bytes | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.module is not None:
@@ -98,6 +104,36 @@ class PackedLayerSpec:
     def nonzeros(self) -> int:
         """Nonzero weights surviving in the packed representation."""
         return int(np.count_nonzero(self.packed.weights))
+
+    def _fingerprint(self) -> bytes:
+        """Digest of the packed weights and channel routing.
+
+        Fingerprinting the packed arrays is O(N x G) — much cheaper than
+        realizing the (N x M) dense matrix, whose zero-fill and scatter
+        the cache exists to avoid (G is the combined column count, a
+        fraction of M on the sparse layers this library targets).
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self.packed.weights.tobytes())
+        digest.update(self.packed.channel_index.tobytes())
+        return digest.digest()
+
+    def realized(self) -> np.ndarray:
+        """The pruned dense filter matrix, cached across calls.
+
+        Repeated exact-mode forwards reuse one realization instead of
+        re-running :meth:`~repro.combining.packing.PackedFilterMatrix.to_sparse`
+        per call; mutating the packed weights (or routing) invalidates the
+        cache on the next call.  The returned array is shared and marked
+        read-only — copy it before writing.
+        """
+        key = self._fingerprint()
+        if self._realized is None or key != self._realized_key:
+            dense = self.packed.to_sparse()
+            dense.setflags(write=False)
+            self._realized = dense
+            self._realized_key = key
+        return self._realized
 
 
 class PackedModel:
@@ -201,17 +237,7 @@ class PackedModel:
         if mode not in FORWARD_MODES:
             raise ValueError(f"unknown forward mode {mode!r}; "
                              f"expected one of {FORWARD_MODES}")
-        activations = np.asarray(activations, dtype=np.float64)
-        if activations.ndim != 4:
-            raise ValueError("activations must be (batch, channels, H, W)")
-        if batch_size is not None and batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
-        total = activations.shape[0]
-        if batch_size is None or total <= batch_size:
-            chunks = [activations]
-        else:
-            chunks = [activations[start:start + batch_size]
-                      for start in range(0, total, batch_size)]
+        chunks = split_activation_batch(activations, batch_size)
         self._observed_spatial = {}
         with self._packed_layers_installed(mode):
             outputs = [self.model.forward(chunk) for chunk in chunks]
@@ -224,45 +250,83 @@ class PackedModel:
                                       batch_size=batch_size), axis=1)
 
     @contextmanager
-    def _packed_layers_installed(self, mode: str) -> Iterator[None]:
-        """Temporarily run the model in eval mode with packed layers installed.
+    def _model_snapshot(self) -> Iterator[None]:
+        """Eval-mode window over the model, restoring all module state after.
 
-        ``"exact"`` swaps each packable layer's weight data for the packed
-        reconstruction; ``"mx"`` overrides the layer's ``forward`` with the
-        MX-cell multiply.  Both record the spatial size each packed layer
-        observes (for :meth:`plan`) and restore the model afterwards.
+        Snapshots every module's instance dict: it holds the training flag,
+        the activation caches layers keep for backward (which a packed
+        forward must neither clobber for a pending training backward nor
+        retain afterwards), and is where forward overrides are installed.
+        Parameter *objects* are shared with the snapshot, so callers that
+        swap ``weight.data`` must restore it themselves.
         """
         model = self.model
         assert model is not None
-        # Snapshot every module's instance dict: it holds the training flag,
-        # the activation caches layers keep for backward (which this forward
-        # must neither clobber for a pending training backward nor retain
-        # afterwards), and is where the forward overrides below are
-        # installed.  Parameter *objects* are shared with the snapshot, so
-        # swapped weight data is restored explicitly.
         saved_attributes = [(module, vars(module).copy())
                             for module in model.modules()]
-        saved_weights: list[tuple[PointwiseConv2d, np.ndarray]] = []
         model.eval()
         try:
-            for spec in self.specs:
-                module = spec.module
-                assert module is not None
-                if mode == "exact":
-                    saved_weights.append((module, module.weight.data))
-                    module.weight.data = spec.packed.to_sparse()
-                    module.forward = _recording_forward(module, spec,
-                                                        self._observed_spatial)
-                else:
-                    module.forward = _mx_forward(module, spec,
-                                                 self._observed_spatial)
             yield
         finally:
-            for module, weights in saved_weights:
-                module.weight.data = weights
             for module, attributes in saved_attributes:
                 vars(module).clear()
                 vars(module).update(attributes)
+
+    @contextmanager
+    def _packed_layers_installed(self, mode: str) -> Iterator[None]:
+        """Temporarily run the model in eval mode with packed layers installed.
+
+        ``"exact"`` swaps each packable layer's weight data for the (cached)
+        packed reconstruction; ``"mx"`` overrides the layer's ``forward``
+        with the MX-cell multiply.  Both record the spatial size each packed
+        layer observes (for :meth:`plan`) and restore the model afterwards.
+        """
+        with self._model_snapshot():
+            saved_weights: list[tuple[PointwiseConv2d, np.ndarray]] = []
+            try:
+                for spec in self.specs:
+                    module = spec.module
+                    assert module is not None
+                    if mode == "exact":
+                        saved_weights.append((module, module.weight.data))
+                        module.weight.data = spec.realized()
+                        module.forward = _recording_forward(module, spec,
+                                                            self._observed_spatial)
+                    else:
+                        module.forward = _mx_forward(module, spec,
+                                                     self._observed_spatial)
+                yield
+            finally:
+                for module, weights in saved_weights:
+                    module.weight.data = weights
+
+    @contextmanager
+    def custom_forwards(self, factory: Callable[["PackedLayerSpec",
+                                                 PointwiseConv2d],
+                                                Callable[[np.ndarray],
+                                                         np.ndarray]]
+                        ) -> Iterator[None]:
+        """Run the model with each packable layer's forward replaced.
+
+        ``factory(spec, module)`` returns the substitute forward installed
+        on ``module`` for the duration of the context; module state
+        (training flags, activation caches, the overrides themselves) is
+        restored on exit exactly as for :meth:`forward`.  This is the
+        extension point other packed-execution semantics build on — the
+        quantized integer path of
+        :class:`~repro.combining.quantized.QuantizedPackedModel` installs
+        its per-layer systolic execution through it.
+        """
+        if self.model is None:
+            raise RuntimeError(
+                "this PackedModel was assembled without an nn model; "
+                "custom_forwards needs one (use from_model or pass model=...)")
+        with self._model_snapshot():
+            for spec in self.specs:
+                module = spec.module
+                assert module is not None
+                module.forward = factory(spec, module)
+            yield
 
     # -- batched exports ----------------------------------------------------
     def packed_layers(self) -> list[tuple[str, PackedFilterMatrix]]:
@@ -270,8 +334,13 @@ class PackedModel:
         return [(spec.name, spec.packed) for spec in self.specs]
 
     def to_sparse(self) -> list[tuple[str, np.ndarray]]:
-        """Reconstruct every layer's pruned dense filter matrix, in order."""
-        return [(spec.name, spec.packed.to_sparse()) for spec in self.specs]
+        """Reconstruct every layer's pruned dense filter matrix, in order.
+
+        Returns writable copies of the cached realizations (see
+        :meth:`PackedLayerSpec.realized`), so callers may mutate them
+        freely without corrupting later exact-mode forwards.
+        """
+        return [(spec.name, spec.realized().copy()) for spec in self.specs]
 
     def layer_names(self) -> list[str]:
         return [spec.name for spec in self.specs]
@@ -350,6 +419,27 @@ class PackedModel:
                 "utilization": plan.utilization,
             })
         return result
+
+
+def split_activation_batch(activations: np.ndarray,
+                           batch_size: int | None = None) -> list[np.ndarray]:
+    """Validate an NCHW batch and split it into forward-sized chunks.
+
+    The single home of the batching contract both :meth:`PackedModel.forward`
+    and :meth:`~repro.combining.quantized.QuantizedPackedModel.forward`
+    honour: ``batch_size=None`` (or a size covering the batch) yields one
+    chunk, otherwise consecutive slices of at most ``batch_size`` samples.
+    """
+    activations = np.asarray(activations, dtype=np.float64)
+    if activations.ndim != 4:
+        raise ValueError("activations must be (batch, channels, H, W)")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    total = activations.shape[0]
+    if batch_size is None or total <= batch_size:
+        return [activations]
+    return [activations[start:start + batch_size]
+            for start in range(0, total, batch_size)]
 
 
 def _recording_forward(module: PointwiseConv2d, spec: PackedLayerSpec,

@@ -1,0 +1,491 @@
+"""Whole-model quantized inference on the packed systolic representations.
+
+:class:`~repro.combining.inference.PackedModel` runs batched forwards on
+the float nn path; :class:`QuantizedPackedModel` is the serving-path
+counterpart that executes every packed layer the way the hardware of
+Figure 6 / Figure 12 does — through
+:meth:`repro.systolic.system.SystolicSystem.run_layer`'s quantized
+execution:
+
+* **Calibration** — :meth:`QuantizedPackedModel.calibrate` runs one float
+  forward over a calibration batch, records the activations every packed
+  layer observes, and fits a frozen per-layer
+  :class:`~repro.quant.linear.LinearQuantizer` pair (inputs and weights)
+  once.  Inference then reuses the frozen scales instead of
+  ``run_layer``'s per-call refit — what a deployed array does, since the
+  hardware cannot re-derive scales from data it has not seen yet.
+  Activation scales honour the ``calibration`` strategy (``"max"`` or the
+  outlier-robust ``"percentile"``); weight scales always use the exact
+  max-magnitude fit, since the weights are fully known at pack time.
+* **Batched integer forwards** — :meth:`QuantizedPackedModel.forward`
+  runs the whole network with every packed layer computed as the array
+  would: ``bits``-bit quantized activations and weights routed through
+  the MX cells of the tiled packed array, 32-bit integer accumulation,
+  and dequantization by the product of the frozen scales.  The spatial
+  shift runs inside the model's own shift layers (bit-exact with
+  :class:`~repro.systolic.blocks.ShiftBlock`); ReLU and the 8-bit
+  re-quantization feeding the next packed layer happen in the module
+  graph and at the next layer's frozen input quantizer respectively.
+  Non-packable modules (batch norm, pooling, classifier heads) run in
+  float, as on the host.
+* **Per-layer error accounting** — :meth:`QuantizedPackedModel.layer_report`
+  reports, for the last forward, each layer's quantization RMSE,
+  saturation rates, and the divergence between its quantized output and
+  the exact packed computation on the same inputs;
+  :meth:`QuantizedPackedModel.prediction_agreement` compares top-1
+  predictions against :meth:`PackedModel.predict`'s exact mode.
+* **Cycle / tile accounting** — ``bits`` threads into the systolic timing
+  model (bit-serial MACs stream fewer cycles at lower widths), so
+  :meth:`QuantizedPackedModel.plan` / :meth:`QuantizedPackedModel.summary`
+  report the cycle cost of the chosen width alongside the error metrics.
+
+Usage::
+
+    from repro.combining import PipelineConfig, QuantizedPackedModel
+    from repro.models import build_model
+
+    model = build_model("lenet5", image_size=12)
+    quantized = QuantizedPackedModel.from_model(
+        model, PipelineConfig(alpha=8, gamma=0.5), bits=8)
+    quantized.calibrate(calibration_images)
+    outputs = quantized.forward(images)          # integer systolic execution
+    agreement = quantized.prediction_agreement(images)
+    for report in quantized.layer_report():
+        print(report.name, report.divergence_rmse, report.input_saturation)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.combining.inference import (
+    PackedLayerSpec,
+    PackedModel,
+    split_activation_batch,
+)
+from repro.combining.pipeline import PackingPipeline, PipelineConfig, PipelineResult
+from repro.nn import Module, PointwiseConv2d
+from repro.quant.linear import CALIBRATIONS, LinearQuantizer
+from repro.systolic.array import ArrayConfig
+from repro.systolic.system import ModelExecutionPlan, SystolicSystem
+
+#: Bit widths the bit-serial MX cells support (the paper's design space).
+MIN_BITS, MAX_BITS = 2, 8
+
+
+@dataclass(frozen=True)
+class LayerCalibration:
+    """Frozen per-layer quantizers, fit once by :meth:`QuantizedPackedModel.calibrate`.
+
+    ``weight_rmse`` / ``weight_saturation`` are computed at calibration
+    time — the weights do not change between forwards, so neither do they.
+    """
+
+    name: str
+    input_quantizer: LinearQuantizer
+    weight_quantizer: LinearQuantizer
+    weight_rmse: float
+    weight_saturation: float
+
+
+@dataclass
+class QuantizedLayerReport:
+    """Per-layer error / execution accounting of the last quantized forward.
+
+    ``divergence_rmse`` / ``divergence_max`` measure the quantized layer
+    output against the **exact** packed computation on the same inputs, so
+    they isolate each layer's own quantization error from error the layer
+    inherited from upstream.
+    """
+
+    name: str
+    bits: int
+    weight_rmse: float
+    weight_saturation: float
+    input_rmse: float
+    input_saturation: float
+    divergence_rmse: float
+    divergence_max: float
+    num_tiles: int
+    cycles: int
+
+
+class _LayerStats:
+    """Accumulates one layer's statistics across the chunks of a forward.
+
+    Execution accounting (tiles, cycles, saturation) comes free with every
+    chunk; the error terms (divergence vs the exact shadow computation,
+    input quantization RMSE) are only accumulated when the forward tracks
+    them — untracked forwards report them as NaN.
+    """
+
+    __slots__ = ("tracked", "elements", "squared_divergence", "max_divergence",
+                 "input_squared_error", "saturated_inputs", "input_elements",
+                 "num_tiles", "cycles")
+
+    def __init__(self) -> None:
+        self.tracked = False
+        self.elements = 0
+        self.squared_divergence = 0.0
+        self.max_divergence = 0.0
+        self.input_squared_error = 0.0
+        self.saturated_inputs = 0.0
+        self.input_elements = 0
+        self.num_tiles = 0
+        self.cycles = 0
+
+    def accumulate(self, inputs: np.ndarray, info: dict,
+                   divergence: np.ndarray | None = None,
+                   input_quantizer: LinearQuantizer | None = None) -> None:
+        self.saturated_inputs += info["input_saturation"] * inputs.size
+        self.input_elements += inputs.size
+        self.num_tiles += info["num_tiles"]
+        self.cycles += info["cycles"]
+        if divergence is None:
+            return
+        assert input_quantizer is not None
+        self.tracked = True
+        self.elements += divergence.size
+        self.squared_divergence += float(np.sum(divergence ** 2))
+        self.max_divergence = max(self.max_divergence,
+                                  float(np.max(np.abs(divergence)))
+                                  if divergence.size else 0.0)
+        residual = input_quantizer.roundtrip(inputs) - inputs
+        self.input_squared_error += float(np.sum(residual ** 2))
+
+    def divergence_rmse(self) -> float:
+        if not self.tracked:
+            return float("nan")
+        if self.elements == 0:
+            return 0.0
+        return float(np.sqrt(self.squared_divergence / self.elements))
+
+    def divergence_max(self) -> float:
+        return self.max_divergence if self.tracked else float("nan")
+
+    def input_rmse(self) -> float:
+        if not self.tracked:
+            return float("nan")
+        if self.input_elements == 0:
+            return 0.0
+        return float(np.sqrt(self.input_squared_error / self.input_elements))
+
+    def input_saturation(self) -> float:
+        if self.input_elements == 0:
+            return 0.0
+        return self.saturated_inputs / self.input_elements
+
+
+class QuantizedPackedModel:
+    """A :class:`PackedModel` executed with the hardware's integer arithmetic.
+
+    Wraps a model-backed :class:`PackedModel` and runs its packed layers
+    through a :class:`~repro.systolic.system.SystolicSystem` configured
+    for ``bits``-bit cells (2-8; the paper's arrays are 8-bit).  Assemble
+    with :meth:`from_model` / :meth:`from_pipeline_result` (mirroring
+    :class:`PackedModel`), or wrap an existing packed model directly.
+    :meth:`calibrate` must run before :meth:`forward`.
+    """
+
+    def __init__(self, packed: PackedModel, bits: int = 8,
+                 calibration: str = "max", percentile: float = 99.5,
+                 array_config: ArrayConfig | None = None):
+        if not MIN_BITS <= bits <= MAX_BITS:
+            raise ValueError(
+                f"bits must be in [{MIN_BITS}, {MAX_BITS}], got {bits}")
+        if calibration not in CALIBRATIONS:
+            raise ValueError(f"unknown calibration {calibration!r}; "
+                             f"expected one of {CALIBRATIONS}")
+        if packed.model is None:
+            raise ValueError(
+                "QuantizedPackedModel needs a model-backed PackedModel "
+                "(assemble it with from_model or pass model=...)")
+        if array_config is None:
+            array_config = ArrayConfig(
+                rows=packed.array_rows, cols=packed.array_cols,
+                input_bits=bits, alpha=max(1, packed.multiplexing_degree()))
+        elif array_config.input_bits != bits:
+            raise ValueError(
+                f"array_config.input_bits={array_config.input_bits} "
+                f"disagrees with bits={bits}")
+        self.packed = packed
+        self.bits = bits
+        self.calibration = calibration
+        self.percentile = percentile
+        self.system = SystolicSystem(array_config)
+        self._calibrations: dict[str, LayerCalibration] | None = None
+        self._stats: dict[str, _LayerStats] | None = None
+        self._track_errors = True
+        self._last_layer_outputs: dict[str, list[np.ndarray]] | None = None
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_model(cls, model: Module, config: PipelineConfig | None = None,
+                   pipeline: PackingPipeline | None = None, *, bits: int = 8,
+                   calibration: str = "max", percentile: float = 99.5
+                   ) -> "QuantizedPackedModel":
+        """Pack an nn model's packable layers and wrap them for quantized runs."""
+        packed = PackedModel.from_model(model, config=config, pipeline=pipeline)
+        return cls(packed, bits=bits, calibration=calibration,
+                   percentile=percentile)
+
+    @classmethod
+    def from_pipeline_result(cls, result: PipelineResult, model: Module, *,
+                             bits: int = 8, calibration: str = "max",
+                             percentile: float = 99.5) -> "QuantizedPackedModel":
+        """Assemble from an already-run pipeline (layers matched to ``model``)."""
+        packed = PackedModel.from_pipeline_result(result, model=model)
+        return cls(packed, bits=bits, calibration=calibration,
+                   percentile=percentile)
+
+    # -- calibration --------------------------------------------------------
+    @property
+    def calibrated(self) -> bool:
+        return self._calibrations is not None
+
+    def calibrate(self, batch: np.ndarray) -> "QuantizedPackedModel":
+        """Fit and freeze the per-layer quantizers on one calibration batch.
+
+        Runs a single **exact** (float, conflict-pruned) forward over
+        ``batch``, records the activations each packed layer observes, and
+        fits every layer's input quantizer on them; weight quantizers are
+        fit on the packed weights directly.  The frozen scales are what
+        every subsequent :meth:`forward` uses — recalibrating replaces
+        them.  Returns ``self`` so assembly and calibration chain.
+        """
+        batch, = split_activation_batch(batch)
+        observed: dict[str, np.ndarray] = {}
+
+        def factory(spec: PackedLayerSpec, module: PointwiseConv2d
+                    ) -> Callable[[np.ndarray], np.ndarray]:
+            def forward(x: np.ndarray) -> np.ndarray:
+                module.check_input(x)
+                observed[spec.name] = x
+                return _exact_layer_output(spec, module, x)
+            return forward
+
+        model = self.packed.model
+        assert model is not None
+        with self.packed.custom_forwards(factory):
+            model.forward(batch)
+        missing = [spec.name for spec in self.packed.specs
+                   if spec.name not in observed]
+        if missing:
+            raise RuntimeError(
+                f"calibration forward never reached packed layers {missing}")
+        calibrations: dict[str, LayerCalibration] = {}
+        for spec in self.packed.specs:
+            inputs = observed[spec.name]
+            input_quantizer = LinearQuantizer.fit(
+                inputs, bits=self.bits, calibration=self.calibration,
+                percentile=self.percentile)
+            weight_quantizer = LinearQuantizer.fit(spec.packed.weights,
+                                                   bits=self.bits)
+            calibrations[spec.name] = LayerCalibration(
+                name=spec.name,
+                input_quantizer=input_quantizer,
+                weight_quantizer=weight_quantizer,
+                weight_rmse=weight_quantizer.rmse(spec.packed.weights),
+                weight_saturation=weight_quantizer.saturation_rate(
+                    spec.packed.weights),
+            )
+        self._calibrations = calibrations
+        return self
+
+    def layer_calibrations(self) -> list[LayerCalibration]:
+        """The frozen per-layer calibrations, in layer order."""
+        self._require_calibrated()
+        assert self._calibrations is not None
+        return [self._calibrations[spec.name] for spec in self.packed.specs]
+
+    # -- quantized batched forward ------------------------------------------
+    def forward(self, activations: np.ndarray, batch_size: int | None = None,
+                capture_layer_outputs: bool = False,
+                track_errors: bool = True) -> np.ndarray:
+        """Run a batched integer forward through every packed layer.
+
+        Mirrors :meth:`PackedModel.forward`'s batching contract
+        (``batch_size`` chunks the batch; every layer is per-sample in
+        eval mode).  Each packed layer executes on the systolic system
+        with the frozen calibration; per-layer statistics for
+        :meth:`layer_report` are (re)collected over the whole call.
+        ``track_errors=False`` skips the exact shadow computation and the
+        input-roundtrip pass behind the divergence / input-RMSE columns —
+        roughly halving the per-layer cost when only the outputs matter
+        (:meth:`predict` uses this) — leaving those columns NaN while
+        tiles / cycles / saturation are still collected.  With
+        ``capture_layer_outputs`` the per-layer quantized outputs are kept
+        for :meth:`layer_outputs` — the differential tests' hook.
+        The quantized outputs themselves are bit-identical however the
+        accounting knobs are set.
+        """
+        self._require_calibrated()
+        chunks = split_activation_batch(activations, batch_size)
+        self._stats = {spec.name: _LayerStats() for spec in self.packed.specs}
+        self._track_errors = track_errors
+        self._last_layer_outputs = (
+            {spec.name: [] for spec in self.packed.specs}
+            if capture_layer_outputs else None)
+        self.packed._observed_spatial = {}
+        model = self.packed.model
+        assert model is not None
+        with self.packed.custom_forwards(self._quantized_factory):
+            outputs = [model.forward(chunk) for chunk in chunks]
+        return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
+
+    def predict(self, activations: np.ndarray, batch_size: int | None = None
+                ) -> np.ndarray:
+        """Class predictions (argmax over the final logits)."""
+        return np.argmax(self.forward(activations, batch_size=batch_size,
+                                      track_errors=False),
+                         axis=1)
+
+    def prediction_agreement(self, activations: np.ndarray,
+                             batch_size: int | None = None) -> float:
+        """Fraction of top-1 predictions matching the exact packed forward."""
+        quantized = self.predict(activations, batch_size=batch_size)
+        exact = self.packed.predict(activations, batch_size=batch_size)
+        return float(np.mean(quantized == exact))
+
+    def layer_outputs(self) -> dict[str, np.ndarray]:
+        """Per-layer quantized outputs captured by the last :meth:`forward`.
+
+        Requires ``forward(..., capture_layer_outputs=True)``; chunked
+        forwards concatenate each layer's chunk outputs in batch order.
+        """
+        if self._last_layer_outputs is None:
+            raise RuntimeError(
+                "no layer outputs captured; run "
+                "forward(..., capture_layer_outputs=True) first")
+        return {name: (pieces[0] if len(pieces) == 1
+                       else np.concatenate(pieces, axis=0))
+                for name, pieces in self._last_layer_outputs.items()}
+
+    def _quantized_factory(self, spec: PackedLayerSpec,
+                           module: PointwiseConv2d
+                           ) -> Callable[[np.ndarray], np.ndarray]:
+        assert self._calibrations is not None and self._stats is not None
+        calibration = self._calibrations[spec.name]
+        stats = self._stats[spec.name]
+
+        def forward(x: np.ndarray) -> np.ndarray:
+            module.check_input(x)
+            self.packed._observed_spatial[spec.name] = (x.shape[2], x.shape[3])
+            # The model's own shift layer already moved the pixels (it is
+            # bit-exact with the hardware ShiftBlock), so the systolic run
+            # starts at quantization + MX routing.
+            output, info = self.system.run_layer(
+                spec.packed, x, apply_shift=False, apply_relu=False,
+                input_quantizer=calibration.input_quantizer,
+                weight_quantizer=calibration.weight_quantizer)
+            if self._track_errors:
+                exact = _exact_layer_output(spec, module, x, bias=False)
+                stats.accumulate(x, info, divergence=output - exact,
+                                 input_quantizer=calibration.input_quantizer)
+            else:
+                stats.accumulate(x, info)
+            if module.bias is not None:
+                output = output + module.bias.data[None, :, None, None]
+            if self._last_layer_outputs is not None:
+                self._last_layer_outputs[spec.name].append(output)
+            return output
+
+        return forward
+
+    # -- error / accuracy accounting ----------------------------------------
+    def layer_report(self) -> list[QuantizedLayerReport]:
+        """Per-layer quantization accounting for the last :meth:`forward`."""
+        self._require_calibrated()
+        if self._stats is None:
+            raise RuntimeError("no quantized forward has run yet; "
+                               "call forward() before layer_report()")
+        assert self._calibrations is not None
+        reports: list[QuantizedLayerReport] = []
+        for spec in self.packed.specs:
+            calibration = self._calibrations[spec.name]
+            stats = self._stats[spec.name]
+            reports.append(QuantizedLayerReport(
+                name=spec.name,
+                bits=self.bits,
+                weight_rmse=calibration.weight_rmse,
+                weight_saturation=calibration.weight_saturation,
+                input_rmse=stats.input_rmse(),
+                input_saturation=stats.input_saturation(),
+                divergence_rmse=stats.divergence_rmse(),
+                divergence_max=stats.divergence_max(),
+                num_tiles=stats.num_tiles,
+                cycles=stats.cycles,
+            ))
+        return reports
+
+    # -- cycle / tile accounting --------------------------------------------
+    def plan(self, spatial_sizes: Sequence[int] | None = None,
+             batch: int = 1,
+             array_config: ArrayConfig | None = None) -> ModelExecutionPlan:
+        """Plan the model on the quantized array's timing configuration.
+
+        Defaults to this model's own :class:`~repro.systolic.array.ArrayConfig`,
+        so the bit-serial cycle counts reflect ``bits`` (lower widths
+        stream fewer cycles per word).  Spatial sizes fall back to the
+        ones observed during the last forward (quantized or exact).
+        """
+        if array_config is None:
+            array_config = self.system.config
+        return self.packed.plan(spatial_sizes=spatial_sizes, batch=batch,
+                                array_config=array_config)
+
+    def summary(self, plan: ModelExecutionPlan | None = None) -> dict[str, Any]:
+        """Aggregate accounting: the packed-model summary plus quantization."""
+        result = self.packed.summary(plan)
+        result.update({
+            "bits": self.bits,
+            "calibration": self.calibration,
+            "calibrated": self.calibrated,
+        })
+        if self._stats is not None:
+            stats = [self._stats[spec.name] for spec in self.packed.specs]
+            elements = sum(s.elements for s in stats)
+            squared = sum(s.squared_divergence for s in stats)
+            if not any(s.tracked for s in stats):
+                divergence = float("nan")  # last forward ran track_errors=False
+            elif elements == 0:
+                divergence = 0.0
+            else:
+                divergence = float(np.sqrt(squared / elements))
+            result.update({
+                "quantized_tiles": sum(s.num_tiles for s in stats),
+                "quantized_cycles": sum(s.cycles for s in stats),
+                "divergence_rmse": divergence,
+            })
+        return result
+
+    # -- plumbing ------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return self.packed.num_layers
+
+    def layer_names(self) -> list[str]:
+        return self.packed.layer_names()
+
+    def _require_calibrated(self) -> None:
+        if not self.calibrated:
+            raise RuntimeError(
+                "QuantizedPackedModel is not calibrated; run "
+                "calibrate(batch) once before quantized inference")
+
+
+def _exact_layer_output(spec: PackedLayerSpec, module: PointwiseConv2d,
+                        x: np.ndarray, bias: bool = True) -> np.ndarray:
+    """The exact (float) packed layer computation on the same inputs.
+
+    Identical arithmetic to :class:`~repro.nn.layers.PointwiseConv2d` with
+    the conflict-pruned weights installed, so calibration forwards are
+    bit-identical to :meth:`PackedModel.forward`'s exact mode.
+    """
+    out = np.einsum("nc,bchw->bnhw", spec.realized(), x, optimize=True)
+    if bias and module.bias is not None:
+        out = out + module.bias.data[None, :, None, None]
+    return out

@@ -5,6 +5,7 @@ a layer are kept at 32 bits (16 bits for the small LeNet-5 ASIC designs).
 """
 
 from repro.quant.linear import (
+    CALIBRATIONS,
     LinearQuantizer,
     quantize_tensor,
     dequantize_tensor,
@@ -12,6 +13,7 @@ from repro.quant.linear import (
 )
 
 __all__ = [
+    "CALIBRATIONS",
     "LinearQuantizer",
     "quantize_tensor",
     "dequantize_tensor",

@@ -135,7 +135,9 @@ class SystolicSystem:
 
     # -- quantized execution -------------------------------------------------------
     def run_layer(self, packed: PackedFilterMatrix, activations: np.ndarray,
-                  apply_shift: bool = True, apply_relu: bool = True
+                  apply_shift: bool = True, apply_relu: bool = True,
+                  input_quantizer: LinearQuantizer | None = None,
+                  weight_quantizer: LinearQuantizer | None = None
                   ) -> tuple[np.ndarray, dict]:
         """Run one layer with 8-bit inputs / weights and integer accumulation.
 
@@ -150,12 +152,21 @@ class SystolicSystem:
             as residual shortcuts skip it).
         apply_relu:
             Whether to apply ReLU before re-quantization.
+        input_quantizer / weight_quantizer:
+            Pre-fit :class:`~repro.quant.linear.LinearQuantizer` to use
+            instead of refitting on this call's data.  A deployed array
+            runs with calibrated, frozen scales
+            (:meth:`repro.combining.quantized.QuantizedPackedModel.calibrate`);
+            per-call refitting remains the default for single-layer use.
+            The quantizer's bit width must match the array's
+            ``config.input_bits`` — the MX cells are built for one width.
 
         Returns
         -------
         ``(output_activations, info)`` where ``output_activations`` is the
         dequantized float result with shape (batch, out_channels, H, W) and
-        ``info`` carries the tiled-execution statistics and quantizers.
+        ``info`` carries the tiled-execution statistics, the quantizers,
+        and their saturation rates on this call's data.
         """
         activations = np.asarray(activations, dtype=np.float64)
         if activations.ndim != 4:
@@ -170,11 +181,24 @@ class SystolicSystem:
         else:
             data_matrix = activations.transpose(1, 0, 2, 3).reshape(channels, -1)
 
-        input_quantizer = LinearQuantizer.fit(data_matrix, bits=self.config.input_bits)
-        weight_quantizer = LinearQuantizer.fit(packed.weights, bits=self.config.input_bits)
-        data_int = input_quantizer.quantize(data_matrix)
+        if input_quantizer is None:
+            input_quantizer = LinearQuantizer.fit(data_matrix,
+                                                  bits=self.config.input_bits)
+        if weight_quantizer is None:
+            weight_quantizer = LinearQuantizer.fit(packed.weights,
+                                                   bits=self.config.input_bits)
+        for role, quantizer in (("input", input_quantizer),
+                                ("weight", weight_quantizer)):
+            if quantizer.bits != self.config.input_bits:
+                raise ValueError(
+                    f"{role} quantizer is {quantizer.bits}-bit but the array's "
+                    f"cells are {self.config.input_bits}-bit")
+        data_int, input_saturation = \
+            input_quantizer.quantize_with_saturation(data_matrix)
+        weights_int, weight_saturation = \
+            weight_quantizer.quantize_with_saturation(packed.weights)
         packed_int = PackedFilterMatrix(
-            weights=weight_quantizer.quantize(packed.weights).astype(np.float64),
+            weights=weights_int.astype(np.float64),
             channel_index=packed.channel_index.copy(),
             grouping=packed.grouping,
             original_shape=packed.original_shape,
@@ -194,5 +218,19 @@ class SystolicSystem:
             "utilization": result.utilization,
             "input_quantizer": input_quantizer,
             "weight_quantizer": weight_quantizer,
+            "input_saturation": input_saturation,
+            "weight_saturation": weight_saturation,
         }
         return output, info
+
+    def requantize(self, accumulations: np.ndarray, scale: float | None = None
+                   ) -> tuple[np.ndarray, LinearQuantizer]:
+        """The ReLU / re-quantization hook between chained layers (Fig. 12).
+
+        Rectifies the 32-bit accumulations and re-quantizes them to the
+        array's input width so they can feed the next layer's input buffer.
+        Pass a calibrated ``scale`` to reuse a frozen output quantizer;
+        otherwise one is fit on the rectified values.  Returns
+        ``(int outputs, quantizer)``.
+        """
+        return self.relu_quant.apply(accumulations, scale=scale)

@@ -20,7 +20,8 @@ def test_parser_knows_all_subcommands():
 
 def test_experiment_registry_covers_every_table_and_figure():
     expected = {"fig13a", "fig13b", "fig13c", "fig14b", "fig15a", "fig15b", "fig16",
-                "table1", "table2", "table3", "sec72", "ablation-grouping"}
+                "table1", "table2", "table3", "sec72", "ablation-grouping",
+                "quant-sweep"}
     assert set(EXPERIMENTS) == expected
 
 
@@ -112,6 +113,59 @@ def test_pack_model_command_respects_density_and_alpha(capsys):
 def test_pack_model_command_rejects_unknown_network():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["pack-model", "--network", "alexnet"])
+
+
+def test_quantize_model_command_prints_report_and_bits_sweep(capsys):
+    exit_code = main(["quantize-model", "--model", "lenet5", "--bits", "8",
+                      "--calibration-batches", "1", "--batch-size", "32"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "quantized packed model: lenet5 at 8 bits" in output
+    assert "divergence rmse" in output
+    assert "exact-prediction agreement" in output
+    assert "accuracy vs bits:" in output
+    for bits in (2, 4, 8):  # the sweep rows of BITS_SWEEP
+        assert f"\n{bits} " in output
+
+
+def test_quantize_model_command_rejects_out_of_range_bits(capsys):
+    assert main(["quantize-model", "--bits", "1"]) == 2
+    assert main(["quantize-model", "--bits", "9"]) == 2
+    assert "--bits must be in [2, 8]" in capsys.readouterr().err
+
+
+def test_quantize_model_command_rejects_out_of_range_percentile(capsys):
+    assert main(["quantize-model", "--calibration", "percentile",
+                 "--percentile", "150"]) == 2
+    assert main(["quantize-model", "--percentile", "0"]) == 2
+    assert "--percentile must be in (0, 100]" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_quantize_model_command_workers_print_identical_reports(capsys):
+    arguments = ["quantize-model", "--batch-size", "32"]
+    assert main(arguments) == 0
+    serial_output = capsys.readouterr().out
+    assert main(arguments + ["--workers", "3"]) == 0
+    parallel_output = capsys.readouterr().out
+    assert parallel_output == serial_output
+
+
+@pytest.mark.slow
+def test_quantize_model_command_engines_print_identical_reports(capsys):
+    arguments = ["quantize-model", "--batch-size", "32"]
+    assert main(arguments + ["--engine", "fast", "--prune-engine", "fast"]) == 0
+    fast_output = capsys.readouterr().out
+    assert main(arguments + ["--engine", "reference",
+                             "--prune-engine", "reference"]) == 0
+    reference_output = capsys.readouterr().out
+    assert fast_output == reference_output
+
+
+def test_quantize_model_command_percentile_calibration_runs(capsys):
+    assert main(["quantize-model", "--calibration", "percentile",
+                 "--percentile", "99.0", "--batch-size", "32"]) == 0
+    assert "calibration=percentile" in capsys.readouterr().out
 
 
 def test_train_command_runs_tiny_configuration(capsys):

@@ -302,6 +302,67 @@ def test_forward_validates_mode_shape_and_batch_size():
         packed.forward(batch, batch_size=0)
 
 
+# -- realized-matrix caching -----------------------------------------------------------
+
+def test_realized_cache_is_hit_on_repeated_forwards(monkeypatch):
+    model = make_model("lenet5")
+    packed = PackedModel.from_model(model, PipelineConfig())
+    batch = make_batch("lenet5")
+    calls = {"to_sparse": 0}
+    for spec in packed.specs:
+        original = spec.packed.to_sparse
+        def counting(original=original):
+            calls["to_sparse"] += 1
+            return original()
+        monkeypatch.setattr(spec.packed, "to_sparse", counting)
+    first = packed.forward(batch)
+    realizations = calls["to_sparse"]
+    assert realizations == packed.num_layers  # one realization per layer ...
+    second = packed.forward(batch)
+    third = packed.forward(batch)
+    assert calls["to_sparse"] == realizations  # ... and none on later forwards
+    np.testing.assert_array_equal(first, second)
+    np.testing.assert_array_equal(first, third)
+    # The cached realization is one shared (read-only) array per spec.
+    for spec in packed.specs:
+        assert spec.realized() is spec.realized()
+        assert not spec.realized().flags.writeable
+
+
+def test_realized_cache_is_invalidated_on_weight_mutation():
+    model = make_model("lenet5")
+    packed = PackedModel.from_model(model, PipelineConfig())
+    batch = make_batch("lenet5")
+    packed.forward(batch)  # populate the caches
+    spec = packed.specs[0]
+    cached = spec.realized()
+    # Mutate a packed weight that survives in the packing (keep the routing
+    # metadata untouched so the packing stays valid).
+    occupied = np.argwhere(spec.packed.channel_index >= 0)
+    row, group = occupied[0]
+    spec.packed.weights[row, group] += 1.0
+    refreshed = spec.realized()
+    assert refreshed is not cached
+    column = spec.packed.channel_index[row, group]
+    assert refreshed[row, column] == pytest.approx(cached[row, column] + 1.0)
+    # The next forward and export see the refreshed realization.
+    name, exported = packed.to_sparse()[0]
+    assert exported[row, column] == refreshed[row, column]
+    expected = dense_reference(model, packed).forward(batch)
+    np.testing.assert_array_equal(packed.forward(batch), expected)
+
+
+def test_to_sparse_export_returns_writable_copies():
+    model = make_model("lenet5")
+    packed = PackedModel.from_model(model, PipelineConfig())
+    exported = packed.to_sparse()
+    for (_, sparse), spec in zip(exported, packed.specs):
+        assert sparse.flags.writeable
+        sparse[:] = -1.0  # mutating the export must not corrupt the cache
+    for (name, _), spec in zip(exported, packed.specs):
+        np.testing.assert_array_equal(spec.realized(), spec.packed.to_sparse())
+
+
 # -- batched export and accounting ----------------------------------------------------
 
 def test_to_sparse_reconstructs_every_pruned_layer_in_order():

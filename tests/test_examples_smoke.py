@@ -34,7 +34,7 @@ def test_examples_directory_contains_documented_scripts():
     names = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart", "lenet_mnist_packing", "resnet_cifar_sweep",
             "limited_data_retraining", "cross_layer_pipelining",
-            "packed_inference"} <= names
+            "packed_inference", "quantized_inference"} <= names
 
 
 def test_quickstart_example_runs(capsys):
@@ -52,6 +52,17 @@ def test_packed_inference_example_runs(capsys):
     assert "exact mode bit-identical to dense reference: True" in output
     assert "mx mode matches dense reference numerically: True" in output
     assert "packed model totals" in output
+
+
+def test_quantized_inference_example_runs(capsys):
+    module = load_example("quantized_inference")
+    module.main()
+    output = capsys.readouterr().out
+    assert "8-bit top-1 agreement with exact packed forward:" in output
+    assert "bits  agreement  cycles" in output
+    # The documented serving tolerance holds in the walkthrough.
+    agreement = float(output.split("exact packed forward: ")[1].split("%")[0])
+    assert agreement >= 95.0
 
 
 def test_cross_layer_pipelining_example_runs(capsys):

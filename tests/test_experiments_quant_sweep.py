@@ -1,0 +1,73 @@
+"""Tests for the accuracy-vs-bits quantized inference sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import quant_sweep
+from repro.experiments.common import FAST_RUN
+
+#: A scaled-down sweep every quick-tier test shares.  64 eval samples keep
+#: the 8-bit agreement comfortably inside the documented 95% tolerance
+#: (the untrained substrate's logit margins are tight, so tiny batches
+#: make top-1 agreement needlessly noisy).
+QUICK = dict(networks=("lenet5",), bits_values=(2, 4, 8), eval_samples=64,
+             calibration_samples=32)
+
+
+def test_sweep_reports_expected_structure_and_tolerance():
+    result = quant_sweep.run(**QUICK)
+    assert result["experiment"] == "quant_sweep"
+    sweep = result["results"]["lenet5"]
+    assert 0.0 <= sweep["exact_accuracy"] <= 1.0
+    points = sweep["points"]
+    assert [point["bits"] for point in points] == [2, 4, 8]
+    for point in points:
+        assert 0.0 <= point["agreement"] <= 1.0
+        assert 0.0 <= point["accuracy"] <= 1.0
+        assert point["output_rmse"] >= 0.0
+        assert point["quantized_cycles"] > 0
+    by_bits = {point["bits"]: point for point in points}
+    # The serving tolerance at 8 bits, and the error/cost trends.
+    assert by_bits[8]["agreement"] >= 0.95
+    assert by_bits[8]["output_rmse"] < by_bits[4]["output_rmse"] \
+        < by_bits[2]["output_rmse"]
+    assert by_bits[2]["quantized_cycles"] < by_bits[8]["quantized_cycles"]
+
+
+def test_sweep_workers_match_serial():
+    serial = quant_sweep.run(**QUICK, workers=1)
+    parallel = quant_sweep.run(**QUICK, workers=2)
+    assert serial == parallel
+
+
+def test_sweep_percentile_calibration_runs():
+    result = quant_sweep.run(**QUICK, calibration="percentile",
+                             percentile=99.0)
+    assert result["calibration"] == "percentile"
+    for point in result["results"]["lenet5"]["points"]:
+        assert 0.0 <= point["max_input_saturation"] <= 1.0
+
+
+def test_sparsified_model_masks_packable_layers_deterministically():
+    first = quant_sweep.sparsified_model("lenet5", FAST_RUN, density=0.3)
+    second = quant_sweep.sparsified_model("lenet5", FAST_RUN, density=0.3)
+    for (_, a), (_, b) in zip(first.packable_layers(),
+                              second.packable_layers()):
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+        density = np.count_nonzero(a.weight.data) / a.weight.data.size
+        assert density < 0.5
+
+
+@pytest.mark.slow
+def test_full_network_sweep_prints_accuracy_vs_bits_table(capsys):
+    result = quant_sweep.main(eval_samples=64, bits_values=(4, 8))
+    output = capsys.readouterr().out
+    assert "accuracy vs bits" in output
+    for network in quant_sweep.NETWORKS:
+        assert network in result["results"]
+        assert network in output
+        points = {point["bits"]: point
+                  for point in result["results"][network]["points"]}
+        assert points[8]["agreement"] >= 0.95

@@ -3,9 +3,12 @@
 Small frozen JSON fixtures under ``tests/golden/`` pin the exact outputs
 of the group -> conflict-prune -> pack -> tile flow — tile counts, packing
 efficiency, pruned-weight counts — for seeded 64x128 layers and a seeded
-LeNet-5 workload.  Every engine combination must reproduce the frozen
-numbers bit-for-bit, so future engine rewrites are diffed against the
-frozen behaviour instead of only against each other.
+LeNet-5 workload; cycle-level execution plans (per-layer tiles, cycles,
+MAC counts) for the full-size VGG and ResNet-20 workloads; and the
+quantized integer forward of a seeded LeNet-5 at 8 bits (predictions,
+logits, and per-layer error accounting).  Every engine combination must
+reproduce the frozen numbers bit-for-bit, so future engine rewrites are
+diffed against the frozen behaviour instead of only against each other.
 
 To re-freeze after an intentional behaviour change::
 
@@ -25,8 +28,15 @@ from repro.combining import (
     PackedModel,
     PackingPipeline,
     PipelineConfig,
+    QuantizedPackedModel,
 )
-from repro.experiments.workloads import sparse_filter_matrix, sparse_network, spatial_sizes
+from repro.experiments.workloads import (
+    PAPER_DENSITY,
+    sparse_filter_matrix,
+    sparse_network,
+    spatial_sizes,
+)
+from repro.models import build_model
 
 ENGINE_COMBOS = [(grouping, prune)
                  for grouping in GROUPING_ENGINES for prune in PRUNE_ENGINES]
@@ -100,10 +110,100 @@ def test_lenet5_packed_model_matches_golden(golden_check, grouping_engine,
     golden_check("packed_model_lenet5", payload)
 
 
+@pytest.mark.parametrize("network", ["vgg", "resnet20"])
+@pytest.mark.parametrize("grouping_engine,prune_engine", ENGINE_COMBOS)
+def test_workload_execution_plan_matches_golden(golden_check, network,
+                                                grouping_engine, prune_engine):
+    """Cycle-level plans of the full-size VGG / ResNet-20 workloads."""
+    layers = sparse_network(network, density=PAPER_DENSITY[network], seed=0)
+    config = PipelineConfig(alpha=8, gamma=0.5, grouping_engine=grouping_engine,
+                            prune_engine=prune_engine)
+    with PackingPipeline(config) as pipeline:
+        result = pipeline.run(layers)
+    model = PackedModel.from_pipeline_result(result)
+    plan = model.plan(spatial_sizes(layers))
+    payload = {
+        "layers": {
+            execution.name: {
+                "packed_columns": execution.packed_columns,
+                "num_tiles": execution.num_tiles,
+                "cycles": execution.cycles,
+                "useful_macs": execution.useful_macs,
+                "occupied_macs": execution.occupied_macs,
+            }
+            for execution in plan.layers
+        },
+        "totals": {
+            "total_tiles": plan.total_tiles,
+            "total_cycles": plan.total_cycles,
+            "total_useful_macs": plan.total_useful_macs,
+            "total_occupied_macs": plan.total_occupied_macs,
+            "utilization": plan.utilization,
+        },
+    }
+    golden_check(f"execution_plan_{network}", payload)
+
+
+def quantized_lenet5():
+    """The seeded LeNet-5 quantized-forward scenario the fixture freezes."""
+    model = build_model("lenet5", in_channels=1, num_classes=10, scale=1.0,
+                        image_size=8, rng=np.random.default_rng(3))
+    mask_rng = np.random.default_rng(4)
+    for _, layer in model.packable_layers():
+        layer.weight.data *= mask_rng.random(layer.weight.data.shape) < 0.5
+    rng = np.random.default_rng(7)
+    calibration = rng.normal(size=(32, 1, 8, 8))
+    batch = rng.normal(size=(64, 1, 8, 8))
+    return model, calibration, batch
+
+
+@pytest.mark.parametrize("grouping_engine,prune_engine", ENGINE_COMBOS)
+def test_lenet5_quantized_forward_matches_golden(golden_check, grouping_engine,
+                                                 prune_engine):
+    """The 8-bit integer forward of a seeded LeNet-5, frozen end to end."""
+    model, calibration, batch = quantized_lenet5()
+    config = PipelineConfig(alpha=8, gamma=0.5, grouping_engine=grouping_engine,
+                            prune_engine=prune_engine)
+    quantized = QuantizedPackedModel.from_model(model, config, bits=8)
+    quantized.calibrate(calibration)
+    outputs = quantized.forward(batch)
+    # Agreement straight from the fixture outputs — re-running predict()
+    # here would replace the tracked stats the layer report freezes.
+    agreement = float(np.mean(np.argmax(outputs, axis=1)
+                              == quantized.packed.predict(batch)))
+    payload = {
+        "bits": 8,
+        "predictions": np.argmax(outputs, axis=1).tolist(),
+        "first_logits": outputs[0].tolist(),
+        "agreement": agreement,
+        "layers": {
+            report.name: {
+                "weight_rmse": report.weight_rmse,
+                "input_rmse": report.input_rmse,
+                "input_saturation": report.input_saturation,
+                "divergence_rmse": report.divergence_rmse,
+                "num_tiles": report.num_tiles,
+                "cycles": report.cycles,
+            }
+            for report in quantized.layer_report()
+        },
+        "calibration_scales": {
+            calibration_entry.name: {
+                "input_scale": calibration_entry.input_quantizer.scale,
+                "weight_scale": calibration_entry.weight_quantizer.scale,
+            }
+            for calibration_entry in quantized.layer_calibrations()
+        },
+    }
+    golden_check("quantized_forward_lenet5", payload)
+
+
 def test_golden_fixtures_are_checked_in():
     """The harness must fail loudly if the frozen fixtures go missing."""
     from pathlib import Path
 
     golden_dir = Path(__file__).resolve().parent / "golden"
     names = {path.name for path in golden_dir.glob("*.json")}
-    assert {"packed_layers_64x128.json", "packed_model_lenet5.json"} <= names
+    assert {"packed_layers_64x128.json", "packed_model_lenet5.json",
+            "execution_plan_vgg.json", "execution_plan_resnet20.json",
+            "quantized_forward_lenet5.json"} <= names

@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.quant import (
+    CALIBRATIONS,
     LinearQuantizer,
     dequantize_tensor,
     quantization_error,
@@ -75,6 +76,93 @@ def test_validation():
         LinearQuantizer(bits=1)
     with pytest.raises(ValueError):
         LinearQuantizer(bits=8, scale=0.0)
+
+
+# -- calibration strategies ---------------------------------------------------------
+
+def test_calibrations_registry_names_both_strategies():
+    assert CALIBRATIONS == ("max", "percentile")
+
+
+def test_percentile_calibration_shrinks_scale_on_outliers(rng):
+    tensor = rng.normal(size=(1000,))
+    tensor[0] = 1000.0  # a single outlier dominates the max-magnitude fit
+    by_max = LinearQuantizer.fit(tensor, bits=8, calibration="max")
+    by_percentile = LinearQuantizer.fit(tensor, bits=8, calibration="percentile",
+                                        percentile=99.0)
+    assert by_percentile.scale < by_max.scale / 100
+    # The outlier saturates under the percentile fit, nothing under max.
+    assert by_max.saturation_rate(tensor) == 0.0
+    assert 0.0 < by_percentile.saturation_rate(tensor) <= 0.02
+
+
+def test_percentile_calibration_beats_max_on_heavy_tails_at_low_bits(rng):
+    tensor = rng.standard_t(df=2, size=(5000,))  # heavy-tailed
+    by_max = LinearQuantizer.fit(tensor, bits=3, calibration="max")
+    by_percentile = LinearQuantizer.fit(tensor, bits=3, calibration="percentile",
+                                        percentile=99.0)
+    assert by_percentile.rmse(tensor) < by_max.rmse(tensor)
+
+
+def test_percentile_100_matches_max_calibration(rng):
+    tensor = rng.normal(size=(64,))
+    by_max = LinearQuantizer.fit(tensor, calibration="max")
+    by_percentile = LinearQuantizer.fit(tensor, calibration="percentile",
+                                        percentile=100.0)
+    assert by_percentile.scale == by_max.scale
+
+
+def test_percentile_falls_back_to_max_on_mostly_zero_tensor():
+    tensor = np.zeros(1000)
+    tensor[0] = 5.0  # the 99th percentile of |tensor| is 0
+    quantizer = LinearQuantizer.fit(tensor, bits=8, calibration="percentile",
+                                    percentile=99.0)
+    assert quantizer.scale == pytest.approx(5.0 / 127)
+
+
+def test_zero_tensor_fast_path_for_both_calibrations():
+    for calibration in CALIBRATIONS:
+        for tensor in (np.zeros((4, 4)), np.zeros((0,))):
+            quantizer = LinearQuantizer.fit(tensor, calibration=calibration)
+            assert quantizer.scale == 1.0
+            assert quantizer.saturation_rate(tensor) == 0.0
+
+
+def test_fit_rejects_unknown_calibration_and_bad_percentile(rng):
+    tensor = rng.normal(size=(8,))
+    with pytest.raises(ValueError):
+        LinearQuantizer.fit(tensor, calibration="entropy")
+    with pytest.raises(ValueError):
+        LinearQuantizer.fit(tensor, calibration="percentile", percentile=0.0)
+    with pytest.raises(ValueError):
+        LinearQuantizer.fit(tensor, calibration="percentile", percentile=101.0)
+
+
+def test_saturation_rate_counts_clipped_values():
+    quantizer = LinearQuantizer(bits=8, scale=1.0)
+    tensor = np.array([0.0, 100.0, 200.0, -300.0])  # 200 and -300 clip
+    assert quantizer.saturation_rate(tensor) == pytest.approx(0.5)
+    assert quantizer.rmse(np.array([0.25])) == pytest.approx(0.25)
+
+
+def test_quantize_with_saturation_matches_the_two_call_form(rng):
+    quantizer = LinearQuantizer(bits=6, scale=0.05)
+    tensor = rng.normal(size=(13, 7)) * 3.0
+    quantized, rate = quantizer.quantize_with_saturation(tensor)
+    np.testing.assert_array_equal(quantized, quantizer.quantize(tensor))
+    assert rate == pytest.approx(quantizer.saturation_rate(tensor))
+    empty, empty_rate = quantizer.quantize_with_saturation(np.zeros((0, 4)))
+    assert empty.shape == (0, 4) and empty_rate == 0.0
+
+
+def test_fit_on_nan_tensor_falls_back_to_unit_scale():
+    """A diverged model's NaN activations must not poison the scale."""
+    tensor = np.array([1.0, np.nan, 2.0])
+    for calibration in CALIBRATIONS:
+        quantizer = LinearQuantizer.fit(tensor, calibration=calibration)
+        assert quantizer.scale == 1.0
+    np.testing.assert_array_equal(
+        LinearQuantizer.fit(tensor).quantize(np.array([1.0, -2.0])), [1, -2])
 
 
 def test_integer_matmul_with_scales_approximates_float_matmul(rng):
