@@ -1,0 +1,101 @@
+"""Benchmark: dynamic batching and packed-artifact cold starts pay off.
+
+Two assertions justify the serving subsystem:
+
+* **Throughput** — serving a stream of single-sample requests with the
+  dynamic batcher coalescing up to 16 samples per forward must be at
+  least 2x the one-request-at-a-time throughput of the same server (the
+  per-forward fixed cost — module snapshot, packed-layer install,
+  per-layer dispatch — amortizes across the batch), with every response
+  still bit-identical to the direct forward.
+* **Cold start** — loading a packed artifact
+  (:func:`~repro.combining.serialization.load_packed`) must beat
+  re-running the :class:`~repro.combining.pipeline.PackingPipeline` on
+  the full-size ResNet-20 workload, the regime servers actually restart
+  in.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.combining import (
+    PackedModel,
+    PackingPipeline,
+    PipelineConfig,
+    load_packed,
+    save_packed,
+)
+from repro.experiments.workloads import PAPER_DENSITY, sparse_network
+from repro.models import build_model
+from repro.serving.bench import throughput_benchmark
+
+REQUESTS = 96
+MAX_BATCH = 16
+
+
+def _serving_model() -> PackedModel:
+    model = build_model("lenet5", in_channels=1, num_classes=10, scale=1.0,
+                        image_size=12, rng=np.random.default_rng(1))
+    rng = np.random.default_rng(0)
+    for _, layer in model.packable_layers():
+        layer.weight.data *= rng.random(layer.weight.data.shape) < 0.2
+    return PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
+
+
+def test_bench_dynamic_batching_beats_one_at_a_time():
+    packed = _serving_model()
+    samples = np.random.default_rng(7).normal(size=(REQUESTS, 1, 12, 12))
+    best: dict = {}
+    for _ in range(3):
+        results = throughput_benchmark(packed, samples, max_batch=MAX_BATCH,
+                                       max_wait=0.002)
+        assert results["bit_identical_to_direct"], (
+            "served responses diverged from the direct batch-invariant "
+            "forward")
+        if not best or results["speedup"] > best["speedup"]:
+            best = results
+    print(f"\n{REQUESTS} single-sample requests: "
+          f"one-at-a-time {best['sequential_throughput']:.0f} req/s, "
+          f"batched(max {MAX_BATCH}) {best['batched_throughput']:.0f} req/s "
+          f"({best['speedup']:.2f}x, mean batch "
+          f"{best['batched_mean_batch']:.1f})")
+    assert best["speedup"] >= 2.0, (
+        f"dynamic batching at max_batch={MAX_BATCH} only reached "
+        f"{best['speedup']:.2f}x over one-request-at-a-time (need >= 2x)")
+
+
+def test_bench_artifact_load_beats_repacking(tmp_path):
+    layers = sparse_network("resnet20", density=PAPER_DENSITY["resnet20"],
+                            seed=0)
+    config = PipelineConfig(alpha=8, gamma=0.5)
+
+    def repack() -> PackedModel:
+        with PackingPipeline(config) as pipeline:
+            return PackedModel.from_pipeline_result(pipeline.run(layers))
+
+    packed = repack()
+    path = save_packed(packed, tmp_path / "resnet20.npz")
+
+    repack_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        repack()
+        repack_seconds = min(repack_seconds, time.perf_counter() - start)
+    load_seconds, loaded = float("inf"), None
+    for _ in range(3):
+        start = time.perf_counter()
+        loaded = load_packed(path)
+        load_seconds = min(load_seconds, time.perf_counter() - start)
+    for (_, original), (_, restored) in zip(packed.packed_layers(),
+                                            loaded.packed_layers()):
+        assert np.array_equal(original.weights, restored.weights)
+    print(f"\nresnet20 full-size workload cold start: "
+          f"re-pack {repack_seconds * 1e3:.0f} ms, "
+          f"artifact load {load_seconds * 1e3:.0f} ms "
+          f"({repack_seconds / load_seconds:.1f}x)")
+    assert load_seconds < repack_seconds, (
+        f"loading the artifact ({load_seconds:.3f}s) did not beat "
+        f"re-packing ({repack_seconds:.3f}s)")

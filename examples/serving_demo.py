@@ -1,0 +1,129 @@
+"""Serving demo: save packed artifacts -> start a server -> fire requests.
+
+The full serving path of the reproduction, end to end:
+
+1. build two sparsified LeNet-5 variants, pack them through the
+   :class:`PackingPipeline`, quantize + calibrate one of them,
+2. persist both as versioned packed artifacts
+   (:func:`~repro.combining.serialization.save_packed`) — the format a
+   server cold-starts from without re-running the pipeline,
+3. register the artifacts by name in a
+   :class:`~repro.serving.registry.ModelRegistry` (lazy load, LRU-bounded
+   residency) and start an
+   :class:`~repro.serving.server.InferenceServer` whose
+   :class:`~repro.serving.batcher.DynamicBatcher` coalesces single-sample
+   requests into batched forwards,
+4. fire a mixed-model request stream from concurrent client threads, and
+   check every response is bit-identical to the direct batch-invariant
+   forward on that request alone — dynamic batching changes throughput,
+   never bits,
+5. read the per-model latency / batch / systolic-cycle accounting off the
+   server.
+
+Run with:  python examples/serving_demo.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.combining import PipelineConfig, PackedModel, QuantizedPackedModel
+from repro.models import build_model
+from repro.serving import InferenceServer, ModelRegistry, save_packed
+
+MODEL_KWARGS = {"in_channels": 1, "num_classes": 10, "scale": 1.0,
+                "image_size": 12}
+
+
+def build_artifacts(directory: Path) -> dict[str, Path]:
+    """Pack two LeNet-5 variants and persist them as packed artifacts."""
+    rng = np.random.default_rng(0)
+    paths: dict[str, Path] = {}
+    model = build_model("lenet5", rng=np.random.default_rng(1), **MODEL_KWARGS)
+    for _, layer in model.packable_layers():
+        layer.weight.data *= rng.random(layer.weight.data.shape) < 0.2
+    packed = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
+    spec = {"name": "lenet5", "kwargs": MODEL_KWARGS}
+    paths["lenet5"] = save_packed(packed, directory / "lenet5.packed.npz",
+                                  model_spec=spec)
+
+    quantized = QuantizedPackedModel(packed, bits=8)
+    quantized.calibrate(rng.normal(size=(32, 1, 12, 12)))
+    paths["lenet5-int8"] = save_packed(
+        quantized, directory / "lenet5.int8.npz", model_spec=spec)
+    for name, path in paths.items():
+        print(f"saved artifact {name}: {path.name} "
+              f"({path.stat().st_size / 1024:.0f} KiB)")
+    return paths
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = build_artifacts(Path(tmp))
+
+        # The registry loads artifacts lazily on first request and keeps
+        # at most max_resident models in memory (LRU eviction).
+        registry = ModelRegistry(max_resident=2)
+        registry.register("lenet5", path=paths["lenet5"], mode="exact")
+        registry.register("lenet5-int8", path=paths["lenet5-int8"],
+                          mode="quantized")
+
+        requests = [(name, rng.normal(size=(1, 12, 12)))
+                    for _ in range(24) for name in ("lenet5", "lenet5-int8")]
+        with InferenceServer(registry, max_batch=16, max_wait=0.002,
+                             workers=2) as server:
+            responses: dict[int, np.ndarray] = {}
+            lock = threading.Lock()
+
+            def client(offset: int) -> None:
+                # Submit asynchronously, then gather: in-flight requests
+                # are what the dynamic batcher coalesces.
+                pending = [(index, server.submit(*requests[index]))
+                           for index in range(offset, len(requests), 3)]
+                for index, request in pending:
+                    output = request.result(timeout=30.0)
+                    with lock:
+                        responses[index] = output
+
+            threads = [threading.Thread(target=client, args=(offset,))
+                       for offset in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = server.stats()
+
+        # Every response must match the direct single-request forward on
+        # the loaded models, bit for bit, however the batcher coalesced.
+        exact = registry.get("lenet5")
+        int8 = registry.get("lenet5-int8")
+        matches = 0
+        for index, (name, sample) in enumerate(requests):
+            resident = exact if name == "lenet5" else int8
+            expected = resident.forward(sample[None])[0]
+            matches += np.array_equal(responses[index], expected)
+        print(f"responses bit-identical to direct forward: "
+              f"{matches}/{len(requests)}")
+
+        totals = stats["totals"]
+        print(f"served {totals['requests']} requests in "
+              f"{totals['batches']} batches "
+              f"(mean batch {totals['mean_batch_size']:.1f}), "
+              f"{totals['cycles']} systolic cycles")
+        for name, model_stats in sorted(stats["per_model"].items()):
+            print(f"  {name}: {model_stats['requests']} requests, "
+                  f"mean queue {model_stats['queued_seconds']['mean'] * 1e3:.2f} ms, "
+                  f"mean service {model_stats['service_seconds']['mean'] * 1e3:.2f} ms")
+        registry_stats = stats["registry"]
+        print(f"registry: {registry_stats['loads']} artifact loads, "
+              f"{registry_stats['hits']} hits, "
+              f"{registry_stats['evictions']} evictions")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,10 @@ echo "== quantized inference differential + accuracy-vs-bits sweep suites =="
 python -m pytest -x -q -m "not slow" tests/test_combining_quantized.py \
     tests/test_experiments_quant_sweep.py
 
+echo "== serving suites (serialization round-trip + batcher/registry/server) =="
+python -m pytest -x -q -m "not slow" tests/test_combining_serialization.py \
+    tests/test_serving.py
+
 echo "== fast test suite (pytest -m 'not slow') =="
 quick_start=$(date +%s)
 python -m pytest -x -q -m "not slow" \
@@ -35,7 +39,9 @@ python -m pytest -x -q -m "not slow" \
     --ignore=tests/test_combining_inference.py \
     --ignore=tests/test_golden_regression.py \
     --ignore=tests/test_combining_quantized.py \
-    --ignore=tests/test_experiments_quant_sweep.py "$@"
+    --ignore=tests/test_experiments_quant_sweep.py \
+    --ignore=tests/test_combining_serialization.py \
+    --ignore=tests/test_serving.py "$@"
 quick_elapsed=$(( $(date +%s) - quick_start ))
 echo "quick tier took ${quick_elapsed}s (budget ${QUICK_TIER_BUDGET_SECONDS}s)"
 if (( quick_elapsed > QUICK_TIER_BUDGET_SECONDS )); then

@@ -33,6 +33,11 @@ contribution:
     prior-art reference numbers used in the paper's comparison tables.
 ``repro.experiments``
     One runner per table and figure in the paper's evaluation section.
+``repro.serving``
+    The serving layer above the packing stack: versioned packed-artifact
+    persistence (``repro.combining.serialization``), a lazy LRU model
+    registry, and a dynamic-batching inference server whose responses are
+    bit-identical to direct single-request forwards.
 """
 
 from repro.combining.grouping import ColumnGrouping, group_columns

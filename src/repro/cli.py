@@ -18,6 +18,20 @@ Three subcommands cover the library's main workflows:
     synthetic training batches, run the quantized integer forward on the
     systolic system at ``--bits``, and print the per-layer quantization
     report plus the accuracy-vs-bits sweep table.
+``save-packed``
+    Pack a sparsified network (optionally quantize + calibrate it) and
+    persist the result as a versioned packed artifact
+    (:mod:`repro.combining.serialization`) that servers cold-start from
+    without re-running the packing pipeline.
+``load-packed``
+    Load a packed artifact and print its report: format version, kind,
+    pipeline config, per-layer packing summary with integrity
+    fingerprints, and the frozen calibration scales of quantized
+    artifacts.
+``serve-bench``
+    Run the serving benchmark on a packed artifact: artifact-load vs
+    re-pack cold start, then dynamic batching vs one-request-at-a-time
+    throughput through the :class:`~repro.serving.server.InferenceServer`.
 ``train``
     Run Algorithm 1 (iterative pruning + column combining + retraining) on
     one of the built-in shift + pointwise networks over the synthetic
@@ -33,6 +47,9 @@ Examples::
     python -m repro pack --rows 96 --cols 94 --density 0.16
     python -m repro pack-model --network resnet20 --workers 4
     python -m repro quantize-model --bits 8 --calibration-batches 2
+    python -m repro save-packed --model lenet5 --out lenet5.npz --quantize
+    python -m repro load-packed --path lenet5.npz
+    python -m repro serve-bench --path lenet5.npz --max-batch 16
     python -m repro train --model lenet5 --alpha 8 --gamma 0.5
     python -m repro experiment fig15a
 """
@@ -51,11 +68,14 @@ from repro.combining import (
     MAX_BITS,
     MIN_BITS,
     PRUNE_ENGINES,
+    PackedArtifactError,
     PackedModel,
     QuantizedPackedModel,
+    artifact_info,
     group_columns,
     pack_filter_matrix,
     packing_report,
+    save_packed,
 )
 from repro.experiments import (
     ablation_grouping,
@@ -197,6 +217,68 @@ def build_parser() -> argparse.ArgumentParser:
                           default="fast",
                           help="conflict-pruning engine (Algorithm 3)")
     quantize.add_argument("--seed", type=int, default=0)
+
+    save = subparsers.add_parser(
+        "save-packed",
+        help="pack a sparsified network and persist it as a packed artifact")
+    save.add_argument("--model", choices=["lenet5", "vgg", "resnet20"],
+                      default="lenet5")
+    save.add_argument("--out", type=str, required=True,
+                      help="path the .npz packed artifact is written to")
+    save.add_argument("--quantize", action="store_true",
+                      help="save a calibrated quantized artifact instead of "
+                           "a float packed one")
+    save.add_argument("--bits", type=int, default=8,
+                      help=f"cell bit width for --quantize "
+                           f"({MIN_BITS}-{MAX_BITS})")
+    save.add_argument("--calibration", choices=list(CALIBRATIONS),
+                      default="max",
+                      help="activation-scale calibration strategy for "
+                           "--quantize")
+    save.add_argument("--percentile", type=float, default=99.5,
+                      help="percentile for --calibration percentile")
+    save.add_argument("--calibration-batches", type=_positive_int, default=1,
+                      help="training batches the quantizers are calibrated on")
+    save.add_argument("--batch-size", type=_positive_int, default=64)
+    save.add_argument("--density", type=float, default=0.5,
+                      help="fraction of packable weights kept when "
+                           "sparsifying the synthetic checkpoint")
+    save.add_argument("--alpha", type=int, default=8)
+    save.add_argument("--gamma", type=float, default=0.5)
+    save.add_argument("--image-size", type=int, default=FAST_RUN.image_size)
+    save.add_argument("--model-scale", type=float, default=FAST_RUN.model_scale)
+    save.add_argument("--workers", type=_positive_int, default=1,
+                      help="fan the per-layer packing out over N processes")
+    save.add_argument("--engine", choices=list(GROUPING_ENGINES),
+                      default="fast", help="column-grouping engine (Algorithm 2)")
+    save.add_argument("--prune-engine", choices=list(PRUNE_ENGINES),
+                      default="fast",
+                      help="conflict-pruning engine (Algorithm 3)")
+    save.add_argument("--no-compress", action="store_true",
+                      help="write the artifact uncompressed (faster loads, "
+                           "bigger file)")
+    save.add_argument("--seed", type=int, default=0)
+
+    load = subparsers.add_parser(
+        "load-packed", help="load a packed artifact and print its report")
+    load.add_argument("--path", type=str, required=True,
+                      help="the .npz packed artifact to inspect")
+
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="benchmark dynamic-batching serving on a packed artifact")
+    serve.add_argument("--path", type=str, required=True,
+                       help="model-backed packed artifact to serve")
+    serve.add_argument("--requests", type=_positive_int, default=96,
+                       help="number of single-sample requests per serving run")
+    serve.add_argument("--max-batch", type=_positive_int, default=16,
+                       help="dynamic batcher's sample budget per batch")
+    serve.add_argument("--max-wait", type=float, default=0.002,
+                       help="dynamic batcher's coalescing window in seconds")
+    serve.add_argument("--image-size", type=int, default=FAST_RUN.image_size,
+                       help="request spatial size (overridden by the "
+                            "artifact's model_spec when it records one)")
+    serve.add_argument("--seed", type=int, default=0)
 
     train = subparsers.add_parser("train", help="run Algorithm 1 on a built-in model")
     train.add_argument("--model", choices=["lenet5", "vgg", "resnet20"], default="resnet20")
@@ -366,6 +448,149 @@ def _command_quantize_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _model_spec_for(args: argparse.Namespace) -> dict:
+    """The build_model spec a packed artifact embeds for self-contained loads."""
+    kwargs = {
+        "in_channels": 1 if DATASET_FOR_MODEL[args.model] == "mnist" else 3,
+        "num_classes": 10,
+        "scale": args.model_scale,
+    }
+    if args.model == "lenet5":
+        kwargs["image_size"] = args.image_size
+    return {"name": args.model, "kwargs": kwargs}
+
+
+def _command_save_packed(args: argparse.Namespace) -> int:
+    if args.quantize and not MIN_BITS <= args.bits <= MAX_BITS:
+        print(f"error: --bits must be in [{MIN_BITS}, {MAX_BITS}], "
+              f"got {args.bits}", file=sys.stderr)
+        return 2
+    run_cfg = FAST_RUN.scaled(seed=args.seed, image_size=args.image_size,
+                              model_scale=args.model_scale)
+    model = quant_sweep.sparsified_model(args.model, run_cfg,
+                                         density=args.density, seed=args.seed)
+    with packing_pipeline(alpha=args.alpha, gamma=args.gamma,
+                          grouping_engine=args.engine,
+                          prune_engine=args.prune_engine,
+                          workers=args.workers, seed=args.seed) as pipeline:
+        packed = PackedModel.from_model(model, pipeline=pipeline)
+    artifact: PackedModel | QuantizedPackedModel = packed
+    if args.quantize:
+        train, _ = prepare_data(DATASET_FOR_MODEL[args.model], run_cfg)
+        calibration_images = train.images[:args.calibration_batches
+                                          * args.batch_size]
+        artifact = QuantizedPackedModel(packed, bits=args.bits,
+                                        calibration=args.calibration,
+                                        percentile=args.percentile)
+        artifact.calibrate(calibration_images)
+    path = save_packed(artifact, args.out, model_spec=_model_spec_for(args),
+                       compress=not args.no_compress)
+    info = artifact_info(path)
+    kind = info["kind"]
+    print(f"saved {kind} artifact: {path} ({info['file_bytes'] / 1024:.0f} KiB, "
+          f"format v{info['format_version']})")
+    print(f"  {args.model} at density {args.density:.0%}, alpha={args.alpha}, "
+          f"gamma={args.gamma}, {len(info['layers'])} packed layers"
+          + (f", {args.bits}-bit calibrated ({args.calibration})"
+         if args.quantize else ""))
+    return 0
+
+
+def _command_load_packed(args: argparse.Namespace) -> int:
+    from repro.combining.serialization import verify_artifact
+
+    try:
+        verified = verify_artifact(args.path)
+    except FileNotFoundError:
+        print(f"error: {args.path} does not exist", file=sys.stderr)
+        return 2
+    except PackedArtifactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    info = verified["info"]
+    layers = verified["layers"]
+    config = info["pipeline_config"]
+    config_text = (f"alpha={config['alpha']}, gamma={config['gamma']}, "
+                   f"engines {config['grouping_engine']}/"
+                   f"{config['prune_engine']}" if config else "unrecorded")
+    if not info["has_model_state"]:
+        model_text = "absent (matrix-only)"
+    elif info["model_spec"] is not None:
+        model_text = f"embedded ({info['model_spec']['name']})"
+    else:
+        model_text = "state only (load with model=...)"
+    print(f"packed artifact: {info['path']} "
+          f"({info['file_bytes'] / 1024:.0f} KiB, format "
+          f"v{info['format_version']}, kind {info['kind']})")
+    print(f"  pipeline: {config_text}; array "
+          f"{info['array_rows']}x{info['array_cols']}; nn model {model_text}")
+    rows = [
+        (meta["name"], f"{packed.num_rows}x{packed.original_shape[1]}",
+         packed.num_groups, f"{packed.packing_efficiency():.1%}",
+         meta["fingerprint"][:12])
+        for meta, packed in zip(info["layers"], layers)
+    ]
+    print(format_table(
+        ["layer", "shape", "combined cols", "packing eff.", "fingerprint"],
+        rows))
+    if info["kind"] == "quantized":
+        quantized_meta = info["quantized"]
+        print(f"  quantized at {quantized_meta['bits']} bits "
+              f"({quantized_meta['calibration']} calibration); frozen scales:")
+        print(format_table(
+            ["layer", "input scale", "weight scale"],
+            [(meta["name"], f"{input_scale:.3e}", f"{weight_scale:.3e}")
+             for meta, input_scale, weight_scale
+             in zip(quantized_meta["layers"], verified["input_scales"],
+                    verified["weight_scales"])]))
+    print(f"integrity: all {len(layers)} layer fingerprints verified")
+    return 0
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serving.bench import run_serving_benchmark
+
+    if not 0.0 <= args.max_wait <= 1.0:
+        print(f"error: --max-wait must be in [0, 1] seconds, "
+              f"got {args.max_wait}", file=sys.stderr)
+        return 2
+    try:
+        results = run_serving_benchmark(
+            args.path, requests=args.requests, max_batch=args.max_batch,
+            max_wait=args.max_wait, image_size=args.image_size,
+            seed=args.seed)
+    except FileNotFoundError:
+        print(f"error: {args.path} does not exist", file=sys.stderr)
+        return 2
+    except (PackedArtifactError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    cold = results["cold_start"]
+    throughput = results["throughput"]
+    shape = "x".join(str(side) for side in results["sample_shape"])
+    print(f"serving benchmark: {args.path} ({results['kind']}, "
+          f"requests of shape {shape})")
+    print(format_table(
+        ["cold start", "seconds"],
+        [("load artifact", f"{cold['load_seconds']:.4f}"),
+         ("re-pack pipeline", f"{cold['repack_seconds']:.4f}"),
+         ("load speedup", f"{cold['speedup']:.1f}x")]))
+    print(format_table(
+        ["serving", "requests/s", "seconds", "mean batch"],
+        [("one-at-a-time", f"{throughput['sequential_throughput']:.0f}",
+          f"{throughput['sequential_seconds']:.4f}",
+          f"{throughput['sequential_mean_batch']:.1f}"),
+         (f"batched (max {args.max_batch})",
+          f"{throughput['batched_throughput']:.0f}",
+          f"{throughput['batched_seconds']:.4f}",
+          f"{throughput['batched_mean_batch']:.1f}")]))
+    print(f"batching speedup {throughput['speedup']:.1f}x over "
+          f"{throughput['requests']} single-sample requests; responses "
+          f"bit-identical to direct forward: "
+          f"{throughput['bit_identical_to_direct']}")
+    return 0
+
+
 def _command_train(args: argparse.Namespace) -> int:
     run = FAST_RUN.scaled(train_samples=args.train_samples, image_size=args.image_size,
                           epochs_per_round=args.epochs_per_round,
@@ -414,6 +639,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_pack_model(args)
     if args.command == "quantize-model":
         return _command_quantize_model(args)
+    if args.command == "save-packed":
+        return _command_save_packed(args)
+    if args.command == "load-packed":
+        return _command_load_packed(args)
+    if args.command == "serve-bench":
+        return _command_serve_bench(args)
     if args.command == "train":
         return _command_train(args)
     if args.command == "experiment":

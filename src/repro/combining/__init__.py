@@ -33,6 +33,14 @@ The public surface mirrors the paper's algorithms:
   execution (``bits``-bit MX routing, 32-bit accumulation, per-layer
   re-quantization), with per-layer error reports and bit-width-aware
   cycle accounting.
+* :mod:`~repro.combining.serialization` — the versioned packed-artifact
+  format (:func:`~repro.combining.serialization.save_packed` /
+  :func:`~repro.combining.serialization.load_packed`): one ``.npz`` file
+  persisting the packed matrices, channel routing, grouping, pipeline
+  config, nn model state, and frozen calibration scales, with format
+  versioning and per-layer fingerprints; loaded models are
+  forward-bit-identical to the ones saved.  :mod:`repro.serving` builds
+  its model registry / dynamic-batching inference server on top.
 
 Engine selection
 ----------------
@@ -97,6 +105,17 @@ from repro.combining.inference import (
     FORWARD_MODES,
     PackedLayerSpec,
     PackedModel,
+    ensure_sample_batch,
+)
+from repro.combining.serialization import (
+    ARTIFACT_KINDS,
+    FORMAT_VERSION,
+    PackedArtifactError,
+    artifact_info,
+    fingerprint_packed,
+    load_packed,
+    save_packed,
+    verify_artifact,
 )
 from repro.combining.quantized import (
     MAX_BITS,
@@ -147,6 +166,15 @@ __all__ = [
     "FORWARD_MODES",
     "PackedLayerSpec",
     "PackedModel",
+    "ensure_sample_batch",
+    "ARTIFACT_KINDS",
+    "FORMAT_VERSION",
+    "PackedArtifactError",
+    "artifact_info",
+    "fingerprint_packed",
+    "load_packed",
+    "save_packed",
+    "verify_artifact",
     "MIN_BITS",
     "MAX_BITS",
     "LayerCalibration",

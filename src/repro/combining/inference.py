@@ -27,6 +27,19 @@ model via :class:`~repro.combining.pipeline.PackingPipeline`) and provides:
     to floating-point summation order (the hardware sums across groups,
     a dense matmul across channels).
 
+  Both modes also accept ``batch_invariant=True``, the serving-path
+  numerics: every weight-bearing computation runs through shape-stable
+  ``np.einsum`` reduction loops instead of BLAS kernels whose blocking
+  (and therefore whose float summation order) depends on the batch
+  dimension.  Batch-invariant outputs are *bit-identical per sample no
+  matter how samples are batched* — ``forward(batch)[i:j]`` equals
+  ``forward(batch[i:j])`` exactly — which is what lets
+  :mod:`repro.serving`'s dynamic batcher coalesce arbitrary requests into
+  one forward while each response stays bit-identical to the direct
+  single-request call.  The trade-off is numerics-only: batch-invariant
+  results are numerically equivalent to the default path (same arithmetic
+  up to float summation order), not bitwise equal to it.
+
 * **Batched sparse export** — :meth:`PackedModel.to_sparse` reconstructs
   every layer's pruned dense filter matrix in one call.
 
@@ -65,7 +78,7 @@ from repro.combining.pipeline import (
     PipelineResult,
 )
 from repro.models.registry import packable_layers as _model_packable_layers
-from repro.nn import Module, PointwiseConv2d
+from repro.nn import Dense, Module, PointwiseConv2d
 from repro.systolic.array import ArrayConfig
 from repro.systolic.system import ModelExecutionPlan, SystolicSystem
 
@@ -149,13 +162,18 @@ class PackedModel:
 
     def __init__(self, specs: Sequence[PackedLayerSpec],
                  model: Module | None = None,
-                 array_rows: int = 32, array_cols: int = 32):
+                 array_rows: int = 32, array_cols: int = 32,
+                 pipeline_config: PipelineConfig | None = None):
         if array_rows < 1 or array_cols < 1:
             raise ValueError("array dimensions must be >= 1")
         self.specs = list(specs)
         self.model = model
         self.array_rows = array_rows
         self.array_cols = array_cols
+        #: the :class:`PipelineConfig` the packing ran under, when known —
+        #: persisted into packed artifacts so a served model records how it
+        #: was packed (see :mod:`repro.combining.serialization`).
+        self.pipeline_config = pipeline_config
         #: per-layer (H, W) observed during the last :meth:`forward` call.
         self._observed_spatial: dict[str, tuple[int, int]] = {}
         if model is not None and any(spec.module is None for spec in self.specs):
@@ -185,7 +203,8 @@ class PackedModel:
                  for layer, module in zip(result.layers, modules)]
         return cls(specs, model=model,
                    array_rows=result.config.array_rows,
-                   array_cols=result.config.array_cols)
+                   array_cols=result.config.array_cols,
+                   pipeline_config=result.config)
 
     @classmethod
     def from_model(cls, model: Module,
@@ -217,7 +236,8 @@ class PackedModel:
 
     # -- batched forward ----------------------------------------------------
     def forward(self, activations: np.ndarray, mode: str = "exact",
-                batch_size: int | None = None) -> np.ndarray:
+                batch_size: int | None = None,
+                batch_invariant: bool = False) -> np.ndarray:
         """Run a batched forward pass through the packed network.
 
         ``activations`` is an NCHW batch.  ``mode`` selects the packed
@@ -228,7 +248,12 @@ class PackedModel:
         concatenated; every layer is a per-sample computation in eval
         mode, so chunking changes the result only through BLAS summation
         order (numerically equivalent, not necessarily the same bits as
-        the unchunked batch).
+        the unchunked batch).  ``batch_invariant=True`` switches every
+        weight-bearing layer to shape-stable einsum reduction loops so the
+        result is bit-identical per sample regardless of batching —
+        ``forward(x)[i:j] == forward(x[i:j])`` exactly, for either mode —
+        the property :mod:`repro.serving`'s dynamic batcher relies on
+        (see the module docstring).
         """
         if self.model is None:
             raise RuntimeError(
@@ -239,15 +264,26 @@ class PackedModel:
                              f"expected one of {FORWARD_MODES}")
         chunks = split_activation_batch(activations, batch_size)
         self._observed_spatial = {}
-        with self._packed_layers_installed(mode):
+        with self._packed_layers_installed(mode, batch_invariant=batch_invariant):
             outputs = [self.model.forward(chunk) for chunk in chunks]
         return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
 
     def predict(self, activations: np.ndarray, mode: str = "exact",
-                batch_size: int | None = None) -> np.ndarray:
-        """Class predictions (argmax over the final logits)."""
-        return np.argmax(self.forward(activations, mode=mode,
-                                      batch_size=batch_size), axis=1)
+                batch_size: int | None = None,
+                batch_invariant: bool = False) -> np.ndarray:
+        """Class predictions (argmax over the final logits).
+
+        Accepts either an NCHW batch (returns one prediction per sample)
+        or a single unbatched ``(C, H, W)`` sample — the natural unit of a
+        serving request — which is auto-expanded to a one-sample batch and
+        squeezed back to a scalar prediction.
+        """
+        batch, unbatched = ensure_sample_batch(activations)
+        predictions = np.argmax(self.forward(batch, mode=mode,
+                                             batch_size=batch_size,
+                                             batch_invariant=batch_invariant),
+                                axis=1)
+        return predictions[0] if unbatched else predictions
 
     @contextmanager
     def _model_snapshot(self) -> Iterator[None]:
@@ -273,13 +309,20 @@ class PackedModel:
                 vars(module).update(attributes)
 
     @contextmanager
-    def _packed_layers_installed(self, mode: str) -> Iterator[None]:
+    def _packed_layers_installed(self, mode: str,
+                                 batch_invariant: bool = False
+                                 ) -> Iterator[None]:
         """Temporarily run the model in eval mode with packed layers installed.
 
         ``"exact"`` swaps each packable layer's weight data for the (cached)
         packed reconstruction; ``"mx"`` overrides the layer's ``forward``
         with the MX-cell multiply.  Both record the spatial size each packed
         layer observes (for :meth:`plan`) and restore the model afterwards.
+        With ``batch_invariant`` the exact mode computes the packed layers
+        through shape-stable einsum loops instead of the module's own
+        (BLAS-backed) forward, and every other weight-bearing module is
+        switched to its batch-invariant twin too (see
+        :meth:`_install_batch_invariant_modules`).
         """
         with self._model_snapshot():
             saved_weights: list[tuple[PointwiseConv2d, np.ndarray]] = []
@@ -287,25 +330,57 @@ class PackedModel:
                 for spec in self.specs:
                     module = spec.module
                     assert module is not None
-                    if mode == "exact":
+                    if mode == "exact" and not batch_invariant:
                         saved_weights.append((module, module.weight.data))
                         module.weight.data = spec.realized()
                         module.forward = _recording_forward(module, spec,
                                                             self._observed_spatial)
+                    elif mode == "exact":
+                        module.forward = _invariant_pointwise_forward(
+                            module, weights=spec.realized(), spec=spec,
+                            observed=self._observed_spatial)
                     else:
                         module.forward = _mx_forward(module, spec,
                                                      self._observed_spatial)
+                if batch_invariant:
+                    self._install_batch_invariant_modules()
                 yield
             finally:
                 for module, weights in saved_weights:
                     module.weight.data = weights
 
+    def _install_batch_invariant_modules(self) -> None:
+        """Swap the non-packed weight-bearing modules to einsum forwards.
+
+        The only batch-variant operations in the module graph are the
+        BLAS-backed matmuls (``Dense``, and ``PointwiseConv2d``'s
+        ``optimize=True`` einsum, which may dispatch to BLAS): blocked
+        GEMM kernels choose their blocking — and therefore their float
+        summation order — from the full operand shapes, so a sample's
+        bits change with the batch it rides in.  Everything else
+        (batch-norm statistics in eval mode, pooling means, shifts, ReLU)
+        reduces per sample with shape-independent order.  Must run inside
+        :meth:`_model_snapshot` (forward overrides are undone by the
+        snapshot restore); packable modules were already handled by the
+        caller, and any module whose forward was already overridden this
+        context is left alone.
+        """
+        model = self.model
+        assert model is not None
+        for module in model.modules():
+            if "forward" in vars(module):
+                continue  # packed / custom forward already installed
+            if isinstance(module, Dense):
+                module.forward = _invariant_dense_forward(module)
+            elif isinstance(module, PointwiseConv2d):
+                module.forward = _invariant_pointwise_forward(module)
+
     @contextmanager
     def custom_forwards(self, factory: Callable[["PackedLayerSpec",
                                                  PointwiseConv2d],
                                                 Callable[[np.ndarray],
-                                                         np.ndarray]]
-                        ) -> Iterator[None]:
+                                                         np.ndarray]],
+                        batch_invariant: bool = False) -> Iterator[None]:
         """Run the model with each packable layer's forward replaced.
 
         ``factory(spec, module)`` returns the substitute forward installed
@@ -315,7 +390,11 @@ class PackedModel:
         extension point other packed-execution semantics build on — the
         quantized integer path of
         :class:`~repro.combining.quantized.QuantizedPackedModel` installs
-        its per-layer systolic execution through it.
+        its per-layer systolic execution through it.  With
+        ``batch_invariant`` the *non-packed* weight-bearing modules run
+        their batch-invariant einsum twins (the factory's own forwards are
+        untouched — the quantized integer path is batch-invariant by
+        construction, its sums being exact).
         """
         if self.model is None:
             raise RuntimeError(
@@ -326,6 +405,8 @@ class PackedModel:
                 module = spec.module
                 assert module is not None
                 module.forward = factory(spec, module)
+            if batch_invariant:
+                self._install_batch_invariant_modules()
             yield
 
     # -- batched exports ----------------------------------------------------
@@ -368,6 +449,15 @@ class PackedModel:
         return max(degrees) if degrees else 0
 
     # -- cycle / tile accounting --------------------------------------------
+    def observed_spatial_map(self) -> dict[str, tuple[int, int]]:
+        """Per-layer (H, W) recorded by the last forward (possibly partial).
+
+        Unlike :meth:`observed_spatial_sizes` this never raises — it is
+        the raw observation record, used e.g. by the serving layer to key
+        its plan cache on the spatial shapes a batch actually ran at.
+        """
+        return dict(self._observed_spatial)
+
     def observed_spatial_sizes(self) -> list[int]:
         """Linear spatial sizes recorded by the last :meth:`forward` call."""
         if len(self._observed_spatial) != len(self.specs):
@@ -421,6 +511,20 @@ class PackedModel:
         return result
 
 
+def ensure_sample_batch(activations: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Promote a single ``(C, H, W)`` sample to a one-sample NCHW batch.
+
+    Returns ``(batch, unbatched)`` where ``unbatched`` records whether the
+    input was a bare sample (so callers can squeeze their result back).
+    Anything already 4-D passes through untouched; other ranks raise the
+    usual batching error downstream.
+    """
+    activations = np.asarray(activations, dtype=np.float64)
+    if activations.ndim == 3:
+        return activations[None, ...], True
+    return activations, False
+
+
 def split_activation_batch(activations: np.ndarray,
                            batch_size: int | None = None) -> list[np.ndarray]:
     """Validate an NCHW batch and split it into forward-sized chunks.
@@ -466,5 +570,48 @@ def _mx_forward(module: PointwiseConv2d, spec: PackedLayerSpec,
         out = spec.packed.multiply_activations(x)
         if module.bias is not None:
             out = out + module.bias.data[None, :, None, None]
+        return out
+    return forward
+
+
+def _invariant_pointwise_forward(module: PointwiseConv2d,
+                                 weights: np.ndarray | None = None,
+                                 spec: PackedLayerSpec | None = None,
+                                 observed: dict[str, tuple[int, int]] | None = None):
+    """Batch-invariant pointwise forward: fixed weights, einsum loops.
+
+    ``optimize=False`` keeps the contraction in einsum's own C reduction
+    loops, whose per-element summation order depends only on the reduced
+    axis — never on the batch dimension — so a sample's output bits are
+    independent of which batch it was coalesced into.  ``weights``
+    defaults to the module's own (the non-packed-layer case); packed
+    layers pass their realized matrix plus ``spec`` / ``observed`` for
+    spatial-size recording.
+    """
+    if weights is None:
+        weights = module.weight.data
+
+    def forward(x: np.ndarray) -> np.ndarray:
+        module.check_input(x)
+        if observed is not None:
+            assert spec is not None
+            observed[spec.name] = (x.shape[2], x.shape[3])
+        out = np.einsum("nc,bchw->bnhw", weights, x)
+        if module.bias is not None:
+            out = out + module.bias.data[None, :, None, None]
+        return out
+    return forward
+
+
+def _invariant_dense_forward(module: Dense):
+    """Batch-invariant twin of :meth:`Dense.forward` (einsum, not BLAS)."""
+    def forward(x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != module.in_features:
+            raise ValueError(
+                f"Dense expected input of shape (batch, {module.in_features}), "
+                f"got {x.shape}")
+        out = np.einsum("bi,oi->bo", x, module.weight.data)
+        if module.bias is not None:
+            out = out + module.bias.data
         return out
     return forward

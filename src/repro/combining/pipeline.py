@@ -127,6 +127,34 @@ class PipelineConfig:
     workers: int = 1
     seed: int = 0
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping of every knob (the packed-artifact footprint).
+
+        :func:`repro.combining.serialization.save_packed` embeds this in the
+        artifact metadata so a served model records the exact pipeline
+        settings it was packed under; :meth:`from_dict` round-trips it.
+        """
+        return {
+            "alpha": self.alpha,
+            "gamma": self.gamma,
+            "policy": self.policy,
+            "grouping_engine": self.grouping_engine,
+            "prune_engine": self.prune_engine,
+            "array_rows": self.array_rows,
+            "array_cols": self.array_cols,
+            "workers": self.workers,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PipelineConfig":
+        """Reconstruct a config from :meth:`to_dict` output (validated as usual)."""
+        known = {field_name for field_name in cls.__dataclass_fields__}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown PipelineConfig fields: {unknown}")
+        return cls(**data)
+
     def __post_init__(self) -> None:
         if self.alpha < 1:
             raise ValueError("alpha must be >= 1")

@@ -64,6 +64,7 @@ import numpy as np
 from repro.combining.inference import (
     PackedLayerSpec,
     PackedModel,
+    ensure_sample_batch,
     split_activation_batch,
 )
 from repro.combining.pipeline import PackingPipeline, PipelineConfig, PipelineResult
@@ -301,10 +302,39 @@ class QuantizedPackedModel:
         assert self._calibrations is not None
         return [self._calibrations[spec.name] for spec in self.packed.specs]
 
+    def restore_calibrations(self, calibrations: Sequence[LayerCalibration]
+                             ) -> "QuantizedPackedModel":
+        """Install previously frozen calibrations without a calibration run.
+
+        The artifact-loading path
+        (:func:`repro.combining.serialization.load_packed`): a served model
+        cold-starts from the scales frozen at save time instead of needing
+        a calibration batch.  ``calibrations`` must cover exactly this
+        model's packed layers (any order) at this model's bit width.
+        Returns ``self``, mirroring :meth:`calibrate`.
+        """
+        by_name = {calibration.name: calibration for calibration in calibrations}
+        expected = [spec.name for spec in self.packed.specs]
+        if sorted(by_name) != sorted(expected):
+            raise ValueError(
+                f"calibrations cover layers {sorted(by_name)} but the packed "
+                f"model has layers {sorted(expected)}")
+        for calibration in calibrations:
+            for role, quantizer in (("input", calibration.input_quantizer),
+                                    ("weight", calibration.weight_quantizer)):
+                if quantizer.bits != self.bits:
+                    raise ValueError(
+                        f"layer {calibration.name!r}: {role} quantizer is "
+                        f"{quantizer.bits}-bit but this model runs at "
+                        f"{self.bits} bits")
+        self._calibrations = {name: by_name[name] for name in expected}
+        return self
+
     # -- quantized batched forward ------------------------------------------
     def forward(self, activations: np.ndarray, batch_size: int | None = None,
                 capture_layer_outputs: bool = False,
-                track_errors: bool = True) -> np.ndarray:
+                track_errors: bool = True,
+                batch_invariant: bool = False) -> np.ndarray:
         """Run a batched integer forward through every packed layer.
 
         Mirrors :meth:`PackedModel.forward`'s batching contract
@@ -320,7 +350,13 @@ class QuantizedPackedModel:
         ``capture_layer_outputs`` the per-layer quantized outputs are kept
         for :meth:`layer_outputs` — the differential tests' hook.
         The quantized outputs themselves are bit-identical however the
-        accounting knobs are set.
+        accounting knobs are set.  ``batch_invariant=True`` is the serving
+        numerics (see :meth:`PackedModel.forward`): the packed integer
+        execution is already batch-invariant by construction (frozen
+        scales make its sums exact), so the flag switches the surrounding
+        float modules (classifier heads) to their shape-stable einsum
+        twins, making the whole chain bit-identical per sample under any
+        request coalescing.
         """
         self._require_calibrated()
         chunks = split_activation_batch(activations, batch_size)
@@ -332,16 +368,26 @@ class QuantizedPackedModel:
         self.packed._observed_spatial = {}
         model = self.packed.model
         assert model is not None
-        with self.packed.custom_forwards(self._quantized_factory):
+        with self.packed.custom_forwards(self._quantized_factory,
+                                         batch_invariant=batch_invariant):
             outputs = [model.forward(chunk) for chunk in chunks]
         return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
 
-    def predict(self, activations: np.ndarray, batch_size: int | None = None
-                ) -> np.ndarray:
-        """Class predictions (argmax over the final logits)."""
-        return np.argmax(self.forward(activations, batch_size=batch_size,
-                                      track_errors=False),
-                         axis=1)
+    def predict(self, activations: np.ndarray, batch_size: int | None = None,
+                batch_invariant: bool = False) -> np.ndarray:
+        """Class predictions (argmax over the final logits).
+
+        Mirrors :meth:`PackedModel.predict`: a single unbatched
+        ``(C, H, W)`` sample — the natural unit of a serving request — is
+        auto-expanded to a one-sample batch and the prediction squeezed
+        back to a scalar.
+        """
+        batch, unbatched = ensure_sample_batch(activations)
+        predictions = np.argmax(
+            self.forward(batch, batch_size=batch_size, track_errors=False,
+                         batch_invariant=batch_invariant),
+            axis=1)
+        return predictions[0] if unbatched else predictions
 
     def prediction_agreement(self, activations: np.ndarray,
                              batch_size: int | None = None) -> float:

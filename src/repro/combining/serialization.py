@@ -1,0 +1,505 @@
+"""Versioned packed-artifact serialization: pack once, serve forever.
+
+Every consumer so far re-runs the :class:`~repro.combining.pipeline.PackingPipeline`
+to get a :class:`~repro.combining.inference.PackedModel` — acceptable for
+experiments, wasteful for serving, where the whole point of column
+combining is to amortize one packing across millions of requests.  This
+module persists a packed model (or its quantized twin) as a single
+``.npz`` *packed artifact* so servers cold-start by loading instead of
+re-packing:
+
+* **Everything the array needs** — per-layer packed filter matrices and
+  MX-cell channel routing, the column grouping (the tiling plan derives
+  from it), the array geometry, the
+  :class:`~repro.combining.pipeline.PipelineConfig` the packing ran
+  under, and — for :class:`~repro.combining.quantized.QuantizedPackedModel` —
+  the frozen per-layer calibration scales.
+* **Everything the host needs** — the nn model's full parameter state
+  (:func:`repro.nn.serialization.state_dict`) plus an optional
+  ``model_spec`` (``{"name": ..., "kwargs": {...}}`` for
+  :func:`repro.models.build_model`) so :func:`load_packed` can rebuild
+  the module graph without the caller supplying an architecture.
+* **Integrity** — a format version (readers reject artifacts written by
+  an incompatible format) and a per-layer blake2b fingerprint over the
+  packed weights, routing, and grouping (readers reject corrupted or
+  tampered layer data), both with explicit
+  :class:`PackedArtifactError` messages.
+
+The contract that makes artifacts trustworthy: ``load_packed(save_packed(m))``
+is **forward-bit-identical** to ``m`` — float64 arrays round-trip raw
+through the npz container, the module state restores exactly, and frozen
+quantizer scales are persisted as arrays (not decimal strings), so a
+served model answers with exactly the bits the freshly packed model would
+have produced.
+
+Usage::
+
+    from repro.combining import PackedModel, PipelineConfig
+    from repro.combining.serialization import load_packed, save_packed
+
+    packed = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
+    save_packed(packed, "lenet5.packed.npz",
+                model_spec={"name": "lenet5",
+                            "kwargs": {"in_channels": 1, "image_size": 12}})
+    served = load_packed("lenet5.packed.npz")   # no pipeline run
+    assert np.array_equal(served.forward(x), packed.forward(x))
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.combining.grouping import ColumnGrouping
+from repro.combining.inference import PackedLayerSpec, PackedModel
+from repro.combining.packing import PackedFilterMatrix
+from repro.combining.pipeline import PipelineConfig
+from repro.combining.quantized import LayerCalibration, QuantizedPackedModel
+from repro.models.registry import build_model
+from repro.models.registry import packable_layers as _model_packable_layers
+from repro.nn import Module
+from repro.nn.serialization import load_state_dict, state_dict
+from repro.quant.linear import LinearQuantizer
+
+#: Version stamp written into every artifact.  Bump on any layout change;
+#: :func:`load_packed` refuses other versions with a clear error instead
+#: of misreading the container.
+FORMAT_VERSION = 1
+
+#: Artifact kinds: a float :class:`PackedModel` or its calibrated
+#: :class:`QuantizedPackedModel` twin.
+ARTIFACT_KINDS: tuple[str, ...] = ("packed", "quantized")
+
+
+class PackedArtifactError(ValueError):
+    """A packed artifact is unreadable: wrong format version, corrupted or
+    tampered layer data (fingerprint mismatch), or missing pieces."""
+
+
+def fingerprint_packed(packed: PackedFilterMatrix) -> str:
+    """Hex blake2b digest of one layer's packed weights, routing, and grouping.
+
+    This is the artifact-integrity fingerprint: it covers everything that
+    determines the layer's packed computation (weights, per-cell channel
+    routing, group membership and order), so any corruption of the stored
+    arrays — or a mismatch between arrays and metadata — changes it.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.ascontiguousarray(packed.weights).tobytes())
+    digest.update(np.ascontiguousarray(packed.channel_index).tobytes())
+    flat_columns, group_sizes = _grouping_arrays(packed.grouping)
+    digest.update(flat_columns.tobytes())
+    digest.update(group_sizes.tobytes())
+    return digest.hexdigest()
+
+
+def _grouping_arrays(grouping: ColumnGrouping) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a grouping into (member columns in group order, group sizes)."""
+    flat_columns = np.fromiter(
+        (column for group in grouping.groups for column in group),
+        dtype=np.int64, count=grouping.num_columns)
+    group_sizes = np.fromiter((len(group) for group in grouping.groups),
+                              dtype=np.int64, count=grouping.num_groups)
+    return flat_columns, group_sizes
+
+
+def _concatenate(pieces: list[np.ndarray], dtype: type) -> np.ndarray:
+    """Concatenate 1-D pieces (an empty list becomes an empty typed array)."""
+    if not pieces:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate([np.asarray(piece, dtype=dtype) for piece in pieces])
+
+
+def _validate_model_spec(model_spec: dict[str, Any]) -> dict[str, Any]:
+    if not isinstance(model_spec, dict) or "name" not in model_spec:
+        raise ValueError('model_spec must be {"name": ..., "kwargs": {...}}')
+    kwargs = model_spec.get("kwargs", {})
+    if not isinstance(kwargs, dict):
+        raise ValueError("model_spec['kwargs'] must be a mapping")
+    spec = {"name": str(model_spec["name"]), "kwargs": kwargs}
+    try:
+        json.dumps(spec)
+    except TypeError as error:
+        raise ValueError(
+            f"model_spec must be JSON-serializable: {error}") from error
+    return spec
+
+
+def save_packed(model: PackedModel | QuantizedPackedModel,
+                path: str | Path,
+                model_spec: dict[str, Any] | None = None,
+                compress: bool = True) -> Path:
+    """Persist a packed (or quantized packed) model as one ``.npz`` artifact.
+
+    ``model_spec`` (optional, for model-backed packings) records how to
+    rebuild the architecture at load time —
+    ``{"name": <registry name>, "kwargs": {...}}`` for
+    :func:`repro.models.build_model`; the parameter *values* are always
+    persisted via :func:`repro.nn.serialization.state_dict`, so the spec
+    only has to reproduce the topology.  Without a spec, loading a
+    model-backed artifact requires passing the architecture to
+    :func:`load_packed` explicitly.
+
+    ``compress=False`` trades file size for faster cold-start loads
+    (zlib inflation is a visible share of load time for the full-size
+    workloads); the format is identical either way.
+
+    A :class:`QuantizedPackedModel` must be calibrated — the artifact's
+    job is to carry the frozen scales a server cold-starts with.
+    """
+    quantized: QuantizedPackedModel | None = None
+    if isinstance(model, QuantizedPackedModel):
+        quantized = model
+        packed = model.packed
+        if not quantized.calibrated:
+            raise ValueError(
+                "cannot save an uncalibrated QuantizedPackedModel: the "
+                "artifact persists the frozen calibration scales; run "
+                "calibrate(batch) first")
+    elif isinstance(model, PackedModel):
+        packed = model
+    else:
+        raise TypeError(
+            f"save_packed takes a PackedModel or QuantizedPackedModel, "
+            f"got {type(model).__name__}")
+    if model_spec is not None:
+        if packed.model is None:
+            raise ValueError(
+                "model_spec was given but this PackedModel has no nn model")
+        model_spec = _validate_model_spec(model_spec)
+
+    # Columnar layout: every layer's packed data concatenates into four
+    # flat arrays (sliced back apart via the shapes in the metadata), so
+    # the artifact holds a handful of npz entries however many layers the
+    # network has — per-entry container overhead is what dominates load
+    # time for the 20-layer workloads.
+    arrays: dict[str, np.ndarray] = {}
+    layers_meta: list[dict[str, Any]] = []
+    all_weights: list[np.ndarray] = []
+    all_channels: list[np.ndarray] = []
+    all_columns: list[np.ndarray] = []
+    all_sizes: list[np.ndarray] = []
+    for spec in packed.specs:
+        layer = spec.packed
+        flat_columns, group_sizes = _grouping_arrays(layer.grouping)
+        all_weights.append(layer.weights.ravel())
+        all_channels.append(layer.channel_index.ravel())
+        all_columns.append(flat_columns)
+        all_sizes.append(group_sizes)
+        layers_meta.append({
+            "name": spec.name,
+            "original_shape": list(layer.original_shape),
+            "num_groups": layer.num_groups,
+            "alpha": layer.grouping.alpha,
+            "gamma": layer.grouping.gamma,
+            "policy": layer.grouping.policy,
+            "fingerprint": fingerprint_packed(layer),
+        })
+    arrays["packed.weights"] = _concatenate(all_weights, np.float64)
+    arrays["packed.channel_index"] = _concatenate(all_channels, np.int64)
+    arrays["packed.group_columns"] = _concatenate(all_columns, np.int64)
+    arrays["packed.group_sizes"] = _concatenate(all_sizes, np.int64)
+
+    has_model_state = packed.model is not None
+    if has_model_state:
+        for name, array in state_dict(packed.model).items():
+            arrays[f"state.{name}"] = array
+
+    quantized_meta: dict[str, Any] | None = None
+    if quantized is not None:
+        calibrations = quantized.layer_calibrations()
+        arrays["quant.input_scales"] = np.array(
+            [c.input_quantizer.scale for c in calibrations], dtype=np.float64)
+        arrays["quant.weight_scales"] = np.array(
+            [c.weight_quantizer.scale for c in calibrations], dtype=np.float64)
+        quantized_meta = {
+            "bits": quantized.bits,
+            "calibration": quantized.calibration,
+            "percentile": quantized.percentile,
+            "layers": [{"name": c.name,
+                        "weight_rmse": c.weight_rmse,
+                        "weight_saturation": c.weight_saturation}
+                       for c in calibrations],
+        }
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "kind": "quantized" if quantized is not None else "packed",
+        "array_rows": packed.array_rows,
+        "array_cols": packed.array_cols,
+        "pipeline_config": (packed.pipeline_config.to_dict()
+                            if packed.pipeline_config is not None else None),
+        "layers": layers_meta,
+        "model_spec": model_spec,
+        "has_model_state": has_model_state,
+        "quantized": quantized_meta,
+    }
+    arrays["meta"] = np.array(json.dumps(meta, sort_keys=True))
+
+    path = Path(path)
+    writer = np.savez_compressed if compress else np.savez
+    with open(path, "wb") as handle:
+        writer(handle, **arrays)
+    return path
+
+
+def _open_artifact(path: Path) -> Any:
+    """``np.load`` with container failures wrapped as artifact errors.
+
+    A truncated download or a non-npz file makes ``np.load`` raise zip /
+    pickle errors whose messages mislead ("pickled data" for plain
+    garbage); readers promise :class:`PackedArtifactError` for anything
+    unreadable.  A missing file still raises ``FileNotFoundError``.
+    """
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (ValueError, OSError, zipfile.BadZipFile) as error:
+        raise PackedArtifactError(
+            f"{path} is not a readable packed artifact "
+            f"(corrupt or not an npz file): {error}") from error
+
+
+def _read_meta(data: Any, path: Path) -> dict[str, Any]:
+    if "meta" not in data:
+        raise PackedArtifactError(
+            f"{path} is not a packed artifact (no 'meta' entry)")
+    meta = json.loads(str(data["meta"][()]))
+    version = meta.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PackedArtifactError(
+            f"{path} has packed-artifact format version {version!r}; this "
+            f"build reads version {FORMAT_VERSION} — re-save the artifact "
+            "with the current save_packed")
+    if meta.get("kind") not in ARTIFACT_KINDS:
+        raise PackedArtifactError(
+            f"{path} has unknown artifact kind {meta.get('kind')!r}; "
+            f"expected one of {ARTIFACT_KINDS}")
+    return meta
+
+
+def artifact_info(path: str | Path) -> dict[str, Any]:
+    """The artifact's metadata (validated version / kind) without rebuilding it.
+
+    The cheap inspection path for registries and the ``load-packed`` CLI
+    report: returns the decoded metadata mapping plus ``path`` and
+    ``file_bytes``.
+    """
+    path = Path(path)
+    with _open_artifact(path) as data:
+        meta = _read_meta(data, path)
+    meta["path"] = str(path)
+    meta["file_bytes"] = path.stat().st_size
+    return meta
+
+
+def _load_layers(data: Any, meta: dict[str, Any],
+                 path: Path) -> list[PackedFilterMatrix]:
+    """Slice the columnar arrays back into per-layer packed matrices."""
+    try:
+        all_weights = data["packed.weights"]
+        all_channels = data["packed.channel_index"]
+        all_columns = data["packed.group_columns"]
+        all_sizes = data["packed.group_sizes"]
+    except KeyError as error:
+        raise PackedArtifactError(
+            f"{path}: artifact is missing packed array {error}") from error
+    layers: list[PackedFilterMatrix] = []
+    cell_cursor = column_cursor = group_cursor = 0
+    for index, layer_meta in enumerate(meta["layers"]):
+        rows, columns = (int(side) for side in layer_meta["original_shape"])
+        num_groups = int(layer_meta["num_groups"])
+        cells = rows * num_groups
+        if (cell_cursor + cells > all_weights.size
+                or column_cursor + columns > all_columns.size
+                or group_cursor + num_groups > all_sizes.size):
+            raise PackedArtifactError(
+                f"{path}: layer {index} ({layer_meta['name']!r}) extends "
+                "past the end of the packed arrays — the artifact is "
+                "truncated or its metadata does not match its data")
+        weights = all_weights[cell_cursor:cell_cursor + cells]
+        channel_index = all_channels[cell_cursor:cell_cursor + cells]
+        group_sizes = all_sizes[group_cursor:group_cursor + num_groups]
+        flat_columns = all_columns[column_cursor:column_cursor + columns]
+        cell_cursor += cells
+        column_cursor += columns
+        group_cursor += num_groups
+        groups: list[list[int]] = []
+        cursor = 0
+        for size in group_sizes:
+            groups.append([int(col)
+                           for col in flat_columns[cursor:cursor + size]])
+            cursor += int(size)
+        try:
+            grouping = ColumnGrouping(groups=groups, num_columns=columns,
+                                      num_rows=rows,
+                                      alpha=int(layer_meta["alpha"]),
+                                      gamma=float(layer_meta["gamma"]),
+                                      policy=str(layer_meta["policy"]))
+            packed = PackedFilterMatrix(
+                weights=weights.reshape(rows, num_groups).copy(),
+                channel_index=channel_index.reshape(rows, num_groups).copy(),
+                grouping=grouping,
+                original_shape=(rows, columns))
+        except ValueError as error:
+            raise PackedArtifactError(
+                f"{path}: layer {index} ({layer_meta['name']!r}) is "
+                f"internally inconsistent: {error}") from error
+        fingerprint = fingerprint_packed(packed)
+        if fingerprint != layer_meta["fingerprint"]:
+            raise PackedArtifactError(
+                f"{path}: layer {index} ({layer_meta['name']!r}) fingerprint "
+                f"mismatch: stored {layer_meta['fingerprint']}, recomputed "
+                f"{fingerprint} — the artifact's layer data was corrupted "
+                "or edited after saving")
+        layers.append(packed)
+    if (cell_cursor != all_weights.size or cell_cursor != all_channels.size
+            or column_cursor != all_columns.size
+            or group_cursor != all_sizes.size):
+        raise PackedArtifactError(
+            f"{path}: packed arrays hold more data than the metadata "
+            "describes — the artifact is corrupted")
+    return layers
+
+
+def _load_raw(path: Path) -> tuple[dict[str, Any], list[PackedFilterMatrix],
+                                   dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Read + integrity-check an artifact's contents, no model resolution."""
+    with _open_artifact(path) as data:
+        meta = _read_meta(data, path)
+        layers = _load_layers(data, meta, path)
+        state = {key[len("state."):]: data[key]
+                 for key in data.files if key.startswith("state.")}
+        quant_arrays: dict[str, np.ndarray] = {}
+        if meta["kind"] == "quantized":
+            try:
+                quant_arrays = {"input_scales": data["quant.input_scales"],
+                                "weight_scales": data["quant.weight_scales"]}
+            except KeyError as error:
+                raise PackedArtifactError(
+                    f"{path}: quantized artifact is missing scale array "
+                    f"{error}") from error
+    return meta, layers, state, quant_arrays
+
+
+def verify_artifact(path: str | Path) -> dict[str, Any]:
+    """Load and integrity-check an artifact without materializing a model.
+
+    The inspection path (the ``load-packed`` CLI report): every layer is
+    rebuilt, validated, and fingerprint-checked exactly as
+    :func:`load_packed` would, but the nn architecture is never built —
+    so artifacts saved without a ``model_spec`` (or whose spec the
+    caller cannot satisfy) still inspect cleanly.  Returns the metadata
+    (as :func:`artifact_info`), the verified
+    :class:`~repro.combining.packing.PackedFilterMatrix` per layer, and
+    the frozen quantizer scale arrays for quantized artifacts.
+    """
+    path = Path(path)
+    meta, layers, _, quant_arrays = _load_raw(path)
+    info = dict(meta)
+    info["path"] = str(path)
+    info["file_bytes"] = path.stat().st_size
+    return {"info": info, "layers": layers,
+            "input_scales": quant_arrays.get("input_scales"),
+            "weight_scales": quant_arrays.get("weight_scales")}
+
+
+def _resolve_model(meta: dict[str, Any], model: Module | None,
+                   path: Path) -> Module | None:
+    if model is not None:
+        return model
+    if meta["model_spec"] is not None:
+        spec = meta["model_spec"]
+        return build_model(spec["name"], **spec.get("kwargs", {}))
+    if meta["has_model_state"]:
+        raise PackedArtifactError(
+            f"{path} carries nn model state but no model_spec; pass the "
+            "architecture explicitly: load_packed(path, model=...)")
+    return None
+
+
+def load_packed(path: str | Path, model: Module | None = None
+                ) -> PackedModel | QuantizedPackedModel:
+    """Load a packed artifact back into a forward-ready model.
+
+    Returns a :class:`PackedModel` for ``"packed"`` artifacts and a
+    calibrated :class:`QuantizedPackedModel` for ``"quantized"`` ones.
+    The loaded model's forward is bit-identical to the model that was
+    saved.  ``model`` optionally supplies the nn architecture (parameter
+    values are overwritten from the artifact's state); when omitted, the
+    artifact's ``model_spec`` rebuilds it, and artifacts saved from
+    matrix-only packings load as matrix-only models (no forward).
+
+    Raises :class:`PackedArtifactError` on format-version mismatch,
+    per-layer fingerprint mismatch, or structural corruption.
+    """
+    path = Path(path)
+    meta, packed_layers, state, quant_arrays = _load_raw(path)
+    resolved = _resolve_model(meta, model, path)
+    if meta["has_model_state"]:
+        assert resolved is not None
+        try:
+            load_state_dict(resolved, state, strict=True)
+        except (KeyError, ValueError) as error:
+            raise PackedArtifactError(
+                f"{path}: artifact state does not fit the supplied model "
+                f"architecture: {error}") from error
+
+    modules: list[Any]
+    if resolved is not None:
+        layers = _model_packable_layers(resolved)
+        if len(layers) != len(packed_layers):
+            raise PackedArtifactError(
+                f"{path} has {len(packed_layers)} packed layers but the "
+                f"model architecture has {len(layers)} packable layers")
+        modules = [module for _, module in layers]
+    else:
+        modules = [None] * len(packed_layers)
+    try:
+        specs = [PackedLayerSpec(layer_meta["name"], packed_layer, module)
+                 for layer_meta, packed_layer, module
+                 in zip(meta["layers"], packed_layers, modules)]
+    except ValueError as error:
+        raise PackedArtifactError(
+            f"{path}: packed layers do not fit the model architecture: "
+            f"{error}") from error
+    pipeline_config = (PipelineConfig.from_dict(meta["pipeline_config"])
+                       if meta["pipeline_config"] is not None else None)
+    packed_model = PackedModel(specs, model=resolved,
+                               array_rows=int(meta["array_rows"]),
+                               array_cols=int(meta["array_cols"]),
+                               pipeline_config=pipeline_config)
+    if meta["kind"] == "packed":
+        return packed_model
+
+    quantized_meta = meta["quantized"]
+    quantized = QuantizedPackedModel(
+        packed_model, bits=int(quantized_meta["bits"]),
+        calibration=str(quantized_meta["calibration"]),
+        percentile=float(quantized_meta["percentile"]))
+    calibrations = []
+    for layer_meta, input_scale, weight_scale in zip(
+            quantized_meta["layers"], quant_arrays["input_scales"],
+            quant_arrays["weight_scales"]):
+        calibrations.append(LayerCalibration(
+            name=layer_meta["name"],
+            input_quantizer=LinearQuantizer(bits=quantized.bits,
+                                            scale=float(input_scale)),
+            weight_quantizer=LinearQuantizer(bits=quantized.bits,
+                                             scale=float(weight_scale)),
+            weight_rmse=float(layer_meta["weight_rmse"]),
+            weight_saturation=float(layer_meta["weight_saturation"]),
+        ))
+    try:
+        quantized.restore_calibrations(calibrations)
+    except ValueError as error:
+        raise PackedArtifactError(
+            f"{path}: frozen calibrations do not match the packed layers: "
+            f"{error}") from error
+    return quantized

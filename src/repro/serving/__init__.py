@@ -1,0 +1,70 @@
+"""Dynamic-batching inference serving over packed artifacts.
+
+The paper's column-combined arrays are throughput engines: packing costs
+one pipeline run, and the payoff materializes when many requests share
+the resident packed model.  This package is that serving layer:
+
+* :mod:`~repro.serving.registry` —
+  :class:`~repro.serving.registry.ModelRegistry`: named packed artifacts
+  (:mod:`repro.combining.serialization`) loaded lazily on first request,
+  with LRU-bounded residency so a node can advertise more models than it
+  keeps in memory.
+* :mod:`~repro.serving.batcher` —
+  :class:`~repro.serving.batcher.DynamicBatcher`: single-sample requests
+  queue up and coalesce (up to ``max_batch`` samples or ``max_wait``
+  seconds) into one forward per model, and the batched outputs split
+  back per request.  Coalescing is bit-transparent: every response is
+  bit-identical to the direct single-request
+  :meth:`~repro.combining.inference.PackedModel.forward` call, because
+  the server runs the batch-invariant execution path
+  (``batch_invariant=True``).
+* :mod:`~repro.serving.server` —
+  :class:`~repro.serving.server.InferenceServer`: thread-based workers
+  over the batcher with per-request latency accounting and per-batch
+  systolic cycle accounting (from the packed models' own ``plan()`` /
+  ``summary()`` machinery), plus graceful drain-and-join shutdown.
+* :mod:`~repro.serving.bench` — the throughput / cold-start benchmark
+  behind ``repro serve-bench`` and ``benchmarks/test_bench_serving.py``.
+
+Usage::
+
+    from repro.serving import InferenceServer, ModelRegistry
+
+    registry = ModelRegistry(max_resident=2)
+    registry.register("lenet5", path="lenet5.packed.npz", mode="exact")
+    registry.register("lenet5-int8", path="lenet5.int8.npz", mode="quantized")
+    with InferenceServer(registry, max_batch=16, max_wait=0.002) as server:
+        logits = server.infer("lenet5", sample)        # (C, H, W) or NCHW
+        pending = server.submit("lenet5-int8", sample)  # async
+        logits8 = pending.result(timeout=1.0)
+"""
+
+from repro.combining.serialization import (
+    ARTIFACT_KINDS,
+    FORMAT_VERSION,
+    PackedArtifactError,
+    artifact_info,
+    fingerprint_packed,
+    load_packed,
+    save_packed,
+)
+from repro.serving.batcher import Batch, DynamicBatcher, PendingRequest
+from repro.serving.registry import ModelRegistry, ResidentModel, SERVING_MODES
+from repro.serving.server import InferenceServer
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "FORMAT_VERSION",
+    "PackedArtifactError",
+    "artifact_info",
+    "fingerprint_packed",
+    "load_packed",
+    "save_packed",
+    "Batch",
+    "DynamicBatcher",
+    "PendingRequest",
+    "ModelRegistry",
+    "ResidentModel",
+    "SERVING_MODES",
+    "InferenceServer",
+]

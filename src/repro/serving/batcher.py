@@ -1,0 +1,281 @@
+"""Dynamic request batching: coalesce single requests, split batched replies.
+
+The batcher is the queueing half of the serving subsystem, deliberately
+free of any model knowledge: callers :meth:`~DynamicBatcher.submit`
+``(key, samples)`` pairs and receive a :class:`PendingRequest`; worker
+loops call :meth:`~DynamicBatcher.next_batch`, which hands back a
+:class:`Batch` of same-key requests coalesced under two knobs —
+
+* ``max_batch`` — a batch closes as soon as it holds this many samples;
+* ``max_wait`` — a batch closes at latest this many seconds after its
+  oldest request arrived, so a lone request never waits for company that
+  is not coming.
+
+Guarantees the serving tests pin:
+
+* **Order stability.** Dispatch always starts from the oldest pending
+  request, and same-key requests coalesce in FIFO order, so responses
+  for one key are computed in submission order and each response maps
+  back to its own request (:meth:`Batch.resolve` splits the stacked
+  outputs by the requests' own sample counts, in order).
+* **Coalescing transparency.** The batcher never reorders samples
+  within a request and never splits a request across batches; combined
+  with the batch-invariant forward the server runs, the bits of each
+  response are independent of how requests happened to coalesce.
+* **Multi-worker safety.** Selection and removal happen under one lock,
+  so two workers draining the same batcher never dispatch the same
+  request twice.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from collections import deque
+from typing import Iterator
+
+import numpy as np
+
+
+class PendingRequest:
+    """One in-flight request: samples in, a waitable result out.
+
+    ``result()`` blocks until a worker resolves the request (returning
+    the per-request slice of the batched outputs, squeezed back to a
+    single sample's output when the request was submitted unbatched) or
+    fails it (re-raising the worker's exception).
+    """
+
+    __slots__ = ("key", "samples", "unbatched", "enqueued_at",
+                 "queued_seconds", "service_seconds",
+                 "_event", "_output", "_error")
+
+    def __init__(self, key: str, samples: np.ndarray, unbatched: bool):
+        self.key = key
+        self.samples = samples
+        self.unbatched = unbatched
+        self.enqueued_at = time.monotonic()
+        #: time from submit to batch dispatch / dispatch to resolution,
+        #: filled in by the server's accounting when it runs the batch.
+        self.queued_seconds: float | None = None
+        self.service_seconds: float | None = None
+        self._event = threading.Event()
+        self._output: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def num_samples(self) -> int:
+        return self.samples.shape[0]
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def resolve(self, output: np.ndarray) -> None:
+        self._output = output
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request for model {self.key!r} did not complete within "
+                f"{timeout} seconds")
+        if self._error is not None:
+            # A failed batch shares one exception instance across all its
+            # requests; raising it directly from several client threads
+            # would concurrently mutate its __traceback__ / __context__.
+            # Each waiter raises its own shallow copy, chained to the
+            # original for debugging.
+            try:
+                error = copy.copy(self._error)
+            except Exception:  # uncopyable exception type
+                raise self._error
+            raise error from self._error
+        assert self._output is not None
+        return self._output
+
+
+class Batch:
+    """Same-key requests coalesced into one forward's worth of work."""
+
+    def __init__(self, key: str, requests: list[PendingRequest]):
+        if not requests:
+            raise ValueError("a batch needs at least one request")
+        self.key = key
+        self.requests = requests
+
+    @property
+    def num_samples(self) -> int:
+        return sum(request.num_samples for request in self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[PendingRequest]:
+        return iter(self.requests)
+
+    def stacked(self) -> np.ndarray:
+        """All requests' samples as one NCHW batch, in request order."""
+        if len(self.requests) == 1:
+            return self.requests[0].samples
+        return np.concatenate([request.samples for request in self.requests],
+                              axis=0)
+
+    def resolve(self, outputs: np.ndarray) -> None:
+        """Split batched outputs back onto the requests, in order.
+
+        ``outputs[start:start + request.num_samples]`` belongs to each
+        request in turn; unbatched requests get their single sample's
+        output squeezed back out of the batch axis.
+        """
+        if outputs.shape[0] != self.num_samples:
+            raise ValueError(
+                f"batch produced {outputs.shape[0]} outputs for "
+                f"{self.num_samples} samples")
+        start = 0
+        for request in self.requests:
+            stop = start + request.num_samples
+            chunk = outputs[start:stop]
+            request.resolve(chunk[0] if request.unbatched else chunk)
+            start = stop
+
+    def fail(self, error: BaseException) -> None:
+        for request in self.requests:
+            request.fail(error)
+
+
+class DynamicBatcher:
+    """Thread-safe coalescing queue between request submitters and workers."""
+
+    def __init__(self, max_batch: int = 16, max_wait: float = 0.002):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._pending: deque[PendingRequest] = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, key: str, samples: np.ndarray,
+               unbatched: bool = False) -> PendingRequest:
+        """Enqueue one request; wakes any worker waiting in ``next_batch``."""
+        request = PendingRequest(key, samples, unbatched)
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("batcher is closed to new requests")
+            self._pending.append(request)
+            self._condition.notify_all()
+        return request
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pending_count(self) -> int:
+        with self._condition:
+            return len(self._pending)
+
+    def close(self) -> None:
+        """Refuse new submissions; pending requests still drain via
+        ``next_batch`` (immediately, with no coalescing wait)."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    # -- dispatch ------------------------------------------------------------
+    def next_batch(self, timeout: float | None = None) -> Batch | None:
+        """Coalesce and remove the next *ready* batch; ``None`` if none in time.
+
+        A key's batch is ready when it is full (``max_batch`` samples),
+        when its oldest request has aged past ``max_wait``, or when the
+        batcher is closed (drain mode — everything dispatches
+        immediately).  Every pending key is considered — oldest key first,
+        so per-key FIFO holds — which means a full batch for one model
+        never waits behind another model's still-coalescing head.  The
+        caller's ``timeout`` only bounds how long *this call* waits for a
+        batch to become ready; it never truncates a batch's own
+        ``max_wait`` window — an underfull batch stays queued for a later
+        call rather than dispatching early.  Scan and removal happen under
+        one lock hold, so several workers can drain one batcher
+        concurrently without double-dispatching.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while True:
+                ready, earliest = self._scan_ready()
+                if ready is not None:
+                    chosen = set(map(id, ready.requests))
+                    self._pending = deque(
+                        request for request in self._pending
+                        if id(request) not in chosen)
+                    return ready
+                if self._closed and not self._pending:
+                    return None
+                now = time.monotonic()
+                if deadline is not None and now >= deadline:
+                    return None
+                wait_for = None if deadline is None else deadline - now
+                if earliest is not None:
+                    batch_wait = max(0.0, earliest - now)
+                    wait_for = (batch_wait if wait_for is None
+                                else min(wait_for, batch_wait))
+                self._condition.wait(wait_for)
+
+    def _scan_ready(self) -> tuple[Batch | None, float | None]:
+        """First ready batch in oldest-key order, else the soonest deadline.
+
+        Walks the pending queue once; the first occurrence of each key is
+        that key's oldest request, and its selection is checked for
+        readiness (full / expired / closed).  When nothing is ready,
+        returns the earliest ``max_wait`` deadline so the caller knows how
+        long to sleep.  Caller must hold the lock.
+        """
+        now = time.monotonic()
+        seen: set[str] = set()
+        earliest: float | None = None
+        for request in self._pending:
+            if request.key in seen:
+                continue
+            seen.add(request.key)
+            selected, samples = self._select(request.key)
+            batch_deadline = request.enqueued_at + self.max_wait
+            if (samples >= self.max_batch or self._closed
+                    or now >= batch_deadline):
+                return Batch(request.key, selected), None
+            if earliest is None or batch_deadline < earliest:
+                earliest = batch_deadline
+        return None, earliest
+
+    def _select(self, key: str) -> tuple[list[PendingRequest], int]:
+        """Oldest-first same-key requests filling at most ``max_batch`` samples.
+
+        Stops at the first same-key request that would overflow the batch
+        (requests are never split and never overtaken by later requests of
+        their own key); a single oversized request is dispatched alone.
+        Requests whose samples have a different per-sample shape than the
+        batch head's cannot stack into one forward, so they end the
+        selection too — a malformed request fails alone downstream instead
+        of poisoning the well-formed requests it coalesced with.
+        """
+        selected: list[PendingRequest] = []
+        samples = 0
+        sample_shape: tuple[int, ...] | None = None
+        for request in self._pending:
+            if request.key != key:
+                continue
+            if selected and (samples + request.num_samples > self.max_batch
+                             or request.samples.shape[1:] != sample_shape):
+                break
+            selected.append(request)
+            samples += request.num_samples
+            sample_shape = request.samples.shape[1:]
+            if samples >= self.max_batch:
+                break
+        return selected, samples

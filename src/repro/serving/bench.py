@@ -1,0 +1,173 @@
+"""Serving benchmarks: batching throughput and artifact cold-start.
+
+Two measurements justify the serving subsystem, and this module is their
+single implementation (used by the ``repro serve-bench`` CLI and asserted
+by ``benchmarks/test_bench_serving.py``):
+
+* **Dynamic batching vs one-request-at-a-time** — the same stream of
+  single-sample requests is served twice, once with ``max_batch=1``
+  (every request is its own forward) and once with the real ``max_batch``;
+  the per-forward fixed cost (module-state snapshot, packed-layer
+  install, per-layer dispatch) amortizes across the coalesced batch, so
+  batched throughput wins while every response stays bit-identical to
+  the direct forward (checked here, too).
+* **Artifact load vs re-packing** — cold-starting a server by
+  :func:`~repro.combining.serialization.load_packed` versus re-running
+  the :class:`~repro.combining.pipeline.PackingPipeline` on the same
+  weights, the status quo this PR retires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from time import monotonic
+from typing import Any
+
+import numpy as np
+
+from repro.combining.inference import PackedModel
+from repro.combining.pipeline import PipelineConfig
+from repro.combining.quantized import QuantizedPackedModel
+from repro.combining.serialization import load_packed
+from repro.serving.registry import ModelRegistry
+from repro.serving.server import InferenceServer
+
+
+def resolve_sample_shape(loaded: PackedModel | QuantizedPackedModel,
+                         image_size: int,
+                         model_spec: dict[str, Any] | None = None
+                         ) -> tuple[int, int, int]:
+    """The ``(C, H, W)`` a request to this model must have.
+
+    Channels come from the first packed layer's original filter matrix;
+    the spatial size comes from the artifact's ``model_spec`` when it
+    records one (architectures like LeNet-5 bake the image size into
+    their classifier shapes) and from ``image_size`` otherwise.
+    """
+    packed = loaded.packed if isinstance(loaded, QuantizedPackedModel) else loaded
+    if not packed.specs:
+        raise ValueError("model has no packed layers")
+    channels = packed.specs[0].packed.original_shape[1]
+    if model_spec is not None:
+        image_size = int(model_spec.get("kwargs", {}).get("image_size",
+                                                          image_size))
+    return channels, image_size, image_size
+
+
+def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
+                  samples: np.ndarray, max_batch: int, max_wait: float
+                  ) -> tuple[float, list[np.ndarray], dict[str, Any]]:
+    """Serve every sample as its own request; returns (seconds, outputs, stats)."""
+    registry = ModelRegistry(max_resident=1)
+    registry.add("bench", loaded)
+    with InferenceServer(registry, max_batch=max_batch,
+                         max_wait=max_wait) as server:
+        started = monotonic()
+        pending = [server.submit("bench", sample) for sample in samples]
+        outputs = [request.result(timeout=120.0) for request in pending]
+        elapsed = monotonic() - started
+        stats = server.stats()
+    return elapsed, outputs, stats
+
+
+def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
+                         samples: np.ndarray, max_batch: int = 16,
+                         max_wait: float = 0.002) -> dict[str, Any]:
+    """Serve ``samples`` one-at-a-time and batched; verify bit-identity.
+
+    Every sample becomes one single-sample request.  The returned mapping
+    carries both wall times, both throughputs (requests/second), the
+    speedup, the servers' batch-size accounting, and
+    ``bit_identical_to_direct`` — whether every batched response matched
+    the direct ``forward`` call on its own request, which the
+    batch-invariant serving path guarantees.
+    """
+    sequential_seconds, sequential_outputs, sequential_stats = _serve_stream(
+        loaded, samples, max_batch=1, max_wait=0.0)
+    batched_seconds, batched_outputs, batched_stats = _serve_stream(
+        loaded, samples, max_batch=max_batch, max_wait=max_wait)
+
+    if isinstance(loaded, QuantizedPackedModel):
+        def direct(sample: np.ndarray) -> np.ndarray:
+            return loaded.forward(sample[None], track_errors=False,
+                                  batch_invariant=True)[0]
+    else:
+        def direct(sample: np.ndarray) -> np.ndarray:
+            return loaded.forward(sample[None], batch_invariant=True)[0]
+    bit_identical = all(
+        np.array_equal(batched, direct(sample))
+        and np.array_equal(sequential, batched)
+        for sample, sequential, batched
+        in zip(samples, sequential_outputs, batched_outputs))
+
+    requests = len(samples)
+    return {
+        "requests": requests,
+        "max_batch": max_batch,
+        "sequential_seconds": sequential_seconds,
+        "batched_seconds": batched_seconds,
+        "sequential_throughput": requests / sequential_seconds,
+        "batched_throughput": requests / batched_seconds,
+        "speedup": sequential_seconds / batched_seconds,
+        "sequential_mean_batch": sequential_stats["totals"]["mean_batch_size"],
+        "batched_mean_batch": batched_stats["totals"]["mean_batch_size"],
+        "batched_cycles": batched_stats["totals"]["cycles"],
+        "bit_identical_to_direct": bit_identical,
+    }
+
+
+def cold_start_benchmark(path: str | Path) -> dict[str, Any]:
+    """Artifact load time vs re-packing the same weights from scratch.
+
+    The artifact must be model-backed and carry its
+    :class:`~repro.combining.pipeline.PipelineConfig` (anything saved
+    from a pipeline-assembled model does).  Re-packing runs serially
+    (``workers=1``) so the comparison is deterministic and conservative —
+    it excludes process-pool spawn costs *and* any quantized model's
+    calibration run, both of which would only widen the gap.
+    """
+    started = monotonic()
+    loaded = load_packed(path)
+    load_seconds = monotonic() - started
+
+    packed = (loaded.packed if isinstance(loaded, QuantizedPackedModel)
+              else loaded)
+    if packed.model is None or packed.pipeline_config is None:
+        raise ValueError(
+            "cold-start comparison needs a model-backed artifact with a "
+            "recorded pipeline config")
+    config = dataclasses.replace(packed.pipeline_config, workers=1)
+    started = monotonic()
+    repacked = PackedModel.from_model(packed.model, config)
+    repack_seconds = monotonic() - started
+
+    return {
+        "load_seconds": load_seconds,
+        "repack_seconds": repack_seconds,
+        "speedup": repack_seconds / load_seconds,
+        "num_layers": repacked.num_layers,
+        "loaded": loaded,
+    }
+
+
+def run_serving_benchmark(path: str | Path, requests: int = 96,
+                          max_batch: int = 16, max_wait: float = 0.002,
+                          image_size: int = 8, seed: int = 0
+                          ) -> dict[str, Any]:
+    """The full serve-bench: cold start plus throughput on one artifact."""
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    cold = cold_start_benchmark(path)
+    loaded = cold.pop("loaded")
+    from repro.combining.serialization import artifact_info
+
+    info = artifact_info(path)
+    shape = resolve_sample_shape(loaded, image_size,
+                                 model_spec=info.get("model_spec"))
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(size=(requests, *shape))
+    throughput = throughput_benchmark(loaded, samples, max_batch=max_batch,
+                                      max_wait=max_wait)
+    return {"kind": info["kind"], "sample_shape": shape,
+            "cold_start": cold, "throughput": throughput}

@@ -1,0 +1,261 @@
+"""Named packed artifacts with lazy loading and LRU-bounded residency.
+
+A serving node typically advertises more models than it wants resident in
+memory at once: artifacts are cheap on disk (the whole point of
+:mod:`repro.combining.serialization`), loaded models are not.
+:class:`ModelRegistry` maps names to registered artifacts, loads them on
+first request (:meth:`ModelRegistry.get`), and keeps at most
+``max_resident`` loaded at a time, evicting the least recently used
+reloadable entry when the bound is exceeded.  Models registered directly
+as live objects (:meth:`ModelRegistry.add`) cannot be reloaded from
+anywhere, so they are pinned and never count against the bound.
+
+Each resident entry carries the serving-mode dispatch
+(:data:`SERVING_MODES`: ``"exact"``, ``"mx"``, or ``"quantized"``) and a
+per-model lock: packed forwards install/restore state on the shared
+module graph, so at most one forward may run per resident model at a
+time.  Workers therefore parallelize across *models*, not within one —
+the registry is the unit of concurrency, matching how one array serves
+one resident network in the paper's deployment.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.combining.inference import PackedModel
+from repro.combining.quantized import QuantizedPackedModel
+from repro.combining.serialization import load_packed
+from repro.nn import Module
+from repro.systolic.system import ModelExecutionPlan
+
+#: Execution backends a registered model can serve under.
+SERVING_MODES: tuple[str, ...] = ("exact", "mx", "quantized")
+
+_FORWARD_LOCK_GUARD = threading.Lock()
+
+
+def _forward_lock(model: Module) -> threading.Lock:
+    """One lock per underlying nn model, shared by every resident wrapping it.
+
+    Packed forwards install and restore state on the module graph itself,
+    so the unit of mutual exclusion is the nn *model*, not the resident
+    entry: two registry entries serving the same model object (e.g. an
+    exact and an mx view of one loaded artifact) must never forward
+    concurrently.  The lock lives on the model instance so all wrappers
+    find the same one.
+    """
+    with _FORWARD_LOCK_GUARD:
+        lock = getattr(model, "_serving_forward_lock", None)
+        if lock is None:
+            lock = threading.Lock()
+            model._serving_forward_lock = lock
+        return lock
+
+
+@dataclass
+class _Registration:
+    """How to obtain a model: an artifact path, or a pinned live object."""
+
+    name: str
+    mode: str
+    path: Path | None = None
+    architecture: Module | None = None
+    resident: "ResidentModel | None" = None
+
+    @property
+    def reloadable(self) -> bool:
+        return self.path is not None
+
+
+class ResidentModel:
+    """A loaded model plus its serving dispatch, lock, and plan cache."""
+
+    def __init__(self, name: str, mode: str,
+                 model: PackedModel | QuantizedPackedModel):
+        self.name = name
+        self.mode = mode
+        self.quantized = model if isinstance(model, QuantizedPackedModel) else None
+        self.packed = model.packed if self.quantized is not None else model
+        if mode == "quantized":
+            if self.quantized is None:
+                raise ValueError(
+                    f"model {name!r} is registered for quantized serving but "
+                    "the artifact holds a float PackedModel")
+            if not self.quantized.calibrated:
+                raise ValueError(
+                    f"model {name!r} is not calibrated; quantized serving "
+                    "needs the frozen scales")
+        if self.packed.model is None:
+            raise ValueError(
+                f"model {name!r} has no nn model attached; serving needs a "
+                "forward-capable artifact (save it with model state)")
+        #: serialize forwards: packed execution mutates shared module
+        #: state, so the lock is per underlying nn model (shared with any
+        #: other resident wrapping the same model object).
+        self.lock = _forward_lock(self.packed.model)
+        self._plans: dict[tuple, ModelExecutionPlan] = {}
+
+    def forward(self, batch: np.ndarray) -> np.ndarray:
+        """The serving forward: batch-invariant, accounting-free.
+
+        Caller must hold :attr:`lock`.  Batch-invariant execution is what
+        makes dynamic batching bit-transparent — see
+        :meth:`repro.combining.inference.PackedModel.forward`.
+        """
+        if self.mode == "quantized":
+            assert self.quantized is not None
+            return self.quantized.forward(batch, track_errors=False,
+                                          batch_invariant=True)
+        return self.packed.forward(batch, mode=self.mode, batch_invariant=True)
+
+    def batch_plan(self, num_samples: int) -> ModelExecutionPlan:
+        """The systolic execution plan for the batch the model just ran.
+
+        Uses the spatial sizes observed by the preceding forward (so it
+        must run right after one, under the same :attr:`lock` hold) and
+        caches per (batch size, observed spatial shapes) — the plan walks
+        the timing model, which would otherwise cost more than a small
+        forward, and spatially flexible models (global-pool classifiers)
+        legitimately serve requests of different map sizes.
+        """
+        spatial = tuple(sorted(self.packed.observed_spatial_map().items()))
+        key = (num_samples, spatial)
+        plan = self._plans.get(key)
+        if plan is None:
+            source = self.quantized if self.quantized is not None else self.packed
+            plan = source.plan(batch=num_samples)
+            self._plans[key] = plan
+        return plan
+
+
+class ModelRegistry:
+    """Thread-safe name -> packed model mapping with bounded residency."""
+
+    def __init__(self, max_resident: int = 2):
+        if max_resident < 1:
+            raise ValueError("max_resident must be >= 1")
+        self.max_resident = max_resident
+        self._lock = threading.RLock()
+        self._registrations: dict[str, _Registration] = {}
+        #: LRU order over resident *reloadable* entries (pinned live
+        #: models are tracked on their registration instead).
+        self._resident: OrderedDict[str, ResidentModel] = OrderedDict()
+        self.loads = 0
+        self.hits = 0
+        self.evictions = 0
+        self.load_seconds = 0.0
+
+    # -- registration --------------------------------------------------------
+    def register(self, name: str, path: str | Path, mode: str = "exact",
+                 architecture: Module | None = None) -> None:
+        """Register a packed artifact under ``name`` (loaded lazily).
+
+        ``mode`` picks the serving backend; ``architecture`` optionally
+        supplies the nn model for artifacts saved without a
+        ``model_spec`` (it is handed to
+        :func:`~repro.combining.serialization.load_packed` on every load,
+        so an evicted-and-reloaded model reuses the same object).
+        """
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"packed artifact {path} does not exist")
+        with self._lock:
+            self._check_registration(name, mode)
+            self._registrations[name] = _Registration(
+                name=name, mode=mode, path=path, architecture=architecture)
+
+    def add(self, name: str,
+            model: PackedModel | QuantizedPackedModel,
+            mode: str | None = None) -> None:
+        """Register an already-built model (pinned: it cannot be reloaded,
+        so it is never evicted and does not count against ``max_resident``).
+
+        ``mode`` defaults to ``"quantized"`` for a
+        :class:`QuantizedPackedModel` and ``"exact"`` otherwise.
+        """
+        if mode is None:
+            mode = ("quantized" if isinstance(model, QuantizedPackedModel)
+                    else "exact")
+        resident = ResidentModel(name, mode, model)
+        with self._lock:
+            self._check_registration(name, mode)
+            self._registrations[name] = _Registration(
+                name=name, mode=mode, resident=resident)
+
+    def _check_registration(self, name: str, mode: str) -> None:
+        """Validate under the caller's lock hold (check + insert are atomic)."""
+        if mode not in SERVING_MODES:
+            raise ValueError(f"unknown serving mode {mode!r}; "
+                             f"expected one of {SERVING_MODES}")
+        if name in self._registrations:
+            raise ValueError(f"model {name!r} is already registered")
+
+    # -- lookup --------------------------------------------------------------
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._registrations)
+
+    def resident_names(self) -> list[str]:
+        """Currently loaded models (pinned ones included), unordered."""
+        with self._lock:
+            pinned = [registration.name
+                      for registration in self._registrations.values()
+                      if registration.resident is not None]
+            return sorted(pinned + list(self._resident))
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._registrations
+
+    def get(self, name: str) -> ResidentModel:
+        """The resident model for ``name``, loading (and evicting) as needed.
+
+        Loading happens under the registry lock, so concurrent ``get``
+        calls never load the same artifact twice; with artifacts being
+        single-file npz loads this brief serialization is the simplest
+        correct policy.
+        """
+        with self._lock:
+            registration = self._registrations.get(name)
+            if registration is None:
+                raise KeyError(
+                    f"unknown model {name!r}; registered models: "
+                    f"{self.names()}")
+            if registration.resident is not None:  # pinned live model
+                self.hits += 1
+                return registration.resident
+            resident = self._resident.get(name)
+            if resident is not None:
+                self.hits += 1
+                self._resident.move_to_end(name)
+                return resident
+            started = time.monotonic()
+            loaded = load_packed(registration.path,
+                                 model=registration.architecture)
+            self.load_seconds += time.monotonic() - started
+            self.loads += 1
+            resident = ResidentModel(name, registration.mode, loaded)
+            self._resident[name] = resident
+            while len(self._resident) > self.max_resident:
+                evicted_name, _ = self._resident.popitem(last=False)
+                self.evictions += 1
+            return resident
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "registered": len(self._registrations),
+                "resident": len(self.resident_names()),
+                "loads": self.loads,
+                "hits": self.hits,
+                "evictions": self.evictions,
+                "load_seconds": self.load_seconds,
+            }

@@ -1,0 +1,247 @@
+"""The inference server: worker threads over the dynamic batcher.
+
+:class:`InferenceServer` wires the serving pieces together: requests
+enter through :meth:`~InferenceServer.submit` / :meth:`~InferenceServer.infer`,
+coalesce in a :class:`~repro.serving.batcher.DynamicBatcher`, and worker
+threads drain batches — resolving each batch's model through the
+:class:`~repro.serving.registry.ModelRegistry` (lazy load, LRU residency)
+and running one batch-invariant forward per batch under the model's lock.
+Because the forward is batch-invariant, every response is bit-identical
+to the direct single-request ``forward`` call on the same backend, no
+matter how the batcher happened to coalesce traffic.
+
+Accounting rides along for free:
+
+* **per request** — queueing delay (submit -> batch dispatch) and service
+  time (dispatch -> response), aggregated per model;
+* **per batch** — the systolic cycle / tile cost of the batch from the
+  packed models' own ``plan()`` machinery (cached per batch size), i.e.
+  what the batch would cost on the paper's array rather than on the host
+  CPU running the simulation.
+
+Shutdown is graceful by default: :meth:`~InferenceServer.stop` closes the
+batcher to new work, lets the workers drain everything already queued,
+and joins them; every submitted request therefore gets an answer (or the
+failure that prevented one) before ``stop`` returns.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Any
+
+import numpy as np
+
+from repro.combining.inference import ensure_sample_batch
+from repro.serving.batcher import Batch, DynamicBatcher, PendingRequest
+from repro.serving.registry import ModelRegistry
+
+
+@dataclass
+class _LatencyStats:
+    """Streaming mean / max over a latency series."""
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"mean": self.mean, "max": self.max}
+
+
+@dataclass
+class _ModelStats:
+    """Per-model serving counters, updated under the server's stats lock."""
+
+    requests: int = 0
+    samples: int = 0
+    batches: int = 0
+    failures: int = 0
+    cycles: int = 0
+    tiles: int = 0
+    queued: _LatencyStats = field(default_factory=_LatencyStats)
+    service: _LatencyStats = field(default_factory=_LatencyStats)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.samples / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "samples": self.samples,
+            "batches": self.batches,
+            "failures": self.failures,
+            "mean_batch_size": self.mean_batch_size,
+            "cycles": self.cycles,
+            "tiles": self.tiles,
+            "queued_seconds": self.queued.as_dict(),
+            "service_seconds": self.service.as_dict(),
+        }
+
+
+class InferenceServer:
+    """Thread-based dynamic-batching server over a :class:`ModelRegistry`.
+
+    ``workers`` is the number of batch-draining threads.  Forwards on one
+    model are serialized by the model's own lock (packed execution
+    mutates shared module state), so extra workers buy concurrency across
+    *different* resident models — and overlap of one model's compute with
+    another's artifact load.  Use as a context manager, or pair
+    :meth:`start` with :meth:`stop`.
+    """
+
+    def __init__(self, registry: ModelRegistry, max_batch: int = 16,
+                 max_wait: float = 0.002, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.registry = registry
+        self.batcher = DynamicBatcher(max_batch=max_batch, max_wait=max_wait)
+        self.workers = workers
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._stats_lock = threading.Lock()
+        self._model_stats: dict[str, _ModelStats] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "InferenceServer":
+        if self._started:
+            raise RuntimeError("server is already running")
+        if self.batcher.closed:
+            raise RuntimeError("server was stopped; build a new one to restart")
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"serving-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Graceful shutdown: refuse new requests, drain the queue, join.
+
+        Idempotent.  After ``close()`` the batcher dispatches everything
+        still pending without coalescing waits; each worker exits once the
+        queue reads empty, so every accepted request is answered before
+        the threads are joined.
+        """
+        self.batcher.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = [thread for thread in self._threads
+                         if thread.is_alive()]
+        self._started = bool(self._threads)
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self.batcher.closed
+
+    # -- request entry points ------------------------------------------------
+    def submit(self, model_name: str, samples: np.ndarray) -> PendingRequest:
+        """Enqueue a request; returns a waitable :class:`PendingRequest`.
+
+        ``samples`` is a single ``(C, H, W)`` sample (the response is the
+        single sample's output row) or an NCHW batch (the response keeps
+        the batch axis).  Unknown model names fail fast here rather than
+        poisoning a worker.
+        """
+        if model_name not in self.registry:
+            raise KeyError(
+                f"unknown model {model_name!r}; registered models: "
+                f"{self.registry.names()}")
+        if not self._started:
+            raise RuntimeError("server is not running; call start() first")
+        batch, unbatched = ensure_sample_batch(samples)
+        if batch.ndim != 4:
+            raise ValueError(
+                "samples must be (C, H, W) or (batch, C, H, W), got shape "
+                f"{np.asarray(samples).shape}")
+        return self.batcher.submit(model_name, batch, unbatched=unbatched)
+
+    def infer(self, model_name: str, samples: np.ndarray,
+              timeout: float | None = 60.0) -> np.ndarray:
+        """Synchronous :meth:`submit` + ``result``."""
+        return self.submit(model_name, samples).result(timeout)
+
+    # -- worker loop ---------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.batcher.next_batch(timeout=0.1)
+            if batch is None:
+                if self.batcher.closed and self.batcher.pending_count() == 0:
+                    return
+                continue
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: Batch) -> None:
+        dispatched = monotonic()
+        cycles = tiles = 0
+        try:
+            resident = self.registry.get(batch.key)
+            with resident.lock:
+                outputs = resident.forward(batch.stacked())
+                try:
+                    plan = resident.batch_plan(batch.num_samples)
+                    cycles, tiles = plan.total_cycles, plan.total_tiles
+                except Exception:  # noqa: BLE001 - accounting is best-effort
+                    # A plan failure (e.g. non-square activation maps the
+                    # timing model cannot size) must not fail a batch
+                    # whose forward already succeeded.
+                    pass
+            batch.resolve(outputs)
+            failed = False
+        except BaseException as error:  # noqa: BLE001 - relayed to clients
+            batch.fail(error)
+            failed = True
+        finished = monotonic()
+        with self._stats_lock:
+            stats = self._model_stats.setdefault(batch.key, _ModelStats())
+            stats.batches += 1
+            stats.cycles += cycles
+            stats.tiles += tiles
+            if failed:
+                stats.failures += len(batch.requests)
+            for request in batch:
+                request.queued_seconds = dispatched - request.enqueued_at
+                request.service_seconds = finished - dispatched
+                stats.requests += 1
+                stats.samples += request.num_samples
+                stats.queued.record(request.queued_seconds)
+                stats.service.record(request.service_seconds)
+
+    # -- accounting ----------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Aggregate serving statistics: totals plus a per-model breakdown."""
+        with self._stats_lock:
+            per_model = {name: stats.as_dict()
+                         for name, stats in self._model_stats.items()}
+        totals = {
+            "requests": sum(s["requests"] for s in per_model.values()),
+            "samples": sum(s["samples"] for s in per_model.values()),
+            "batches": sum(s["batches"] for s in per_model.values()),
+            "failures": sum(s["failures"] for s in per_model.values()),
+            "cycles": sum(s["cycles"] for s in per_model.values()),
+            "tiles": sum(s["tiles"] for s in per_model.values()),
+        }
+        batches = totals["batches"]
+        totals["mean_batch_size"] = totals["samples"] / batches if batches else 0.0
+        return {"totals": totals, "per_model": per_model,
+                "registry": self.registry.stats()}

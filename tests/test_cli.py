@@ -168,6 +168,95 @@ def test_quantize_model_command_percentile_calibration_runs(capsys):
     assert "calibration=percentile" in capsys.readouterr().out
 
 
+def test_save_packed_round_trips_through_load_packed(tmp_path, capsys):
+    path = tmp_path / "lenet5.npz"
+    exit_code = main(["save-packed", "--model", "lenet5", "--out", str(path),
+                      "--image-size", "8"])
+    assert exit_code == 0
+    assert path.exists()
+    assert "saved packed artifact" in capsys.readouterr().out
+    exit_code = main(["load-packed", "--path", str(path)])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "kind packed" in output
+    assert "nn model embedded (lenet5)" in output
+    assert "fingerprints verified" in output
+
+
+def test_save_packed_quantized_artifact(tmp_path, capsys):
+    path = tmp_path / "lenet5.int8.npz"
+    exit_code = main(["save-packed", "--model", "lenet5", "--out", str(path),
+                      "--image-size", "8", "--quantize", "--bits", "6",
+                      "--no-compress"])
+    assert exit_code == 0
+    assert "saved quantized artifact" in capsys.readouterr().out
+    assert main(["load-packed", "--path", str(path)]) == 0
+    output = capsys.readouterr().out
+    assert "kind quantized" in output
+    assert "quantized at 6 bits" in output
+    assert "frozen scales" in output
+
+
+def test_save_packed_rejects_out_of_range_bits(tmp_path, capsys):
+    assert main(["save-packed", "--out", str(tmp_path / "x.npz"),
+                 "--quantize", "--bits", "12"]) == 2
+    assert "--bits must be in [2, 8]" in capsys.readouterr().err
+
+
+def test_load_packed_inspects_artifacts_saved_without_a_model_spec(tmp_path,
+                                                                   capsys):
+    """The inspection command must not demand an architecture it can show
+    a report without."""
+    from repro.combining import PackedModel, PipelineConfig, save_packed
+    from repro.models import build_model
+
+    model = build_model("lenet5", in_channels=1, num_classes=10, scale=1.0,
+                        image_size=8, rng=np.random.default_rng(0))
+    packed = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
+    path = save_packed(packed, tmp_path / "specless.npz")  # no model_spec
+    assert main(["load-packed", "--path", str(path)]) == 0
+    output = capsys.readouterr().out
+    assert "nn model state only (load with model=...)" in output
+    assert "fingerprints verified" in output
+
+
+def test_load_packed_reports_missing_and_corrupt_artifacts(tmp_path, capsys):
+    assert main(["load-packed", "--path", str(tmp_path / "ghost.npz")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+    bad = tmp_path / "bad.npz"
+    np.savez(bad, data=np.arange(3))
+    assert main(["load-packed", "--path", str(bad)]) == 2
+    assert "not a packed artifact" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_serve_bench_command_prints_benchmark(tmp_path, capsys):
+    path = tmp_path / "lenet5.npz"
+    assert main(["save-packed", "--model", "lenet5", "--out", str(path),
+                 "--image-size", "8"]) == 0
+    capsys.readouterr()
+    exit_code = main(["serve-bench", "--path", str(path),
+                      "--requests", "8", "--max-batch", "4",
+                      "--max-wait", "0.001"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "cold start" in output
+    assert "one-at-a-time" in output
+    assert "bit-identical to direct forward: True" in output
+
+
+def test_serve_bench_rejects_bad_inputs(tmp_path, capsys):
+    assert main(["serve-bench", "--path", str(tmp_path / "ghost.npz")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+    path = tmp_path / "lenet5.npz"
+    assert main(["save-packed", "--model", "lenet5", "--out", str(path),
+                 "--image-size", "8"]) == 0
+    capsys.readouterr()
+    assert main(["serve-bench", "--path", str(path),
+                 "--max-wait", "5.0"]) == 2
+    assert "--max-wait" in capsys.readouterr().err
+
+
 def test_train_command_runs_tiny_configuration(capsys):
     exit_code = main([
         "train", "--model", "lenet5", "--train-samples", "96", "--image-size", "8",

@@ -34,7 +34,8 @@ def test_examples_directory_contains_documented_scripts():
     names = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart", "lenet_mnist_packing", "resnet_cifar_sweep",
             "limited_data_retraining", "cross_layer_pipelining",
-            "packed_inference", "quantized_inference"} <= names
+            "packed_inference", "quantized_inference",
+            "serving_demo"} <= names
 
 
 def test_quickstart_example_runs(capsys):
@@ -63,6 +64,15 @@ def test_quantized_inference_example_runs(capsys):
     # The documented serving tolerance holds in the walkthrough.
     agreement = float(output.split("exact packed forward: ")[1].split("%")[0])
     assert agreement >= 95.0
+
+
+def test_serving_demo_example_runs(capsys):
+    module = load_example("serving_demo")
+    module.main()
+    output = capsys.readouterr().out
+    assert "responses bit-identical to direct forward: 48/48" in output
+    assert "served 48 requests" in output
+    assert "artifact loads" in output
 
 
 def test_cross_layer_pipelining_example_runs(capsys):

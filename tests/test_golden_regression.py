@@ -10,11 +10,19 @@ logits, and per-layer error accounting).  Every engine combination must
 reproduce the frozen numbers bit-for-bit, so future engine rewrites are
 diffed against the frozen behaviour instead of only against each other.
 
+Alongside the JSON fixtures, two **serialized packed artifacts** (a float
+and an 8-bit quantized LeNet-5, written by
+:func:`repro.combining.serialization.save_packed`) are checked in as
+binary fixtures: the round-trip tests load them with the *current* reader
+and pin save -> load -> forward end to end, so a format change that breaks
+existing artifacts (or shifts a single output bit) fails here instead of
+in production registries.
+
 To re-freeze after an intentional behaviour change::
 
     PYTHONPATH=src python -m pytest tests/test_golden_regression.py --regen-golden
 
-and review the JSON diff.
+and review the JSON diff (artifact fixtures are re-written too).
 """
 
 from __future__ import annotations
@@ -29,7 +37,10 @@ from repro.combining import (
     PackingPipeline,
     PipelineConfig,
     QuantizedPackedModel,
+    load_packed,
+    save_packed,
 )
+from repro.combining.serialization import fingerprint_packed
 from repro.experiments.workloads import (
     PAPER_DENSITY,
     sparse_filter_matrix,
@@ -198,12 +209,73 @@ def test_lenet5_quantized_forward_matches_golden(golden_check, grouping_engine,
     golden_check("quantized_forward_lenet5", payload)
 
 
-def test_golden_fixtures_are_checked_in():
-    """The harness must fail loudly if the frozen fixtures go missing."""
+# -- serialized packed artifacts ---------------------------------------------
+GOLDEN_MODEL_SPEC = {"name": "lenet5",
+                     "kwargs": {"in_channels": 1, "num_classes": 10,
+                                "scale": 1.0, "image_size": 8}}
+
+
+def _golden_dir():
     from pathlib import Path
 
-    golden_dir = Path(__file__).resolve().parent / "golden"
+    return Path(__file__).resolve().parent / "golden"
+
+
+def _artifact_check(request, path, fresh, batch, fixture_name, golden_check):
+    """Regen or verify one checked-in artifact: save -> load -> forward.
+
+    On ``--regen-golden`` the artifact is re-written from the freshly
+    packed model first; either way the checked-in file is then loaded with
+    the current reader and its forward must be bit-identical to the fresh
+    model's — the acceptance contract of the serialization format — with
+    the outputs additionally frozen in a JSON fixture.
+    """
+    if request.config.getoption("--regen-golden"):
+        save_packed(fresh, path, model_spec=GOLDEN_MODEL_SPEC)
+    assert path.exists(), (
+        f"golden artifact {path} is missing; generate it with "
+        f"`pytest {request.node.nodeid} --regen-golden`")
+    loaded = load_packed(path)
+    loaded_outputs = loaded.forward(batch)
+    assert np.array_equal(loaded_outputs, fresh.forward(batch)), (
+        "the checked-in artifact no longer reproduces the freshly packed "
+        "model's forward bit-for-bit")
+    packed = loaded.packed if isinstance(loaded, QuantizedPackedModel) else loaded
+    payload = {
+        "predictions": np.argmax(loaded_outputs, axis=1).tolist(),
+        "first_logits": loaded_outputs[0].tolist(),
+        "fingerprints": {spec.name: fingerprint_packed(spec.packed)
+                         for spec in packed.specs},
+    }
+    golden_check(fixture_name, payload)
+
+
+def test_packed_artifact_round_trip_matches_golden(request, golden_check):
+    """save -> load -> forward of the float LeNet-5 artifact, pinned."""
+    model, _, batch = quantized_lenet5()
+    fresh = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
+    _artifact_check(request, _golden_dir() / "lenet5_packed_artifact.npz",
+                    fresh, batch, "artifact_forward_lenet5", golden_check)
+
+
+def test_quantized_artifact_round_trip_matches_golden(request, golden_check):
+    """save -> load -> forward of the 8-bit quantized artifact, pinned."""
+    model, calibration, batch = quantized_lenet5()
+    fresh = QuantizedPackedModel.from_model(
+        model, PipelineConfig(alpha=8, gamma=0.5), bits=8)
+    fresh.calibrate(calibration)
+    _artifact_check(request, _golden_dir() / "lenet5_quantized8_artifact.npz",
+                    fresh, batch, "artifact_forward_lenet5_int8", golden_check)
+
+
+def test_golden_fixtures_are_checked_in():
+    """The harness must fail loudly if the frozen fixtures go missing."""
+    golden_dir = _golden_dir()
     names = {path.name for path in golden_dir.glob("*.json")}
     assert {"packed_layers_64x128.json", "packed_model_lenet5.json",
             "execution_plan_vgg.json", "execution_plan_resnet20.json",
-            "quantized_forward_lenet5.json"} <= names
+            "quantized_forward_lenet5.json", "artifact_forward_lenet5.json",
+            "artifact_forward_lenet5_int8.json"} <= names
+    artifacts = {path.name for path in golden_dir.glob("*.npz")}
+    assert {"lenet5_packed_artifact.npz",
+            "lenet5_quantized8_artifact.npz"} <= artifacts
