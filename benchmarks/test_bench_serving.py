@@ -1,25 +1,33 @@
 """Benchmark: dynamic batching and packed-artifact cold starts pay off.
 
-Two assertions justify the serving subsystem:
+Three assertions justify the serving subsystem:
 
 * **Throughput** — serving a stream of single-sample requests with the
   dynamic batcher coalescing up to 16 samples per forward must be at
   least 2x the one-request-at-a-time throughput of the same server (the
-  per-forward fixed cost — module snapshot, packed-layer install,
-  per-layer dispatch — amortizes across the batch), with every response
-  still bit-identical to the direct forward.
+  per-forward fixed cost amortizes across the batch), with every
+  response still bit-identical to the direct forward.
 * **Cold start** — loading a packed artifact
   (:func:`~repro.combining.serialization.load_packed`) must beat
   re-running the :class:`~repro.combining.pipeline.PackingPipeline` on
   the full-size ResNet-20 workload, the regime servers actually restart
   in.
+* **Backend scaling** — serving a CPU-bound ResNet-20 stream through the
+  process backend must beat the thread backend at the same worker count
+  once real cores are available (threads serialize on the GIL inside
+  the batch-invariant plan loops; worker processes don't).  Responses
+  must be bit-identical across every (backend, workers) cell
+  regardless — that part is asserted even on single-core hosts, where
+  the perf comparison itself is skipped.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
+import pytest
 
 from repro.combining import (
     PackedModel,
@@ -30,7 +38,7 @@ from repro.combining import (
 )
 from repro.experiments.workloads import PAPER_DENSITY, sparse_network
 from repro.models import build_model
-from repro.serving.bench import throughput_benchmark
+from repro.serving.bench import backend_scaling_benchmark, throughput_benchmark
 
 REQUESTS = 96
 MAX_BATCH = 16
@@ -99,3 +107,41 @@ def test_bench_artifact_load_beats_repacking(tmp_path):
     assert load_seconds < repack_seconds, (
         f"loading the artifact ({load_seconds:.3f}s) did not beat "
         f"re-packing ({repack_seconds:.3f}s)")
+
+
+def test_bench_process_backend_scales_past_threads_when_cores_allow(tmp_path):
+    """Process workers mmap the plan and forward outside the GIL; on a
+    CPU-bound ResNet-20 stream they must beat the same number of thread
+    workers — given >= 2 usable cores.  Bit-identity across every
+    (backend, workers) cell is asserted unconditionally."""
+    kwargs = {"in_channels": 3, "num_classes": 10, "scale": 1.0}
+    model = build_model("resnet20", rng=np.random.default_rng(1), **kwargs)
+    rng = np.random.default_rng(0)
+    for _, layer in model.packable_layers():
+        layer.weight.data *= rng.random(layer.weight.data.shape) < 0.2
+    packed = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
+    path = save_packed(packed, tmp_path / "resnet20.npz", compress=False,
+                       model_spec={"name": "resnet20", "kwargs": kwargs})
+
+    cores = len(os.sched_getaffinity(0))
+    workers = min(4, max(2, cores))
+    results = backend_scaling_benchmark(
+        path, requests=48, max_batch=8, max_wait=0.001,
+        worker_counts=(1, workers), image_size=32)
+    assert results["bit_identical"], (
+        "served responses diverged across (backend, workers) cells")
+    cells = results["backends"]
+    print("\nresnet20 32x32 backend scaling "
+          f"({results['requests']} requests, {cores} cores):")
+    for backend in ("thread", "process"):
+        for count, cell in cells[backend].items():
+            print(f"  {backend:8s} workers={count}: "
+                  f"{cell['seconds']:.3f}s ({cell['throughput']:.0f} req/s)")
+    if cores < 2:
+        pytest.skip("process-vs-thread scaling needs >= 2 usable cores; "
+                    f"this host exposes {cores}")
+    process = cells["process"][workers]["seconds"]
+    thread = cells["thread"][workers]["seconds"]
+    assert process < thread, (
+        f"process backend ({process:.3f}s) did not beat {workers} thread "
+        f"workers ({thread:.3f}s) on {cores} cores")

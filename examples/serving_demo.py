@@ -5,8 +5,9 @@ The full serving path of the reproduction, end to end:
 1. build two sparsified LeNet-5 variants, pack them through the
    :class:`PackingPipeline`, quantize + calibrate one of them,
 2. persist both as versioned packed artifacts
-   (:func:`~repro.combining.serialization.save_packed`) — the format a
-   server cold-starts from without re-running the pipeline,
+   (:func:`~repro.combining.serialization.save_packed`, uncompressed so
+   they are memory-mappable) — the format a server cold-starts from
+   without re-running the pipeline,
 3. register the artifacts by name in a
    :class:`~repro.serving.registry.ModelRegistry` (lazy load, LRU-bounded
    residency) and start an
@@ -17,8 +18,27 @@ The full serving path of the reproduction, end to end:
    check every response is bit-identical to the direct batch-invariant
    forward on that request alone — dynamic batching changes throughput,
    never bits,
-5. read the per-model latency / batch / systolic-cycle accounting off the
-   server.
+5. serve the same stream again on the **process backend** and check the
+   responses are bit-identical across backends too,
+6. read the per-model latency / batch / systolic-cycle accounting off the
+   servers.
+
+Execution architecture
+----------------------
+
+Serving runs on immutable execution plans
+(:class:`~repro.combining.execplan.ExecutionPlan`): the registry compiles
+(or, for V2 artifacts, directly loads) a read-only, picklable op tree per
+model, so forwards never install state into a shared module graph and
+need no per-model lock — worker threads run batches for the *same* model
+concurrently.  With ``backend="process"`` the server instead ships
+``(artifact path, mode, batch)`` to persistent worker processes; each
+worker memory-maps the uncompressed artifact (``load_plan(mmap="auto")``)
+so all workers share one resident copy of the packed arrays through the
+page cache.  Pick the process backend for CPU-bound sustained load on
+artifact-backed models, where the GIL caps thread scaling; pick threads
+for live (``add()``-registered) models or low request rates.  Either way
+the bits never change.
 
 Run with:  python examples/serving_demo.py
 """
@@ -48,58 +68,72 @@ def build_artifacts(directory: Path) -> dict[str, Path]:
         layer.weight.data *= rng.random(layer.weight.data.shape) < 0.2
     packed = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
     spec = {"name": "lenet5", "kwargs": MODEL_KWARGS}
+    # compress=False keeps every array memory-mappable: the registry and
+    # the process workers map the file instead of copying it.
     paths["lenet5"] = save_packed(packed, directory / "lenet5.packed.npz",
-                                  model_spec=spec)
+                                  model_spec=spec, compress=False)
 
     quantized = QuantizedPackedModel(packed, bits=8)
     quantized.calibrate(rng.normal(size=(32, 1, 12, 12)))
     paths["lenet5-int8"] = save_packed(
-        quantized, directory / "lenet5.int8.npz", model_spec=spec)
+        quantized, directory / "lenet5.int8.npz", model_spec=spec,
+        compress=False)
     for name, path in paths.items():
         print(f"saved artifact {name}: {path.name} "
               f"({path.stat().st_size / 1024:.0f} KiB)")
     return paths
 
 
+def build_registry(paths: dict[str, Path]) -> ModelRegistry:
+    """A fresh registry over the artifacts (lazy load, LRU residency)."""
+    registry = ModelRegistry(max_resident=2)
+    registry.register("lenet5", path=paths["lenet5"], mode="exact")
+    registry.register("lenet5-int8", path=paths["lenet5-int8"],
+                      mode="quantized")
+    return registry
+
+
+def serve_stream(registry: ModelRegistry, requests: list, backend: str
+                 ) -> tuple[dict[int, np.ndarray], dict]:
+    """Serve the request stream from three client threads; return
+    (responses by request index, server stats)."""
+    with InferenceServer(registry, max_batch=16, max_wait=0.002,
+                         workers=2, backend=backend) as server:
+        responses: dict[int, np.ndarray] = {}
+        lock = threading.Lock()
+
+        def client(offset: int) -> None:
+            # Submit asynchronously, then gather: in-flight requests
+            # are what the dynamic batcher coalesces.
+            pending = [(index, server.submit(*requests[index]))
+                       for index in range(offset, len(requests), 3)]
+            for index, request in pending:
+                output = request.result(timeout=30.0)
+                with lock:
+                    responses[index] = output
+
+        threads = [threading.Thread(target=client, args=(offset,))
+                   for offset in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = server.stats()
+    return responses, stats
+
+
 def main() -> None:
     rng = np.random.default_rng(42)
     with tempfile.TemporaryDirectory() as tmp:
         paths = build_artifacts(Path(tmp))
-
-        # The registry loads artifacts lazily on first request and keeps
-        # at most max_resident models in memory (LRU eviction).
-        registry = ModelRegistry(max_resident=2)
-        registry.register("lenet5", path=paths["lenet5"], mode="exact")
-        registry.register("lenet5-int8", path=paths["lenet5-int8"],
-                          mode="quantized")
-
         requests = [(name, rng.normal(size=(1, 12, 12)))
                     for _ in range(24) for name in ("lenet5", "lenet5-int8")]
-        with InferenceServer(registry, max_batch=16, max_wait=0.002,
-                             workers=2) as server:
-            responses: dict[int, np.ndarray] = {}
-            lock = threading.Lock()
 
-            def client(offset: int) -> None:
-                # Submit asynchronously, then gather: in-flight requests
-                # are what the dynamic batcher coalesces.
-                pending = [(index, server.submit(*requests[index]))
-                           for index in range(offset, len(requests), 3)]
-                for index, request in pending:
-                    output = request.result(timeout=30.0)
-                    with lock:
-                        responses[index] = output
-
-            threads = [threading.Thread(target=client, args=(offset,))
-                       for offset in range(3)]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-            stats = server.stats()
+        registry = build_registry(paths)
+        responses, stats = serve_stream(registry, requests, backend="thread")
 
         # Every response must match the direct single-request forward on
-        # the loaded models, bit for bit, however the batcher coalesced.
+        # the loaded plans, bit for bit, however the batcher coalesced.
         exact = registry.get("lenet5")
         int8 = registry.get("lenet5-int8")
         matches = 0
@@ -107,18 +141,31 @@ def main() -> None:
             resident = exact if name == "lenet5" else int8
             expected = resident.forward(sample[None])[0]
             matches += np.array_equal(responses[index], expected)
-        print(f"responses bit-identical to direct forward: "
+        print(f"thread backend: responses bit-identical to direct forward: "
               f"{matches}/{len(requests)}")
 
-        totals = stats["totals"]
-        print(f"served {totals['requests']} requests in "
-              f"{totals['batches']} batches "
-              f"(mean batch {totals['mean_batch_size']:.1f}), "
-              f"{totals['cycles']} systolic cycles")
-        for name, model_stats in sorted(stats["per_model"].items()):
-            print(f"  {name}: {model_stats['requests']} requests, "
-                  f"mean queue {model_stats['queued_seconds']['mean'] * 1e3:.2f} ms, "
-                  f"mean service {model_stats['service_seconds']['mean'] * 1e3:.2f} ms")
+        # The same stream through the process backend: worker processes
+        # mmap the artifacts and must produce the same bits.
+        process_responses, process_stats = serve_stream(
+            build_registry(paths), requests, backend="process")
+        matches = sum(
+            np.array_equal(responses[index], process_responses[index])
+            for index in range(len(requests)))
+        print(f"process backend: responses bit-identical to thread backend: "
+              f"{matches}/{len(requests)}")
+
+        for label, run_stats in [("thread", stats), ("process", process_stats)]:
+            totals = run_stats["totals"]
+            print(f"[{label}] served {totals['requests']} requests in "
+                  f"{totals['batches']} batches "
+                  f"(mean batch {totals['mean_batch_size']:.1f}), "
+                  f"{totals['cycles']} systolic cycles")
+            for name, model_stats in sorted(run_stats["per_model"].items()):
+                print(f"  {name}: {model_stats['requests']} requests, "
+                      f"mean queue "
+                      f"{model_stats['queued_seconds']['mean'] * 1e3:.2f} ms, "
+                      f"mean service "
+                      f"{model_stats['service_seconds']['mean'] * 1e3:.2f} ms")
         registry_stats = stats["registry"]
         print(f"registry: {registry_stats['loads']} artifact loads, "
               f"{registry_stats['hits']} hits, "

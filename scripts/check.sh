@@ -31,6 +31,9 @@ echo "== serving suites (serialization round-trip + batcher/registry/server) =="
 python -m pytest -x -q -m "not slow" tests/test_combining_serialization.py \
     tests/test_serving.py
 
+echo "== execution-plan differential suite (plan vs legacy, V2/mmap loads) =="
+python -m pytest -x -q -m "not slow" tests/test_combining_plan.py
+
 echo "== fast test suite (pytest -m 'not slow') =="
 quick_start=$(date +%s)
 python -m pytest -x -q -m "not slow" \
@@ -41,7 +44,8 @@ python -m pytest -x -q -m "not slow" \
     --ignore=tests/test_combining_quantized.py \
     --ignore=tests/test_experiments_quant_sweep.py \
     --ignore=tests/test_combining_serialization.py \
-    --ignore=tests/test_serving.py "$@"
+    --ignore=tests/test_serving.py \
+    --ignore=tests/test_combining_plan.py "$@"
 quick_elapsed=$(( $(date +%s) - quick_start ))
 echo "quick tier took ${quick_elapsed}s (budget ${QUICK_TIER_BUDGET_SECONDS}s)"
 if (( quick_elapsed > QUICK_TIER_BUDGET_SECONDS )); then

@@ -49,7 +49,8 @@ Examples::
     python -m repro quantize-model --bits 8 --calibration-batches 2
     python -m repro save-packed --model lenet5 --out lenet5.npz --quantize
     python -m repro load-packed --path lenet5.npz
-    python -m repro serve-bench --path lenet5.npz --max-batch 16
+    python -m repro serve-bench --path lenet5.npz --max-batch 16 \
+        --backend process --workers 4
     python -m repro train --model lenet5 --alpha 8 --gamma 0.5
     python -m repro experiment fig15a
 """
@@ -278,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--image-size", type=int, default=FAST_RUN.image_size,
                        help="request spatial size (overridden by the "
                             "artifact's model_spec when it records one)")
+    serve.add_argument("--backend", choices=["thread", "process"],
+                       default="thread",
+                       help="where batch forwards run: in-process threads "
+                            "or a persistent mmap-sharing worker-process pool")
+    serve.add_argument("--workers", type=_positive_int, default=1,
+                       help="batch-draining threads (and, with "
+                            "--backend process, worker processes)")
     serve.add_argument("--seed", type=int, default=0)
 
     train = subparsers.add_parser("train", help="run Algorithm 1 on a built-in model")
@@ -558,7 +566,7 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         results = run_serving_benchmark(
             args.path, requests=args.requests, max_batch=args.max_batch,
             max_wait=args.max_wait, image_size=args.image_size,
-            seed=args.seed)
+            seed=args.seed, workers=args.workers, backend=args.backend)
     except FileNotFoundError:
         print(f"error: {args.path} does not exist", file=sys.stderr)
         return 2
@@ -569,7 +577,8 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     throughput = results["throughput"]
     shape = "x".join(str(side) for side in results["sample_shape"])
     print(f"serving benchmark: {args.path} ({results['kind']}, "
-          f"requests of shape {shape})")
+          f"requests of shape {shape}, backend={args.backend}, "
+          f"workers={args.workers})")
     print(format_table(
         ["cold start", "seconds"],
         [("load artifact", f"{cold['load_seconds']:.4f}"),

@@ -107,13 +107,21 @@ from repro.combining.inference import (
     PackedModel,
     ensure_sample_batch,
 )
+from repro.combining.execplan import (
+    PLAN_MODES,
+    ExecutionPlan,
+    compile_plan,
+    register_plan_compiler,
+)
 from repro.combining.serialization import (
     ARTIFACT_KINDS,
     FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
     PackedArtifactError,
     artifact_info,
     fingerprint_packed,
     load_packed,
+    load_plan,
     save_packed,
     verify_artifact,
 )
@@ -164,15 +172,21 @@ __all__ = [
     "PackedFilterMatrix",
     "pack_filter_matrix",
     "FORWARD_MODES",
+    "PLAN_MODES",
     "PackedLayerSpec",
     "PackedModel",
+    "ExecutionPlan",
+    "compile_plan",
+    "register_plan_compiler",
     "ensure_sample_batch",
     "ARTIFACT_KINDS",
     "FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "PackedArtifactError",
     "artifact_info",
     "fingerprint_packed",
     "load_packed",
+    "load_plan",
     "save_packed",
     "verify_artifact",
     "MIN_BITS",

@@ -1,0 +1,804 @@
+"""Immutable execution plans: packed inference without module-graph mutation.
+
+:meth:`~repro.combining.inference.PackedModel.forward` executes by
+*mutating* the shared nn module graph — installing forward overrides and
+swapping ``weight.data``, then restoring — which forces per-model locks
+wherever the same model serves concurrent traffic.  An
+:class:`ExecutionPlan` is the mutation-free alternative: a read-only,
+picklable op tree compiled **once** from a
+:class:`~repro.combining.inference.PackedModel` (or its quantized twin)
+that owns private copies of everything a forward needs — packed filter
+matrices and channel routing, dense/batch-norm/shift parameters, frozen
+calibration scales — so any number of threads or processes can call
+:meth:`ExecutionPlan.forward` concurrently without touching the source
+model, and without locks.
+
+Bit-identity contract
+---------------------
+
+``plan.forward(x, mode=m, batch_invariant=b)`` is **bit-identical** to the
+legacy mutating path (``PackedModel.forward(x, mode=m, batch_invariant=b)``
+and ``QuantizedPackedModel.forward(x, batch_invariant=b)`` for
+``mode="quantized"``) for every supported combination: each op replicates
+the exact arithmetic — including einsum ``optimize`` flags, reduction
+orders, and validation messages — of the module (or forward override) it
+replaces.  The differential suite in ``tests/test_combining_plan.py`` pins
+this per model family, mode, and engine combination.
+
+Plans are also the serving-side unit of residency: they pickle cleanly
+into worker processes (:mod:`repro.serving.procpool`) and deserialize
+straight out of V2 packed artifacts without reconstructing the nn model
+(:func:`repro.combining.serialization.load_plan`), via the manifest
+helpers :func:`manifest_from_plan` / :func:`plan_from_manifest`.
+
+Usage::
+
+    packed = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
+    plan = packed.compile_plan()
+    outputs = plan.forward(images, batch_invariant=True)   # no locks needed
+    assert np.array_equal(outputs, packed.forward(images, batch_invariant=True))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.combining.packing import PackedFilterMatrix
+from repro.models.lenet import LeNet5
+from repro.models.resnet import BasicBlock, ResNet20, _StridedPointwiseShortcut
+from repro.models.vgg import VGG
+from repro.nn.layers import (
+    SHIFT_DIRECTIONS,
+    AvgPool2d,
+    BatchNorm2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    MaxPool2d,
+    PointwiseConv2d,
+    ReLU,
+    Shift2d,
+    ShiftConv2d,
+)
+from repro.nn.module import Module, Sequential
+from repro.quant.linear import LinearQuantizer
+from repro.systolic.array import ArrayConfig
+from repro.systolic.system import ModelExecutionPlan, SystolicSystem
+
+#: Forward modes an :class:`ExecutionPlan` can support (``"quantized"``
+#: requires the plan to carry frozen calibration scales).
+PLAN_MODES: tuple[str, ...] = ("exact", "mx", "quantized")
+
+
+class _Ctx:
+    """Per-forward execution context threaded through the op tree.
+
+    Holds the knobs every op dispatches on (``mode``,
+    ``batch_invariant``), the optional per-layer spatial-size recorder
+    (``observed``), and — for quantized plans — the
+    :class:`~repro.systolic.system.SystolicSystem` that runs the integer
+    packed layers.  One ``_Ctx`` is built per ``forward`` call, so
+    concurrent forwards on one plan never share mutable state.
+    """
+
+    __slots__ = ("mode", "batch_invariant", "observed", "system")
+
+    def __init__(self, mode: str, batch_invariant: bool,
+                 observed: dict[str, tuple[int, int]] | None,
+                 system: SystolicSystem | None):
+        self.mode = mode
+        self.batch_invariant = batch_invariant
+        self.observed = observed
+        self.system = system
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """A private, read-only copy decoupled from the source model."""
+    copy = np.ascontiguousarray(array).copy()
+    copy.setflags(write=False)
+    return copy
+
+
+# -- ops ----------------------------------------------------------------------
+class SequenceOp:
+    """Run child ops in order (the plan twin of :class:`Sequential`)."""
+
+    def __init__(self, ops: tuple):
+        self.ops = tuple(ops)
+
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        for op in self.ops:
+            x = op.apply(x, ctx)
+        return x
+
+
+class ResidualOp:
+    """Residual block: ``relu(main(x) + shortcut(x))`` (identity shortcut
+    when ``shortcut`` is ``None``), matching :meth:`BasicBlock.forward`."""
+
+    def __init__(self, main: SequenceOp, shortcut: Any | None):
+        self.main = main
+        self.shortcut = shortcut
+
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        out = self.main.apply(x, ctx)
+        residual = self.shortcut.apply(x, ctx) if self.shortcut is not None else x
+        total = out + residual
+        return np.where(total > 0, total, 0.0)
+
+
+class PackedLayerOp:
+    """One packed pointwise layer, executed per the context's mode.
+
+    Owns a private :class:`~repro.combining.packing.PackedFilterMatrix`
+    (weights and routing read-only) plus the optional bias and — on
+    quantized plans — the layer's frozen quantizer pair.  The dense
+    realization for exact mode is computed lazily and cached; the benign
+    race of two threads realizing concurrently produces identical arrays.
+    """
+
+    def __init__(self, name: str, packed: PackedFilterMatrix,
+                 bias: np.ndarray | None, in_channels: int,
+                 input_quantizer: LinearQuantizer | None = None,
+                 weight_quantizer: LinearQuantizer | None = None):
+        self.name = name
+        self.packed = packed
+        self.bias = bias
+        self.in_channels = in_channels
+        self.input_quantizer = input_quantizer
+        self.weight_quantizer = weight_quantizer
+        self._realized: np.ndarray | None = None
+
+    def realized(self) -> np.ndarray:
+        dense = self._realized
+        if dense is None:
+            dense = self.packed.to_sparse()
+            dense.setflags(write=False)
+            self._realized = dense
+        return dense
+
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"PointwiseConv2d expected (batch, {self.in_channels}, H, W), "
+                f"got {x.shape}")
+        if ctx.observed is not None:
+            ctx.observed[self.name] = (x.shape[2], x.shape[3])
+        if ctx.mode == "quantized":
+            assert ctx.system is not None
+            out, _ = ctx.system.run_layer(
+                self.packed, x, apply_shift=False, apply_relu=False,
+                input_quantizer=self.input_quantizer,
+                weight_quantizer=self.weight_quantizer)
+        elif ctx.mode == "mx":
+            out = self.packed.multiply_activations(x)
+        elif ctx.batch_invariant:
+            out = np.einsum("nc,bchw->bnhw", self.realized(), x)
+        else:
+            out = np.einsum("nc,bchw->bnhw", self.realized(), x, optimize=True)
+        if self.bias is not None:
+            out = out + self.bias[None, :, None, None]
+        return out
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_realized"] = None  # re-realized lazily after unpickling
+        return state
+
+
+class PointwiseOp:
+    """A non-packed 1x1 convolution (einsum BLAS / shape-stable twins)."""
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray | None,
+                 in_channels: int):
+        self.weight = weight
+        self.bias = bias
+        self.in_channels = in_channels
+
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"PointwiseConv2d expected (batch, {self.in_channels}, H, W), "
+                f"got {x.shape}")
+        if ctx.batch_invariant:
+            out = np.einsum("nc,bchw->bnhw", self.weight, x)
+        else:
+            out = np.einsum("nc,bchw->bnhw", self.weight, x, optimize=True)
+        if self.bias is not None:
+            out = out + self.bias[None, :, None, None]
+        return out
+
+
+class DenseOp:
+    """Fully connected layer (BLAS matmul / batch-invariant einsum twin)."""
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray | None,
+                 in_features: int):
+        self.weight = weight
+        self.bias = bias
+        self.in_features = in_features
+
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected input of shape (batch, {self.in_features}), "
+                f"got {x.shape}")
+        if ctx.batch_invariant:
+            out = np.einsum("bi,oi->bo", x, self.weight)
+        else:
+            out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ShiftOp:
+    """Parameter-free per-channel spatial shift (:class:`Shift2d` twin)."""
+
+    def __init__(self, assignment: np.ndarray, channels: int):
+        self.assignment = assignment
+        self.channels = channels
+
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ValueError(
+                f"Shift2d expected (batch, {self.channels}, H, W), got {x.shape}")
+        out = np.empty_like(x)
+        for c in range(self.channels):
+            dy, dx = SHIFT_DIRECTIONS[self.assignment[c]]
+            out[:, c] = Shift2d._shift_channel(x[:, c], dy, dx)
+        return out
+
+
+class BatchNormOp:
+    """Eval-mode batch norm over frozen running statistics."""
+
+    def __init__(self, mean: np.ndarray, var: np.ndarray, gamma: np.ndarray,
+                 beta: np.ndarray, eps: float, channels: int):
+        self.mean = mean
+        self.var = var
+        self.gamma = gamma
+        self.beta = beta
+        self.eps = eps
+        self.channels = channels
+
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ValueError(
+                f"BatchNorm2d expected (batch, {self.channels}, H, W), "
+                f"got {x.shape}")
+        inv_std = 1.0 / np.sqrt(self.var + self.eps)
+        x_hat = (x - self.mean[None, :, None, None]) * inv_std[None, :, None, None]
+        return self.gamma[None, :, None, None] * x_hat + self.beta[None, :, None, None]
+
+
+class ReluOp:
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        return np.where(x > 0, x, 0.0)
+
+
+class IdentityOp:
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        return x
+
+
+class FlattenOp:
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+class AvgPoolOp:
+    def __init__(self, kernel: int):
+        self.kernel = kernel
+
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        k = self.kernel
+        batch, channels, height, width = x.shape
+        if height % k or width % k:
+            raise ValueError(
+                f"spatial dims {height}x{width} not divisible by kernel {k}")
+        return x.reshape(batch, channels, height // k, k, width // k, k).mean(axis=(3, 5))
+
+
+class MaxPoolOp:
+    def __init__(self, kernel: int):
+        self.kernel = kernel
+
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        k = self.kernel
+        batch, channels, height, width = x.shape
+        if height % k or width % k:
+            raise ValueError(
+                f"spatial dims {height}x{width} not divisible by kernel {k}")
+        windows = x.reshape(batch, channels, height // k, k, width // k, k)
+        return windows.max(axis=(3, 5))
+
+
+class GlobalAvgPoolOp:
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        return x.mean(axis=(2, 3))
+
+
+class StrideOp:
+    """Spatial subsampling after a strided shift convolution / shortcut."""
+
+    def __init__(self, stride: int):
+        self.stride = stride
+
+    def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        return x[:, :, :: self.stride, :: self.stride]
+
+
+# -- the plan -----------------------------------------------------------------
+class ExecutionPlan:
+    """A compiled, immutable, picklable forward pass over packed layers.
+
+    Treat instances as read-only: every array is a private copy (or a
+    read-only artifact view) and nothing in :meth:`forward` writes
+    instance state, which is what makes one plan safe to share across
+    threads and cheap to ship to worker processes.  ``bits`` is set for
+    quantized-capable plans; they carry a
+    :class:`~repro.systolic.system.SystolicSystem` configured like the
+    :class:`~repro.combining.quantized.QuantizedPackedModel` they came
+    from, so quantized outputs and cycle accounting match it exactly.
+    """
+
+    def __init__(self, root: Any, packed_ops: Sequence[PackedLayerOp],
+                 kind: str, array_rows: int, array_cols: int,
+                 pipeline_config: Any | None = None,
+                 bits: int | None = None,
+                 array_config: ArrayConfig | None = None):
+        self.root = root
+        self.packed_ops = tuple(packed_ops)
+        self.kind = kind
+        self.array_rows = array_rows
+        self.array_cols = array_cols
+        self.pipeline_config = pipeline_config
+        self.bits = bits
+        if bits is not None and array_config is None:
+            array_config = ArrayConfig(
+                rows=array_rows, cols=array_cols, input_bits=bits,
+                alpha=max(1, self.multiplexing_degree()))
+        self.array_config = array_config
+        self.system = (SystolicSystem(array_config) if bits is not None
+                       else None)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def modes(self) -> tuple[str, ...]:
+        """Forward modes this plan supports (frozen scales gate quantized)."""
+        return ("exact", "mx", "quantized") if self.bits is not None \
+            else ("exact", "mx")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.packed_ops)
+
+    def layer_names(self) -> list[str]:
+        return [op.name for op in self.packed_ops]
+
+    def packed_layers(self) -> list[tuple[str, PackedFilterMatrix]]:
+        """``(name, packed)`` pairs in layer order (the planners' shape)."""
+        return [(op.name, op.packed) for op in self.packed_ops]
+
+    def multiplexing_degree(self) -> int:
+        degrees = [op.packed.multiplexing_degree() for op in self.packed_ops]
+        return max(degrees) if degrees else 0
+
+    # -- execution -----------------------------------------------------------
+    def forward(self, activations: np.ndarray, mode: str = "exact",
+                batch_size: int | None = None, batch_invariant: bool = False,
+                observed: dict[str, tuple[int, int]] | None = None
+                ) -> np.ndarray:
+        """Run a batched forward pass; bit-identical to the legacy path.
+
+        Mirrors :meth:`PackedModel.forward`'s contract (``mode``,
+        ``batch_size`` chunking, ``batch_invariant`` numerics) plus
+        ``mode="quantized"`` on quantized-capable plans (bit-identical to
+        :meth:`QuantizedPackedModel.forward`).  Because plans are
+        immutable there is no instance-level spatial record; pass a dict
+        as ``observed`` to collect each packed layer's (H, W) for
+        :meth:`execution_plan`.
+        """
+        if mode not in self.modes:
+            raise ValueError(f"unknown forward mode {mode!r}; this plan "
+                             f"supports {self.modes}")
+        from repro.combining.inference import split_activation_batch
+        chunks = split_activation_batch(activations, batch_size)
+        ctx = _Ctx(mode, batch_invariant, observed, self.system)
+        outputs = [self.root.apply(chunk, ctx) for chunk in chunks]
+        return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
+
+    def predict(self, activations: np.ndarray, mode: str = "exact",
+                batch_size: int | None = None,
+                batch_invariant: bool = False) -> np.ndarray:
+        """Class predictions; accepts a bare ``(C, H, W)`` sample too."""
+        from repro.combining.inference import ensure_sample_batch
+        batch, unbatched = ensure_sample_batch(activations)
+        predictions = np.argmax(
+            self.forward(batch, mode=mode, batch_size=batch_size,
+                         batch_invariant=batch_invariant), axis=1)
+        return predictions[0] if unbatched else predictions
+
+    # -- cycle / tile accounting ---------------------------------------------
+    def execution_plan(self, observed: dict[str, tuple[int, int]] | None = None,
+                       spatial_sizes: Sequence[int] | None = None,
+                       batch: int = 1,
+                       array_config: ArrayConfig | None = None
+                       ) -> ModelExecutionPlan:
+        """Plan the model on the systolic timing model (stateless).
+
+        The plan twin of :meth:`PackedModel.plan` /
+        :meth:`QuantizedPackedModel.plan`: spatial sizes come from an
+        ``observed`` map collected by :meth:`forward` (or explicit
+        ``spatial_sizes``); the default array configuration matches the
+        source model's, so cycle totals are identical to the legacy path.
+        """
+        if spatial_sizes is None:
+            if observed is None or any(op.name not in observed
+                                       for op in self.packed_ops):
+                raise RuntimeError(
+                    "no spatial sizes available; pass the observed map from "
+                    "forward(..., observed={}) or spatial_sizes explicitly")
+            sizes: list[int] = []
+            for op in self.packed_ops:
+                height, width = observed[op.name]
+                if height != width:
+                    raise ValueError(
+                        f"layer {op.name!r} saw a non-square {height}x{width} "
+                        "activation map; pass spatial_sizes explicitly")
+                sizes.append(height)
+            spatial_sizes = sizes
+        if array_config is None:
+            if self.array_config is not None:
+                array_config = self.array_config
+            else:
+                array_config = ArrayConfig(
+                    rows=self.array_rows, cols=self.array_cols,
+                    alpha=max(1, self.multiplexing_degree()))
+        system = (self.system if self.system is not None
+                  and array_config is self.array_config
+                  else SystolicSystem(array_config))
+        return system.plan_model(self.packed_layers(), list(spatial_sizes),
+                                 batch=batch)
+
+
+# -- compilation --------------------------------------------------------------
+class _CompileState:
+    """Per-compilation bookkeeping: packed ops by module identity."""
+
+    def __init__(self) -> None:
+        self.packed: dict[int, PackedLayerOp] = {}
+        self.used: set[int] = set()
+
+
+_MODULE_COMPILERS: dict[type, Callable[[Module, _CompileState], Any]] = {}
+
+
+def register_plan_compiler(module_type: type):
+    """Register a plan-compilation handler for a :class:`Module` subclass.
+
+    The handler receives ``(module, state)`` and returns an op; lookup
+    walks the module's MRO, so registering a base class covers subclasses
+    without their own handler.  This is the extension point new model
+    families plug into.
+    """
+    def decorator(handler: Callable[[Module, _CompileState], Any]):
+        _MODULE_COMPILERS[module_type] = handler
+        return handler
+    return decorator
+
+
+def _compile_module(module: Module, state: _CompileState) -> Any:
+    for klass in type(module).__mro__:
+        handler = _MODULE_COMPILERS.get(klass)
+        if handler is not None:
+            return handler(module, state)
+    raise TypeError(
+        f"no plan compiler registered for module type "
+        f"{type(module).__name__}; register one with "
+        "repro.combining.execplan.register_plan_compiler")
+
+
+@register_plan_compiler(Sequential)
+def _compile_sequential(module: Sequential, state: _CompileState) -> Any:
+    return SequenceOp(tuple(_compile_module(child, state) for child in module))
+
+
+@register_plan_compiler(Shift2d)
+def _compile_shift(module: Shift2d, state: _CompileState) -> Any:
+    return ShiftOp(_frozen(module.assignment), module.channels)
+
+
+@register_plan_compiler(PointwiseConv2d)
+def _compile_pointwise(module: PointwiseConv2d, state: _CompileState) -> Any:
+    packed_op = state.packed.get(id(module))
+    if packed_op is not None:
+        state.used.add(id(module))
+        return packed_op
+    bias = None if module.bias is None else _frozen(module.bias.data)
+    return PointwiseOp(_frozen(module.weight.data), bias, module.in_channels)
+
+
+@register_plan_compiler(ShiftConv2d)
+def _compile_shiftconv(module: ShiftConv2d, state: _CompileState) -> Any:
+    ops = [_compile_module(module.shift, state),
+           _compile_module(module.pointwise, state)]
+    if module.stride > 1:
+        ops.append(StrideOp(module.stride))
+    return SequenceOp(tuple(ops))
+
+
+@register_plan_compiler(_StridedPointwiseShortcut)
+def _compile_shortcut(module: _StridedPointwiseShortcut,
+                      state: _CompileState) -> Any:
+    ops = [_compile_module(module.pointwise, state)]
+    if module.stride > 1:
+        ops.append(StrideOp(module.stride))
+    return SequenceOp(tuple(ops))
+
+
+@register_plan_compiler(Dense)
+def _compile_dense(module: Dense, state: _CompileState) -> Any:
+    bias = None if module.bias is None else _frozen(module.bias.data)
+    return DenseOp(_frozen(module.weight.data), bias, module.in_features)
+
+
+@register_plan_compiler(BatchNorm2d)
+def _compile_batchnorm(module: BatchNorm2d, state: _CompileState) -> Any:
+    return BatchNormOp(_frozen(module.running_mean), _frozen(module.running_var),
+                       _frozen(module.gamma.data), _frozen(module.beta.data),
+                       module.eps, module.channels)
+
+
+@register_plan_compiler(ReLU)
+def _compile_relu(module: ReLU, state: _CompileState) -> Any:
+    return ReluOp()
+
+
+@register_plan_compiler(Identity)
+def _compile_identity(module: Identity, state: _CompileState) -> Any:
+    return IdentityOp()
+
+
+@register_plan_compiler(Dropout)
+def _compile_dropout(module: Dropout, state: _CompileState) -> Any:
+    return IdentityOp()  # plans execute eval-mode semantics
+
+
+@register_plan_compiler(Flatten)
+def _compile_flatten(module: Flatten, state: _CompileState) -> Any:
+    return FlattenOp()
+
+
+@register_plan_compiler(AvgPool2d)
+def _compile_avgpool(module: AvgPool2d, state: _CompileState) -> Any:
+    return AvgPoolOp(module.kernel)
+
+
+@register_plan_compiler(MaxPool2d)
+def _compile_maxpool(module: MaxPool2d, state: _CompileState) -> Any:
+    return MaxPoolOp(module.kernel)
+
+
+@register_plan_compiler(GlobalAvgPool2d)
+def _compile_globalpool(module: GlobalAvgPool2d, state: _CompileState) -> Any:
+    return GlobalAvgPoolOp()
+
+
+@register_plan_compiler(BasicBlock)
+def _compile_basic_block(module: BasicBlock, state: _CompileState) -> Any:
+    main = SequenceOp((
+        _compile_module(module.conv1, state),
+        _compile_module(module.bn1, state),
+        _compile_module(module.relu1, state),
+        _compile_module(module.conv2, state),
+        _compile_module(module.bn2, state),
+    ))
+    shortcut = (_compile_module(module.shortcut, state)
+                if module.shortcut is not None else None)
+    return ResidualOp(main, shortcut)
+
+
+@register_plan_compiler(LeNet5)
+def _compile_lenet(module: LeNet5, state: _CompileState) -> Any:
+    return SequenceOp((_compile_module(module.features, state),
+                       _compile_module(module.classifier, state)))
+
+
+@register_plan_compiler(VGG)
+def _compile_vgg(module: VGG, state: _CompileState) -> Any:
+    return SequenceOp((_compile_module(module.features, state),
+                       _compile_module(module.pool, state),
+                       _compile_module(module.classifier, state)))
+
+
+@register_plan_compiler(ResNet20)
+def _compile_resnet(module: ResNet20, state: _CompileState) -> Any:
+    return SequenceOp((_compile_module(module.stem, state),
+                       _compile_module(module.stem_bn, state),
+                       _compile_module(module.stem_relu, state),
+                       _compile_module(module.blocks, state),
+                       _compile_module(module.pool, state),
+                       _compile_module(module.classifier, state)))
+
+
+def _copy_packed(packed: PackedFilterMatrix) -> PackedFilterMatrix:
+    """A private packed matrix whose arrays the plan owns (read-only)."""
+    copy = PackedFilterMatrix(
+        weights=packed.weights.copy(),
+        channel_index=packed.channel_index.copy(),
+        grouping=packed.grouping,
+        original_shape=packed.original_shape)
+    copy.weights.setflags(write=False)
+    copy.channel_index.setflags(write=False)
+    return copy
+
+
+def compile_plan(packed_model: Any,
+                 quantizers: dict[str, tuple[LinearQuantizer,
+                                             LinearQuantizer]] | None = None,
+                 bits: int | None = None,
+                 array_config: ArrayConfig | None = None) -> ExecutionPlan:
+    """Compile a model-backed :class:`PackedModel` into an :class:`ExecutionPlan`.
+
+    ``quantizers`` maps layer names to frozen ``(input, weight)``
+    quantizer pairs and — together with ``bits`` — makes the plan
+    quantized-capable; both come from
+    :meth:`QuantizedPackedModel.compile_plan`, the usual entry point.
+    The compilation snapshots the model's *current* state (weights,
+    batch-norm statistics, packed matrices); later training or repacking
+    does not affect the plan.
+    """
+    model = packed_model.model
+    if model is None:
+        raise RuntimeError(
+            "this PackedModel was assembled without an nn model; "
+            "compile_plan needs one (use from_model or pass model=...)")
+    if (bits is None) != (quantizers is None):
+        raise ValueError("bits and quantizers must be given together")
+    state = _CompileState()
+    packed_ops: list[PackedLayerOp] = []
+    for spec in packed_model.specs:
+        module = spec.module
+        assert module is not None
+        pair = quantizers.get(spec.name) if quantizers is not None else None
+        if quantizers is not None and pair is None:
+            raise ValueError(f"no quantizers supplied for packed layer "
+                             f"{spec.name!r}")
+        op = PackedLayerOp(
+            name=spec.name,
+            packed=_copy_packed(spec.packed),
+            bias=None if module.bias is None else _frozen(module.bias.data),
+            in_channels=module.in_channels,
+            input_quantizer=pair[0] if pair is not None else None,
+            weight_quantizer=pair[1] if pair is not None else None)
+        packed_ops.append(op)
+        state.packed[id(module)] = op
+    root = _compile_module(model, state)
+    missing = [spec.name for spec in packed_model.specs
+               if id(spec.module) not in state.used]
+    if missing:
+        raise ValueError(
+            f"plan compilation never reached packed layers {missing}; the "
+            "model's compiler handlers do not cover its packable modules")
+    return ExecutionPlan(root=root, packed_ops=packed_ops,
+                         kind="quantized" if bits is not None else "packed",
+                         array_rows=packed_model.array_rows,
+                         array_cols=packed_model.array_cols,
+                         pipeline_config=packed_model.pipeline_config,
+                         bits=bits, array_config=array_config)
+
+
+# -- manifest (de)serialization ----------------------------------------------
+# The V2 packed-artifact format persists the op tree as a JSON manifest so
+# load_plan can rebuild an ExecutionPlan without reconstructing the nn
+# model.  Arrays are persisted through a ``store(array) -> ref`` callback
+# (the artifact's per-dtype blob writer) and rehydrated through
+# ``load(ref) -> array``; packed layers are referenced by layer index and
+# wired to the artifact's own packed matrices by ``packed_factory``.
+
+def manifest_from_plan(plan: ExecutionPlan,
+                       store: Callable[[np.ndarray], Any]) -> dict:
+    """Serialize a plan's op tree to a JSON-able manifest."""
+    index = {id(op): position for position, op in enumerate(plan.packed_ops)}
+    return _serialize_op(plan.root, index, store)
+
+
+def _serialize_op(op: Any, index: dict[int, int],
+                  store: Callable[[np.ndarray], Any]) -> dict:
+    def ref(array: np.ndarray | None) -> Any:
+        return None if array is None else store(array)
+
+    if isinstance(op, SequenceOp):
+        return {"op": "sequence",
+                "ops": [_serialize_op(child, index, store) for child in op.ops]}
+    if isinstance(op, ResidualOp):
+        return {"op": "residual",
+                "main": _serialize_op(op.main, index, store),
+                "shortcut": (_serialize_op(op.shortcut, index, store)
+                             if op.shortcut is not None else None)}
+    if isinstance(op, PackedLayerOp):
+        return {"op": "packed", "layer": index[id(op)], "bias": ref(op.bias)}
+    if isinstance(op, PointwiseOp):
+        return {"op": "pointwise", "weight": store(op.weight),
+                "bias": ref(op.bias), "in_channels": op.in_channels}
+    if isinstance(op, DenseOp):
+        return {"op": "dense", "weight": store(op.weight),
+                "bias": ref(op.bias), "in_features": op.in_features}
+    if isinstance(op, ShiftOp):
+        return {"op": "shift", "assignment": store(op.assignment),
+                "channels": op.channels}
+    if isinstance(op, BatchNormOp):
+        return {"op": "batchnorm", "mean": store(op.mean), "var": store(op.var),
+                "gamma": store(op.gamma), "beta": store(op.beta),
+                "eps": op.eps, "channels": op.channels}
+    if isinstance(op, ReluOp):
+        return {"op": "relu"}
+    if isinstance(op, IdentityOp):
+        return {"op": "identity"}
+    if isinstance(op, FlattenOp):
+        return {"op": "flatten"}
+    if isinstance(op, GlobalAvgPoolOp):
+        return {"op": "globalavgpool"}
+    if isinstance(op, AvgPoolOp):
+        return {"op": "avgpool", "kernel": op.kernel}
+    if isinstance(op, MaxPoolOp):
+        return {"op": "maxpool", "kernel": op.kernel}
+    if isinstance(op, StrideOp):
+        return {"op": "stride", "stride": op.stride}
+    raise TypeError(f"cannot serialize plan op {type(op).__name__}")
+
+
+def plan_from_manifest(node: dict,
+                       packed_factory: Callable[[int, np.ndarray | None],
+                                                PackedLayerOp],
+                       load: Callable[[Any], np.ndarray | None]) -> Any:
+    """Rebuild an op tree from a manifest node.
+
+    ``packed_factory(layer_index, bias)`` supplies each packed layer's op
+    (wired to the artifact's packed matrices and quantizers); ``load``
+    rehydrates an array ref (and maps ``None`` to ``None``).
+    """
+    kind = node["op"]
+    if kind == "sequence":
+        return SequenceOp(tuple(plan_from_manifest(child, packed_factory, load)
+                                for child in node["ops"]))
+    if kind == "residual":
+        shortcut = (plan_from_manifest(node["shortcut"], packed_factory, load)
+                    if node["shortcut"] is not None else None)
+        return ResidualOp(plan_from_manifest(node["main"], packed_factory, load),
+                          shortcut)
+    if kind == "packed":
+        return packed_factory(int(node["layer"]), load(node["bias"]))
+    if kind == "pointwise":
+        return PointwiseOp(load(node["weight"]), load(node["bias"]),
+                           int(node["in_channels"]))
+    if kind == "dense":
+        return DenseOp(load(node["weight"]), load(node["bias"]),
+                       int(node["in_features"]))
+    if kind == "shift":
+        return ShiftOp(load(node["assignment"]), int(node["channels"]))
+    if kind == "batchnorm":
+        return BatchNormOp(load(node["mean"]), load(node["var"]),
+                           load(node["gamma"]), load(node["beta"]),
+                           float(node["eps"]), int(node["channels"]))
+    if kind == "relu":
+        return ReluOp()
+    if kind == "identity":
+        return IdentityOp()
+    if kind == "flatten":
+        return FlattenOp()
+    if kind == "globalavgpool":
+        return GlobalAvgPoolOp()
+    if kind == "avgpool":
+        return AvgPoolOp(int(node["kernel"]))
+    if kind == "maxpool":
+        return MaxPoolOp(int(node["kernel"]))
+    if kind == "stride":
+        return StrideOp(int(node["stride"]))
+    raise ValueError(f"unknown plan op {kind!r} in manifest")

@@ -285,6 +285,20 @@ class PackedModel:
                                 axis=1)
         return predictions[0] if unbatched else predictions
 
+    def compile_plan(self) -> "Any":
+        """Compile an immutable :class:`~repro.combining.execplan.ExecutionPlan`.
+
+        The plan snapshots the packed matrices, module topology, and all
+        non-packed parameters into a read-only, picklable op tree whose
+        :meth:`~repro.combining.execplan.ExecutionPlan.forward` is
+        bit-identical to :meth:`forward` for every mode /
+        ``batch_invariant`` combination — without installing anything
+        into (or locking) this model's module graph, so one plan can run
+        concurrently from any number of threads or processes.
+        """
+        from repro.combining.execplan import compile_plan as _compile_plan
+        return _compile_plan(self)
+
     @contextmanager
     def _model_snapshot(self) -> Iterator[None]:
         """Eval-mode window over the model, restoring all module state after.

@@ -441,6 +441,28 @@ class QuantizedPackedModel:
 
         return forward
 
+    def compile_plan(self) -> Any:
+        """Compile an immutable quantized-capable execution plan.
+
+        The returned :class:`~repro.combining.execplan.ExecutionPlan`
+        carries the packed matrices **and** the frozen per-layer
+        quantizer pairs, so ``plan.forward(x, mode="quantized")`` is
+        bit-identical to :meth:`forward` (and its exact / mx modes to
+        :meth:`PackedModel.forward`) without touching this model — no
+        module-graph mutation, no locks, picklable into worker processes.
+        Error accounting (:meth:`layer_report`) stays on the mutating
+        path; plans only compute outputs and cycle plans.
+        """
+        self._require_calibrated()
+        assert self._calibrations is not None
+        from repro.combining.execplan import compile_plan as _compile_plan
+        quantizers = {
+            spec.name: (self._calibrations[spec.name].input_quantizer,
+                        self._calibrations[spec.name].weight_quantizer)
+            for spec in self.packed.specs}
+        return _compile_plan(self.packed, quantizers=quantizers,
+                             bits=self.bits, array_config=self.system.config)
+
     # -- error / accuracy accounting ----------------------------------------
     def layer_report(self) -> list[QuantizedLayerReport]:
         """Per-layer quantization accounting for the last :meth:`forward`."""

@@ -32,17 +32,44 @@ quantizer scales are persisted as arrays (not decimal strings), so a
 served model answers with exactly the bits the freshly packed model would
 have produced.
 
+**Format V2** (current) reorganizes the host-side payload for serving:
+
+* nn model state consolidates from one npz entry per parameter into one
+  flat ``blob.<dtype>`` entry per dtype (entry-count and container
+  overhead stop scaling with parameter count); the metadata maps each
+  parameter name to its ``{blob, offset, size, shape}`` slice.
+  Batch-norm running statistics — non-parameter module state V1 silently
+  dropped — persist the same way under ``meta["buffers"]``.
+* Model-backed artifacts additionally carry an **execution-plan
+  manifest** (the op tree of
+  :meth:`~repro.combining.inference.PackedModel.compile_plan`), so
+  :func:`load_plan` rebuilds an immutable
+  :class:`~repro.combining.execplan.ExecutionPlan` straight from the
+  arrays — no nn module graph, no ``build_model``.
+* Uncompressed V2 artifacts (``compress=False``) load **zero-copy** with
+  ``load_packed(path, mmap=True)`` / ``load_plan(path, mmap=True)``:
+  every array is an ``np.memmap`` view into the file, so N serving
+  worker processes share one resident copy of the packed arrays through
+  the page cache.  ``mmap="auto"`` falls back to a normal read for
+  compressed or V1 artifacts.
+
+V1 artifacts remain fully readable (see ``SUPPORTED_FORMAT_VERSIONS``),
+and ``save_packed(..., format_version=1)`` still writes them for
+compatibility tooling.
+
 Usage::
 
     from repro.combining import PackedModel, PipelineConfig
-    from repro.combining.serialization import load_packed, save_packed
+    from repro.combining.serialization import load_packed, load_plan, save_packed
 
     packed = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
-    save_packed(packed, "lenet5.packed.npz",
+    save_packed(packed, "lenet5.packed.npz", compress=False,
                 model_spec={"name": "lenet5",
                             "kwargs": {"in_channels": 1, "image_size": 12}})
     served = load_packed("lenet5.packed.npz")   # no pipeline run
     assert np.array_equal(served.forward(x), packed.forward(x))
+    plan = load_plan("lenet5.packed.npz", mmap=True)   # zero-copy, no nn model
+    assert np.array_equal(plan.forward(x), packed.forward(x))
 """
 
 from __future__ import annotations
@@ -50,6 +77,7 @@ from __future__ import annotations
 import hashlib
 import json
 import zipfile
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -63,13 +91,19 @@ from repro.combining.quantized import LayerCalibration, QuantizedPackedModel
 from repro.models.registry import build_model
 from repro.models.registry import packable_layers as _model_packable_layers
 from repro.nn import Module
+from repro.nn.layers import BatchNorm2d
 from repro.nn.serialization import load_state_dict, state_dict
 from repro.quant.linear import LinearQuantizer
 
 #: Version stamp written into every artifact.  Bump on any layout change;
-#: :func:`load_packed` refuses other versions with a clear error instead
-#: of misreading the container.
-FORMAT_VERSION = 1
+#: readers refuse versions outside :data:`SUPPORTED_FORMAT_VERSIONS` with
+#: a clear error instead of misreading the container.
+FORMAT_VERSION = 2
+
+#: Format versions :func:`load_packed` / :func:`load_plan` read.  V1 (one
+#: npz entry per nn parameter, no plan manifest) stays readable so
+#: existing artifacts keep serving; V2 is what :func:`save_packed` writes.
+SUPPORTED_FORMAT_VERSIONS: tuple[int, ...] = (1, 2)
 
 #: Artifact kinds: a float :class:`PackedModel` or its calibrated
 #: :class:`QuantizedPackedModel` twin.
@@ -130,10 +164,65 @@ def _validate_model_spec(model_spec: dict[str, Any]) -> dict[str, Any]:
     return spec
 
 
+class _BlobWriter:
+    """Consolidates arrays into one flat buffer per dtype.
+
+    ``store(array)`` appends the array's bytes to its dtype's blob and
+    returns a JSON-able ``{"blob", "offset", "size", "shape"}`` reference
+    (offsets and sizes in elements); identical contents (same dtype,
+    shape, and bytes) deduplicate to one stored copy, so e.g. a parameter
+    that appears both in the state dict and in the plan manifest costs
+    the artifact one slice.  ``entries()`` emits the finished
+    ``blob.<dtype>`` npz entries.
+    """
+
+    def __init__(self) -> None:
+        self._pieces: dict[str, list[np.ndarray]] = {}
+        self._offsets: dict[str, int] = {}
+        self._dedupe: dict[tuple, dict[str, Any]] = {}
+
+    def store(self, array: np.ndarray) -> dict[str, Any]:
+        array = np.ascontiguousarray(array)
+        key = (array.dtype.str, array.shape,
+               hashlib.blake2b(array.tobytes(), digest_size=16).digest())
+        ref = self._dedupe.get(key)
+        if ref is not None:
+            return ref
+        blob = array.dtype.name
+        offset = self._offsets.get(blob, 0)
+        self._pieces.setdefault(blob, []).append(array.ravel())
+        self._offsets[blob] = offset + int(array.size)
+        ref = {"blob": blob, "offset": offset, "size": int(array.size),
+               "shape": [int(side) for side in array.shape]}
+        self._dedupe[key] = ref
+        return ref
+
+    def entries(self) -> dict[str, np.ndarray]:
+        return {f"blob.{blob}": np.concatenate(pieces)
+                for blob, pieces in self._pieces.items()}
+
+
+def _slice_ref(blobs: dict[str, np.ndarray], ref: dict[str, Any],
+               path: Path) -> np.ndarray:
+    """Resolve a blob reference to a (read-only) array view."""
+    blob = blobs.get(f"blob.{ref['blob']}")
+    start, size = int(ref["offset"]), int(ref["size"])
+    if blob is None or start < 0 or start + size > blob.size:
+        raise PackedArtifactError(
+            f"{path}: blob reference {ref!r} points outside the artifact's "
+            "stored data — the artifact is truncated or its metadata does "
+            "not match its blobs")
+    view = blob[start:start + size].reshape(
+        [int(side) for side in ref["shape"]])
+    view.setflags(write=False)
+    return view
+
+
 def save_packed(model: PackedModel | QuantizedPackedModel,
                 path: str | Path,
                 model_spec: dict[str, Any] | None = None,
-                compress: bool = True) -> Path:
+                compress: bool = True,
+                format_version: int | None = None) -> Path:
     """Persist a packed (or quantized packed) model as one ``.npz`` artifact.
 
     ``model_spec`` (optional, for model-backed packings) records how to
@@ -147,11 +236,21 @@ def save_packed(model: PackedModel | QuantizedPackedModel,
 
     ``compress=False`` trades file size for faster cold-start loads
     (zlib inflation is a visible share of load time for the full-size
-    workloads); the format is identical either way.
+    workloads) — and, for V2 artifacts, enables zero-copy
+    ``load_packed(..., mmap=True)`` / ``load_plan(..., mmap=True)``;
+    the logical format is identical either way.
+
+    ``format_version`` defaults to the current :data:`FORMAT_VERSION`;
+    pass ``1`` to write the legacy layout (per-parameter state entries,
+    no plan manifest) for compatibility tooling.
 
     A :class:`QuantizedPackedModel` must be calibrated — the artifact's
     job is to carry the frozen scales a server cold-starts with.
     """
+    version = FORMAT_VERSION if format_version is None else int(format_version)
+    if version not in SUPPORTED_FORMAT_VERSIONS:
+        raise ValueError(f"unknown packed-artifact format version {version!r};"
+                         f" expected one of {SUPPORTED_FORMAT_VERSIONS}")
     quantized: QuantizedPackedModel | None = None
     if isinstance(model, QuantizedPackedModel):
         quantized = model
@@ -206,9 +305,31 @@ def save_packed(model: PackedModel | QuantizedPackedModel,
     arrays["packed.group_sizes"] = _concatenate(all_sizes, np.int64)
 
     has_model_state = packed.model is not None
+    state_meta: dict[str, Any] | None = None
+    buffers_meta: dict[str, Any] | None = None
+    plan_meta: dict[str, Any] | None = None
     if has_model_state:
-        for name, array in state_dict(packed.model).items():
-            arrays[f"state.{name}"] = array
+        if version == 1:
+            for name, array in state_dict(packed.model).items():
+                arrays[f"state.{name}"] = array
+        else:
+            blobs = _BlobWriter()
+            state_meta = {name: blobs.store(array)
+                          for name, array in state_dict(packed.model).items()}
+            # Non-parameter module state the state dict does not cover:
+            # batch-norm running statistics, addressed by module path.
+            buffers_meta = {}
+            for module_path, module in packed.model.named_modules():
+                if isinstance(module, BatchNorm2d):
+                    prefix = f"{module_path}." if module_path else ""
+                    buffers_meta[f"{prefix}running_mean"] = blobs.store(
+                        module.running_mean)
+                    buffers_meta[f"{prefix}running_var"] = blobs.store(
+                        module.running_var)
+            # The float op tree; quantizers rebuild from quant.* at load.
+            from repro.combining.execplan import manifest_from_plan
+            plan_meta = manifest_from_plan(packed.compile_plan(), blobs.store)
+            arrays.update(blobs.entries())
 
     quantized_meta: dict[str, Any] | None = None
     if quantized is not None:
@@ -228,7 +349,7 @@ def save_packed(model: PackedModel | QuantizedPackedModel,
         }
 
     meta = {
-        "format_version": FORMAT_VERSION,
+        "format_version": version,
         "kind": "quantized" if quantized is not None else "packed",
         "array_rows": packed.array_rows,
         "array_cols": packed.array_cols,
@@ -239,6 +360,10 @@ def save_packed(model: PackedModel | QuantizedPackedModel,
         "has_model_state": has_model_state,
         "quantized": quantized_meta,
     }
+    if version >= 2:
+        meta["state"] = state_meta
+        meta["buffers"] = buffers_meta
+        meta["plan"] = plan_meta
     arrays["meta"] = np.array(json.dumps(meta, sort_keys=True))
 
     path = Path(path)
@@ -266,17 +391,119 @@ def _open_artifact(path: Path) -> Any:
             f"(corrupt or not an npz file): {error}") from error
 
 
+class _MmapUnsupportedError(PackedArtifactError):
+    """The artifact exists and is valid but cannot be memory-mapped
+    (compressed entries); ``mmap="auto"`` falls back to a normal read."""
+
+
+class _MmapArtifact:
+    """Zero-copy npz reader: every array is an ``np.memmap`` into the file.
+
+    ``np.load(mmap_mode=...)`` does not support npz archives, so this
+    walks the zip members directly: for each stored (uncompressed) entry
+    it parses the local file header and the npy header, then maps the
+    raw element bytes read-only.  N processes opening one artifact this
+    way share a single resident copy of the arrays via the page cache —
+    the sharing model the process serving backend builds on.  Compressed
+    entries cannot be mapped and raise :class:`_MmapUnsupportedError`
+    (re-save with ``compress=False``).  Zero-size and 0-d entries (the
+    ``meta`` JSON string) are read eagerly — ``np.memmap`` cannot
+    represent them, and they are not worth sharing.
+    """
+
+    def __init__(self, path: Path):
+        self._arrays: dict[str, np.ndarray] = {}
+        try:
+            archive = zipfile.ZipFile(path)
+        except FileNotFoundError:
+            raise
+        except (OSError, zipfile.BadZipFile) as error:
+            raise PackedArtifactError(
+                f"{path} is not a readable packed artifact "
+                f"(corrupt or not an npz file): {error}") from error
+        with archive, open(path, "rb") as handle:
+            for info in archive.infolist():
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[:-len(".npy")]
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise _MmapUnsupportedError(
+                        f"{path}: entry {info.filename!r} is compressed and "
+                        "cannot be memory-mapped; re-save the artifact with "
+                        "compress=False (or load with mmap=False)")
+                try:
+                    self._arrays[name] = self._map_entry(handle, info, path)
+                except PackedArtifactError:
+                    raise
+                except (ValueError, OSError) as error:
+                    raise PackedArtifactError(
+                        f"{path}: entry {info.filename!r} is not a readable "
+                        f"npy member: {error}") from error
+        self.files = list(self._arrays)
+
+    @staticmethod
+    def _map_entry(handle: Any, info: zipfile.ZipInfo,
+                   path: Path) -> np.ndarray:
+        # Local file header: 30 fixed bytes, then the (variable) name and
+        # extra fields; the member's data follows.  The central directory
+        # (what ZipInfo reflects) may disagree with the local extra-field
+        # length, so read it from the local header itself.
+        handle.seek(info.header_offset)
+        header = handle.read(30)
+        if len(header) != 30 or header[:4] != b"PK\x03\x04":
+            raise PackedArtifactError(
+                f"{path}: zip member {info.filename!r} has a corrupt local "
+                "header")
+        name_len = int.from_bytes(header[26:28], "little")
+        extra_len = int.from_bytes(header[28:30], "little")
+        data_start = info.header_offset + 30 + name_len + extra_len
+        handle.seek(data_start)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran_order, dtype = \
+                np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran_order, dtype = \
+                np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise PackedArtifactError(
+                f"{path}: entry {info.filename!r} has unsupported npy "
+                f"format version {version}")
+        if dtype.hasobject:
+            raise PackedArtifactError(
+                f"{path}: entry {info.filename!r} holds Python objects; "
+                "packed artifacts never do — the file was tampered with")
+        if len(shape) == 0 or 0 in shape:
+            handle.seek(data_start)
+            return np.lib.format.read_array(handle, allow_pickle=False)
+        return np.memmap(path, mode="r", dtype=dtype, shape=shape,
+                         offset=handle.tell(),
+                         order="F" if fortran_order else "C")
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __enter__(self) -> "_MmapArtifact":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
 def _read_meta(data: Any, path: Path) -> dict[str, Any]:
     if "meta" not in data:
         raise PackedArtifactError(
             f"{path} is not a packed artifact (no 'meta' entry)")
     meta = json.loads(str(data["meta"][()]))
     version = meta.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_FORMAT_VERSIONS:
         raise PackedArtifactError(
             f"{path} has packed-artifact format version {version!r}; this "
-            f"build reads version {FORMAT_VERSION} — re-save the artifact "
-            "with the current save_packed")
+            f"build reads versions {SUPPORTED_FORMAT_VERSIONS} — re-save "
+            "the artifact with the current save_packed")
     if meta.get("kind") not in ARTIFACT_KINDS:
         raise PackedArtifactError(
             f"{path} has unknown artifact kind {meta.get('kind')!r}; "
@@ -299,9 +526,14 @@ def artifact_info(path: str | Path) -> dict[str, Any]:
     return meta
 
 
-def _load_layers(data: Any, meta: dict[str, Any],
-                 path: Path) -> list[PackedFilterMatrix]:
-    """Slice the columnar arrays back into per-layer packed matrices."""
+def _load_layers(data: Any, meta: dict[str, Any], path: Path,
+                 copy: bool = True) -> list[PackedFilterMatrix]:
+    """Slice the columnar arrays back into per-layer packed matrices.
+
+    ``copy=False`` (the mmap path) keeps each layer's weights and routing
+    as read-only views into the columnar arrays instead of materializing
+    private copies — the whole point of memory-mapping the artifact.
+    """
     try:
         all_weights = data["packed.weights"]
         all_channels = data["packed.channel_index"]
@@ -342,9 +574,14 @@ def _load_layers(data: Any, meta: dict[str, Any],
                                       alpha=int(layer_meta["alpha"]),
                                       gamma=float(layer_meta["gamma"]),
                                       policy=str(layer_meta["policy"]))
+            layer_weights = weights.reshape(rows, num_groups)
+            layer_channels = channel_index.reshape(rows, num_groups)
+            if copy:
+                layer_weights = layer_weights.copy()
+                layer_channels = layer_channels.copy()
             packed = PackedFilterMatrix(
-                weights=weights.reshape(rows, num_groups).copy(),
-                channel_index=channel_index.reshape(rows, num_groups).copy(),
+                weights=layer_weights,
+                channel_index=layer_channels,
                 grouping=grouping,
                 original_shape=(rows, columns))
         except ValueError as error:
@@ -368,14 +605,50 @@ def _load_layers(data: Any, meta: dict[str, Any],
     return layers
 
 
-def _load_raw(path: Path) -> tuple[dict[str, Any], list[PackedFilterMatrix],
-                                   dict[str, np.ndarray], dict[str, np.ndarray]]:
+@dataclass
+class _RawArtifact:
+    """An artifact's decoded, integrity-checked contents (no nn model)."""
+
+    meta: dict[str, Any]
+    layers: list[PackedFilterMatrix]
+    state: dict[str, np.ndarray]
+    quant_arrays: dict[str, np.ndarray]
+    buffers: dict[str, np.ndarray] = field(default_factory=dict)
+    blobs: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def _open_for_read(path: Path, mmap: bool | str) -> Any:
+    if mmap is True:
+        return _MmapArtifact(path)
+    if mmap == "auto":
+        try:
+            return _MmapArtifact(path)
+        except _MmapUnsupportedError:
+            return _open_artifact(path)
+    if mmap is not False:
+        raise ValueError(f"mmap must be True, False, or 'auto', got {mmap!r}")
+    return _open_artifact(path)
+
+
+def _load_raw(path: Path, mmap: bool | str = False) -> _RawArtifact:
     """Read + integrity-check an artifact's contents, no model resolution."""
-    with _open_artifact(path) as data:
+    data = _open_for_read(path, mmap)
+    is_mmap = isinstance(data, _MmapArtifact)
+    with data:
         meta = _read_meta(data, path)
-        layers = _load_layers(data, meta, path)
-        state = {key[len("state."):]: data[key]
-                 for key in data.files if key.startswith("state.")}
+        layers = _load_layers(data, meta, path, copy=not is_mmap)
+        blobs = {key: data[key] for key in data.files
+                 if key.startswith("blob.")}
+        state: dict[str, np.ndarray] = {}
+        buffers: dict[str, np.ndarray] = {}
+        if int(meta["format_version"]) >= 2:
+            state = {name: _slice_ref(blobs, ref, path)
+                     for name, ref in (meta.get("state") or {}).items()}
+            buffers = {name: _slice_ref(blobs, ref, path)
+                       for name, ref in (meta.get("buffers") or {}).items()}
+        else:
+            state = {key[len("state."):]: data[key]
+                     for key in data.files if key.startswith("state.")}
         quant_arrays: dict[str, np.ndarray] = {}
         if meta["kind"] == "quantized":
             try:
@@ -385,7 +658,9 @@ def _load_raw(path: Path) -> tuple[dict[str, Any], list[PackedFilterMatrix],
                 raise PackedArtifactError(
                     f"{path}: quantized artifact is missing scale array "
                     f"{error}") from error
-    return meta, layers, state, quant_arrays
+    return _RawArtifact(meta=meta, layers=layers, state=state,
+                        quant_arrays=quant_arrays, buffers=buffers,
+                        blobs=blobs)
 
 
 def verify_artifact(path: str | Path) -> dict[str, Any]:
@@ -401,13 +676,13 @@ def verify_artifact(path: str | Path) -> dict[str, Any]:
     the frozen quantizer scale arrays for quantized artifacts.
     """
     path = Path(path)
-    meta, layers, _, quant_arrays = _load_raw(path)
-    info = dict(meta)
+    raw = _load_raw(path)
+    info = dict(raw.meta)
     info["path"] = str(path)
     info["file_bytes"] = path.stat().st_size
-    return {"info": info, "layers": layers,
-            "input_scales": quant_arrays.get("input_scales"),
-            "weight_scales": quant_arrays.get("weight_scales")}
+    return {"info": info, "layers": raw.layers,
+            "input_scales": raw.quant_arrays.get("input_scales"),
+            "weight_scales": raw.quant_arrays.get("weight_scales")}
 
 
 def _resolve_model(meta: dict[str, Any], model: Module | None,
@@ -424,32 +699,35 @@ def _resolve_model(meta: dict[str, Any], model: Module | None,
     return None
 
 
-def load_packed(path: str | Path, model: Module | None = None
-                ) -> PackedModel | QuantizedPackedModel:
-    """Load a packed artifact back into a forward-ready model.
+def _apply_buffers(model: Module, buffers: dict[str, np.ndarray],
+                   path: Path) -> None:
+    """Install persisted non-parameter module state (batch-norm stats)."""
+    modules = dict(model.named_modules())
+    for name, array in buffers.items():
+        module_path, _, attr = name.rpartition(".")
+        module = modules.get(module_path)
+        if module is None or not hasattr(module, attr):
+            raise PackedArtifactError(
+                f"{path}: buffer {name!r} does not fit the supplied model "
+                "architecture")
+        setattr(module, attr, np.array(array))
 
-    Returns a :class:`PackedModel` for ``"packed"`` artifacts and a
-    calibrated :class:`QuantizedPackedModel` for ``"quantized"`` ones.
-    The loaded model's forward is bit-identical to the model that was
-    saved.  ``model`` optionally supplies the nn architecture (parameter
-    values are overwritten from the artifact's state); when omitted, the
-    artifact's ``model_spec`` rebuilds it, and artifacts saved from
-    matrix-only packings load as matrix-only models (no forward).
 
-    Raises :class:`PackedArtifactError` on format-version mismatch,
-    per-layer fingerprint mismatch, or structural corruption.
-    """
-    path = Path(path)
-    meta, packed_layers, state, quant_arrays = _load_raw(path)
+def _assemble_model(raw: _RawArtifact, model: Module | None,
+                    path: Path) -> PackedModel | QuantizedPackedModel:
+    """Build the forward-ready model from an artifact's decoded contents."""
+    meta, packed_layers = raw.meta, raw.layers
     resolved = _resolve_model(meta, model, path)
     if meta["has_model_state"]:
         assert resolved is not None
         try:
-            load_state_dict(resolved, state, strict=True)
+            load_state_dict(resolved, raw.state, strict=True)
         except (KeyError, ValueError) as error:
             raise PackedArtifactError(
                 f"{path}: artifact state does not fit the supplied model "
                 f"architecture: {error}") from error
+        if raw.buffers:
+            _apply_buffers(resolved, raw.buffers, path)
 
     modules: list[Any]
     if resolved is not None:
@@ -485,8 +763,8 @@ def load_packed(path: str | Path, model: Module | None = None
         percentile=float(quantized_meta["percentile"]))
     calibrations = []
     for layer_meta, input_scale, weight_scale in zip(
-            quantized_meta["layers"], quant_arrays["input_scales"],
-            quant_arrays["weight_scales"]):
+            quantized_meta["layers"], raw.quant_arrays["input_scales"],
+            raw.quant_arrays["weight_scales"]):
         calibrations.append(LayerCalibration(
             name=layer_meta["name"],
             input_quantizer=LinearQuantizer(bits=quantized.bits,
@@ -503,3 +781,137 @@ def load_packed(path: str | Path, model: Module | None = None
             f"{path}: frozen calibrations do not match the packed layers: "
             f"{error}") from error
     return quantized
+
+
+def load_packed(path: str | Path, model: Module | None = None,
+                mmap: bool | str = False
+                ) -> PackedModel | QuantizedPackedModel:
+    """Load a packed artifact back into a forward-ready model.
+
+    Returns a :class:`PackedModel` for ``"packed"`` artifacts and a
+    calibrated :class:`QuantizedPackedModel` for ``"quantized"`` ones.
+    The loaded model's forward is bit-identical to the model that was
+    saved — for any format version and any ``mmap`` setting.  ``model``
+    optionally supplies the nn architecture (parameter values are
+    overwritten from the artifact's state); when omitted, the artifact's
+    ``model_spec`` rebuilds it, and artifacts saved from matrix-only
+    packings load as matrix-only models (no forward).
+
+    ``mmap=True`` memory-maps every array read-only instead of copying
+    it into anonymous memory — concurrent loaders of one artifact then
+    share a single resident copy via the page cache.  It requires an
+    uncompressed artifact (``save_packed(..., compress=False)``) and
+    raises :class:`PackedArtifactError` otherwise; ``mmap="auto"`` falls
+    back to a normal read in that case.
+
+    Raises :class:`PackedArtifactError` on format-version mismatch,
+    per-layer fingerprint mismatch, or structural corruption.
+    """
+    path = Path(path)
+    raw = _load_raw(path, mmap=mmap)
+    return _assemble_model(raw, model, path)
+
+
+def _plan_from_artifact(raw: _RawArtifact, path: Path) -> Any:
+    """Rebuild an :class:`ExecutionPlan` from a V2 plan manifest."""
+    from repro.combining.execplan import (
+        ExecutionPlan,
+        PackedLayerOp,
+        plan_from_manifest,
+    )
+
+    meta = raw.meta
+    bits = (int(meta["quantized"]["bits"])
+            if meta["kind"] == "quantized" else None)
+    packed_ops: dict[int, PackedLayerOp] = {}
+
+    def packed_factory(index: int, bias: np.ndarray | None) -> PackedLayerOp:
+        if not 0 <= index < len(raw.layers):
+            raise PackedArtifactError(
+                f"{path}: plan manifest references packed layer {index} but "
+                f"the artifact holds {len(raw.layers)} layers")
+        existing = packed_ops.get(index)
+        if existing is not None:
+            return existing
+        packed = raw.layers[index]
+        input_quantizer = weight_quantizer = None
+        if bits is not None:
+            input_quantizer = LinearQuantizer(
+                bits=bits, scale=float(raw.quant_arrays["input_scales"][index]))
+            weight_quantizer = LinearQuantizer(
+                bits=bits, scale=float(raw.quant_arrays["weight_scales"][index]))
+        op = PackedLayerOp(
+            name=str(meta["layers"][index]["name"]), packed=packed,
+            bias=bias, in_channels=packed.original_shape[1],
+            input_quantizer=input_quantizer,
+            weight_quantizer=weight_quantizer)
+        packed_ops[index] = op
+        return op
+
+    def load(ref: Any) -> np.ndarray | None:
+        if ref is None:
+            return None
+        # BLAS kernels choose their code path — and with it their float
+        # summation order — partly from operand alignment, and a memmap
+        # view lands at whatever offset the zip layout dictates.  The
+        # manifest's arrays feed the non-batch-invariant matmul paths, so
+        # materialize them as ordinary allocations to keep plan forwards
+        # bit-identical to the legacy path; the large packed.* arrays
+        # stay mapped (they never feed BLAS directly).
+        array = np.array(_slice_ref(raw.blobs, ref, path))
+        array.setflags(write=False)
+        return array
+
+    try:
+        root = plan_from_manifest(meta["plan"], packed_factory, load)
+    except (KeyError, TypeError, ValueError) as error:
+        if isinstance(error, PackedArtifactError):
+            raise
+        raise PackedArtifactError(
+            f"{path}: plan manifest is unreadable: {error}") from error
+    missing = [index for index in range(len(raw.layers))
+               if index not in packed_ops]
+    if missing:
+        raise PackedArtifactError(
+            f"{path}: plan manifest never references packed layers "
+            f"{missing} — the artifact's plan does not cover its data")
+    pipeline_config = (PipelineConfig.from_dict(meta["pipeline_config"])
+                       if meta["pipeline_config"] is not None else None)
+    return ExecutionPlan(
+        root=root,
+        packed_ops=[packed_ops[index] for index in range(len(raw.layers))],
+        kind=str(meta["kind"]),
+        array_rows=int(meta["array_rows"]),
+        array_cols=int(meta["array_cols"]),
+        pipeline_config=pipeline_config,
+        bits=bits)
+
+
+def load_plan(path: str | Path, model: Module | None = None,
+              mmap: bool | str = False) -> Any:
+    """Load a packed artifact straight into an immutable :class:`ExecutionPlan`.
+
+    The serving cold-start path: V2 model-backed artifacts carry their
+    op tree as a manifest, so the plan assembles directly from the
+    stored arrays — no nn module graph is ever built, and with
+    ``mmap=True`` (or ``"auto"``) the arrays stay shared, read-only
+    views into the file.  V1 artifacts (or an explicit ``model``) fall
+    back to assembling the model as :func:`load_packed` does and
+    compiling it.  Either way the plan's forward is bit-identical to the
+    saved model's, quantized artifacts yielding quantized-capable plans.
+
+    Matrix-only artifacts raise :class:`PackedArtifactError` — with no nn
+    model state or plan there is nothing forward-capable to build.
+    """
+    path = Path(path)
+    raw = _load_raw(path, mmap=mmap)
+    manifest = raw.meta.get("plan")
+    if model is None and manifest is not None:
+        return _plan_from_artifact(raw, path)
+    if model is None and not raw.meta["has_model_state"]:
+        raise PackedArtifactError(
+            f"{path} holds a matrix-only packing with no nn model state or "
+            "plan manifest; serving needs a forward-capable artifact (save "
+            "it with model state)")
+    assembled = _assemble_model(raw, model, path)
+    return assembled.compile_plan()

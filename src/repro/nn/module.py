@@ -71,6 +71,24 @@ class Module:
                             found.append(nested)
         return found
 
+    def named_modules(self, prefix: str = "") -> list[tuple[str, "Module"]]:
+        """(path, module) pairs; paths follow attribute traversal.
+
+        The module analogue of :meth:`named_parameters` (same traversal,
+        so container members come out as e.g. ``features.layers.0``):
+        the stable addressing serialization uses for non-parameter module
+        state such as batch-norm running statistics.
+        """
+        result: list[tuple[str, Module]] = [(prefix, self)]
+        seen = {id(self)}
+        for attr, value in self.__dict__.items():
+            path = f"{prefix}.{attr}" if prefix else attr
+            for name, module in _collect_named_modules(value, path):
+                if id(module) not in seen:
+                    seen.add(id(module))
+                    result.append((name, module))
+        return result
+
     # -- training-mode toggles ------------------------------------------------
     def train(self) -> "Module":
         for module in self.modules():
@@ -153,6 +171,20 @@ def _collect_named(value, path: str) -> Iterable[tuple[str, Parameter]]:
     elif isinstance(value, dict):
         for key, item in value.items():
             yield from _collect_named(item, f"{path}.{key}")
+
+
+def _collect_named_modules(value, path: str) -> Iterable[tuple[str, Module]]:
+    if isinstance(value, Module):
+        yield path, value
+        for name, module in value.named_modules(prefix=path):
+            if module is not value:
+                yield name, module
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            yield from _collect_named_modules(item, f"{path}.{i}")
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from _collect_named_modules(item, f"{path}.{key}")
 
 
 def _collect_modules(value) -> Iterable[Module]:

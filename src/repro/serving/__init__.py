@@ -8,23 +8,55 @@ the resident packed model.  This package is that serving layer:
   :class:`~repro.serving.registry.ModelRegistry`: named packed artifacts
   (:mod:`repro.combining.serialization`) loaded lazily on first request,
   with LRU-bounded residency so a node can advertise more models than it
-  keeps in memory.
+  keeps in memory.  Loads run under per-entry locks (a slow load never
+  blocks unrelated models) and resolve to immutable execution plans.
 * :mod:`~repro.serving.batcher` —
   :class:`~repro.serving.batcher.DynamicBatcher`: single-sample requests
   queue up and coalesce (up to ``max_batch`` samples or ``max_wait``
   seconds) into one forward per model, and the batched outputs split
   back per request.  Coalescing is bit-transparent: every response is
-  bit-identical to the direct single-request
-  :meth:`~repro.combining.inference.PackedModel.forward` call, because
-  the server runs the batch-invariant execution path
+  bit-identical to the direct single-request forward, because the
+  server runs the batch-invariant execution path
   (``batch_invariant=True``).
 * :mod:`~repro.serving.server` —
-  :class:`~repro.serving.server.InferenceServer`: thread-based workers
-  over the batcher with per-request latency accounting and per-batch
-  systolic cycle accounting (from the packed models' own ``plan()`` /
-  ``summary()`` machinery), plus graceful drain-and-join shutdown.
-* :mod:`~repro.serving.bench` — the throughput / cold-start benchmark
-  behind ``repro serve-bench`` and ``benchmarks/test_bench_serving.py``.
+  :class:`~repro.serving.server.InferenceServer`: drain threads over the
+  batcher with per-request latency accounting and per-batch systolic
+  cycle accounting, plus graceful drain-and-join shutdown.  The
+  ``backend`` knob picks where forwards run (see below).
+* :mod:`~repro.serving.procpool` —
+  :class:`~repro.serving.procpool.ProcessWorkerPool`: the persistent
+  worker processes behind ``backend="process"``.
+* :mod:`~repro.serving.bench` — the throughput / cold-start / backend
+  scaling benchmarks behind ``repro serve-bench`` and
+  ``benchmarks/test_bench_serving.py``.
+
+Execution architecture
+----------------------
+
+Serving runs on **immutable execution plans**
+(:class:`~repro.combining.execplan.ExecutionPlan`), not on the nn module
+graph.  The legacy forward path installed packed state into the shared
+module graph, ran, and restored it — correct, but it made the model the
+unit of mutual exclusion: one lock per model, one forward at a time,
+and nothing shippable across process boundaries.  A plan is compiled
+once (from a loaded artifact or a live model) into a read-only,
+picklable op tree; running it touches no shared state, so:
+
+* any number of worker threads forward the *same* resident model
+  concurrently — no per-model lock;
+* :func:`~repro.combining.serialization.load_plan` with ``mmap="auto"``
+  maps a V2 uncompressed artifact's arrays straight out of the page
+  cache, so N processes serving one artifact share one resident copy;
+* the process backend ships ``(artifact path, mode, batch)`` to
+  persistent workers that map the plan themselves — one batch of
+  activations crosses the boundary each way, never a model.
+
+Pick ``backend="thread"`` (default) for low request rates, live
+(``add()``-registered) models, or when artifacts are compressed; pick
+``backend="process"`` for CPU-bound sustained load on artifact-backed
+models, where the GIL caps thread scaling.  Responses are bit-identical
+across backends, worker counts, and batch coalescing — every path runs
+the same batch-invariant plan execution.
 
 Usage::
 
@@ -33,7 +65,8 @@ Usage::
     registry = ModelRegistry(max_resident=2)
     registry.register("lenet5", path="lenet5.packed.npz", mode="exact")
     registry.register("lenet5-int8", path="lenet5.int8.npz", mode="quantized")
-    with InferenceServer(registry, max_batch=16, max_wait=0.002) as server:
+    with InferenceServer(registry, max_batch=16, max_wait=0.002,
+                         workers=4, backend="process") as server:
         logits = server.infer("lenet5", sample)        # (C, H, W) or NCHW
         pending = server.submit("lenet5-int8", sample)  # async
         logits8 = pending.result(timeout=1.0)
@@ -46,11 +79,13 @@ from repro.combining.serialization import (
     artifact_info,
     fingerprint_packed,
     load_packed,
+    load_plan,
     save_packed,
 )
 from repro.serving.batcher import Batch, DynamicBatcher, PendingRequest
+from repro.serving.procpool import ProcessWorkerPool
 from repro.serving.registry import ModelRegistry, ResidentModel, SERVING_MODES
-from repro.serving.server import InferenceServer
+from repro.serving.server import InferenceServer, SERVING_BACKENDS
 
 __all__ = [
     "ARTIFACT_KINDS",
@@ -59,12 +94,15 @@ __all__ = [
     "artifact_info",
     "fingerprint_packed",
     "load_packed",
+    "load_plan",
     "save_packed",
     "Batch",
     "DynamicBatcher",
     "PendingRequest",
     "ModelRegistry",
+    "ProcessWorkerPool",
     "ResidentModel",
     "SERVING_MODES",
+    "SERVING_BACKENDS",
     "InferenceServer",
 ]

@@ -1,20 +1,26 @@
-"""Serving benchmarks: batching throughput and artifact cold-start.
+"""Serving benchmarks: batching throughput, artifact cold-start, backends.
 
-Two measurements justify the serving subsystem, and this module is their
-single implementation (used by the ``repro serve-bench`` CLI and asserted
-by ``benchmarks/test_bench_serving.py``):
+Three measurements justify the serving subsystem, and this module is
+their single implementation (used by the ``repro serve-bench`` CLI and
+asserted by ``benchmarks/test_bench_serving.py``):
 
 * **Dynamic batching vs one-request-at-a-time** — the same stream of
   single-sample requests is served twice, once with ``max_batch=1``
   (every request is its own forward) and once with the real ``max_batch``;
-  the per-forward fixed cost (module-state snapshot, packed-layer
-  install, per-layer dispatch) amortizes across the coalesced batch, so
+  the per-forward fixed cost amortizes across the coalesced batch, so
   batched throughput wins while every response stays bit-identical to
   the direct forward (checked here, too).
 * **Artifact load vs re-packing** — cold-starting a server by
   :func:`~repro.combining.serialization.load_packed` versus re-running
   the :class:`~repro.combining.pipeline.PackingPipeline` on the same
-  weights, the status quo this PR retires.
+  weights.
+* **Process vs thread backend scaling** — the same stream served under
+  ``backend="thread"`` and ``backend="process"`` at increasing worker
+  counts.  Thread workers contend on the GIL for the Python-loop parts
+  of plan execution; process workers each mmap the artifact and run
+  fully parallel, so CPU-bound models scale with workers.  Responses
+  must stay bit-identical across every (backend, workers) cell — the
+  invariant the plan refactor bought.
 """
 
 from __future__ import annotations
@@ -55,14 +61,33 @@ def resolve_sample_shape(loaded: PackedModel | QuantizedPackedModel,
     return channels, image_size, image_size
 
 
+def _serving_mode(loaded: PackedModel | QuantizedPackedModel) -> str:
+    return ("quantized" if isinstance(loaded, QuantizedPackedModel)
+            else "exact")
+
+
 def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
-                  samples: np.ndarray, max_batch: int, max_wait: float
+                  samples: np.ndarray, max_batch: int, max_wait: float,
+                  workers: int = 1, backend: str = "thread",
+                  path: str | Path | None = None
                   ) -> tuple[float, list[np.ndarray], dict[str, Any]]:
-    """Serve every sample as its own request; returns (seconds, outputs, stats)."""
+    """Serve every sample as its own request; returns (seconds, outputs, stats).
+
+    The thread backend serves the live ``loaded`` model directly; the
+    process backend needs ``path``, because its workers map the artifact
+    themselves rather than receiving a model.
+    """
     registry = ModelRegistry(max_resident=1)
-    registry.add("bench", loaded)
-    with InferenceServer(registry, max_batch=max_batch,
-                         max_wait=max_wait) as server:
+    if backend == "process":
+        if path is None:
+            raise ValueError(
+                "the process backend serves artifact-backed registrations; "
+                "pass the artifact path")
+        registry.register("bench", path=path, mode=_serving_mode(loaded))
+    else:
+        registry.add("bench", loaded)
+    with InferenceServer(registry, max_batch=max_batch, max_wait=max_wait,
+                         workers=workers, backend=backend) as server:
         started = monotonic()
         pending = [server.submit("bench", sample) for sample in samples]
         outputs = [request.result(timeout=120.0) for request in pending]
@@ -71,23 +96,8 @@ def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
     return elapsed, outputs, stats
 
 
-def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
-                         samples: np.ndarray, max_batch: int = 16,
-                         max_wait: float = 0.002) -> dict[str, Any]:
-    """Serve ``samples`` one-at-a-time and batched; verify bit-identity.
-
-    Every sample becomes one single-sample request.  The returned mapping
-    carries both wall times, both throughputs (requests/second), the
-    speedup, the servers' batch-size accounting, and
-    ``bit_identical_to_direct`` — whether every batched response matched
-    the direct ``forward`` call on its own request, which the
-    batch-invariant serving path guarantees.
-    """
-    sequential_seconds, sequential_outputs, sequential_stats = _serve_stream(
-        loaded, samples, max_batch=1, max_wait=0.0)
-    batched_seconds, batched_outputs, batched_stats = _serve_stream(
-        loaded, samples, max_batch=max_batch, max_wait=max_wait)
-
+def _direct_reference(loaded: PackedModel | QuantizedPackedModel):
+    """The per-sample reference forward every served response must match."""
     if isinstance(loaded, QuantizedPackedModel):
         def direct(sample: np.ndarray) -> np.ndarray:
             return loaded.forward(sample[None], track_errors=False,
@@ -95,6 +105,32 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
     else:
         def direct(sample: np.ndarray) -> np.ndarray:
             return loaded.forward(sample[None], batch_invariant=True)[0]
+    return direct
+
+
+def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
+                         samples: np.ndarray, max_batch: int = 16,
+                         max_wait: float = 0.002, workers: int = 1,
+                         backend: str = "thread",
+                         path: str | Path | None = None) -> dict[str, Any]:
+    """Serve ``samples`` one-at-a-time and batched; verify bit-identity.
+
+    Every sample becomes one single-sample request.  The returned mapping
+    carries both wall times, both throughputs (requests/second), the
+    speedup, the servers' batch-size accounting, and
+    ``bit_identical_to_direct`` — whether every batched response matched
+    the direct ``forward`` call on its own request, which the
+    batch-invariant serving path guarantees regardless of ``backend``
+    and ``workers``.
+    """
+    sequential_seconds, sequential_outputs, sequential_stats = _serve_stream(
+        loaded, samples, max_batch=1, max_wait=0.0, workers=workers,
+        backend=backend, path=path)
+    batched_seconds, batched_outputs, batched_stats = _serve_stream(
+        loaded, samples, max_batch=max_batch, max_wait=max_wait,
+        workers=workers, backend=backend, path=path)
+
+    direct = _direct_reference(loaded)
     bit_identical = all(
         np.array_equal(batched, direct(sample))
         and np.array_equal(sequential, batched)
@@ -105,6 +141,8 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
     return {
         "requests": requests,
         "max_batch": max_batch,
+        "backend": backend,
+        "workers": workers,
         "sequential_seconds": sequential_seconds,
         "batched_seconds": batched_seconds,
         "sequential_throughput": requests / sequential_seconds,
@@ -114,6 +152,55 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
         "batched_mean_batch": batched_stats["totals"]["mean_batch_size"],
         "batched_cycles": batched_stats["totals"]["cycles"],
         "bit_identical_to_direct": bit_identical,
+    }
+
+
+def backend_scaling_benchmark(path: str | Path, requests: int = 64,
+                              max_batch: int = 8, max_wait: float = 0.001,
+                              worker_counts: tuple[int, ...] = (1, 2, 4),
+                              image_size: int = 8, seed: int = 0
+                              ) -> dict[str, Any]:
+    """Thread vs process backend over increasing worker counts.
+
+    Serves the same seeded single-sample stream once per
+    (backend, workers) cell and reports each cell's wall time and
+    throughput, plus ``bit_identical`` — whether every cell's responses
+    matched the direct batch-invariant forward bit-for-bit.
+    """
+    from repro.combining.serialization import artifact_info
+
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    loaded = load_packed(path)
+    info = artifact_info(path)
+    shape = resolve_sample_shape(loaded, image_size,
+                                 model_spec=info.get("model_spec"))
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(size=(requests, *shape))
+    direct = _direct_reference(loaded)
+    expected = [direct(sample) for sample in samples]
+
+    cells: dict[str, dict[int, dict[str, float]]] = {}
+    bit_identical = True
+    for backend in ("thread", "process"):
+        cells[backend] = {}
+        for workers in worker_counts:
+            seconds, outputs, _ = _serve_stream(
+                loaded, samples, max_batch=max_batch, max_wait=max_wait,
+                workers=workers, backend=backend, path=path)
+            bit_identical &= all(np.array_equal(output, reference)
+                                 for output, reference
+                                 in zip(outputs, expected))
+            cells[backend][workers] = {
+                "seconds": seconds,
+                "throughput": requests / seconds,
+            }
+    return {
+        "requests": requests,
+        "sample_shape": shape,
+        "worker_counts": tuple(worker_counts),
+        "backends": cells,
+        "bit_identical": bit_identical,
     }
 
 
@@ -153,7 +240,8 @@ def cold_start_benchmark(path: str | Path) -> dict[str, Any]:
 
 def run_serving_benchmark(path: str | Path, requests: int = 96,
                           max_batch: int = 16, max_wait: float = 0.002,
-                          image_size: int = 8, seed: int = 0
+                          image_size: int = 8, seed: int = 0,
+                          workers: int = 1, backend: str = "thread"
                           ) -> dict[str, Any]:
     """The full serve-bench: cold start plus throughput on one artifact."""
     if requests < 1:
@@ -168,6 +256,7 @@ def run_serving_benchmark(path: str | Path, requests: int = 96,
     rng = np.random.default_rng(seed)
     samples = rng.normal(size=(requests, *shape))
     throughput = throughput_benchmark(loaded, samples, max_batch=max_batch,
-                                      max_wait=max_wait)
+                                      max_wait=max_wait, workers=workers,
+                                      backend=backend, path=path)
     return {"kind": info["kind"], "sample_shape": shape,
             "cold_start": cold, "throughput": throughput}

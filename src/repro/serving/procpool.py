@@ -1,0 +1,110 @@
+"""Persistent worker processes running mmap-shared execution plans.
+
+The process serving backend ships ``(artifact path, mode, batch)`` to a
+pool of long-lived worker processes instead of running the forward on a
+server thread.  Each worker lazily loads the artifact **once** through
+:func:`~repro.combining.serialization.load_plan` with ``mmap="auto"``
+and caches the resulting :class:`~repro.combining.execplan.ExecutionPlan`
+in its own module globals — so N workers serving one V2 uncompressed
+artifact share a single resident copy of the packed arrays through the
+page cache, and the cost of crossing the process boundary is one batch
+of activations each way, never a model.
+
+Because plan execution is batch-invariant and bit-exact to the legacy
+in-process path, responses computed in a worker process are bit-identical
+to the thread backend's — the server's determinism guarantee holds across
+backends and worker counts.
+
+Fork safety: :class:`ProcessWorkerPool` is created and warmed (one no-op
+task per worker, forcing every fork) before the server spawns its drain
+threads, so no worker process is ever forked from a multi-threaded
+parent.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+#: Per-process plan cache: artifact path -> loaded ExecutionPlan.  Lives
+#: in the worker's own interpreter; the parent never touches it.
+_PLAN_CACHE: dict[str, object] = {}
+
+#: Per-process systolic batch-plan cache, keyed like
+#: ResidentModel._plans but per artifact.
+_BATCH_PLAN_CACHE: dict[tuple, object] = {}
+
+
+def _plan_for(path: str):
+    plan = _PLAN_CACHE.get(path)
+    if plan is None:
+        from repro.combining.serialization import load_plan
+
+        plan = load_plan(path, mmap="auto")
+        _PLAN_CACHE[path] = plan
+    return plan
+
+
+def _warm_worker() -> int:
+    """No-op task submitted once per worker to force the fork up front."""
+    return 0
+
+
+def _run_plan_batch(path: str, mode: str, batch: np.ndarray
+                    ) -> tuple[np.ndarray, int, int]:
+    """One serving forward inside a worker: (outputs, cycles, tiles).
+
+    Mirrors the thread backend exactly: batch-invariant plan forward,
+    then best-effort systolic cycle / tile accounting from the observed
+    spatial map (a timing-model failure must not fail a batch whose
+    forward already succeeded).
+    """
+    plan = _plan_for(path)
+    observed: dict[str, tuple[int, int]] = {}
+    outputs = plan.forward(batch, mode=mode, batch_invariant=True,
+                           observed=observed)
+    cycles = tiles = 0
+    try:
+        key = (path, batch.shape[0], tuple(sorted(observed.items())))
+        batch_plan = _BATCH_PLAN_CACHE.get(key)
+        if batch_plan is None:
+            batch_plan = plan.execution_plan(observed=observed,
+                                             batch=batch.shape[0])
+            _BATCH_PLAN_CACHE[key] = batch_plan
+        cycles, tiles = batch_plan.total_cycles, batch_plan.total_tiles
+    except Exception:  # noqa: BLE001 - accounting is best-effort
+        pass
+    return outputs, cycles, tiles
+
+
+class ProcessWorkerPool:
+    """A warmed, persistent :class:`ProcessPoolExecutor` for plan forwards.
+
+    ``run`` blocks until the worker returns, so the server's drain
+    threads provide the concurrency structure (one in-flight batch per
+    drain thread) while the pool provides the parallel compute.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._executor = ProcessPoolExecutor(max_workers=workers)
+
+    def warm(self) -> None:
+        """Fork every worker now (call before any threads exist)."""
+        futures = [self._executor.submit(_warm_worker)
+                   for _ in range(self.workers)]
+        for future in futures:
+            future.result()
+
+    def run(self, path: str | Path, mode: str, batch: np.ndarray
+            ) -> tuple[np.ndarray, int, int]:
+        """Run one batch in a worker process; returns (outputs, cycles, tiles)."""
+        future = self._executor.submit(_run_plan_batch, str(path), mode, batch)
+        return future.result()
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)

@@ -10,13 +10,20 @@ reloadable entry when the bound is exceeded.  Models registered directly
 as live objects (:meth:`ModelRegistry.add`) cannot be reloaded from
 anywhere, so they are pinned and never count against the bound.
 
-Each resident entry carries the serving-mode dispatch
-(:data:`SERVING_MODES`: ``"exact"``, ``"mx"``, or ``"quantized"``) and a
-per-model lock: packed forwards install/restore state on the shared
-module graph, so at most one forward may run per resident model at a
-time.  Workers therefore parallelize across *models*, not within one —
-the registry is the unit of concurrency, matching how one array serves
-one resident network in the paper's deployment.
+What the registry keeps resident is an immutable
+:class:`~repro.combining.execplan.ExecutionPlan`, not an nn module graph.
+Plans never mutate shared state during a forward, so any number of worker
+threads may run the *same* resident model concurrently — there is no
+per-model forward lock anymore, and the registry is no longer the unit of
+serving concurrency.  Artifact-backed entries load through
+:func:`~repro.combining.serialization.load_plan` (``mmap="auto"``), so a
+V2 uncompressed artifact comes up as read-only views of the page cache
+without ever reconstructing the nn model.
+
+Loads are guarded by **per-entry** locks: concurrent ``get`` calls for
+one name still load its artifact exactly once, but a slow load of one
+model never serializes loads (or cache hits) of unrelated models behind
+a registry-wide lock.
 """
 
 from __future__ import annotations
@@ -24,51 +31,38 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from repro.combining.execplan import ExecutionPlan
 from repro.combining.inference import PackedModel
 from repro.combining.quantized import QuantizedPackedModel
-from repro.combining.serialization import load_packed
+from repro.combining.serialization import load_plan
 from repro.nn import Module
 from repro.systolic.system import ModelExecutionPlan
 
 #: Execution backends a registered model can serve under.
 SERVING_MODES: tuple[str, ...] = ("exact", "mx", "quantized")
 
-_FORWARD_LOCK_GUARD = threading.Lock()
-
-
-def _forward_lock(model: Module) -> threading.Lock:
-    """One lock per underlying nn model, shared by every resident wrapping it.
-
-    Packed forwards install and restore state on the module graph itself,
-    so the unit of mutual exclusion is the nn *model*, not the resident
-    entry: two registry entries serving the same model object (e.g. an
-    exact and an mx view of one loaded artifact) must never forward
-    concurrently.  The lock lives on the model instance so all wrappers
-    find the same one.
-    """
-    with _FORWARD_LOCK_GUARD:
-        lock = getattr(model, "_serving_forward_lock", None)
-        if lock is None:
-            lock = threading.Lock()
-            model._serving_forward_lock = lock
-        return lock
-
 
 @dataclass
 class _Registration:
-    """How to obtain a model: an artifact path, or a pinned live object."""
+    """How to obtain a model: an artifact path, or a pinned live object.
+
+    ``load_lock`` serializes loads *of this entry only*: the registry
+    lock is never held across a load, so unrelated entries load (and
+    serve cache hits) concurrently.
+    """
 
     name: str
     mode: str
     path: Path | None = None
     architecture: Module | None = None
     resident: "ResidentModel | None" = None
+    load_lock: threading.Lock = field(default_factory=threading.Lock)
 
     @property
     def reloadable(self) -> bool:
@@ -76,73 +70,127 @@ class _Registration:
 
 
 class ResidentModel:
-    """A loaded model plus its serving dispatch, lock, and plan cache."""
+    """A resident serving entry: an immutable plan plus its dispatch mode.
+
+    Accepts an already-compiled :class:`ExecutionPlan` (the artifact load
+    path) or a live :class:`PackedModel` / :class:`QuantizedPackedModel`
+    (the :meth:`ModelRegistry.add` path), which is compiled once here.
+    The source model objects, when given, are kept on :attr:`packed` /
+    :attr:`quantized` for callers that want the full accounting API; the
+    serving forward itself only ever touches :attr:`plan`.
+
+    Plan execution is stateless, so forwards need no lock: :attr:`lock`
+    is kept for callers that want exclusive access to an entry (and for
+    source compatibility), but the server no longer holds it around
+    forwards.
+    """
 
     def __init__(self, name: str, mode: str,
-                 model: PackedModel | QuantizedPackedModel):
+                 model: PackedModel | QuantizedPackedModel | ExecutionPlan):
         self.name = name
         self.mode = mode
-        self.quantized = model if isinstance(model, QuantizedPackedModel) else None
-        self.packed = model.packed if self.quantized is not None else model
+        if isinstance(model, ExecutionPlan):
+            self.quantized = None
+            self.packed = None
+            plan = model
+        else:
+            self.quantized = (model if isinstance(model, QuantizedPackedModel)
+                              else None)
+            self.packed = (model.packed if self.quantized is not None
+                           else model)
+            plan = None
         if mode == "quantized":
-            if self.quantized is None:
+            quantized_capable = (plan.bits is not None if plan is not None
+                                 else self.quantized is not None)
+            if not quantized_capable:
                 raise ValueError(
                     f"model {name!r} is registered for quantized serving but "
                     "the artifact holds a float PackedModel")
-            if not self.quantized.calibrated:
+            if self.quantized is not None and not self.quantized.calibrated:
                 raise ValueError(
                     f"model {name!r} is not calibrated; quantized serving "
                     "needs the frozen scales")
-        if self.packed.model is None:
-            raise ValueError(
-                f"model {name!r} has no nn model attached; serving needs a "
-                "forward-capable artifact (save it with model state)")
-        #: serialize forwards: packed execution mutates shared module
-        #: state, so the lock is per underlying nn model (shared with any
-        #: other resident wrapping the same model object).
-        self.lock = _forward_lock(self.packed.model)
+        if plan is None:
+            if self.packed.model is None:
+                raise ValueError(
+                    f"model {name!r} has no nn model attached; serving needs a "
+                    "forward-capable artifact (save it with model state)")
+            source = self.quantized if self.quantized is not None else self.packed
+            plan = source.compile_plan()
+        #: The immutable execution plan every forward runs through.
+        self.plan = plan
+        #: Optional exclusivity for callers that want it; forwards do not
+        #: need it (plan execution never mutates shared state).
+        self.lock = threading.Lock()
+        self._plans_lock = threading.Lock()
         self._plans: dict[tuple, ModelExecutionPlan] = {}
 
     def forward(self, batch: np.ndarray) -> np.ndarray:
         """The serving forward: batch-invariant, accounting-free.
 
-        Caller must hold :attr:`lock`.  Batch-invariant execution is what
-        makes dynamic batching bit-transparent — see
-        :meth:`repro.combining.inference.PackedModel.forward`.
+        Thread-safe without any lock — the plan is immutable.
+        Batch-invariant execution is what makes dynamic batching
+        bit-transparent — see
+        :meth:`repro.combining.execplan.ExecutionPlan.forward`.
         """
-        if self.mode == "quantized":
-            assert self.quantized is not None
-            return self.quantized.forward(batch, track_errors=False,
-                                          batch_invariant=True)
-        return self.packed.forward(batch, mode=self.mode, batch_invariant=True)
+        return self.forward_traced(batch)[0]
 
-    def batch_plan(self, num_samples: int) -> ModelExecutionPlan:
-        """The systolic execution plan for the batch the model just ran.
+    def forward_traced(self, batch: np.ndarray
+                       ) -> tuple[np.ndarray, dict[str, tuple[int, int]]]:
+        """Forward plus the observed per-layer spatial map.
 
-        Uses the spatial sizes observed by the preceding forward (so it
-        must run right after one, under the same :attr:`lock` hold) and
-        caches per (batch size, observed spatial shapes) — the plan walks
-        the timing model, which would otherwise cost more than a small
-        forward, and spatially flexible models (global-pool classifiers)
-        legitimately serve requests of different map sizes.
+        The map is what :meth:`batch_plan` needs to cost the batch on the
+        systolic timing model; returning it per call (instead of stashing
+        it on shared module state like the legacy mutating path did) is
+        what lets concurrent forwards on one resident model coexist.
         """
-        spatial = tuple(sorted(self.packed.observed_spatial_map().items()))
-        key = (num_samples, spatial)
-        plan = self._plans.get(key)
+        observed: dict[str, tuple[int, int]] = {}
+        outputs = self.plan.forward(batch, mode=self.mode,
+                                    batch_invariant=True, observed=observed)
+        return outputs, observed
+
+    def batch_plan(self, num_samples: int,
+                   observed: dict[str, tuple[int, int]] | None = None
+                   ) -> ModelExecutionPlan:
+        """The systolic execution plan for a batch this model just ran.
+
+        ``observed`` is the spatial map returned by
+        :meth:`forward_traced`; plans are cached per (batch size,
+        observed spatial shapes) — the plan walks the timing model, which
+        would otherwise cost more than a small forward, and spatially
+        flexible models (global-pool classifiers) legitimately serve
+        requests of different map sizes.
+        """
+        if observed is None:
+            raise ValueError(
+                "batch_plan needs the observed spatial map; run "
+                "forward_traced(batch) and pass its second return value")
+        key = (num_samples, tuple(sorted(observed.items())))
+        with self._plans_lock:
+            plan = self._plans.get(key)
         if plan is None:
-            source = self.quantized if self.quantized is not None else self.packed
-            plan = source.plan(batch=num_samples)
-            self._plans[key] = plan
+            plan = self.plan.execution_plan(observed=observed,
+                                            batch=num_samples)
+            with self._plans_lock:
+                plan = self._plans.setdefault(key, plan)
         return plan
 
 
 class ModelRegistry:
-    """Thread-safe name -> packed model mapping with bounded residency."""
+    """Thread-safe name -> execution plan mapping with bounded residency.
 
-    def __init__(self, max_resident: int = 2):
+    ``mmap`` is handed to :func:`load_plan` on every artifact load; the
+    default ``"auto"`` memory-maps V2 uncompressed artifacts (so N
+    registries / processes share one resident copy through the page
+    cache) and silently falls back to a regular load for compressed or
+    V1 artifacts.
+    """
+
+    def __init__(self, max_resident: int = 2, mmap: bool | str = "auto"):
         if max_resident < 1:
             raise ValueError("max_resident must be >= 1")
         self.max_resident = max_resident
+        self.mmap = mmap
         self._lock = threading.RLock()
         self._registrations: dict[str, _Registration] = {}
         #: LRU order over resident *reloadable* entries (pinned live
@@ -161,7 +209,7 @@ class ModelRegistry:
         ``mode`` picks the serving backend; ``architecture`` optionally
         supplies the nn model for artifacts saved without a
         ``model_spec`` (it is handed to
-        :func:`~repro.combining.serialization.load_packed` on every load,
+        :func:`~repro.combining.serialization.load_plan` on every load,
         so an evicted-and-reloaded model reuses the same object).
         """
         path = Path(path)
@@ -173,17 +221,21 @@ class ModelRegistry:
                 name=name, mode=mode, path=path, architecture=architecture)
 
     def add(self, name: str,
-            model: PackedModel | QuantizedPackedModel,
+            model: PackedModel | QuantizedPackedModel | ExecutionPlan,
             mode: str | None = None) -> None:
         """Register an already-built model (pinned: it cannot be reloaded,
         so it is never evicted and does not count against ``max_resident``).
 
-        ``mode`` defaults to ``"quantized"`` for a
-        :class:`QuantizedPackedModel` and ``"exact"`` otherwise.
+        Accepts a live model (compiled to a plan here) or an
+        :class:`ExecutionPlan` directly.  ``mode`` defaults to
+        ``"quantized"`` when the model carries frozen scales and
+        ``"exact"`` otherwise.
         """
         if mode is None:
-            mode = ("quantized" if isinstance(model, QuantizedPackedModel)
-                    else "exact")
+            quantized = (model.bits is not None
+                         if isinstance(model, ExecutionPlan)
+                         else isinstance(model, QuantizedPackedModel))
+            mode = "quantized" if quantized else "exact"
         resident = ResidentModel(name, mode, model)
         with self._lock:
             self._check_registration(name, mode)
@@ -215,13 +267,29 @@ class ModelRegistry:
         with self._lock:
             return name in self._registrations
 
+    def registration_info(self, name: str) -> tuple[Path | None, str]:
+        """``(artifact path, serving mode)`` for a registered name.
+
+        Pinned live models have no path.  The process serving backend
+        uses this to ship (path, mode) — instead of a loaded model — to
+        its workers, which map the artifact themselves.
+        """
+        with self._lock:
+            registration = self._registrations.get(name)
+            if registration is None:
+                raise KeyError(
+                    f"unknown model {name!r}; registered models: "
+                    f"{self.names()}")
+            return registration.path, registration.mode
+
     def get(self, name: str) -> ResidentModel:
         """The resident model for ``name``, loading (and evicting) as needed.
 
-        Loading happens under the registry lock, so concurrent ``get``
-        calls never load the same artifact twice; with artifacts being
-        single-file npz loads this brief serialization is the simplest
-        correct policy.
+        The registry lock is held only for residency bookkeeping; the
+        artifact load itself runs under the entry's own ``load_lock``,
+        so concurrent ``get`` calls for one name load its artifact
+        exactly once while gets of *other* names (hits or loads)
+        proceed unblocked.
         """
         with self._lock:
             registration = self._registrations.get(name)
@@ -237,16 +305,28 @@ class ModelRegistry:
                 self.hits += 1
                 self._resident.move_to_end(name)
                 return resident
+        with registration.load_lock:
+            # Double-check: another thread may have finished this load
+            # while we waited on the entry lock.
+            with self._lock:
+                resident = self._resident.get(name)
+                if resident is not None:
+                    self.hits += 1
+                    self._resident.move_to_end(name)
+                    return resident
             started = time.monotonic()
-            loaded = load_packed(registration.path,
-                                 model=registration.architecture)
-            self.load_seconds += time.monotonic() - started
-            self.loads += 1
+            loaded = load_plan(registration.path,
+                               model=registration.architecture,
+                               mmap=self.mmap)
+            elapsed = time.monotonic() - started
             resident = ResidentModel(name, registration.mode, loaded)
-            self._resident[name] = resident
-            while len(self._resident) > self.max_resident:
-                evicted_name, _ = self._resident.popitem(last=False)
-                self.evictions += 1
+            with self._lock:
+                self.loads += 1
+                self.load_seconds += elapsed
+                self._resident[name] = resident
+                while len(self._resident) > self.max_resident:
+                    self._resident.popitem(last=False)
+                    self.evictions += 1
             return resident
 
     def stats(self) -> dict[str, Any]:

@@ -5,24 +5,39 @@ enter through :meth:`~InferenceServer.submit` / :meth:`~InferenceServer.infer`,
 coalesce in a :class:`~repro.serving.batcher.DynamicBatcher`, and worker
 threads drain batches — resolving each batch's model through the
 :class:`~repro.serving.registry.ModelRegistry` (lazy load, LRU residency)
-and running one batch-invariant forward per batch under the model's lock.
-Because the forward is batch-invariant, every response is bit-identical
-to the direct single-request ``forward`` call on the same backend, no
-matter how the batcher happened to coalesce traffic.
+and running one batch-invariant forward per batch through the model's
+immutable :class:`~repro.combining.execplan.ExecutionPlan`.  Plans never
+mutate shared state, so forwards need no lock: workers run batches for
+the *same* model concurrently, not just across models.
+
+Two execution backends share this structure (``backend=``):
+
+* ``"thread"`` (default) — each drain thread runs the forward in-process
+  on the registry's resident plan.
+* ``"process"`` — each drain thread ships ``(artifact path, mode,
+  batch)`` to a persistent :class:`~repro.serving.procpool.ProcessWorkerPool`
+  worker, which maps the artifact itself (``load_plan(mmap="auto")``,
+  cached per process) and runs the forward outside the GIL.  Only
+  artifact-backed registrations can be served this way — a pinned live
+  model has no path to ship.
+
+Responses are bit-identical across backends, worker counts, and batch
+coalescing: every path runs the same batch-invariant plan execution.
 
 Accounting rides along for free:
 
 * **per request** — queueing delay (submit -> batch dispatch) and service
   time (dispatch -> response), aggregated per model;
 * **per batch** — the systolic cycle / tile cost of the batch from the
-  packed models' own ``plan()`` machinery (cached per batch size), i.e.
-  what the batch would cost on the paper's array rather than on the host
-  CPU running the simulation.
+  plans' own timing-model machinery (cached per batch size), i.e. what
+  the batch would cost on the paper's array rather than on the host CPU
+  running the simulation.
 
 Shutdown is graceful by default: :meth:`~InferenceServer.stop` closes the
 batcher to new work, lets the workers drain everything already queued,
-and joins them; every submitted request therefore gets an answer (or the
-failure that prevented one) before ``stop`` returns.
+joins them, and releases the process pool (if any); every submitted
+request therefore gets an answer (or the failure that prevented one)
+before ``stop`` returns.
 """
 
 from __future__ import annotations
@@ -36,7 +51,11 @@ import numpy as np
 
 from repro.combining.inference import ensure_sample_batch
 from repro.serving.batcher import Batch, DynamicBatcher, PendingRequest
+from repro.serving.procpool import ProcessWorkerPool
 from repro.serving.registry import ModelRegistry
+
+#: Execution backends the server can run batches on.
+SERVING_BACKENDS: tuple[str, ...] = ("thread", "process")
 
 
 @dataclass
@@ -92,23 +111,30 @@ class _ModelStats:
 
 
 class InferenceServer:
-    """Thread-based dynamic-batching server over a :class:`ModelRegistry`.
+    """Dynamic-batching server over a :class:`ModelRegistry`.
 
-    ``workers`` is the number of batch-draining threads.  Forwards on one
-    model are serialized by the model's own lock (packed execution
-    mutates shared module state), so extra workers buy concurrency across
-    *different* resident models — and overlap of one model's compute with
-    another's artifact load.  Use as a context manager, or pair
+    ``workers`` is the number of batch-draining threads; with
+    ``backend="process"`` it is also the process pool size, so each
+    drain thread keeps one worker process busy.  Plan execution is
+    lock-free, so extra workers buy real concurrency even on a single
+    hot model — threads overlap BLAS-released GIL sections, processes
+    sidestep the GIL entirely.  Use as a context manager, or pair
     :meth:`start` with :meth:`stop`.
     """
 
     def __init__(self, registry: ModelRegistry, max_batch: int = 16,
-                 max_wait: float = 0.002, workers: int = 1):
+                 max_wait: float = 0.002, workers: int = 1,
+                 backend: str = "thread"):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend not in SERVING_BACKENDS:
+            raise ValueError(f"unknown serving backend {backend!r}; "
+                             f"expected one of {SERVING_BACKENDS}")
         self.registry = registry
         self.batcher = DynamicBatcher(max_batch=max_batch, max_wait=max_wait)
         self.workers = workers
+        self.backend = backend
+        self._pool: ProcessWorkerPool | None = None
         self._threads: list[threading.Thread] = []
         self._started = False
         self._stats_lock = threading.Lock()
@@ -120,6 +146,13 @@ class InferenceServer:
             raise RuntimeError("server is already running")
         if self.batcher.closed:
             raise RuntimeError("server was stopped; build a new one to restart")
+        if self.backend == "process" and self._pool is None:
+            # Create and warm the pool before any drain thread exists:
+            # forking a multi-threaded parent is where fork-based pools
+            # go to deadlock.
+            pool = ProcessWorkerPool(self.workers)
+            pool.warm()
+            self._pool = pool
         self._started = True
         for index in range(self.workers):
             thread = threading.Thread(target=self._worker_loop,
@@ -135,7 +168,7 @@ class InferenceServer:
         Idempotent.  After ``close()`` the batcher dispatches everything
         still pending without coalescing waits; each worker exits once the
         queue reads empty, so every accepted request is answered before
-        the threads are joined.
+        the threads are joined (and the process pool, if any, released).
         """
         self.batcher.close()
         for thread in self._threads:
@@ -143,6 +176,9 @@ class InferenceServer:
         self._threads = [thread for thread in self._threads
                          if thread.is_alive()]
         self._started = bool(self._threads)
+        if self._pool is not None and not self._started:
+            self._pool.shutdown()
+            self._pool = None
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -191,21 +227,40 @@ class InferenceServer:
                 continue
             self._run_batch(batch)
 
+    def _forward_thread(self, batch: Batch) -> tuple[np.ndarray, int, int]:
+        """In-process forward on the registry's resident plan."""
+        resident = self.registry.get(batch.key)
+        outputs, observed = resident.forward_traced(batch.stacked())
+        cycles = tiles = 0
+        try:
+            plan = resident.batch_plan(batch.num_samples, observed)
+            cycles, tiles = plan.total_cycles, plan.total_tiles
+        except Exception:  # noqa: BLE001 - accounting is best-effort
+            # A plan failure (e.g. non-square activation maps the
+            # timing model cannot size) must not fail a batch whose
+            # forward already succeeded.
+            pass
+        return outputs, cycles, tiles
+
+    def _forward_process(self, batch: Batch) -> tuple[np.ndarray, int, int]:
+        """Ship (path, mode, batch) to a pool worker, which maps the plan."""
+        path, mode = self.registry.registration_info(batch.key)
+        if path is None:
+            raise ValueError(
+                f"model {batch.key!r} is registered as a live object; the "
+                "process backend serves artifact-backed registrations only "
+                "(register a saved artifact path instead of add()ing a model)")
+        assert self._pool is not None
+        return self._pool.run(path, mode, batch.stacked())
+
     def _run_batch(self, batch: Batch) -> None:
         dispatched = monotonic()
         cycles = tiles = 0
         try:
-            resident = self.registry.get(batch.key)
-            with resident.lock:
-                outputs = resident.forward(batch.stacked())
-                try:
-                    plan = resident.batch_plan(batch.num_samples)
-                    cycles, tiles = plan.total_cycles, plan.total_tiles
-                except Exception:  # noqa: BLE001 - accounting is best-effort
-                    # A plan failure (e.g. non-square activation maps the
-                    # timing model cannot size) must not fail a batch
-                    # whose forward already succeeded.
-                    pass
+            if self.backend == "process":
+                outputs, cycles, tiles = self._forward_process(batch)
+            else:
+                outputs, cycles, tiles = self._forward_thread(batch)
             batch.resolve(outputs)
             failed = False
         except BaseException as error:  # noqa: BLE001 - relayed to clients

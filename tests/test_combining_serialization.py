@@ -161,6 +161,75 @@ def test_uncompressed_round_trip_identical(tmp_path, packed_lenet5, images):
                           load_packed(uncompressed).forward(images))
 
 
+# -- V2 blob layout and mmap loading -----------------------------------------
+def test_v2_consolidates_state_into_per_dtype_blobs(tmp_path, packed_lenet5):
+    """V2 stores the whole nn state as one blob per dtype instead of one
+    zip entry per tensor — few entries, each one mappable."""
+    path = save_packed(packed_lenet5, tmp_path / "v2.npz",
+                       model_spec=MODEL_SPEC)
+    with np.load(path, allow_pickle=False) as data:
+        entries = sorted(data.files)
+    assert not any(name.startswith("state.") for name in entries)
+    blobs = [name for name in entries if name.startswith("blob.")]
+    assert blobs  # per-dtype consolidated state
+    # packed.* (4) + blob.* + meta, nothing per-tensor: a handful total.
+    assert len(entries) <= 4 + len(blobs) + 1
+    v1 = save_packed(packed_lenet5, tmp_path / "v1.npz",
+                     model_spec=MODEL_SPEC, format_version=1)
+    with np.load(v1, allow_pickle=False) as data:
+        v1_entries = sorted(data.files)
+    assert any(name.startswith("state.") for name in v1_entries)
+    assert len(entries) < len(v1_entries)
+
+
+def test_v1_format_save_and_load_compat(tmp_path, packed_lenet5,
+                                        quantized_lenet5, images):
+    """format_version=1 artifacts (and the checked-in golden ones) keep
+    loading bit-identically under the V2 reader."""
+    for model, reference in [(packed_lenet5, packed_lenet5.forward(images)),
+                             (quantized_lenet5,
+                              quantized_lenet5.forward(images))]:
+        path = save_packed(model, tmp_path / "v1.npz", model_spec=MODEL_SPEC,
+                           format_version=1)
+        assert artifact_info(path)["format_version"] == 1
+        assert np.array_equal(load_packed(path).forward(images), reference)
+        path.unlink()
+
+
+def test_mmap_load_is_forward_bit_identical(tmp_path, packed_lenet5,
+                                            quantized_lenet5, images):
+    for model in (packed_lenet5, quantized_lenet5):
+        suffix = "q" if isinstance(model, QuantizedPackedModel) else "f"
+        path = save_packed(model, tmp_path / f"{suffix}.npz",
+                           model_spec=MODEL_SPEC, compress=False)
+        reference = load_packed(path, mmap=False)
+        for mmap in (True, "auto"):
+            mapped = load_packed(path, mmap=mmap)
+            assert np.array_equal(mapped.forward(images),
+                                  reference.forward(images))
+            assert np.array_equal(
+                mapped.forward(images, batch_invariant=True),
+                reference.forward(images, batch_invariant=True))
+
+
+def test_mmap_rejects_compressed_artifacts_but_auto_falls_back(
+        tmp_path, packed_lenet5, images):
+    path = save_packed(packed_lenet5, tmp_path / "c.npz",
+                       model_spec=MODEL_SPEC, compress=True)
+    with pytest.raises(PackedArtifactError, match="cannot be memory-mapped"):
+        load_packed(path, mmap=True)
+    loaded = load_packed(path, mmap="auto")  # silent fallback
+    assert np.array_equal(loaded.forward(images),
+                          packed_lenet5.forward(images))
+    with pytest.raises(ValueError, match="mmap"):
+        load_packed(path, mmap="sometimes")
+
+
+def test_save_rejects_unknown_format_version(tmp_path, packed_lenet5):
+    with pytest.raises(ValueError, match="unknown packed-artifact format"):
+        save_packed(packed_lenet5, tmp_path / "x.npz", format_version=99)
+
+
 # -- model resolution --------------------------------------------------------
 def test_load_with_explicit_architecture(tmp_path, packed_lenet5, images):
     path = save_packed(packed_lenet5, tmp_path / "lenet5.npz")  # no spec

@@ -1,14 +1,16 @@
 """The serving subsystem: batcher, registry, server, and the determinism
 guarantee — responses under concurrent clients and arbitrary batch
 coalescing are bit-identical to the direct batch-invariant forward on
-each request, across exact / mx / quantized backends and every
-grouping x prune engine combination.
+each request, across exact / mx / quantized modes, every grouping x
+prune engine combination, both execution backends
+(``backend="thread"|"process"``), and any worker count.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -359,7 +361,7 @@ def test_registry_evicts_least_recently_used(tmp_path, packed):
     assert registry.resident_names() == ["a", "c"]
     assert registry.stats()["evictions"] == 1
     reloaded = registry.get("b")  # transparently reloads (evicting a)
-    assert reloaded.packed is not None
+    assert reloaded.plan is not None
     assert registry.stats()["loads"] == 4
 
 
@@ -411,12 +413,13 @@ def test_resident_batch_plan_tracks_spatial_sizes():
     registry = ModelRegistry()
     registry.add("rn", packed)
     resident = registry.get("rn")
-    with resident.lock:
-        resident.forward(rng.normal(size=(2, 3, 8, 8)))
-        small = resident.batch_plan(2)
-        resident.forward(rng.normal(size=(2, 3, 16, 16)))
-        large = resident.batch_plan(2)
+    _, small_observed = resident.forward_traced(rng.normal(size=(2, 3, 8, 8)))
+    small = resident.batch_plan(2, small_observed)
+    _, large_observed = resident.forward_traced(rng.normal(size=(2, 3, 16, 16)))
+    large = resident.batch_plan(2, large_observed)
     assert large.total_cycles > small.total_cycles
+    with pytest.raises(ValueError, match="observed spatial map"):
+        resident.batch_plan(2)
 
 
 def test_registry_rejects_matrix_only_artifacts_at_load(tmp_path):
@@ -433,6 +436,84 @@ def test_registry_rejects_matrix_only_artifacts_at_load(tmp_path):
         registry.get("m")
 
 
+# -- per-entry load locks ----------------------------------------------------
+def test_registry_slow_load_does_not_block_other_models(tmp_path, packed,
+                                                        monkeypatch):
+    """A stuck load of one model must not serialize loads of other models
+    behind it (the old registry held one RLock across every load)."""
+    import repro.serving.registry as registry_module
+
+    path_a = save_packed(packed, tmp_path / "a.npz", model_spec=MODEL_SPEC)
+    path_b = save_packed(packed, tmp_path / "b.npz", model_spec=MODEL_SPEC)
+    real_load = registry_module.load_plan
+    entered_a = threading.Event()
+    release_a = threading.Event()
+
+    def gated_load(path, **kwargs):
+        if Path(path).name == "a.npz":
+            entered_a.set()
+            assert release_a.wait(10.0), "test deadlocked"
+        return real_load(path, **kwargs)
+
+    monkeypatch.setattr(registry_module, "load_plan", gated_load)
+    registry = ModelRegistry(max_resident=2)
+    registry.register("a", path=path_a)
+    registry.register("b", path=path_b)
+    results: dict = {}
+
+    def get(name: str) -> None:
+        results[name] = registry.get(name)
+
+    thread_a = threading.Thread(target=get, args=("a",))
+    thread_a.start()
+    assert entered_a.wait(10.0)
+    thread_b = threading.Thread(target=get, args=("b",))
+    thread_b.start()
+    thread_b.join(10.0)  # b loads to completion while a is still stuck
+    assert not thread_b.is_alive() and results["b"].plan is not None
+    assert "a" not in results
+    release_a.set()
+    thread_a.join(10.0)
+    assert results["a"].plan is not None
+    assert registry.stats()["loads"] == 2
+
+
+def test_registry_concurrent_gets_of_one_name_load_once(tmp_path, packed,
+                                                        monkeypatch):
+    import repro.serving.registry as registry_module
+
+    path = save_packed(packed, tmp_path / "m.npz", model_spec=MODEL_SPEC)
+    real_load = registry_module.load_plan
+    calls: list = []
+    lock = threading.Lock()
+
+    def counting_load(path, **kwargs):
+        with lock:
+            calls.append(path)
+        time.sleep(0.02)  # widen the race window
+        return real_load(path, **kwargs)
+
+    monkeypatch.setattr(registry_module, "load_plan", counting_load)
+    registry = ModelRegistry(max_resident=2)
+    registry.register("m", path=path)
+    residents: list = []
+
+    def get() -> None:
+        resident = registry.get("m")
+        with lock:
+            residents.append(resident)
+
+    threads = [threading.Thread(target=get) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(calls) == 1
+    assert len({id(resident) for resident in residents}) == 1
+    stats = registry.stats()
+    assert stats["loads"] == 1 and stats["hits"] == 7
+
+
 # -- inference server --------------------------------------------------------
 def serve_and_check(models: dict[str, tuple], max_batch: int, max_wait: float,
                     workers: int, clients: int, requests_per_client: int,
@@ -445,9 +526,10 @@ def serve_and_check(models: dict[str, tuple], max_batch: int, max_wait: float,
     registry = ModelRegistry(max_resident=max_resident)
     for name, (model, mode, _) in models.items():
         registry.add(name, model, mode=mode)
-    # Precompute every expected response before the server starts: the
-    # direct reference forwards run on the same shared module graphs the
-    # workers will be using, so they may not run concurrently with them.
+    # Expected responses are precomputed up front.  (With plan execution
+    # the server never touches the source module graphs, so the legacy
+    # reference forwards *could* now run concurrently with the workers —
+    # precomputing just keeps the client threads trivial.)
     names = sorted(models)
     plans: dict[int, list[tuple[str, np.ndarray, np.ndarray]]] = {}
     for client_index in range(clients):
@@ -501,6 +583,66 @@ def test_server_responses_bit_identical_across_backends(grouping_engine,
     assert totals["requests"] == 18
     assert totals["failures"] == 0
     assert totals["cycles"] > 0
+
+
+BACKEND_CELLS = [("thread", 1), ("thread", 2), ("thread", 4)] + [
+    pytest.param("process", workers, marks=pytest.mark.slow)
+    for workers in (1, 2, 4)]
+
+
+@pytest.mark.parametrize("backend,workers", BACKEND_CELLS)
+def test_server_bit_identical_across_execution_backends(tmp_path, packed,
+                                                        quantized, backend,
+                                                        workers):
+    """The new invariant the plan refactor buys: responses are
+    bit-identical across backend="thread"|"process", worker counts, and
+    arbitrary coalescing, for every serving mode."""
+    path_f = save_packed(packed, tmp_path / "f.npz", model_spec=MODEL_SPEC,
+                         compress=False)
+    path_q = save_packed(quantized, tmp_path / "q.npz", model_spec=MODEL_SPEC,
+                         compress=False)
+    registry = ModelRegistry(max_resident=3)
+    registry.register("exact", path=path_f, mode="exact")
+    registry.register("mx", path=path_f, mode="mx")
+    registry.register("int8", path=path_q, mode="quantized")
+    stream = request_stream(8, seed=21)
+    expected = {name: [direct_forward(model, mode, batch) for batch in stream]
+                for name, (model, mode)
+                in {"exact": (packed, "exact"), "mx": (packed, "mx"),
+                    "int8": (quantized, "quantized")}.items()}
+    with InferenceServer(registry, max_batch=4, max_wait=0.001,
+                         workers=workers, backend=backend) as server:
+        pending = [(name, index, server.submit(name, batch))
+                   for index, batch in enumerate(stream)
+                   for name in ("exact", "mx", "int8")]
+        for name, index, request in pending:
+            assert np.array_equal(request.result(60.0),
+                                  expected[name][index]), (
+                f"response diverged (backend={backend}, workers={workers}, "
+                f"model={name})")
+        stats = server.stats()
+    assert stats["totals"]["failures"] == 0
+    assert stats["totals"]["cycles"] > 0
+
+
+def test_server_rejects_unknown_backend(packed):
+    registry = ModelRegistry()
+    registry.add("m", packed)
+    with pytest.raises(ValueError, match="unknown serving backend"):
+        InferenceServer(registry, backend="fiber")
+
+
+@pytest.mark.slow
+def test_process_backend_relays_live_model_rejection(packed):
+    """add()-registered models have no artifact to ship to a worker
+    process; the failure must come back on the request, not kill a
+    worker."""
+    registry = ModelRegistry()
+    registry.add("live", packed)
+    with InferenceServer(registry, backend="process", workers=1) as server:
+        with pytest.raises(ValueError, match="artifact-backed"):
+            server.submit("live", sample(1)[0]).result(30.0)
+    assert server.stats()["totals"]["failures"] == 1
 
 
 def test_server_coalescing_settings_do_not_change_responses(packed):
