@@ -19,6 +19,12 @@ Three assertions justify the serving subsystem:
   must be bit-identical across every (backend, workers) cell
   regardless — that part is asserted even on single-core hosts, where
   the perf comparison itself is skipped.
+* **Kernel gap** — the blocked batch-invariant kernel
+  (:mod:`repro.combining.kernels`) must run the ResNet-20 packed-layer
+  contractions at least 3x faster than the retained einsum-loop
+  reference, while staying numerically equivalent; the residual gap to
+  the unconstrained raw-BLAS einsum is recorded so regressions in the
+  "price of determinism" are visible.
 """
 
 from __future__ import annotations
@@ -38,7 +44,11 @@ from repro.combining import (
 )
 from repro.experiments.workloads import PAPER_DENSITY, sparse_network
 from repro.models import build_model
-from repro.serving.bench import backend_scaling_benchmark, throughput_benchmark
+from repro.serving.bench import (
+    backend_scaling_benchmark,
+    kernel_gap_benchmark,
+    throughput_benchmark,
+)
 
 REQUESTS = 96
 MAX_BATCH = 16
@@ -107,6 +117,41 @@ def test_bench_artifact_load_beats_repacking(tmp_path):
     assert load_seconds < repack_seconds, (
         f"loading the artifact ({load_seconds:.3f}s) did not beat "
         f"re-packing ({repack_seconds:.3f}s)")
+
+
+def test_bench_blocked_kernel_closes_the_blas_gap():
+    """Three-way kernel timing on the ResNet-20 serving workload: the
+    blocked batch-invariant kernel must be >= 3x the einsum-loop
+    reference per forward, and the residual gap to the unconstrained
+    raw-BLAS einsum is printed as the remaining price of determinism."""
+    kwargs = {"in_channels": 3, "num_classes": 10, "scale": 1.0}
+    model = build_model("resnet20", rng=np.random.default_rng(1), **kwargs)
+    rng = np.random.default_rng(0)
+    for _, layer in model.packable_layers():
+        layer.weight.data *= rng.random(layer.weight.data.shape) < 0.2
+    packed = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
+
+    best: dict = {}
+    for _ in range(2):
+        results = kernel_gap_benchmark(packed, image_size=32, batch=8,
+                                       repeats=3)
+        assert results["numerically_equivalent"], (
+            "blocked and loops kernels disagreed beyond allclose tolerance")
+        if not best or (results["totals"]["blocked_speedup"]
+                        > best["totals"]["blocked_speedup"]):
+            best = results
+    totals = best["totals"]
+    print(f"\nresnet20 {best['image_size']}x{best['image_size']} packed-layer "
+          f"contractions (batch {best['batch']}, {len(best['layers'])} "
+          f"layers):\n"
+          f"  loops   {totals['loops_seconds'] * 1e3:7.2f} ms\n"
+          f"  blocked {totals['blocked_seconds'] * 1e3:7.2f} ms "
+          f"({totals['blocked_speedup']:.2f}x over loops)\n"
+          f"  blas    {totals['blas_seconds'] * 1e3:7.2f} ms "
+          f"(gap-to-blas {totals['blas_gap']:.2f}x)")
+    assert totals["blocked_speedup"] >= 3.0, (
+        f"blocked kernel only reached {totals['blocked_speedup']:.2f}x over "
+        f"the einsum loops (need >= 3x)")
 
 
 def test_bench_process_backend_scales_past_threads_when_cores_allow(tmp_path):

@@ -34,6 +34,9 @@ python -m pytest -x -q -m "not slow" tests/test_combining_serialization.py \
 echo "== execution-plan differential suite (plan vs legacy, V2/mmap loads) =="
 python -m pytest -x -q -m "not slow" tests/test_combining_plan.py
 
+echo "== batch-invariant kernel differential suite (blocked vs loops) =="
+python -m pytest -x -q tests/test_combining_kernels.py
+
 echo "== fast test suite (pytest -m 'not slow') =="
 quick_start=$(date +%s)
 python -m pytest -x -q -m "not slow" \
@@ -45,7 +48,8 @@ python -m pytest -x -q -m "not slow" \
     --ignore=tests/test_experiments_quant_sweep.py \
     --ignore=tests/test_combining_serialization.py \
     --ignore=tests/test_serving.py \
-    --ignore=tests/test_combining_plan.py "$@"
+    --ignore=tests/test_combining_plan.py \
+    --ignore=tests/test_combining_kernels.py "$@"
 quick_elapsed=$(( $(date +%s) - quick_start ))
 echo "quick tier took ${quick_elapsed}s (budget ${QUICK_TIER_BUDGET_SECONDS}s)"
 if (( quick_elapsed > QUICK_TIER_BUDGET_SECONDS )); then

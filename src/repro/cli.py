@@ -31,7 +31,9 @@ Three subcommands cover the library's main workflows:
 ``serve-bench``
     Run the serving benchmark on a packed artifact: artifact-load vs
     re-pack cold start, then dynamic batching vs one-request-at-a-time
-    throughput through the :class:`~repro.serving.server.InferenceServer`.
+    throughput through the :class:`~repro.serving.server.InferenceServer`
+    (``--kernel`` picks the batch-invariant kernel; the accounting
+    plan-cache hit/miss totals are reported alongside).
 ``train``
     Run Algorithm 1 (iterative pruning + column combining + retraining) on
     one of the built-in shift + pointwise networks over the synthetic
@@ -286,6 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=_positive_int, default=1,
                        help="batch-draining threads (and, with "
                             "--backend process, worker processes)")
+    serve.add_argument("--kernel", choices=["blocked", "loops"],
+                       default="blocked",
+                       help="batch-invariant kernel every forward runs: "
+                            "'blocked' (fixed-schedule BLAS dispatch) or "
+                            "'loops' (the einsum reference)")
     serve.add_argument("--seed", type=int, default=0)
 
     train = subparsers.add_parser("train", help="run Algorithm 1 on a built-in model")
@@ -566,7 +573,8 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         results = run_serving_benchmark(
             args.path, requests=args.requests, max_batch=args.max_batch,
             max_wait=args.max_wait, image_size=args.image_size,
-            seed=args.seed, workers=args.workers, backend=args.backend)
+            seed=args.seed, workers=args.workers, backend=args.backend,
+            kernel=args.kernel)
     except FileNotFoundError:
         print(f"error: {args.path} does not exist", file=sys.stderr)
         return 2
@@ -578,7 +586,7 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     shape = "x".join(str(side) for side in results["sample_shape"])
     print(f"serving benchmark: {args.path} ({results['kind']}, "
           f"requests of shape {shape}, backend={args.backend}, "
-          f"workers={args.workers})")
+          f"workers={args.workers}, kernel={args.kernel})")
     print(format_table(
         ["cold start", "seconds"],
         [("load artifact", f"{cold['load_seconds']:.4f}"),
@@ -593,10 +601,15 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
           f"{throughput['batched_throughput']:.0f}",
           f"{throughput['batched_seconds']:.4f}",
           f"{throughput['batched_mean_batch']:.1f}")]))
+    plan_cache = throughput["batched_plan_cache"]
     print(f"batching speedup {throughput['speedup']:.1f}x over "
           f"{throughput['requests']} single-sample requests; responses "
           f"bit-identical to direct forward: "
           f"{throughput['bit_identical_to_direct']}")
+    print(f"accounting plan cache (batched run): {plan_cache['hits']} hits, "
+          f"{plan_cache['misses']} misses"
+          + (" (per-process caches each pay their own misses)"
+             if args.backend == "process" else ""))
     return 0
 
 

@@ -113,6 +113,14 @@ from repro.combining.execplan import (
     compile_plan,
     register_plan_compiler,
 )
+from repro.combining.kernels import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    invariant_conv_pointwise,
+    invariant_matmul,
+    kernel_schedule,
+    validate_kernel,
+)
 from repro.combining.serialization import (
     ARTIFACT_KINDS,
     FORMAT_VERSION,
@@ -173,6 +181,12 @@ __all__ = [
     "pack_filter_matrix",
     "FORWARD_MODES",
     "PLAN_MODES",
+    "KERNELS",
+    "DEFAULT_KERNEL",
+    "invariant_matmul",
+    "invariant_conv_pointwise",
+    "kernel_schedule",
+    "validate_kernel",
     "PackedLayerSpec",
     "PackedModel",
     "ExecutionPlan",

@@ -45,6 +45,12 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.combining.kernels import (
+    DEFAULT_KERNEL,
+    invariant_conv_pointwise,
+    invariant_matmul,
+    validate_kernel,
+)
 from repro.combining.packing import PackedFilterMatrix
 from repro.models.lenet import LeNet5
 from repro.models.resnet import BasicBlock, ResNet20, _StridedPointwiseShortcut
@@ -78,22 +84,24 @@ class _Ctx:
     """Per-forward execution context threaded through the op tree.
 
     Holds the knobs every op dispatches on (``mode``,
-    ``batch_invariant``), the optional per-layer spatial-size recorder
-    (``observed``), and — for quantized plans — the
-    :class:`~repro.systolic.system.SystolicSystem` that runs the integer
-    packed layers.  One ``_Ctx`` is built per ``forward`` call, so
-    concurrent forwards on one plan never share mutable state.
+    ``batch_invariant``, the batch-invariant ``kernel``), the optional
+    per-layer spatial-size recorder (``observed``), and — for quantized
+    plans — the :class:`~repro.systolic.system.SystolicSystem` that runs
+    the integer packed layers.  One ``_Ctx`` is built per ``forward``
+    call, so concurrent forwards on one plan never share mutable state.
     """
 
-    __slots__ = ("mode", "batch_invariant", "observed", "system")
+    __slots__ = ("mode", "batch_invariant", "observed", "system", "kernel")
 
     def __init__(self, mode: str, batch_invariant: bool,
                  observed: dict[str, tuple[int, int]] | None,
-                 system: SystolicSystem | None):
+                 system: SystolicSystem | None,
+                 kernel: str = DEFAULT_KERNEL):
         self.mode = mode
         self.batch_invariant = batch_invariant
         self.observed = observed
         self.system = system
+        self.kernel = kernel
 
 
 def _frozen(array: np.ndarray) -> np.ndarray:
@@ -177,7 +185,7 @@ class PackedLayerOp:
         elif ctx.mode == "mx":
             out = self.packed.multiply_activations(x)
         elif ctx.batch_invariant:
-            out = np.einsum("nc,bchw->bnhw", self.realized(), x)
+            out = invariant_conv_pointwise(x, self.realized(), kernel=ctx.kernel)
         else:
             out = np.einsum("nc,bchw->bnhw", self.realized(), x, optimize=True)
         if self.bias is not None:
@@ -205,7 +213,7 @@ class PointwiseOp:
                 f"PointwiseConv2d expected (batch, {self.in_channels}, H, W), "
                 f"got {x.shape}")
         if ctx.batch_invariant:
-            out = np.einsum("nc,bchw->bnhw", self.weight, x)
+            out = invariant_conv_pointwise(x, self.weight, kernel=ctx.kernel)
         else:
             out = np.einsum("nc,bchw->bnhw", self.weight, x, optimize=True)
         if self.bias is not None:
@@ -228,7 +236,7 @@ class DenseOp:
                 f"Dense expected input of shape (batch, {self.in_features}), "
                 f"got {x.shape}")
         if ctx.batch_invariant:
-            out = np.einsum("bi,oi->bo", x, self.weight)
+            out = invariant_matmul(x, self.weight, kernel=ctx.kernel)
         else:
             out = x @ self.weight.T
         if self.bias is not None:
@@ -392,36 +400,42 @@ class ExecutionPlan:
     # -- execution -----------------------------------------------------------
     def forward(self, activations: np.ndarray, mode: str = "exact",
                 batch_size: int | None = None, batch_invariant: bool = False,
-                observed: dict[str, tuple[int, int]] | None = None
-                ) -> np.ndarray:
+                observed: dict[str, tuple[int, int]] | None = None,
+                kernel: str = DEFAULT_KERNEL) -> np.ndarray:
         """Run a batched forward pass; bit-identical to the legacy path.
 
         Mirrors :meth:`PackedModel.forward`'s contract (``mode``,
         ``batch_size`` chunking, ``batch_invariant`` numerics) plus
         ``mode="quantized"`` on quantized-capable plans (bit-identical to
-        :meth:`QuantizedPackedModel.forward`).  Because plans are
-        immutable there is no instance-level spatial record; pass a dict
-        as ``observed`` to collect each packed layer's (H, W) for
+        :meth:`QuantizedPackedModel.forward`).  ``kernel`` selects the
+        batch-invariant implementation (see
+        :mod:`repro.combining.kernels`); it only affects
+        ``batch_invariant=True`` forwards.  Because plans are immutable
+        there is no instance-level spatial record; pass a dict as
+        ``observed`` to collect each packed layer's (H, W) for
         :meth:`execution_plan`.
         """
         if mode not in self.modes:
             raise ValueError(f"unknown forward mode {mode!r}; this plan "
                              f"supports {self.modes}")
+        validate_kernel(kernel)
         from repro.combining.inference import split_activation_batch
         chunks = split_activation_batch(activations, batch_size)
-        ctx = _Ctx(mode, batch_invariant, observed, self.system)
+        ctx = _Ctx(mode, batch_invariant, observed, self.system, kernel)
         outputs = [self.root.apply(chunk, ctx) for chunk in chunks]
         return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
 
     def predict(self, activations: np.ndarray, mode: str = "exact",
                 batch_size: int | None = None,
-                batch_invariant: bool = False) -> np.ndarray:
+                batch_invariant: bool = False,
+                kernel: str = DEFAULT_KERNEL) -> np.ndarray:
         """Class predictions; accepts a bare ``(C, H, W)`` sample too."""
         from repro.combining.inference import ensure_sample_batch
         batch, unbatched = ensure_sample_batch(activations)
         predictions = np.argmax(
             self.forward(batch, mode=mode, batch_size=batch_size,
-                         batch_invariant=batch_invariant), axis=1)
+                         batch_invariant=batch_invariant, kernel=kernel),
+            axis=1)
         return predictions[0] if unbatched else predictions
 
     # -- cycle / tile accounting ---------------------------------------------

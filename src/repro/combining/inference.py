@@ -28,17 +28,23 @@ model via :class:`~repro.combining.pipeline.PackingPipeline`) and provides:
     a dense matmul across channels).
 
   Both modes also accept ``batch_invariant=True``, the serving-path
-  numerics: every weight-bearing computation runs through shape-stable
-  ``np.einsum`` reduction loops instead of BLAS kernels whose blocking
-  (and therefore whose float summation order) depends on the batch
-  dimension.  Batch-invariant outputs are *bit-identical per sample no
-  matter how samples are batched* — ``forward(batch)[i:j]`` equals
-  ``forward(batch[i:j])`` exactly — which is what lets
-  :mod:`repro.serving`'s dynamic batcher coalesce arbitrary requests into
-  one forward while each response stays bit-identical to the direct
-  single-request call.  The trade-off is numerics-only: batch-invariant
-  results are numerically equivalent to the default path (same arithmetic
-  up to float summation order), not bitwise equal to it.
+  numerics: every weight-bearing computation runs through the
+  batch-invariant kernels of :mod:`repro.combining.kernels` instead of
+  BLAS calls whose blocking (and therefore whose float summation order)
+  depends on the batch dimension.  Batch-invariant outputs are
+  *bit-identical per sample no matter how samples are batched* —
+  ``forward(batch)[i:j]`` equals ``forward(batch[i:j])`` exactly — which
+  is what lets :mod:`repro.serving`'s dynamic batcher coalesce arbitrary
+  requests into one forward while each response stays bit-identical to
+  the direct single-request call.  The ``kernel`` knob selects the
+  implementation: ``"blocked"`` (default) dispatches fixed-shape blocks
+  to BLAS and runs within a small factor of the unconstrained path;
+  ``"loops"`` is the original ``np.einsum(optimize=False)`` reduction
+  loops, retained as the differential reference.  The trade-off is
+  numerics-only: batch-invariant results are numerically equivalent to
+  the default path (same arithmetic up to float summation order), not
+  bitwise equal to it — and the two kernels are likewise equivalent but
+  not bitwise equal to each other.
 
 * **Batched sparse export** — :meth:`PackedModel.to_sparse` reconstructs
   every layer's pruned dense filter matrix in one call.
@@ -71,6 +77,12 @@ from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.combining.kernels import (
+    DEFAULT_KERNEL,
+    invariant_conv_pointwise,
+    invariant_matmul,
+    validate_kernel,
+)
 from repro.combining.packing import PackedFilterMatrix
 from repro.combining.pipeline import (
     PackingPipeline,
@@ -237,7 +249,8 @@ class PackedModel:
     # -- batched forward ----------------------------------------------------
     def forward(self, activations: np.ndarray, mode: str = "exact",
                 batch_size: int | None = None,
-                batch_invariant: bool = False) -> np.ndarray:
+                batch_invariant: bool = False,
+                kernel: str = DEFAULT_KERNEL) -> np.ndarray:
         """Run a batched forward pass through the packed network.
 
         ``activations`` is an NCHW batch.  ``mode`` selects the packed
@@ -249,11 +262,12 @@ class PackedModel:
         mode, so chunking changes the result only through BLAS summation
         order (numerically equivalent, not necessarily the same bits as
         the unchunked batch).  ``batch_invariant=True`` switches every
-        weight-bearing layer to shape-stable einsum reduction loops so the
-        result is bit-identical per sample regardless of batching —
-        ``forward(x)[i:j] == forward(x[i:j])`` exactly, for either mode —
-        the property :mod:`repro.serving`'s dynamic batcher relies on
-        (see the module docstring).
+        weight-bearing layer to the batch-invariant ``kernel`` (see
+        :mod:`repro.combining.kernels`) so the result is bit-identical per
+        sample regardless of batching — ``forward(x)[i:j] ==
+        forward(x[i:j])`` exactly, for either mode — the property
+        :mod:`repro.serving`'s dynamic batcher relies on (see the module
+        docstring).
         """
         if self.model is None:
             raise RuntimeError(
@@ -262,15 +276,18 @@ class PackedModel:
         if mode not in FORWARD_MODES:
             raise ValueError(f"unknown forward mode {mode!r}; "
                              f"expected one of {FORWARD_MODES}")
+        validate_kernel(kernel)
         chunks = split_activation_batch(activations, batch_size)
         self._observed_spatial = {}
-        with self._packed_layers_installed(mode, batch_invariant=batch_invariant):
+        with self._packed_layers_installed(mode, batch_invariant=batch_invariant,
+                                           kernel=kernel):
             outputs = [self.model.forward(chunk) for chunk in chunks]
         return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
 
     def predict(self, activations: np.ndarray, mode: str = "exact",
                 batch_size: int | None = None,
-                batch_invariant: bool = False) -> np.ndarray:
+                batch_invariant: bool = False,
+                kernel: str = DEFAULT_KERNEL) -> np.ndarray:
         """Class predictions (argmax over the final logits).
 
         Accepts either an NCHW batch (returns one prediction per sample)
@@ -281,7 +298,8 @@ class PackedModel:
         batch, unbatched = ensure_sample_batch(activations)
         predictions = np.argmax(self.forward(batch, mode=mode,
                                              batch_size=batch_size,
-                                             batch_invariant=batch_invariant),
+                                             batch_invariant=batch_invariant,
+                                             kernel=kernel),
                                 axis=1)
         return predictions[0] if unbatched else predictions
 
@@ -324,7 +342,8 @@ class PackedModel:
 
     @contextmanager
     def _packed_layers_installed(self, mode: str,
-                                 batch_invariant: bool = False
+                                 batch_invariant: bool = False,
+                                 kernel: str = DEFAULT_KERNEL
                                  ) -> Iterator[None]:
         """Temporarily run the model in eval mode with packed layers installed.
 
@@ -333,9 +352,9 @@ class PackedModel:
         with the MX-cell multiply.  Both record the spatial size each packed
         layer observes (for :meth:`plan`) and restore the model afterwards.
         With ``batch_invariant`` the exact mode computes the packed layers
-        through shape-stable einsum loops instead of the module's own
-        (BLAS-backed) forward, and every other weight-bearing module is
-        switched to its batch-invariant twin too (see
+        through the selected batch-invariant ``kernel`` instead of the
+        module's own (BLAS-backed) forward, and every other weight-bearing
+        module is switched to its batch-invariant twin too (see
         :meth:`_install_batch_invariant_modules`).
         """
         with self._model_snapshot():
@@ -352,28 +371,32 @@ class PackedModel:
                     elif mode == "exact":
                         module.forward = _invariant_pointwise_forward(
                             module, weights=spec.realized(), spec=spec,
-                            observed=self._observed_spatial)
+                            observed=self._observed_spatial, kernel=kernel)
                     else:
                         module.forward = _mx_forward(module, spec,
                                                      self._observed_spatial)
                 if batch_invariant:
-                    self._install_batch_invariant_modules()
+                    self._install_batch_invariant_modules(kernel)
                 yield
             finally:
                 for module, weights in saved_weights:
                     module.weight.data = weights
 
-    def _install_batch_invariant_modules(self) -> None:
-        """Swap the non-packed weight-bearing modules to einsum forwards.
+    def _install_batch_invariant_modules(self, kernel: str = DEFAULT_KERNEL
+                                         ) -> None:
+        """Swap the non-packed weight-bearing modules to invariant forwards.
 
         The only batch-variant operations in the module graph are the
         BLAS-backed matmuls (``Dense``, and ``PointwiseConv2d``'s
-        ``optimize=True`` einsum, which may dispatch to BLAS): blocked
+        ``optimize=True`` einsum, which may dispatch to BLAS): general
         GEMM kernels choose their blocking — and therefore their float
         summation order — from the full operand shapes, so a sample's
         bits change with the batch it rides in.  Everything else
         (batch-norm statistics in eval mode, pooling means, shifts, ReLU)
-        reduces per sample with shape-independent order.  Must run inside
+        reduces per sample with shape-independent order.  Both module
+        kinds share the :mod:`repro.combining.kernels` family — ``Dense``
+        through :func:`invariant_matmul`, ``PointwiseConv2d`` through
+        :func:`invariant_conv_pointwise`.  Must run inside
         :meth:`_model_snapshot` (forward overrides are undone by the
         snapshot restore); packable modules were already handled by the
         caller, and any module whose forward was already overridden this
@@ -385,16 +408,18 @@ class PackedModel:
             if "forward" in vars(module):
                 continue  # packed / custom forward already installed
             if isinstance(module, Dense):
-                module.forward = _invariant_dense_forward(module)
+                module.forward = _invariant_dense_forward(module, kernel=kernel)
             elif isinstance(module, PointwiseConv2d):
-                module.forward = _invariant_pointwise_forward(module)
+                module.forward = _invariant_pointwise_forward(module,
+                                                              kernel=kernel)
 
     @contextmanager
     def custom_forwards(self, factory: Callable[["PackedLayerSpec",
                                                  PointwiseConv2d],
                                                 Callable[[np.ndarray],
                                                          np.ndarray]],
-                        batch_invariant: bool = False) -> Iterator[None]:
+                        batch_invariant: bool = False,
+                        kernel: str = DEFAULT_KERNEL) -> Iterator[None]:
         """Run the model with each packable layer's forward replaced.
 
         ``factory(spec, module)`` returns the substitute forward installed
@@ -406,9 +431,9 @@ class PackedModel:
         :class:`~repro.combining.quantized.QuantizedPackedModel` installs
         its per-layer systolic execution through it.  With
         ``batch_invariant`` the *non-packed* weight-bearing modules run
-        their batch-invariant einsum twins (the factory's own forwards are
-        untouched — the quantized integer path is batch-invariant by
-        construction, its sums being exact).
+        their batch-invariant twins using ``kernel`` (the factory's own
+        forwards are untouched — the quantized integer path is
+        batch-invariant by construction, its sums being exact).
         """
         if self.model is None:
             raise RuntimeError(
@@ -420,7 +445,7 @@ class PackedModel:
                 assert module is not None
                 module.forward = factory(spec, module)
             if batch_invariant:
-                self._install_batch_invariant_modules()
+                self._install_batch_invariant_modules(kernel)
             yield
 
     # -- batched exports ----------------------------------------------------
@@ -591,16 +616,17 @@ def _mx_forward(module: PointwiseConv2d, spec: PackedLayerSpec,
 def _invariant_pointwise_forward(module: PointwiseConv2d,
                                  weights: np.ndarray | None = None,
                                  spec: PackedLayerSpec | None = None,
-                                 observed: dict[str, tuple[int, int]] | None = None):
-    """Batch-invariant pointwise forward: fixed weights, einsum loops.
+                                 observed: dict[str, tuple[int, int]] | None = None,
+                                 kernel: str = DEFAULT_KERNEL):
+    """Batch-invariant pointwise forward over a fixed weight matrix.
 
-    ``optimize=False`` keeps the contraction in einsum's own C reduction
-    loops, whose per-element summation order depends only on the reduced
-    axis — never on the batch dimension — so a sample's output bits are
-    independent of which batch it was coalesced into.  ``weights``
-    defaults to the module's own (the non-packed-layer case); packed
-    layers pass their realized matrix plus ``spec`` / ``observed`` for
-    spatial-size recording.
+    The contraction runs through
+    :func:`repro.combining.kernels.invariant_conv_pointwise`, whose
+    per-sample summation order never depends on the batch dimension, so a
+    sample's output bits are independent of which batch it was coalesced
+    into.  ``weights`` defaults to the module's own (the non-packed-layer
+    case); packed layers pass their realized matrix plus ``spec`` /
+    ``observed`` for spatial-size recording.
     """
     if weights is None:
         weights = module.weight.data
@@ -610,21 +636,26 @@ def _invariant_pointwise_forward(module: PointwiseConv2d,
         if observed is not None:
             assert spec is not None
             observed[spec.name] = (x.shape[2], x.shape[3])
-        out = np.einsum("nc,bchw->bnhw", weights, x)
+        out = invariant_conv_pointwise(x, weights, kernel=kernel)
         if module.bias is not None:
             out = out + module.bias.data[None, :, None, None]
         return out
     return forward
 
 
-def _invariant_dense_forward(module: Dense):
-    """Batch-invariant twin of :meth:`Dense.forward` (einsum, not BLAS)."""
+def _invariant_dense_forward(module: Dense, kernel: str = DEFAULT_KERNEL):
+    """Batch-invariant twin of :meth:`Dense.forward`.
+
+    Shares :func:`repro.combining.kernels.invariant_matmul` with the
+    pointwise path rather than carrying its own einsum shape, so every
+    weight-bearing module runs the same kernel family.
+    """
     def forward(x: np.ndarray) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != module.in_features:
             raise ValueError(
                 f"Dense expected input of shape (batch, {module.in_features}), "
                 f"got {x.shape}")
-        out = np.einsum("bi,oi->bo", x, module.weight.data)
+        out = invariant_matmul(x, module.weight.data, kernel=kernel)
         if module.bias is not None:
             out = out + module.bias.data
         return out

@@ -67,6 +67,7 @@ from repro.combining.inference import (
     ensure_sample_batch,
     split_activation_batch,
 )
+from repro.combining.kernels import DEFAULT_KERNEL
 from repro.combining.pipeline import PackingPipeline, PipelineConfig, PipelineResult
 from repro.nn import Module, PointwiseConv2d
 from repro.quant.linear import CALIBRATIONS, LinearQuantizer
@@ -334,7 +335,8 @@ class QuantizedPackedModel:
     def forward(self, activations: np.ndarray, batch_size: int | None = None,
                 capture_layer_outputs: bool = False,
                 track_errors: bool = True,
-                batch_invariant: bool = False) -> np.ndarray:
+                batch_invariant: bool = False,
+                kernel: str = DEFAULT_KERNEL) -> np.ndarray:
         """Run a batched integer forward through every packed layer.
 
         Mirrors :meth:`PackedModel.forward`'s batching contract
@@ -354,9 +356,10 @@ class QuantizedPackedModel:
         numerics (see :meth:`PackedModel.forward`): the packed integer
         execution is already batch-invariant by construction (frozen
         scales make its sums exact), so the flag switches the surrounding
-        float modules (classifier heads) to their shape-stable einsum
-        twins, making the whole chain bit-identical per sample under any
-        request coalescing.
+        float modules (classifier heads) to their batch-invariant twins
+        running the selected ``kernel`` (see
+        :mod:`repro.combining.kernels`), making the whole chain
+        bit-identical per sample under any request coalescing.
         """
         self._require_calibrated()
         chunks = split_activation_batch(activations, batch_size)
@@ -369,12 +372,14 @@ class QuantizedPackedModel:
         model = self.packed.model
         assert model is not None
         with self.packed.custom_forwards(self._quantized_factory,
-                                         batch_invariant=batch_invariant):
+                                         batch_invariant=batch_invariant,
+                                         kernel=kernel):
             outputs = [model.forward(chunk) for chunk in chunks]
         return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
 
     def predict(self, activations: np.ndarray, batch_size: int | None = None,
-                batch_invariant: bool = False) -> np.ndarray:
+                batch_invariant: bool = False,
+                kernel: str = DEFAULT_KERNEL) -> np.ndarray:
         """Class predictions (argmax over the final logits).
 
         Mirrors :meth:`PackedModel.predict`: a single unbatched
@@ -385,7 +390,7 @@ class QuantizedPackedModel:
         batch, unbatched = ensure_sample_batch(activations)
         predictions = np.argmax(
             self.forward(batch, batch_size=batch_size, track_errors=False,
-                         batch_invariant=batch_invariant),
+                         batch_invariant=batch_invariant, kernel=kernel),
             axis=1)
         return predictions[0] if unbatched else predictions
 

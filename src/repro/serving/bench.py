@@ -21,6 +21,13 @@ asserted by ``benchmarks/test_bench_serving.py``):
   fully parallel, so CPU-bound models scale with workers.  Responses
   must stay bit-identical across every (backend, workers) cell — the
   invariant the plan refactor bought.
+
+A fourth measurement justifies the blocked batch-invariant kernel:
+:func:`kernel_gap_benchmark` times the packed-layer contractions of one
+model three ways — the ``"loops"`` einsum kernel, the ``"blocked"``
+kernel, and the unconstrained raw-BLAS dispatch — over the shapes a
+serving forward actually runs, reporting the blocked speedup over loops
+and the residual gap to BLAS.
 """
 
 from __future__ import annotations
@@ -33,6 +40,11 @@ from typing import Any
 import numpy as np
 
 from repro.combining.inference import PackedModel
+from repro.combining.kernels import (
+    DEFAULT_KERNEL,
+    invariant_conv_pointwise,
+    validate_kernel,
+)
 from repro.combining.pipeline import PipelineConfig
 from repro.combining.quantized import QuantizedPackedModel
 from repro.combining.serialization import load_packed
@@ -69,7 +81,8 @@ def _serving_mode(loaded: PackedModel | QuantizedPackedModel) -> str:
 def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
                   samples: np.ndarray, max_batch: int, max_wait: float,
                   workers: int = 1, backend: str = "thread",
-                  path: str | Path | None = None
+                  path: str | Path | None = None,
+                  kernel: str = DEFAULT_KERNEL
                   ) -> tuple[float, list[np.ndarray], dict[str, Any]]:
     """Serve every sample as its own request; returns (seconds, outputs, stats).
 
@@ -87,7 +100,8 @@ def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
     else:
         registry.add("bench", loaded)
     with InferenceServer(registry, max_batch=max_batch, max_wait=max_wait,
-                         workers=workers, backend=backend) as server:
+                         workers=workers, backend=backend,
+                         kernel=kernel) as server:
         started = monotonic()
         pending = [server.submit("bench", sample) for sample in samples]
         outputs = [request.result(timeout=120.0) for request in pending]
@@ -96,15 +110,17 @@ def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
     return elapsed, outputs, stats
 
 
-def _direct_reference(loaded: PackedModel | QuantizedPackedModel):
+def _direct_reference(loaded: PackedModel | QuantizedPackedModel,
+                      kernel: str = DEFAULT_KERNEL):
     """The per-sample reference forward every served response must match."""
     if isinstance(loaded, QuantizedPackedModel):
         def direct(sample: np.ndarray) -> np.ndarray:
             return loaded.forward(sample[None], track_errors=False,
-                                  batch_invariant=True)[0]
+                                  batch_invariant=True, kernel=kernel)[0]
     else:
         def direct(sample: np.ndarray) -> np.ndarray:
-            return loaded.forward(sample[None], batch_invariant=True)[0]
+            return loaded.forward(sample[None], batch_invariant=True,
+                                  kernel=kernel)[0]
     return direct
 
 
@@ -112,25 +128,26 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
                          samples: np.ndarray, max_batch: int = 16,
                          max_wait: float = 0.002, workers: int = 1,
                          backend: str = "thread",
-                         path: str | Path | None = None) -> dict[str, Any]:
+                         path: str | Path | None = None,
+                         kernel: str = DEFAULT_KERNEL) -> dict[str, Any]:
     """Serve ``samples`` one-at-a-time and batched; verify bit-identity.
 
     Every sample becomes one single-sample request.  The returned mapping
     carries both wall times, both throughputs (requests/second), the
-    speedup, the servers' batch-size accounting, and
-    ``bit_identical_to_direct`` — whether every batched response matched
-    the direct ``forward`` call on its own request, which the
-    batch-invariant serving path guarantees regardless of ``backend``
-    and ``workers``.
+    speedup, the servers' batch-size accounting, the batched server's
+    plan-cache hit/miss totals, and ``bit_identical_to_direct`` — whether
+    every batched response matched the direct ``forward`` call on its own
+    request, which the batch-invariant serving path guarantees regardless
+    of ``backend``, ``workers``, and ``kernel``.
     """
     sequential_seconds, sequential_outputs, sequential_stats = _serve_stream(
         loaded, samples, max_batch=1, max_wait=0.0, workers=workers,
-        backend=backend, path=path)
+        backend=backend, path=path, kernel=kernel)
     batched_seconds, batched_outputs, batched_stats = _serve_stream(
         loaded, samples, max_batch=max_batch, max_wait=max_wait,
-        workers=workers, backend=backend, path=path)
+        workers=workers, backend=backend, path=path, kernel=kernel)
 
-    direct = _direct_reference(loaded)
+    direct = _direct_reference(loaded, kernel=kernel)
     bit_identical = all(
         np.array_equal(batched, direct(sample))
         and np.array_equal(sequential, batched)
@@ -143,6 +160,7 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
         "max_batch": max_batch,
         "backend": backend,
         "workers": workers,
+        "kernel": kernel,
         "sequential_seconds": sequential_seconds,
         "batched_seconds": batched_seconds,
         "sequential_throughput": requests / sequential_seconds,
@@ -151,6 +169,7 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
         "sequential_mean_batch": sequential_stats["totals"]["mean_batch_size"],
         "batched_mean_batch": batched_stats["totals"]["mean_batch_size"],
         "batched_cycles": batched_stats["totals"]["cycles"],
+        "batched_plan_cache": batched_stats["totals"]["plan_cache"],
         "bit_identical_to_direct": bit_identical,
     }
 
@@ -158,7 +177,8 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
 def backend_scaling_benchmark(path: str | Path, requests: int = 64,
                               max_batch: int = 8, max_wait: float = 0.001,
                               worker_counts: tuple[int, ...] = (1, 2, 4),
-                              image_size: int = 8, seed: int = 0
+                              image_size: int = 8, seed: int = 0,
+                              kernel: str = DEFAULT_KERNEL
                               ) -> dict[str, Any]:
     """Thread vs process backend over increasing worker counts.
 
@@ -177,7 +197,7 @@ def backend_scaling_benchmark(path: str | Path, requests: int = 64,
                                  model_spec=info.get("model_spec"))
     rng = np.random.default_rng(seed)
     samples = rng.normal(size=(requests, *shape))
-    direct = _direct_reference(loaded)
+    direct = _direct_reference(loaded, kernel=kernel)
     expected = [direct(sample) for sample in samples]
 
     cells: dict[str, dict[int, dict[str, float]]] = {}
@@ -187,7 +207,7 @@ def backend_scaling_benchmark(path: str | Path, requests: int = 64,
         for workers in worker_counts:
             seconds, outputs, _ = _serve_stream(
                 loaded, samples, max_batch=max_batch, max_wait=max_wait,
-                workers=workers, backend=backend, path=path)
+                workers=workers, backend=backend, path=path, kernel=kernel)
             bit_identical &= all(np.array_equal(output, reference)
                                  for output, reference
                                  in zip(outputs, expected))
@@ -241,11 +261,13 @@ def cold_start_benchmark(path: str | Path) -> dict[str, Any]:
 def run_serving_benchmark(path: str | Path, requests: int = 96,
                           max_batch: int = 16, max_wait: float = 0.002,
                           image_size: int = 8, seed: int = 0,
-                          workers: int = 1, backend: str = "thread"
+                          workers: int = 1, backend: str = "thread",
+                          kernel: str = DEFAULT_KERNEL
                           ) -> dict[str, Any]:
     """The full serve-bench: cold start plus throughput on one artifact."""
     if requests < 1:
         raise ValueError("requests must be >= 1")
+    validate_kernel(kernel)
     cold = cold_start_benchmark(path)
     loaded = cold.pop("loaded")
     from repro.combining.serialization import artifact_info
@@ -257,6 +279,82 @@ def run_serving_benchmark(path: str | Path, requests: int = 96,
     samples = rng.normal(size=(requests, *shape))
     throughput = throughput_benchmark(loaded, samples, max_batch=max_batch,
                                       max_wait=max_wait, workers=workers,
-                                      backend=backend, path=path)
+                                      backend=backend, path=path,
+                                      kernel=kernel)
     return {"kind": info["kind"], "sample_shape": shape,
             "cold_start": cold, "throughput": throughput}
+
+
+def kernel_gap_benchmark(loaded: PackedModel | QuantizedPackedModel,
+                         image_size: int = 32, batch: int = 8,
+                         seed: int = 0, repeats: int = 3) -> dict[str, Any]:
+    """Three-way timing of the packed-layer contractions: loops / blocked / BLAS.
+
+    Probes one batch-invariant forward to collect each packed layer's
+    realized weight matrix and the activation shape it sees at
+    ``image_size``, then times that layer's contraction under the
+    ``"loops"`` kernel, the ``"blocked"`` kernel, and the unconstrained
+    raw-BLAS einsum (``optimize=True``) — min over ``repeats`` — on
+    random activations of the serving shape.  This is the serving hot
+    path measured where it runs: per packed-layer GEMM, at the batch
+    size dynamic coalescing actually produces.
+
+    Returns per-layer rows plus totals with ``blocked_speedup``
+    (loops seconds / blocked seconds — the factor determinism stops
+    costing) and ``blas_gap`` (blocked seconds / raw-BLAS seconds — the
+    residual price of pinning the schedule; < 1 means blocked is faster
+    than the naive batched dispatch).  ``numerically_equivalent``
+    confirms the three paths agree to ``allclose`` on every layer.
+    """
+    packed = (loaded.packed if isinstance(loaded, QuantizedPackedModel)
+              else loaded)
+    if packed.model is None:
+        raise ValueError("kernel gap benchmark needs a model-backed artifact")
+    channels = packed.specs[0].packed.original_shape[1]
+    rng = np.random.default_rng(seed)
+    probe = rng.normal(size=(batch, channels, image_size, image_size))
+    packed.forward(probe, batch_invariant=True)
+    observed = packed.observed_spatial_map()
+
+    def best(timed) -> float:
+        elapsed = float("inf")
+        for _ in range(repeats):
+            started = monotonic()
+            timed()
+            elapsed = min(elapsed, monotonic() - started)
+        return elapsed
+
+    layers = []
+    totals = {"loops_seconds": 0.0, "blocked_seconds": 0.0,
+              "blas_seconds": 0.0}
+    equivalent = True
+    for spec in packed.specs:
+        weight = spec.realized()
+        height, width = observed[spec.name]
+        x = rng.normal(size=(batch, weight.shape[1], height, width))
+        loops_s = best(lambda: invariant_conv_pointwise(x, weight, "loops"))
+        blocked_s = best(lambda: invariant_conv_pointwise(x, weight, "blocked"))
+        blas_s = best(lambda: np.einsum("nc,bchw->bnhw", weight, x,
+                                        optimize=True))
+        equivalent &= np.allclose(
+            invariant_conv_pointwise(x, weight, "blocked"),
+            invariant_conv_pointwise(x, weight, "loops"),
+            rtol=1e-9, atol=1e-11)
+        layers.append({
+            "name": spec.name, "shape": weight.shape,
+            "spatial": (height, width),
+            "loops_seconds": loops_s, "blocked_seconds": blocked_s,
+            "blas_seconds": blas_s,
+            "blocked_speedup": loops_s / blocked_s if blocked_s else 0.0,
+        })
+        totals["loops_seconds"] += loops_s
+        totals["blocked_seconds"] += blocked_s
+        totals["blas_seconds"] += blas_s
+    totals["blocked_speedup"] = (totals["loops_seconds"]
+                                 / totals["blocked_seconds"]
+                                 if totals["blocked_seconds"] else 0.0)
+    totals["blas_gap"] = (totals["blocked_seconds"] / totals["blas_seconds"]
+                          if totals["blas_seconds"] else 0.0)
+    return {"batch": batch, "image_size": image_size, "repeats": repeats,
+            "layers": layers, "totals": totals,
+            "numerically_equivalent": equivalent}

@@ -28,6 +28,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.combining.kernels import DEFAULT_KERNEL
+
 #: Per-process plan cache: artifact path -> loaded ExecutionPlan.  Lives
 #: in the worker's own interpreter; the parent never touches it.
 _PLAN_CACHE: dict[str, object] = {}
@@ -52,31 +54,39 @@ def _warm_worker() -> int:
     return 0
 
 
-def _run_plan_batch(path: str, mode: str, batch: np.ndarray
-                    ) -> tuple[np.ndarray, int, int]:
-    """One serving forward inside a worker: (outputs, cycles, tiles).
+def _run_plan_batch(path: str, mode: str, batch: np.ndarray,
+                    kernel: str = DEFAULT_KERNEL
+                    ) -> tuple[np.ndarray, int, int, bool | None]:
+    """One serving forward inside a worker:
+    ``(outputs, cycles, tiles, plan_cache_hit)``.
 
-    Mirrors the thread backend exactly: batch-invariant plan forward,
-    then best-effort systolic cycle / tile accounting from the observed
-    spatial map (a timing-model failure must not fail a batch whose
-    forward already succeeded).
+    Mirrors the thread backend exactly: batch-invariant plan forward with
+    the server's ``kernel``, then best-effort systolic cycle / tile
+    accounting from the observed spatial map (a timing-model failure must
+    not fail a batch whose forward already succeeded — it reports
+    ``plan_cache_hit=None`` instead).  The hit flag reflects *this
+    worker's* ``_BATCH_PLAN_CACHE``: each process pays its own misses, so
+    the server-side hit/miss totals expose how much accounting work the
+    process backend duplicates across workers.
     """
     plan = _plan_for(path)
     observed: dict[str, tuple[int, int]] = {}
     outputs = plan.forward(batch, mode=mode, batch_invariant=True,
-                           observed=observed)
+                           observed=observed, kernel=kernel)
     cycles = tiles = 0
+    cache_hit: bool | None = None
     try:
         key = (path, batch.shape[0], tuple(sorted(observed.items())))
         batch_plan = _BATCH_PLAN_CACHE.get(key)
+        cache_hit = batch_plan is not None
         if batch_plan is None:
             batch_plan = plan.execution_plan(observed=observed,
                                              batch=batch.shape[0])
             _BATCH_PLAN_CACHE[key] = batch_plan
         cycles, tiles = batch_plan.total_cycles, batch_plan.total_tiles
     except Exception:  # noqa: BLE001 - accounting is best-effort
-        pass
-    return outputs, cycles, tiles
+        cache_hit = None
+    return outputs, cycles, tiles, cache_hit
 
 
 class ProcessWorkerPool:
@@ -100,10 +110,13 @@ class ProcessWorkerPool:
         for future in futures:
             future.result()
 
-    def run(self, path: str | Path, mode: str, batch: np.ndarray
-            ) -> tuple[np.ndarray, int, int]:
-        """Run one batch in a worker process; returns (outputs, cycles, tiles)."""
-        future = self._executor.submit(_run_plan_batch, str(path), mode, batch)
+    def run(self, path: str | Path, mode: str, batch: np.ndarray,
+            kernel: str = DEFAULT_KERNEL
+            ) -> tuple[np.ndarray, int, int, bool | None]:
+        """Run one batch in a worker process; returns
+        ``(outputs, cycles, tiles, plan_cache_hit)``."""
+        future = self._executor.submit(_run_plan_batch, str(path), mode, batch,
+                                       kernel)
         return future.result()
 
     def shutdown(self) -> None:

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.combining.execplan import ExecutionPlan
 from repro.combining.inference import PackedModel
+from repro.combining.kernels import DEFAULT_KERNEL
 from repro.combining.quantized import QuantizedPackedModel
 from repro.combining.serialization import load_plan
 from repro.nn import Module
@@ -124,18 +125,24 @@ class ResidentModel:
         self.lock = threading.Lock()
         self._plans_lock = threading.Lock()
         self._plans: dict[tuple, ModelExecutionPlan] = {}
+        #: Accounting-plan cache hits / misses (guarded by ``_plans_lock``).
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
-    def forward(self, batch: np.ndarray) -> np.ndarray:
+    def forward(self, batch: np.ndarray,
+                kernel: str = DEFAULT_KERNEL) -> np.ndarray:
         """The serving forward: batch-invariant, accounting-free.
 
         Thread-safe without any lock — the plan is immutable.
         Batch-invariant execution is what makes dynamic batching
         bit-transparent — see
-        :meth:`repro.combining.execplan.ExecutionPlan.forward`.
+        :meth:`repro.combining.execplan.ExecutionPlan.forward`; ``kernel``
+        picks the batch-invariant implementation
+        (:mod:`repro.combining.kernels`).
         """
-        return self.forward_traced(batch)[0]
+        return self.forward_traced(batch, kernel=kernel)[0]
 
-    def forward_traced(self, batch: np.ndarray
+    def forward_traced(self, batch: np.ndarray, kernel: str = DEFAULT_KERNEL
                        ) -> tuple[np.ndarray, dict[str, tuple[int, int]]]:
         """Forward plus the observed per-layer spatial map.
 
@@ -146,7 +153,8 @@ class ResidentModel:
         """
         observed: dict[str, tuple[int, int]] = {}
         outputs = self.plan.forward(batch, mode=self.mode,
-                                    batch_invariant=True, observed=observed)
+                                    batch_invariant=True, observed=observed,
+                                    kernel=kernel)
         return outputs, observed
 
     def batch_plan(self, num_samples: int,
@@ -161,6 +169,19 @@ class ResidentModel:
         flexible models (global-pool classifiers) legitimately serve
         requests of different map sizes.
         """
+        return self.batch_plan_traced(num_samples, observed)[0]
+
+    def batch_plan_traced(self, num_samples: int,
+                          observed: dict[str, tuple[int, int]] | None = None
+                          ) -> tuple[ModelExecutionPlan, bool]:
+        """:meth:`batch_plan` plus whether the plan came from the cache.
+
+        The hit flag (also accumulated on :attr:`plan_cache_hits` /
+        :attr:`plan_cache_misses`) is what the server's per-backend stats
+        surface — per-process caches in the process backend each pay
+        their own misses, and these counters make that duplication
+        visible.
+        """
         if observed is None:
             raise ValueError(
                 "batch_plan needs the observed spatial map; run "
@@ -168,12 +189,15 @@ class ResidentModel:
         key = (num_samples, tuple(sorted(observed.items())))
         with self._plans_lock:
             plan = self._plans.get(key)
-        if plan is None:
-            plan = self.plan.execution_plan(observed=observed,
-                                            batch=num_samples)
-            with self._plans_lock:
-                plan = self._plans.setdefault(key, plan)
-        return plan
+            if plan is not None:
+                self.plan_cache_hits += 1
+                return plan, True
+        plan = self.plan.execution_plan(observed=observed,
+                                        batch=num_samples)
+        with self._plans_lock:
+            self.plan_cache_misses += 1
+            plan = self._plans.setdefault(key, plan)
+        return plan, False
 
 
 class ModelRegistry:

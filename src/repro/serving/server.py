@@ -50,6 +50,7 @@ from typing import Any
 import numpy as np
 
 from repro.combining.inference import ensure_sample_batch
+from repro.combining.kernels import DEFAULT_KERNEL, validate_kernel
 from repro.serving.batcher import Batch, DynamicBatcher, PendingRequest
 from repro.serving.procpool import ProcessWorkerPool
 from repro.serving.registry import ModelRegistry
@@ -89,6 +90,14 @@ class _ModelStats:
     failures: int = 0
     cycles: int = 0
     tiles: int = 0
+    #: Systolic accounting-plan cache hits / misses across backends.  In
+    #: the thread backend the cache is the resident model's; in the
+    #: process backend each worker process has its own cache, so misses
+    #: here add up across workers — exactly the cross-process accounting
+    #: duplication the counters exist to expose.  Batches whose
+    #: accounting failed count in neither bucket.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     queued: _LatencyStats = field(default_factory=_LatencyStats)
     service: _LatencyStats = field(default_factory=_LatencyStats)
 
@@ -105,6 +114,8 @@ class _ModelStats:
             "mean_batch_size": self.mean_batch_size,
             "cycles": self.cycles,
             "tiles": self.tiles,
+            "plan_cache": {"hits": self.plan_cache_hits,
+                           "misses": self.plan_cache_misses},
             "queued_seconds": self.queued.as_dict(),
             "service_seconds": self.service.as_dict(),
         }
@@ -118,22 +129,28 @@ class InferenceServer:
     drain thread keeps one worker process busy.  Plan execution is
     lock-free, so extra workers buy real concurrency even on a single
     hot model — threads overlap BLAS-released GIL sections, processes
-    sidestep the GIL entirely.  Use as a context manager, or pair
+    sidestep the GIL entirely.  ``kernel`` picks the batch-invariant
+    implementation every forward runs
+    (:mod:`repro.combining.kernels`); responses are bit-identical
+    across backends / workers / coalescing for whichever kernel the
+    server was built with.  Use as a context manager, or pair
     :meth:`start` with :meth:`stop`.
     """
 
     def __init__(self, registry: ModelRegistry, max_batch: int = 16,
                  max_wait: float = 0.002, workers: int = 1,
-                 backend: str = "thread"):
+                 backend: str = "thread", kernel: str = DEFAULT_KERNEL):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if backend not in SERVING_BACKENDS:
             raise ValueError(f"unknown serving backend {backend!r}; "
                              f"expected one of {SERVING_BACKENDS}")
+        validate_kernel(kernel)
         self.registry = registry
         self.batcher = DynamicBatcher(max_batch=max_batch, max_wait=max_wait)
         self.workers = workers
         self.backend = backend
+        self.kernel = kernel
         self._pool: ProcessWorkerPool | None = None
         self._threads: list[threading.Thread] = []
         self._started = False
@@ -227,22 +244,27 @@ class InferenceServer:
                 continue
             self._run_batch(batch)
 
-    def _forward_thread(self, batch: Batch) -> tuple[np.ndarray, int, int]:
+    def _forward_thread(self, batch: Batch
+                        ) -> tuple[np.ndarray, int, int, bool | None]:
         """In-process forward on the registry's resident plan."""
         resident = self.registry.get(batch.key)
-        outputs, observed = resident.forward_traced(batch.stacked())
+        outputs, observed = resident.forward_traced(batch.stacked(),
+                                                    kernel=self.kernel)
         cycles = tiles = 0
+        cache_hit: bool | None = None
         try:
-            plan = resident.batch_plan(batch.num_samples, observed)
+            plan, cache_hit = resident.batch_plan_traced(batch.num_samples,
+                                                         observed)
             cycles, tiles = plan.total_cycles, plan.total_tiles
         except Exception:  # noqa: BLE001 - accounting is best-effort
             # A plan failure (e.g. non-square activation maps the
             # timing model cannot size) must not fail a batch whose
             # forward already succeeded.
-            pass
-        return outputs, cycles, tiles
+            cache_hit = None
+        return outputs, cycles, tiles, cache_hit
 
-    def _forward_process(self, batch: Batch) -> tuple[np.ndarray, int, int]:
+    def _forward_process(self, batch: Batch
+                         ) -> tuple[np.ndarray, int, int, bool | None]:
         """Ship (path, mode, batch) to a pool worker, which maps the plan."""
         path, mode = self.registry.registration_info(batch.key)
         if path is None:
@@ -251,16 +273,17 @@ class InferenceServer:
                 "process backend serves artifact-backed registrations only "
                 "(register a saved artifact path instead of add()ing a model)")
         assert self._pool is not None
-        return self._pool.run(path, mode, batch.stacked())
+        return self._pool.run(path, mode, batch.stacked(), kernel=self.kernel)
 
     def _run_batch(self, batch: Batch) -> None:
         dispatched = monotonic()
         cycles = tiles = 0
+        cache_hit: bool | None = None
         try:
             if self.backend == "process":
-                outputs, cycles, tiles = self._forward_process(batch)
+                outputs, cycles, tiles, cache_hit = self._forward_process(batch)
             else:
-                outputs, cycles, tiles = self._forward_thread(batch)
+                outputs, cycles, tiles, cache_hit = self._forward_thread(batch)
             batch.resolve(outputs)
             failed = False
         except BaseException as error:  # noqa: BLE001 - relayed to clients
@@ -272,6 +295,11 @@ class InferenceServer:
             stats.batches += 1
             stats.cycles += cycles
             stats.tiles += tiles
+            if cache_hit is not None:
+                if cache_hit:
+                    stats.plan_cache_hits += 1
+                else:
+                    stats.plan_cache_misses += 1
             if failed:
                 stats.failures += len(batch.requests)
             for request in batch:
@@ -295,8 +323,15 @@ class InferenceServer:
             "failures": sum(s["failures"] for s in per_model.values()),
             "cycles": sum(s["cycles"] for s in per_model.values()),
             "tiles": sum(s["tiles"] for s in per_model.values()),
+            "plan_cache": {
+                "hits": sum(s["plan_cache"]["hits"]
+                            for s in per_model.values()),
+                "misses": sum(s["plan_cache"]["misses"]
+                              for s in per_model.values()),
+            },
         }
         batches = totals["batches"]
         totals["mean_batch_size"] = totals["samples"] / batches if batches else 0.0
         return {"totals": totals, "per_model": per_model,
+                "backend": self.backend, "kernel": self.kernel,
                 "registry": self.registry.stats()}

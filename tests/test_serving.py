@@ -17,6 +17,7 @@ import pytest
 
 from repro.combining import (
     GROUPING_ENGINES,
+    KERNELS,
     PRUNE_ENGINES,
     PackedModel,
     PipelineConfig,
@@ -80,11 +81,14 @@ def request_stream(count: int, seed: int, max_request: int = 3) -> list[np.ndarr
             for _ in range(count)]
 
 
-def direct_forward(model, mode: str, batch: np.ndarray) -> np.ndarray:
+def direct_forward(model, mode: str, batch: np.ndarray,
+                   kernel: str = "blocked") -> np.ndarray:
     """The reference each served response must match bit-for-bit."""
     if mode == "quantized":
-        return model.forward(batch, track_errors=False, batch_invariant=True)
-    return model.forward(batch, mode=mode, batch_invariant=True)
+        return model.forward(batch, track_errors=False, batch_invariant=True,
+                             kernel=kernel)
+    return model.forward(batch, mode=mode, batch_invariant=True,
+                         kernel=kernel)
 
 
 # -- batch-invariant forward (the property serving builds on) ----------------
@@ -585,18 +589,21 @@ def test_server_responses_bit_identical_across_backends(grouping_engine,
     assert totals["cycles"] > 0
 
 
-BACKEND_CELLS = [("thread", 1), ("thread", 2), ("thread", 4)] + [
-    pytest.param("process", workers, marks=pytest.mark.slow)
-    for workers in (1, 2, 4)]
+BACKEND_CELLS = [
+    ("thread", workers, kernel)
+    for workers in (1, 2, 4) for kernel in KERNELS] + [
+    pytest.param("process", workers, kernel, marks=pytest.mark.slow)
+    for workers in (1, 2, 4) for kernel in KERNELS]
 
 
-@pytest.mark.parametrize("backend,workers", BACKEND_CELLS)
+@pytest.mark.parametrize("backend,workers,kernel", BACKEND_CELLS)
 def test_server_bit_identical_across_execution_backends(tmp_path, packed,
                                                         quantized, backend,
-                                                        workers):
-    """The new invariant the plan refactor buys: responses are
-    bit-identical across backend="thread"|"process", worker counts, and
-    arbitrary coalescing, for every serving mode."""
+                                                        workers, kernel):
+    """The serving invariant, per cell of backend x workers x kernel:
+    responses are bit-identical across backend="thread"|"process", worker
+    counts, batch-invariant kernels, and arbitrary coalescing, for every
+    serving mode."""
     path_f = save_packed(packed, tmp_path / "f.npz", model_spec=MODEL_SPEC,
                          compress=False)
     path_q = save_packed(quantized, tmp_path / "q.npz", model_spec=MODEL_SPEC,
@@ -606,12 +613,14 @@ def test_server_bit_identical_across_execution_backends(tmp_path, packed,
     registry.register("mx", path=path_f, mode="mx")
     registry.register("int8", path=path_q, mode="quantized")
     stream = request_stream(8, seed=21)
-    expected = {name: [direct_forward(model, mode, batch) for batch in stream]
+    expected = {name: [direct_forward(model, mode, batch, kernel)
+                       for batch in stream]
                 for name, (model, mode)
                 in {"exact": (packed, "exact"), "mx": (packed, "mx"),
                     "int8": (quantized, "quantized")}.items()}
     with InferenceServer(registry, max_batch=4, max_wait=0.001,
-                         workers=workers, backend=backend) as server:
+                         workers=workers, backend=backend,
+                         kernel=kernel) as server:
         pending = [(name, index, server.submit(name, batch))
                    for index, batch in enumerate(stream)
                    for name in ("exact", "mx", "int8")]
@@ -619,10 +628,11 @@ def test_server_bit_identical_across_execution_backends(tmp_path, packed,
             assert np.array_equal(request.result(60.0),
                                   expected[name][index]), (
                 f"response diverged (backend={backend}, workers={workers}, "
-                f"model={name})")
+                f"kernel={kernel}, model={name})")
         stats = server.stats()
     assert stats["totals"]["failures"] == 0
     assert stats["totals"]["cycles"] > 0
+    assert stats["backend"] == backend and stats["kernel"] == kernel
 
 
 def test_server_rejects_unknown_backend(packed):
@@ -630,6 +640,13 @@ def test_server_rejects_unknown_backend(packed):
     registry.add("m", packed)
     with pytest.raises(ValueError, match="unknown serving backend"):
         InferenceServer(registry, backend="fiber")
+
+
+def test_server_rejects_unknown_kernel(packed):
+    registry = ModelRegistry()
+    registry.add("m", packed)
+    with pytest.raises(ValueError, match="unknown batch-invariant kernel"):
+        InferenceServer(registry, kernel="warp")
 
 
 @pytest.mark.slow
@@ -734,6 +751,52 @@ def test_server_stats_account_requests_batches_and_latency(packed):
     assert all(request.queued_seconds is not None
                and request.service_seconds is not None
                for request in pending)
+
+
+def test_server_stats_expose_plan_cache_hit_rates(packed):
+    """Thread backend: every batch resolves one accounting plan, and
+    repeated (batch size, spatial shape) keys hit the resident model's
+    plan cache — totals must add up exactly."""
+    registry = ModelRegistry()
+    registry.add("m", packed)
+    stream = request_stream(10, seed=11, max_request=1)  # one shape only
+    with InferenceServer(registry, max_batch=1, max_wait=0.0) as server:
+        for batch in stream:
+            server.submit("m", batch).result(30.0)
+        stats = server.stats()
+    totals = stats["totals"]
+    plan_cache = totals["plan_cache"]
+    assert plan_cache["hits"] + plan_cache["misses"] == totals["batches"]
+    # One sample per batch, one spatial shape: exactly one plan compile.
+    assert plan_cache["misses"] == 1
+    assert plan_cache["hits"] == totals["batches"] - 1
+    per_model = stats["per_model"]["m"]["plan_cache"]
+    assert per_model == plan_cache
+
+
+@pytest.mark.slow
+def test_process_backend_plan_caches_pay_per_worker_misses(tmp_path, packed):
+    """Process backend: each worker process owns a private plan cache, so
+    misses duplicate across workers — the stats make that visible (the
+    totals still add up to the batch count)."""
+    path = save_packed(packed, tmp_path / "m.npz", model_spec=MODEL_SPEC,
+                       compress=False)
+    registry = ModelRegistry()
+    registry.register("m", path=path)
+    workers = 2
+    stream = request_stream(12, seed=13, max_request=1)
+    with InferenceServer(registry, max_batch=1, max_wait=0.0,
+                         workers=workers, backend="process") as server:
+        pending = [server.submit("m", batch) for batch in stream]
+        for request in pending:
+            request.result(60.0)
+        stats = server.stats()
+    totals = stats["totals"]
+    plan_cache = totals["plan_cache"]
+    assert plan_cache["hits"] + plan_cache["misses"] == totals["batches"]
+    # One shape served: between 1 (one worker drained everything) and
+    # one miss per worker's private cache.
+    assert 1 <= plan_cache["misses"] <= workers
 
 
 @pytest.mark.slow
