@@ -20,7 +20,13 @@ The full serving path of the reproduction, end to end:
    never bits,
 5. serve the same stream again on the **process backend** and check the
    responses are bit-identical across backends too,
-6. read the per-model latency / batch / systolic-cycle accounting off the
+6. **hot-swap** the float model to a retrained variant while clients are
+   mid-flight (:meth:`~repro.serving.registry.ModelRegistry.swap`): the
+   new artifact loads off to the side and the entry flips atomically, so
+   in-flight requests finish on the old immutable plan, later ones serve
+   the new one, and every response is bit-identical to one of the two
+   artifacts' direct forwards — zero downtime, zero ambiguous bits,
+7. read the per-model latency / batch / systolic-cycle accounting off the
    servers.
 
 Execution architecture
@@ -67,7 +73,12 @@ import numpy as np
 
 from repro.combining import PipelineConfig, PackedModel, QuantizedPackedModel
 from repro.models import build_model
-from repro.serving import InferenceServer, ModelRegistry, save_packed
+from repro.serving import (
+    InferenceServer,
+    ModelRegistry,
+    load_packed,
+    save_packed,
+)
 
 MODEL_KWARGS = {"in_channels": 1, "num_classes": 10, "scale": 1.0,
                 "image_size": 12}
@@ -96,6 +107,20 @@ def build_artifacts(directory: Path) -> dict[str, Path]:
         print(f"saved artifact {name}: {path.name} "
               f"({path.stat().st_size / 1024:.0f} KiB)")
     return paths
+
+
+def build_v2_artifact(directory: Path) -> Path:
+    """A 'retrained' LeNet-5: same architecture, different weights —
+    exactly what a hot-swap target looks like to the registry."""
+    rng = np.random.default_rng(9)
+    model = build_model("lenet5", rng=np.random.default_rng(8),
+                        **MODEL_KWARGS)
+    for _, layer in model.packable_layers():
+        layer.weight.data *= rng.random(layer.weight.data.shape) < 0.2
+    packed = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
+    spec = {"name": "lenet5", "kwargs": MODEL_KWARGS}
+    return save_packed(packed, directory / "lenet5.v2.packed.npz",
+                       model_spec=spec, compress=False)
 
 
 def build_registry(paths: dict[str, Path]) -> ModelRegistry:
@@ -167,6 +192,40 @@ def main() -> None:
             for index in range(len(requests)))
         print(f"process backend: responses bit-identical to thread backend: "
               f"{matches}/{len(requests)}")
+
+        # Live hot swap: cut "lenet5" over to the retrained variant while
+        # clients are mid-flight.  The new artifact loads off to the side
+        # (old plan keeps serving — no drain, no downtime) and the entry
+        # flips atomically; every response must be bit-identical to one
+        # of the two artifacts' direct forwards.
+        v2_path = build_v2_artifact(Path(tmp))
+        old_direct = load_packed(paths["lenet5"])
+        new_direct = load_packed(v2_path)
+        swap_registry = build_registry(paths)
+        swap_samples = [rng.normal(size=(1, 12, 12)) for _ in range(24)]
+        with InferenceServer(swap_registry, max_batch=8, max_wait=0.002,
+                             workers=2) as server:
+            pending = [server.submit("lenet5", sample)
+                       for sample in swap_samples]
+            swap_info = swap_registry.swap("lenet5", v2_path)
+            outputs = [request.result(timeout=30.0) for request in pending]
+        old_count = sum(
+            np.array_equal(output,
+                           old_direct.forward(sample[None],
+                                              batch_invariant=True)[0])
+            for sample, output in zip(swap_samples, outputs))
+        new_count = sum(
+            np.array_equal(output,
+                           new_direct.forward(sample[None],
+                                              batch_invariant=True)[0])
+            for sample, output in zip(swap_samples, outputs))
+        print(f"hot swap under traffic: generation "
+              f"{swap_info['generation']}, fingerprint "
+              f"{swap_info['previous_fingerprint'][:8]} -> "
+              f"{swap_info['fingerprint'][:8]}; "
+              f"{old_count} responses on the old artifact, {new_count} on "
+              f"the new, {len(swap_samples) - old_count - new_count} "
+              f"ambiguous")
 
         for label, run_stats in [("thread", stats), ("process", process_stats)]:
             totals = run_stats["totals"]

@@ -29,7 +29,7 @@ python -m pytest -x -q -m "not slow" tests/test_combining_quantized.py \
 
 echo "== serving suites (serialization round-trip + batcher/registry/server) =="
 python -m pytest -x -q -m "not slow" tests/test_combining_serialization.py \
-    tests/test_serving.py
+    tests/test_serving.py tests/test_serving_hotswap.py
 
 echo "== execution-plan differential suite (plan vs legacy, V2/mmap loads) =="
 python -m pytest -x -q -m "not slow" tests/test_combining_plan.py
@@ -48,6 +48,7 @@ python -m pytest -x -q -m "not slow" \
     --ignore=tests/test_experiments_quant_sweep.py \
     --ignore=tests/test_combining_serialization.py \
     --ignore=tests/test_serving.py \
+    --ignore=tests/test_serving_hotswap.py \
     --ignore=tests/test_combining_plan.py \
     --ignore=tests/test_combining_kernels.py "$@"
 quick_elapsed=$(( $(date +%s) - quick_start ))

@@ -33,7 +33,11 @@ Three subcommands cover the library's main workflows:
     re-pack cold start, then dynamic batching vs one-request-at-a-time
     throughput through the :class:`~repro.serving.server.InferenceServer`
     (``--kernel`` picks the batch-invariant kernel; the accounting
-    plan-cache hit/miss totals are reported alongside).
+    plan-cache hit/miss totals are reported alongside).  ``--swaps N``
+    additionally exercises live hot swap: the model is cut over between
+    the artifact and a perturbed copy N times while requests are in
+    flight, and every response must be bit-identical to one of the two
+    artifacts' direct forwards.
 ``train``
     Run Algorithm 1 (iterative pruning + column combining + retraining) on
     one of the built-in shift + pointwise networks over the synthetic
@@ -293,6 +297,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batch-invariant kernel every forward runs: "
                             "'blocked' (fixed-schedule BLAS dispatch) or "
                             "'loops' (the einsum reference)")
+    serve.add_argument("--swaps", type=int, default=0,
+                       help="additionally exercise live hot swap: cut the "
+                            "model over between the artifact and a perturbed "
+                            "copy this many times while requests are in "
+                            "flight (0 = skip; float artifacts only)")
     serve.add_argument("--seed", type=int, default=0)
 
     train = subparsers.add_parser("train", help="run Algorithm 1 on a built-in model")
@@ -610,6 +619,30 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
           f"{plan_cache['misses']} misses"
           + (" (per-process caches each pay their own misses)"
              if args.backend == "process" else ""))
+    if args.swaps > 0:
+        from repro.serving.bench import hot_swap_benchmark
+
+        try:
+            swap = hot_swap_benchmark(
+                args.path, swaps=args.swaps, max_batch=args.max_batch,
+                max_wait=args.max_wait, workers=args.workers,
+                backend=args.backend, image_size=args.image_size,
+                seed=args.seed, kernel=args.kernel)
+        except (PackedArtifactError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(format_table(
+            ["hot swap", "value"],
+            [("cutovers", f"{swap['swaps']}"),
+             ("requests under swap", f"{swap['requests']}"),
+             ("swap seconds (mean)", f"{swap['swap_seconds']['mean']:.4f}"),
+             ("swap seconds (max)", f"{swap['swap_seconds']['max']:.4f}"),
+             ("old-artifact responses", f"{swap['old_bits']}"),
+             ("new-artifact responses", f"{swap['new_bits']}"),
+             ("final generation", f"{swap['final_generation']}")]))
+        print(f"hot swap under traffic: every response bit-identical to one "
+              f"artifact's direct forward: {swap['bit_exact']} "
+              f"({swap['failures']} failed, {swap['mismatched']} ambiguous)")
     return 0
 
 

@@ -132,6 +132,68 @@ def fingerprint_packed(packed: PackedFilterMatrix) -> str:
     return digest.hexdigest()
 
 
+def _content_digest(arrays: dict[str, np.ndarray],
+                    meta: dict[str, Any]) -> str:
+    """Hex blake2b digest over an artifact's full content.
+
+    Covers every stored array (packed layers, nn state / plan blobs,
+    quantizer scales) plus the metadata itself, so *any* change to what
+    the artifact serves — weights, biases, batch-norm statistics,
+    calibration scales, layer structure — changes the digest, while
+    re-saving identical content reproduces it (container timestamps and
+    compression settings do not participate).  Stored in the metadata at
+    save time so :func:`artifact_fingerprint` can probe it without a
+    full load.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(json.dumps(meta, sort_keys=True).encode())
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _file_digest(path: Path) -> str:
+    """Fallback whole-artifact fingerprint for legacy artifacts.
+
+    Artifacts saved before the content digest existed carry no
+    ``fingerprint`` in their metadata; hashing the container bytes still
+    yields a token that changes whenever the file changes, which is all
+    the hot-swap cache keying needs.  The prefix keeps the two digest
+    namespaces from ever colliding.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return f"file-{digest.hexdigest()}"
+
+
+def artifact_fingerprint(path: str | Path) -> str:
+    """The artifact's whole-content fingerprint, without a full load.
+
+    The cheap probe behind :meth:`ModelRegistry.swap
+    <repro.serving.registry.ModelRegistry.swap>` and the worker-process
+    plan caches: reads only the metadata entry (artifacts written by the
+    current :func:`save_packed` store their content digest there) and
+    falls back to hashing the container bytes for legacy artifacts.
+    Two artifacts with identical served content fingerprint identically;
+    any change to weights, state, scales, or structure changes the
+    token.
+    """
+    path = Path(path)
+    with _open_artifact(path) as data:
+        meta = _read_meta(data, path)
+    fingerprint = meta.get("fingerprint")
+    if fingerprint:
+        return str(fingerprint)
+    return _file_digest(path)
+
+
 def _grouping_arrays(grouping: ColumnGrouping) -> tuple[np.ndarray, np.ndarray]:
     """Flatten a grouping into (member columns in group order, group sizes)."""
     flat_columns = np.fromiter(
@@ -364,6 +426,9 @@ def save_packed(model: PackedModel | QuantizedPackedModel,
         meta["state"] = state_meta
         meta["buffers"] = buffers_meta
         meta["plan"] = plan_meta
+    # The whole-content digest goes into the metadata itself, so probing
+    # it later (artifact_fingerprint) never has to touch the arrays.
+    meta["fingerprint"] = _content_digest(arrays, meta)
     arrays["meta"] = np.array(json.dumps(meta, sort_keys=True))
 
     path = Path(path)
@@ -521,6 +586,8 @@ def artifact_info(path: str | Path) -> dict[str, Any]:
     path = Path(path)
     with _open_artifact(path) as data:
         meta = _read_meta(data, path)
+    if not meta.get("fingerprint"):
+        meta["fingerprint"] = _file_digest(path)
     meta["path"] = str(path)
     meta["file_bytes"] = path.stat().st_size
     return meta

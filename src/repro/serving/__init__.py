@@ -47,9 +47,32 @@ picklable op tree; running it touches no shared state, so:
 * :func:`~repro.combining.serialization.load_plan` with ``mmap="auto"``
   maps a V2 uncompressed artifact's arrays straight out of the page
   cache, so N processes serving one artifact share one resident copy;
-* the process backend ships ``(artifact path, mode, batch)`` to
-  persistent workers that map the plan themselves — one batch of
-  activations crosses the boundary each way, never a model.
+* the process backend ships ``(artifact path, content fingerprint,
+  mode, batch)`` to persistent workers that map the plan themselves —
+  one batch of activations crosses the boundary each way, never a model.
+
+Live redeploy (hot swap)
+------------------------
+
+Immutable plans are also what make zero-downtime model updates trivial:
+:meth:`~repro.serving.registry.ModelRegistry.swap` loads a new artifact
+off to the side (old plan keeps serving every in-flight and queued
+forward — no drain, no request-blocking lock) and atomically flips the
+resident entry once the new plan is ready; the next batch serves the
+new bits.  Compatibility (serving kind, per-layer shape skeleton) is
+verified against :func:`~repro.combining.serialization.artifact_info`
+*before* the flip, so a bad swap never degrades the live entry.  Every
+artifact carries a content **fingerprint**
+(:func:`~repro.combining.serialization.artifact_fingerprint`, stored in
+the metadata at save time) and every swap bumps the entry's
+**generation**; the process backend keys its per-worker plan caches on
+``(path, fingerprint)`` — a hot swap takes effect in every warm worker
+on its next batch, and an artifact overwritten in place *without* a
+swap fails loudly in the worker rather than serving ambiguous bits.
+:meth:`~repro.serving.registry.ModelRegistry.swap_live` is the same
+cutover for an already-built model object (the entry becomes pinned).
+Swap counts and per-model generations surface in
+``ModelRegistry.stats()`` / ``InferenceServer.stats()``.
 
 Pick ``backend="thread"`` (default) for low request rates, live
 (``add()``-registered) models, or when artifacts are compressed; pick
@@ -97,6 +120,7 @@ from repro.combining.serialization import (
     ARTIFACT_KINDS,
     FORMAT_VERSION,
     PackedArtifactError,
+    artifact_fingerprint,
     artifact_info,
     fingerprint_packed,
     load_packed,
@@ -112,6 +136,7 @@ __all__ = [
     "ARTIFACT_KINDS",
     "FORMAT_VERSION",
     "PackedArtifactError",
+    "artifact_fingerprint",
     "artifact_info",
     "fingerprint_packed",
     "load_packed",

@@ -22,6 +22,13 @@ asserted by ``benchmarks/test_bench_serving.py``):
   must stay bit-identical across every (backend, workers) cell — the
   invariant the plan refactor bought.
 
+:func:`hot_swap_benchmark` measures live redeploy: clients keep
+submitting while :meth:`~repro.serving.registry.ModelRegistry.swap`
+repeatedly cuts the model over between two artifacts, and every response
+must be bit-identical to one of the two artifacts' direct forwards —
+zero dropped requests, zero ambiguous bits — while the swap wall time
+(probe + side-load + atomic flip) is reported per cutover.
+
 A fourth measurement justifies the blocked batch-invariant kernel:
 :func:`kernel_gap_benchmark` times the packed-layer contractions of one
 model three ways — the ``"loops"`` einsum kernel, the ``"blocked"``
@@ -283,6 +290,144 @@ def run_serving_benchmark(path: str | Path, requests: int = 96,
                                       kernel=kernel)
     return {"kind": info["kind"], "sample_shape": shape,
             "cold_start": cold, "throughput": throughput}
+
+
+def _perturbed_artifact_copy(loaded: PackedModel, destination: Path,
+                             model_spec: dict[str, Any] | None = None
+                             ) -> PackedModel:
+    """Save a same-architecture artifact whose forward produces different bits.
+
+    Perturbs the first **non-packed** parameter (classifier weights /
+    biases — packed conv weights are realized into the plan's arrays at
+    pack time, so touching them would not change the artifact's packed
+    forward) and repacks, restoring the source model afterwards.  The
+    result is exactly what a retrained checkpoint looks like to the
+    registry: same layer signature, different content fingerprint,
+    measurably different outputs.
+    """
+    model = loaded.model
+    if model is None or loaded.pipeline_config is None:
+        raise ValueError(
+            "hot-swap benchmark needs a model-backed artifact with a "
+            "recorded pipeline config")
+    packed_weights = {id(layer.weight)
+                      for _, layer in model.packable_layers()}
+    target = None
+    for _, parameter in model.named_parameters():
+        if id(parameter) not in packed_weights:
+            target = parameter
+            break
+    if target is None:
+        raise ValueError("model has no non-packed parameter to perturb")
+    original = target.data
+    target.data = original + 0.01
+    try:
+        config = dataclasses.replace(loaded.pipeline_config, workers=1)
+        repacked = PackedModel.from_model(model, config)
+        from repro.combining.serialization import save_packed
+
+        save_packed(repacked, destination, model_spec=model_spec,
+                    compress=False)
+    finally:
+        target.data = original
+    return load_packed(destination)
+
+
+def hot_swap_benchmark(path: str | Path, swaps: int = 4,
+                       requests_per_swap: int = 24, max_batch: int = 8,
+                       max_wait: float = 0.001, workers: int = 2,
+                       backend: str = "thread", image_size: int = 8,
+                       seed: int = 0, kernel: str = DEFAULT_KERNEL
+                       ) -> dict[str, Any]:
+    """Repeated live cutovers under traffic; every response old or new bits.
+
+    Builds a perturbed same-architecture copy of the artifact, then
+    alternates ``registry.swap`` between the two **while requests are in
+    flight**: each round submits ``requests_per_swap`` single-sample
+    requests and swaps mid-stream.  Every response must be bit-identical
+    to the direct batch-invariant forward of *one of the two* artifacts
+    (in-flight batches finish on the old immutable plan, later batches
+    serve the new one — nothing in between exists), and no request may
+    fail or hang.  Reports per-swap wall time (artifact probe +
+    side-load + atomic flip — the old plan serves throughout, so this is
+    deploy latency, not downtime) plus the old/new response split and
+    the registry's final generation.
+    """
+    import tempfile
+
+    from repro.combining.serialization import artifact_info
+
+    if swaps < 1:
+        raise ValueError("swaps must be >= 1")
+    validate_kernel(kernel)
+    loaded = load_packed(path)
+    if isinstance(loaded, QuantizedPackedModel):
+        raise ValueError(
+            "hot-swap benchmark perturbs float model state; pass a float "
+            "packed artifact")
+    info = artifact_info(path)
+    shape = resolve_sample_shape(loaded, image_size,
+                                 model_spec=info.get("model_spec"))
+    rng = np.random.default_rng(seed)
+    direct_old = _direct_reference(loaded, kernel=kernel)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        alt_path = Path(tmp) / "swap-target.npz"
+        alt = _perturbed_artifact_copy(loaded, alt_path,
+                                       model_spec=info.get("model_spec"))
+        direct_new = _direct_reference(alt, kernel=kernel)
+
+        registry = ModelRegistry(max_resident=2)
+        registry.register("bench", path=path, mode="exact")
+        targets = (alt_path, Path(path))
+        swap_seconds: list[float] = []
+        old_bits = new_bits = mismatched = failures = 0
+        started = monotonic()
+        with InferenceServer(registry, max_batch=max_batch,
+                             max_wait=max_wait, workers=workers,
+                             backend=backend, kernel=kernel) as server:
+            for index in range(swaps):
+                samples = rng.normal(size=(requests_per_swap, *shape))
+                pending = [server.submit("bench", sample)
+                           for sample in samples]
+                swap_started = monotonic()
+                registry.swap("bench", targets[index % 2])
+                swap_seconds.append(monotonic() - swap_started)
+                for sample, request in zip(samples, pending):
+                    try:
+                        output = request.result(timeout=120.0)
+                    except Exception:  # noqa: BLE001 - counted, not raised
+                        failures += 1
+                        continue
+                    if np.array_equal(output, direct_old(sample)):
+                        old_bits += 1
+                    elif np.array_equal(output, direct_new(sample)):
+                        new_bits += 1
+                    else:
+                        mismatched += 1
+        elapsed = monotonic() - started
+    registry_stats = registry.stats()
+    total = swaps * requests_per_swap
+    return {
+        "backend": backend,
+        "workers": workers,
+        "kernel": kernel,
+        "swaps": swaps,
+        "requests": total,
+        "seconds": elapsed,
+        "throughput": total / elapsed if elapsed else 0.0,
+        "swap_seconds": {
+            "mean": sum(swap_seconds) / len(swap_seconds),
+            "max": max(swap_seconds),
+        },
+        "old_bits": old_bits,
+        "new_bits": new_bits,
+        "mismatched": mismatched,
+        "failures": failures,
+        "bit_exact": mismatched == 0 and failures == 0,
+        "final_generation": registry_stats["generations"]["bench"],
+        "registry_swaps": registry_stats["swaps"],
+    }
 
 
 def kernel_gap_benchmark(loaded: PackedModel | QuantizedPackedModel,

@@ -1,14 +1,19 @@
 """Persistent worker processes running mmap-shared execution plans.
 
-The process serving backend ships ``(artifact path, mode, batch)`` to a
-pool of long-lived worker processes instead of running the forward on a
-server thread.  Each worker lazily loads the artifact **once** through
+The process serving backend ships ``(artifact path, content fingerprint,
+mode, batch)`` to a pool of long-lived worker processes instead of
+running the forward on a server thread.  Each worker lazily loads the
+artifact **once per content generation** through
 :func:`~repro.combining.serialization.load_plan` with ``mmap="auto"``
 and caches the resulting :class:`~repro.combining.execplan.ExecutionPlan`
-in its own module globals — so N workers serving one V2 uncompressed
-artifact share a single resident copy of the packed arrays through the
-page cache, and the cost of crossing the process boundary is one batch
-of activations each way, never a model.
+in its own module globals, keyed by ``(path, fingerprint)`` — so N
+workers serving one V2 uncompressed artifact share a single resident
+copy of the packed arrays through the page cache, the cost of crossing
+the process boundary is one batch of activations each way (never a
+model), and a hot-swapped artifact takes effect in every warm worker on
+its next batch: the registry's new fingerprint misses the cache, the
+worker re-verifies the file against it, and the superseded plan ages out
+of the bounded LRU.
 
 Because plan execution is batch-invariant and bit-exact to the legacy
 in-process path, responses computed in a worker process are bit-identical
@@ -23,29 +28,61 @@ parent.
 
 from __future__ import annotations
 
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 import numpy as np
 
 from repro.combining.kernels import DEFAULT_KERNEL
+from repro.utils.lru import LRUCache
 
-#: Per-process plan cache: artifact path -> loaded ExecutionPlan.  Lives
-#: in the worker's own interpreter; the parent never touches it.
-_PLAN_CACHE: dict[str, object] = {}
+#: How many distinct ``(path, fingerprint)`` plans one worker keeps
+#: resident.  Plans are the expensive entries (they pin the mmap'd
+#: arrays), and a worker serving a registry that hot-swaps artifacts
+#: would otherwise accumulate every superseded generation forever.
+PLAN_CACHE_SIZE = 4
+
+#: Bound on the per-worker systolic accounting-plan cache — its key
+#: space (artifact x batch size x observed spatial map) is unbounded
+#: under varied traffic.
+BATCH_PLAN_CACHE_SIZE = 32
+
+#: Per-process plan cache: ``(artifact path, content fingerprint)`` ->
+#: loaded ExecutionPlan.  Lives in the worker's own interpreter; the
+#: parent never touches it.  Keying by fingerprint — not path alone — is
+#: what makes artifact hot-swap safe: after a
+#: :meth:`~repro.serving.registry.ModelRegistry.swap` the registry hands
+#: out the new content token, so a warm worker can never serve a
+#: superseded plan it cached under the same path.
+_PLAN_CACHE: LRUCache = LRUCache(PLAN_CACHE_SIZE)
 
 #: Per-process systolic batch-plan cache, keyed like
-#: ResidentModel._plans but per artifact.
-_BATCH_PLAN_CACHE: dict[tuple, object] = {}
+#: ResidentModel's accounting cache but per (artifact, fingerprint).
+_BATCH_PLAN_CACHE: LRUCache = LRUCache(BATCH_PLAN_CACHE_SIZE)
 
 
-def _plan_for(path: str):
-    plan = _PLAN_CACHE.get(path)
+def _plan_for(path: str, fingerprint: str | None = None):
+    key = (path, fingerprint)
+    plan = _PLAN_CACHE.get(key)
     if plan is None:
-        from repro.combining.serialization import load_plan
+        from repro.combining.serialization import (
+            PackedArtifactError,
+            artifact_fingerprint,
+            load_plan,
+        )
 
+        if fingerprint is not None:
+            actual = artifact_fingerprint(path)
+            if actual != fingerprint:
+                raise PackedArtifactError(
+                    f"{path} changed on disk: the registry expects content "
+                    f"fingerprint {fingerprint} but the artifact now "
+                    f"fingerprints as {actual}; cut the model over with "
+                    "ModelRegistry.swap(name, path) instead of overwriting "
+                    "its artifact in place")
         plan = load_plan(path, mmap="auto")
-        _PLAN_CACHE[path] = plan
+        _PLAN_CACHE.put(key, plan)
     return plan
 
 
@@ -55,7 +92,8 @@ def _warm_worker() -> int:
 
 
 def _run_plan_batch(path: str, mode: str, batch: np.ndarray,
-                    kernel: str = DEFAULT_KERNEL
+                    kernel: str = DEFAULT_KERNEL,
+                    fingerprint: str | None = None
                     ) -> tuple[np.ndarray, int, int, bool | None]:
     """One serving forward inside a worker:
     ``(outputs, cycles, tiles, plan_cache_hit)``.
@@ -68,21 +106,28 @@ def _run_plan_batch(path: str, mode: str, batch: np.ndarray,
     worker's* ``_BATCH_PLAN_CACHE``: each process pays its own misses, so
     the server-side hit/miss totals expose how much accounting work the
     process backend duplicates across workers.
+
+    ``fingerprint`` is the content token the registry probed for the
+    artifact; both caches key on it, and a cache miss re-verifies it
+    against the file before loading, so a warm worker can neither serve a
+    superseded cached plan nor silently adopt an artifact that was
+    overwritten in place behind the registry's back.
     """
-    plan = _plan_for(path)
+    plan = _plan_for(path, fingerprint)
     observed: dict[str, tuple[int, int]] = {}
     outputs = plan.forward(batch, mode=mode, batch_invariant=True,
                            observed=observed, kernel=kernel)
     cycles = tiles = 0
     cache_hit: bool | None = None
     try:
-        key = (path, batch.shape[0], tuple(sorted(observed.items())))
+        key = (path, fingerprint, batch.shape[0],
+               tuple(sorted(observed.items())))
         batch_plan = _BATCH_PLAN_CACHE.get(key)
         cache_hit = batch_plan is not None
         if batch_plan is None:
             batch_plan = plan.execution_plan(observed=observed,
                                              batch=batch.shape[0])
-            _BATCH_PLAN_CACHE[key] = batch_plan
+            _BATCH_PLAN_CACHE.put(key, batch_plan)
         cycles, tiles = batch_plan.total_cycles, batch_plan.total_tiles
     except Exception:  # noqa: BLE001 - accounting is best-effort
         cache_hit = None
@@ -97,11 +142,15 @@ class ProcessWorkerPool:
     drain thread) while the pool provides the parallel compute.
     """
 
-    def __init__(self, workers: int):
+    def __init__(self, workers: int, start_method: str | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
-        self._executor = ProcessPoolExecutor(max_workers=workers)
+        self.start_method = start_method
+        context = (multiprocessing.get_context(start_method)
+                   if start_method is not None else None)
+        self._executor = ProcessPoolExecutor(max_workers=workers,
+                                             mp_context=context)
 
     def warm(self) -> None:
         """Fork every worker now (call before any threads exist)."""
@@ -111,12 +160,17 @@ class ProcessWorkerPool:
             future.result()
 
     def run(self, path: str | Path, mode: str, batch: np.ndarray,
-            kernel: str = DEFAULT_KERNEL
+            kernel: str = DEFAULT_KERNEL, fingerprint: str | None = None
             ) -> tuple[np.ndarray, int, int, bool | None]:
         """Run one batch in a worker process; returns
-        ``(outputs, cycles, tiles, plan_cache_hit)``."""
+        ``(outputs, cycles, tiles, plan_cache_hit)``.
+
+        ``fingerprint`` pins which artifact *content* the worker must
+        serve — its plan cache keys on it, so a swap-updated registry is
+        never answered from a superseded cached plan.
+        """
         future = self._executor.submit(_run_plan_batch, str(path), mode, batch,
-                                       kernel)
+                                       kernel, fingerprint)
         return future.result()
 
     def shutdown(self) -> None:

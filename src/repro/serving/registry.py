@@ -24,6 +24,21 @@ Loads are guarded by **per-entry** locks: concurrent ``get`` calls for
 one name still load its artifact exactly once, but a slow load of one
 model never serializes loads (or cache hits) of unrelated models behind
 a registry-wide lock.
+
+Live redeploy: :meth:`ModelRegistry.swap` cuts a registered name over to
+an updated artifact **under traffic**.  The new artifact is probed
+(content fingerprint, serving-mode and layer-architecture compatibility
+via :func:`~repro.combining.serialization.artifact_info`) and loaded off
+to the side under the entry's ``load_lock``; only then does the resident
+entry atomically flip.  In-flight forwards keep running on the old
+:class:`~repro.combining.execplan.ExecutionPlan` — plans are immutable,
+so no drain or request-blocking is needed — and the next ``get()``
+serves the new plan.  Every swap bumps the entry's **generation** and
+re-probes its **fingerprint**, the token the process serving backend
+keys its per-worker plan caches on, so warm worker processes can never
+serve a superseded artifact.  :meth:`ModelRegistry.swap_live` is the
+same cutover for an already-built model object (the entry becomes
+pinned, like :meth:`ModelRegistry.add`).
 """
 
 from __future__ import annotations
@@ -41,12 +56,33 @@ from repro.combining.execplan import ExecutionPlan
 from repro.combining.inference import PackedModel
 from repro.combining.kernels import DEFAULT_KERNEL
 from repro.combining.quantized import QuantizedPackedModel
-from repro.combining.serialization import load_plan
+from repro.combining.serialization import artifact_info, load_plan
 from repro.nn import Module
 from repro.systolic.system import ModelExecutionPlan
+from repro.utils.lru import LRUCache
 
 #: Execution backends a registered model can serve under.
 SERVING_MODES: tuple[str, ...] = ("exact", "mx", "quantized")
+
+#: Bound on each resident model's systolic accounting-plan cache — its
+#: key space (batch size x observed spatial map) is unbounded under
+#: varied traffic, and the plans themselves are only accounting.
+ACCOUNTING_PLAN_CACHE_SIZE = 32
+
+#: ``((layer name, (rows, cols)), ...)`` — the per-layer shape skeleton
+#: a swap target must reproduce.
+_LayerSignature = tuple[tuple[str, tuple[int, int]], ...]
+
+
+def _signature_from_info(info: dict[str, Any]) -> _LayerSignature:
+    return tuple((str(layer["name"]),
+                  tuple(int(side) for side in layer["original_shape"]))
+                 for layer in info["layers"])
+
+
+def _signature_from_plan(plan: ExecutionPlan) -> _LayerSignature:
+    return tuple((op.name, tuple(op.packed.original_shape))
+                 for op in plan.packed_ops)
 
 
 @dataclass
@@ -55,7 +91,11 @@ class _Registration:
 
     ``load_lock`` serializes loads *of this entry only*: the registry
     lock is never held across a load, so unrelated entries load (and
-    serve cache hits) concurrently.
+    serve cache hits) concurrently.  ``fingerprint`` is the artifact's
+    content token (probed at registration / swap time, never trusted
+    stale); ``generation`` counts cutovers — 1 for the original
+    registration, +1 per swap.  ``layer_signature`` pins the per-layer
+    shape skeleton a swap target must reproduce.
     """
 
     name: str
@@ -63,6 +103,9 @@ class _Registration:
     path: Path | None = None
     architecture: Module | None = None
     resident: "ResidentModel | None" = None
+    fingerprint: str | None = None
+    generation: int = 1
+    layer_signature: _LayerSignature | None = None
     load_lock: threading.Lock = field(default_factory=threading.Lock)
 
     @property
@@ -120,11 +163,18 @@ class ResidentModel:
             plan = source.compile_plan()
         #: The immutable execution plan every forward runs through.
         self.plan = plan
+        #: Content fingerprint of the artifact this entry was loaded
+        #: from (None for live models) and the registration generation
+        #: it belongs to — stamped by the registry, bumped per swap.
+        self.fingerprint: str | None = None
+        self.generation = 1
         #: Optional exclusivity for callers that want it; forwards do not
         #: need it (plan execution never mutates shared state).
         self.lock = threading.Lock()
         self._plans_lock = threading.Lock()
-        self._plans: dict[tuple, ModelExecutionPlan] = {}
+        #: LRU-bounded: the (batch size, spatial map) key space is
+        #: unbounded under varied traffic.
+        self._plans: LRUCache = LRUCache(ACCOUNTING_PLAN_CACHE_SIZE)
         #: Accounting-plan cache hits / misses (guarded by ``_plans_lock``).
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
@@ -199,6 +249,12 @@ class ResidentModel:
             plan = self._plans.setdefault(key, plan)
         return plan, False
 
+    @property
+    def accounting_cache_size(self) -> int:
+        """How many accounting plans are cached right now (bounded)."""
+        with self._plans_lock:
+            return len(self._plans)
+
 
 class ModelRegistry:
     """Thread-safe name -> execution plan mapping with bounded residency.
@@ -223,6 +279,7 @@ class ModelRegistry:
         self.loads = 0
         self.hits = 0
         self.evictions = 0
+        self.swaps = 0
         self.load_seconds = 0.0
 
     # -- registration --------------------------------------------------------
@@ -235,14 +292,23 @@ class ModelRegistry:
         ``model_spec`` (it is handed to
         :func:`~repro.combining.serialization.load_plan` on every load,
         so an evicted-and-reloaded model reuses the same object).
+
+        Registration probes the artifact's metadata (cheap — no arrays
+        are loaded) to pin its content fingerprint and per-layer shape
+        signature: the fingerprint is what keys the process backend's
+        worker caches, and the signature is what a later
+        :meth:`swap` target must reproduce.
         """
         path = Path(path)
         if not path.exists():
             raise FileNotFoundError(f"packed artifact {path} does not exist")
+        info = artifact_info(path)
         with self._lock:
             self._check_registration(name, mode)
             self._registrations[name] = _Registration(
-                name=name, mode=mode, path=path, architecture=architecture)
+                name=name, mode=mode, path=path, architecture=architecture,
+                fingerprint=str(info["fingerprint"]),
+                layer_signature=_signature_from_info(info))
 
     def add(self, name: str,
             model: PackedModel | QuantizedPackedModel | ExecutionPlan,
@@ -264,7 +330,8 @@ class ModelRegistry:
         with self._lock:
             self._check_registration(name, mode)
             self._registrations[name] = _Registration(
-                name=name, mode=mode, resident=resident)
+                name=name, mode=mode, resident=resident,
+                layer_signature=_signature_from_plan(resident.plan))
 
     def _check_registration(self, name: str, mode: str) -> None:
         """Validate under the caller's lock hold (check + insert are atomic)."""
@@ -291,12 +358,17 @@ class ModelRegistry:
         with self._lock:
             return name in self._registrations
 
-    def registration_info(self, name: str) -> tuple[Path | None, str]:
-        """``(artifact path, serving mode)`` for a registered name.
+    def registration_info(self, name: str
+                          ) -> tuple[Path | None, str, str | None]:
+        """``(artifact path, serving mode, content fingerprint)`` for a name.
 
-        Pinned live models have no path.  The process serving backend
-        uses this to ship (path, mode) — instead of a loaded model — to
-        its workers, which map the artifact themselves.
+        Pinned live models have no path (and no fingerprint).  The
+        process serving backend uses this to ship
+        (path, mode, fingerprint) — instead of a loaded model — to its
+        workers, which map the artifact themselves and key their plan
+        caches by ``(path, fingerprint)``; after a :meth:`swap`, the new
+        fingerprint is what forces every warm worker onto the new
+        artifact.
         """
         with self._lock:
             registration = self._registrations.get(name)
@@ -304,7 +376,8 @@ class ModelRegistry:
                 raise KeyError(
                     f"unknown model {name!r}; registered models: "
                     f"{self.names()}")
-            return registration.path, registration.mode
+            return (registration.path, registration.mode,
+                    registration.fingerprint)
 
     def get(self, name: str) -> ResidentModel:
         """The resident model for ``name``, loading (and evicting) as needed.
@@ -330,20 +403,29 @@ class ModelRegistry:
                 self._resident.move_to_end(name)
                 return resident
         with registration.load_lock:
-            # Double-check: another thread may have finished this load
-            # while we waited on the entry lock.
+            # Double-check: another thread may have finished this load —
+            # or a swap_live may have pinned a fresh entry — while we
+            # waited on the entry lock.
             with self._lock:
+                if registration.resident is not None:
+                    self.hits += 1
+                    return registration.resident
                 resident = self._resident.get(name)
                 if resident is not None:
                     self.hits += 1
                     self._resident.move_to_end(name)
                     return resident
+                # Snapshot under the lock: stable for the duration of
+                # the load (swaps also serialize on load_lock).
+                path, architecture = registration.path, registration.architecture
+                mode, fingerprint = registration.mode, registration.fingerprint
+                generation = registration.generation
             started = time.monotonic()
-            loaded = load_plan(registration.path,
-                               model=registration.architecture,
-                               mmap=self.mmap)
+            loaded = load_plan(path, model=architecture, mmap=self.mmap)
             elapsed = time.monotonic() - started
-            resident = ResidentModel(name, registration.mode, loaded)
+            resident = ResidentModel(name, mode, loaded)
+            resident.fingerprint = fingerprint
+            resident.generation = generation
             with self._lock:
                 self.loads += 1
                 self.load_seconds += elapsed
@@ -353,6 +435,149 @@ class ModelRegistry:
                     self.evictions += 1
             return resident
 
+    # -- live redeploy (hot swap) --------------------------------------------
+    def _registration_for_swap(self, name: str) -> _Registration:
+        with self._lock:
+            registration = self._registrations.get(name)
+            if registration is None:
+                raise KeyError(
+                    f"unknown model {name!r}; registered models: "
+                    f"{self.names()}")
+            return registration
+
+    @staticmethod
+    def _check_swap_compatible(registration: _Registration,
+                               kind: str, signature: _LayerSignature,
+                               target: str) -> None:
+        """Refuse cutovers the live traffic could not survive.
+
+        Must hold *before* the resident entry flips: a quantized-mode
+        entry needs frozen scales, and the per-layer shape skeleton must
+        match the registration's — in-flight clients keep sending the
+        shapes the old model accepted.
+        """
+        if registration.mode == "quantized" and kind != "quantized":
+            raise ValueError(
+                f"cannot swap model {registration.name!r}: it serves in "
+                f"quantized mode but {target} holds a float packed model "
+                "(no frozen calibration scales)")
+        expected = registration.layer_signature
+        if expected is not None and signature != expected:
+            raise ValueError(
+                f"cannot swap model {registration.name!r}: {target} has a "
+                f"different packed-layer architecture ({len(signature)} "
+                f"layers {[name for name, _ in signature]} vs the "
+                f"registered {len(expected)} layers "
+                f"{[name for name, _ in expected]} / shapes) — swap targets "
+                "must repackage the same architecture")
+
+    def _install_swapped(self, registration: _Registration,
+                         resident: ResidentModel, *, path: Path | None,
+                         fingerprint: str | None,
+                         architecture: Module | None,
+                         signature: _LayerSignature,
+                         load_seconds: float) -> dict[str, Any]:
+        """Atomically cut the entry over (caller holds ``load_lock``)."""
+        with self._lock:
+            previous_fingerprint = registration.fingerprint
+            registration.generation += 1
+            registration.path = path
+            registration.fingerprint = fingerprint
+            registration.architecture = architecture
+            registration.layer_signature = signature
+            resident.generation = registration.generation
+            resident.fingerprint = fingerprint
+            if path is None:
+                # Live model: pinned, never evicted, leaves the LRU.
+                registration.resident = resident
+                self._resident.pop(name := registration.name, None)
+            else:
+                registration.resident = None
+                self._resident[name := registration.name] = resident
+                self._resident.move_to_end(name)
+                while len(self._resident) > self.max_resident:
+                    self._resident.popitem(last=False)
+                    self.evictions += 1
+            self.swaps += 1
+            self.load_seconds += load_seconds
+            return {
+                "name": name,
+                "generation": registration.generation,
+                "fingerprint": fingerprint,
+                "previous_fingerprint": previous_fingerprint,
+                "load_seconds": load_seconds,
+            }
+
+    def swap(self, name: str, path: str | Path,
+             architecture: Module | None = None) -> dict[str, Any]:
+        """Cut a registered name over to an updated artifact, under traffic.
+
+        The new artifact is probed (:func:`artifact_info`: content
+        fingerprint plus serving-mode / layer-architecture compatibility)
+        and loaded **off to the side** under the entry's ``load_lock`` —
+        the old resident keeps serving every in-flight and queued forward
+        throughout, and nothing blocks requests (plans are immutable, so
+        no drain is needed).  Only when the new plan is fully resident
+        does the entry atomically flip: the next ``get()`` (and, via the
+        re-probed fingerprint, the next process-backend batch) serves the
+        new artifact.  Works on artifact-backed *and* pinned live
+        entries (the entry becomes artifact-backed).  Returns the new
+        ``{"generation", "fingerprint", "previous_fingerprint",
+        "load_seconds", "name"}``.
+
+        ``architecture`` replaces the registration's architecture module
+        for this and future loads (defaults to keeping the current one).
+        Incompatible targets (wrong serving kind, different packed-layer
+        skeleton) raise ``ValueError`` before anything flips, so a failed
+        swap never degrades the live entry.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"packed artifact {path} does not exist")
+        registration = self._registration_for_swap(name)
+        with registration.load_lock:
+            info = artifact_info(path)
+            fingerprint = str(info["fingerprint"])
+            signature = _signature_from_info(info)
+            self._check_swap_compatible(registration, str(info["kind"]),
+                                        signature, str(path))
+            if architecture is None:
+                architecture = registration.architecture
+            started = time.monotonic()
+            loaded = load_plan(path, model=architecture, mmap=self.mmap)
+            elapsed = time.monotonic() - started
+            resident = ResidentModel(name, registration.mode, loaded)
+            return self._install_swapped(
+                registration, resident, path=path, fingerprint=fingerprint,
+                architecture=architecture, signature=signature,
+                load_seconds=elapsed)
+
+    def swap_live(self, name: str,
+                  model: PackedModel | QuantizedPackedModel | ExecutionPlan
+                  ) -> dict[str, Any]:
+        """:meth:`swap`, but the replacement is an already-built model.
+
+        The model is compiled to a plan off to the side (old resident
+        keeps serving), checked against the entry's serving mode and
+        layer signature, then atomically installed as a **pinned** live
+        entry — exactly what :meth:`add` would have registered, so the
+        process backend can no longer serve this name afterwards (live
+        models have no artifact to ship).
+        """
+        registration = self._registration_for_swap(name)
+        with registration.load_lock:
+            started = time.monotonic()
+            resident = ResidentModel(name, registration.mode, model)
+            elapsed = time.monotonic() - started
+            signature = _signature_from_plan(resident.plan)
+            kind = "quantized" if resident.plan.bits is not None else "packed"
+            self._check_swap_compatible(registration, kind, signature,
+                                        f"the live {type(model).__name__}")
+            return self._install_swapped(
+                registration, resident, path=None, fingerprint=None,
+                architecture=None, signature=signature,
+                load_seconds=elapsed)
+
     def stats(self) -> dict[str, Any]:
         with self._lock:
             return {
@@ -361,5 +586,9 @@ class ModelRegistry:
                 "loads": self.loads,
                 "hits": self.hits,
                 "evictions": self.evictions,
+                "swaps": self.swaps,
                 "load_seconds": self.load_seconds,
+                "generations": {name: registration.generation
+                                for name, registration
+                                in sorted(self._registrations.items())},
             }

@@ -14,12 +14,25 @@ Two execution backends share this structure (``backend=``):
 
 * ``"thread"`` (default) — each drain thread runs the forward in-process
   on the registry's resident plan.
-* ``"process"`` — each drain thread ships ``(artifact path, mode,
-  batch)`` to a persistent :class:`~repro.serving.procpool.ProcessWorkerPool`
-  worker, which maps the artifact itself (``load_plan(mmap="auto")``,
-  cached per process) and runs the forward outside the GIL.  Only
-  artifact-backed registrations can be served this way — a pinned live
-  model has no path to ship.
+* ``"process"`` — each drain thread ships ``(artifact path, content
+  fingerprint, mode, batch)`` to a persistent
+  :class:`~repro.serving.procpool.ProcessWorkerPool` worker, which maps
+  the artifact itself (``load_plan(mmap="auto")``, cached per process
+  and per content generation) and runs the forward outside the GIL.
+  Only artifact-backed registrations can be served this way — a pinned
+  live model has no path to ship.  If the pool dies (a worker was
+  killed, OOMed, or crashed the interpreter), only the in-flight batch
+  fails: the server rebuilds and rewarms the pool once per incident —
+  with the ``forkserver`` start method, since by then drain threads
+  exist and forking a multi-threaded parent is unsafe — and subsequent
+  batches serve normally (``stats()["totals"]["pool_rebuilds"]``
+  counts the incidents).
+
+Hot swap composes with both backends:
+:meth:`~repro.serving.registry.ModelRegistry.swap` installs a new plan
+off to the side and flips the entry atomically, so in-flight forwards
+finish on the old immutable plan while the next batch serves the new
+one — no drain, no lock, no dropped request.
 
 Responses are bit-identical across backends, worker counts, and batch
 coalescing: every path runs the same batch-invariant plan execution.
@@ -43,6 +56,7 @@ before ``stop`` returns.
 from __future__ import annotations
 
 import threading
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from time import monotonic
 from typing import Any
@@ -152,6 +166,8 @@ class InferenceServer:
         self.backend = backend
         self.kernel = kernel
         self._pool: ProcessWorkerPool | None = None
+        self._pool_lock = threading.Lock()
+        self._pool_rebuilds = 0
         self._threads: list[threading.Thread] = []
         self._started = False
         self._stats_lock = threading.Lock()
@@ -186,16 +202,28 @@ class InferenceServer:
         still pending without coalescing waits; each worker exits once the
         queue reads empty, so every accepted request is answered before
         the threads are joined (and the process pool, if any, released).
+
+        ``timeout`` bounds the **whole** shutdown, not each join: all
+        worker threads share one monotonic deadline, so ``stop(5.0)``
+        returns within ~5 seconds even with many wedged workers (joining
+        each thread with the full timeout would multiply the wait by the
+        worker count).  Threads still alive at the deadline are kept so a
+        later ``stop()`` can finish the join.
         """
         self.batcher.close()
+        deadline = None if timeout is None else monotonic() + timeout
         for thread in self._threads:
-            thread.join(timeout)
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - monotonic()))
+            thread.join(remaining)
         self._threads = [thread for thread in self._threads
                          if thread.is_alive()]
         self._started = bool(self._threads)
-        if self._pool is not None and not self._started:
-            self._pool.shutdown()
-            self._pool = None
+        if not self._started:
+            with self._pool_lock:
+                if self._pool is not None:
+                    self._pool.shutdown()
+                    self._pool = None
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -265,15 +293,52 @@ class InferenceServer:
 
     def _forward_process(self, batch: Batch
                          ) -> tuple[np.ndarray, int, int, bool | None]:
-        """Ship (path, mode, batch) to a pool worker, which maps the plan."""
-        path, mode = self.registry.registration_info(batch.key)
+        """Ship (path, fingerprint, mode, batch) to a pool worker.
+
+        The registry's content fingerprint rides along so the worker's
+        plan cache is keyed by content generation: after a hot swap the
+        very next batch serves the new artifact, never a superseded
+        cached plan.  A dead pool fails only this batch — the pool is
+        rebuilt (once per incident) for the next one.
+        """
+        path, mode, fingerprint = self.registry.registration_info(batch.key)
         if path is None:
             raise ValueError(
                 f"model {batch.key!r} is registered as a live object; the "
                 "process backend serves artifact-backed registrations only "
                 "(register a saved artifact path instead of add()ing a model)")
-        assert self._pool is not None
-        return self._pool.run(path, mode, batch.stacked(), kernel=self.kernel)
+        pool = self._pool
+        assert pool is not None
+        try:
+            return pool.run(path, mode, batch.stacked(), kernel=self.kernel,
+                            fingerprint=fingerprint)
+        except BrokenProcessPool:
+            self._rebuild_pool(pool)
+            raise
+
+    def _rebuild_pool(self, broken: ProcessWorkerPool) -> None:
+        """Replace a dead process pool; once per incident.
+
+        Every drain thread whose batch died on the same broken pool calls
+        in; the identity check makes the first one rebuild and the rest
+        no-ops, so one incident costs one rebuild.  The replacement uses
+        the ``forkserver`` start method: the server is multi-threaded by
+        now, and forking a multi-threaded parent directly is where
+        fork-based pools go to deadlock (forkserver forks from its own
+        clean single-threaded process instead, and unlike ``spawn``
+        never re-executes ``__main__``).
+        """
+        with self._pool_lock:
+            if self._pool is not broken:
+                return
+            try:
+                broken.shutdown()
+            except Exception:  # noqa: BLE001 - already broken
+                pass
+            pool = ProcessWorkerPool(self.workers, start_method="forkserver")
+            pool.warm()
+            self._pool = pool
+            self._pool_rebuilds += 1
 
     def _run_batch(self, batch: Batch) -> None:
         dispatched = monotonic()
@@ -332,6 +397,8 @@ class InferenceServer:
         }
         batches = totals["batches"]
         totals["mean_batch_size"] = totals["samples"] / batches if batches else 0.0
+        with self._pool_lock:
+            totals["pool_rebuilds"] = self._pool_rebuilds
         return {"totals": totals, "per_model": per_model,
                 "backend": self.backend, "kernel": self.kernel,
                 "registry": self.registry.stats()}

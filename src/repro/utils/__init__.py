@@ -2,6 +2,7 @@
 
 from repro.utils.seeding import seed_everything, new_rng
 from repro.utils.logging import get_logger
+from repro.utils.lru import LRUCache
 from repro.utils.config import RunConfig
 
-__all__ = ["seed_everything", "new_rng", "get_logger", "RunConfig"]
+__all__ = ["seed_everything", "new_rng", "get_logger", "LRUCache", "RunConfig"]

@@ -27,7 +27,10 @@ from repro.combining import (
     load_packed,
     save_packed,
 )
-from repro.combining.serialization import fingerprint_packed
+from repro.combining.serialization import (
+    artifact_fingerprint,
+    fingerprint_packed,
+)
 from repro.experiments.workloads import sparse_network, spatial_sizes
 from repro.models import build_model
 
@@ -373,6 +376,42 @@ def test_artifact_info_reports_without_loading(tmp_path, quantized_lenet5):
     assert [layer["name"] for layer in info["layers"]] \
         == quantized_lenet5.layer_names()
     assert info["file_bytes"] == path.stat().st_size
+
+
+# -- content fingerprints (the hot-swap token) -------------------------------
+def test_content_fingerprint_is_stable_across_resave(tmp_path, packed_lenet5):
+    first = save_packed(packed_lenet5, tmp_path / "a.npz",
+                        model_spec=MODEL_SPEC)
+    second = save_packed(packed_lenet5, tmp_path / "b.npz",
+                         model_spec=MODEL_SPEC)
+    assert artifact_fingerprint(first) == artifact_fingerprint(second)
+    # The cheap probe agrees with the full-metadata path.
+    assert artifact_info(first)["fingerprint"] == artifact_fingerprint(first)
+    assert not artifact_fingerprint(first).startswith("file-")
+
+
+def test_content_fingerprint_changes_with_content(tmp_path, packed_lenet5):
+    original = save_packed(packed_lenet5, tmp_path / "a.npz",
+                           model_spec=MODEL_SPEC)
+    model = sparsified_lenet5(seed=17)
+    other = PackedModel.from_model(model, PipelineConfig(alpha=8, gamma=0.5))
+    changed = save_packed(other, tmp_path / "b.npz", model_spec=MODEL_SPEC)
+    assert artifact_fingerprint(original) != artifact_fingerprint(changed)
+
+
+def test_legacy_artifact_falls_back_to_file_fingerprint(tmp_path,
+                                                        packed_lenet5):
+    path = save_packed(packed_lenet5, tmp_path / "a.npz",
+                       model_spec=MODEL_SPEC)
+    rewrite_artifact(path, lambda arrays: edit_meta(
+        arrays, lambda meta: meta.pop("fingerprint")))
+    fingerprint = artifact_fingerprint(path)
+    assert fingerprint.startswith("file-")
+    assert artifact_info(path)["fingerprint"] == fingerprint
+    # Still a usable identity: byte-identical copies agree, edits differ.
+    copy = tmp_path / "copy.npz"
+    copy.write_bytes(path.read_bytes())
+    assert artifact_fingerprint(copy) == fingerprint
 
 
 # -- config round trip -------------------------------------------------------
