@@ -25,6 +25,10 @@ Three assertions justify the serving subsystem:
   reference, while staying numerically equivalent; the residual gap to
   the unconstrained raw-BLAS einsum is recorded so regressions in the
   "price of determinism" are visible.
+* **Profiling overhead** — per-layer profiling (``profile=True``) wraps
+  each packed layer op in two perf-counter reads, nothing inside the
+  contraction loops; serving the same stream profiled must cost < 10%
+  wall time over unprofiled, with bit-identical responses.
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ from repro.models import build_model
 from repro.serving.bench import (
     backend_scaling_benchmark,
     kernel_gap_benchmark,
+    profiling_overhead_benchmark,
     throughput_benchmark,
 )
 
@@ -83,6 +88,31 @@ def test_bench_dynamic_batching_beats_one_at_a_time():
     assert best["speedup"] >= 2.0, (
         f"dynamic batching at max_batch={MAX_BATCH} only reached "
         f"{best['speedup']:.2f}x over one-request-at-a-time (need >= 2x)")
+
+
+def test_bench_profiling_overhead_stays_under_ten_percent():
+    """Per-layer profiling is perf-counter wrapping around each packed
+    layer op — never inside the contraction loops — so leaving it on
+    must cost < 10% served wall time, and the responses must stay
+    bit-identical to the unprofiled run."""
+    packed = _serving_model()
+    samples = np.random.default_rng(11).normal(size=(REQUESTS, 1, 12, 12))
+    best: dict = {}
+    for _ in range(3):
+        results = profiling_overhead_benchmark(packed, samples,
+                                               max_batch=MAX_BATCH,
+                                               max_wait=0.002, repeats=2)
+        assert results["bit_identical"], (
+            "profiled responses diverged from the unprofiled run")
+        if not best or results["overhead"] < best["overhead"]:
+            best = results
+    print(f"\nprofiling overhead over {REQUESTS} requests: "
+          f"plain {best['plain_seconds'] * 1e3:.1f} ms, "
+          f"profiled {best['profiled_seconds'] * 1e3:.1f} ms "
+          f"({best['overhead'] * 100:+.1f}%)")
+    assert best["overhead"] < 0.10, (
+        f"per-layer profiling cost {best['overhead'] * 100:.1f}% served "
+        "wall time (need < 10%)")
 
 
 def test_bench_artifact_load_beats_repacking(tmp_path):

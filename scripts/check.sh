@@ -37,6 +37,10 @@ python -m pytest -x -q -m "not slow" tests/test_combining_plan.py
 echo "== batch-invariant kernel differential suite (blocked vs loops) =="
 python -m pytest -x -q tests/test_combining_kernels.py
 
+echo "== observability suites (metrics/tracing/logging + serving obs) =="
+python -m pytest -x -q -m "not slow" tests/test_obs.py \
+    tests/test_serving_obs.py
+
 echo "== fast test suite (pytest -m 'not slow') =="
 quick_start=$(date +%s)
 python -m pytest -x -q -m "not slow" \
@@ -50,7 +54,9 @@ python -m pytest -x -q -m "not slow" \
     --ignore=tests/test_serving.py \
     --ignore=tests/test_serving_hotswap.py \
     --ignore=tests/test_combining_plan.py \
-    --ignore=tests/test_combining_kernels.py "$@"
+    --ignore=tests/test_combining_kernels.py \
+    --ignore=tests/test_obs.py \
+    --ignore=tests/test_serving_obs.py "$@"
 quick_elapsed=$(( $(date +%s) - quick_start ))
 echo "quick tier took ${quick_elapsed}s (budget ${QUICK_TIER_BUDGET_SECONDS}s)"
 if (( quick_elapsed > QUICK_TIER_BUDGET_SECONDS )); then

@@ -33,11 +33,20 @@ Three subcommands cover the library's main workflows:
     re-pack cold start, then dynamic batching vs one-request-at-a-time
     throughput through the :class:`~repro.serving.server.InferenceServer`
     (``--kernel`` picks the batch-invariant kernel; the accounting
-    plan-cache hit/miss totals are reported alongside).  ``--swaps N``
-    additionally exercises live hot swap: the model is cut over between
-    the artifact and a perturbed copy N times while requests are in
-    flight, and every response must be bit-identical to one of the two
-    artifacts' direct forwards.
+    plan-cache hit/miss totals are reported alongside), with the batched
+    run's queued / service latency p50/p90/p99 and flush-reason split.
+    ``--profile`` adds per-layer wall-time accounting (top-3 slowest
+    layers; responses stay bit-identical), ``--trace`` prints the last
+    request traces.  ``--swaps N`` additionally exercises live hot swap:
+    the model is cut over between the artifact and a perturbed copy N
+    times while requests are in flight, and every response must be
+    bit-identical to one of the two artifacts' direct forwards.
+``serve-stats``
+    Serve a short profiled, traced stream against a packed artifact and
+    print the observability report: request totals, queued / service
+    latency digests, flush reasons, the slowest layers, and recent
+    request traces — or the same state as a JSON metrics snapshot /
+    Prometheus text exposition (``--format``).
 ``train``
     Run Algorithm 1 (iterative pruning + column combining + retraining) on
     one of the built-in shift + pointwise networks over the synthetic
@@ -57,6 +66,7 @@ Examples::
     python -m repro load-packed --path lenet5.npz
     python -m repro serve-bench --path lenet5.npz --max-batch 16 \
         --backend process --workers 4
+    python -m repro serve-stats --path lenet5.npz --format text
     python -m repro train --model lenet5 --alpha 8 --gamma 0.5
     python -m repro experiment fig15a
 """
@@ -302,7 +312,47 @@ def build_parser() -> argparse.ArgumentParser:
                             "model over between the artifact and a perturbed "
                             "copy this many times while requests are in "
                             "flight (0 = skip; float artifacts only)")
+    serve.add_argument("--profile", action="store_true",
+                       help="per-layer wall-time accounting for the batched "
+                            "run (reports the top-3 slowest layers; "
+                            "responses stay bit-identical)")
+    serve.add_argument("--trace", action="store_true",
+                       help="retain request traces for the batched run and "
+                            "print the last few span timelines")
     serve.add_argument("--seed", type=int, default=0)
+
+    stats = subparsers.add_parser(
+        "serve-stats",
+        help="serve a short profiled stream and print the observability "
+             "report")
+    stats.add_argument("--path", type=str, required=True,
+                       help="model-backed packed artifact to serve")
+    stats.add_argument("--requests", type=_positive_int, default=32,
+                       help="number of single-sample requests to serve")
+    stats.add_argument("--max-batch", type=_positive_int, default=8,
+                       help="dynamic batcher's sample budget per batch")
+    stats.add_argument("--max-wait", type=float, default=0.001,
+                       help="dynamic batcher's coalescing window in seconds")
+    stats.add_argument("--image-size", type=int, default=FAST_RUN.image_size,
+                       help="request spatial size (overridden by the "
+                            "artifact's model_spec when it records one)")
+    stats.add_argument("--backend", choices=["thread", "process"],
+                       default="thread",
+                       help="where batch forwards run")
+    stats.add_argument("--workers", type=_positive_int, default=1,
+                       help="batch-draining threads (and worker processes "
+                            "with --backend process)")
+    stats.add_argument("--kernel", choices=["blocked", "loops"],
+                       default="blocked",
+                       help="batch-invariant kernel every forward runs")
+    stats.add_argument("--traces", type=_positive_int, default=5,
+                       help="how many recent request traces to keep/print")
+    stats.add_argument("--format", choices=["text", "json", "prometheus"],
+                       default="text",
+                       help="report rendering: human tables, the JSON "
+                            "metrics snapshot, or Prometheus text "
+                            "exposition")
+    stats.add_argument("--seed", type=int, default=0)
 
     train = subparsers.add_parser("train", help="run Algorithm 1 on a built-in model")
     train.add_argument("--model", choices=["lenet5", "vgg", "resnet20"], default="resnet20")
@@ -571,6 +621,41 @@ def _command_load_packed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_latency(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def _latency_rows(label: str, digest: dict[str, float]) -> tuple:
+    return (label, _format_latency(digest["p50"]),
+            _format_latency(digest["p90"]), _format_latency(digest["p99"]),
+            _format_latency(digest["mean"]), _format_latency(digest["max"]))
+
+
+def _print_slowest_layers(slowest: list[dict]) -> None:
+    if not slowest:
+        print("no layer timings recorded")
+        return
+    print(format_table(
+        ["slowest layers", "total", "batches", "mean/batch"],
+        [(row["layer"], f"{row['total_seconds'] * 1e3:.3f}ms",
+          f"{row['batches']}", _format_latency(row["mean_seconds"]))
+         for row in slowest]))
+
+
+def _print_traces(traces: list[dict]) -> None:
+    for trace in traces:
+        spans = " -> ".join(
+            f"{span['name']} {_format_latency(span['seconds'])}"
+            for span in trace["spans"])
+        coalesce = next((span for span in trace["spans"]
+                         if span["name"] == "coalesce"), None)
+        flush = (coalesce["attributes"].get("flush_reason", "?")
+                 if coalesce else "?")
+        print(f"  {trace['trace_id']} model={trace['model']} "
+              f"total={_format_latency(trace['seconds'])} "
+              f"flush={flush}: {spans}")
+
+
 def _command_serve_bench(args: argparse.Namespace) -> int:
     from repro.serving.bench import run_serving_benchmark
 
@@ -583,7 +668,7 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             args.path, requests=args.requests, max_batch=args.max_batch,
             max_wait=args.max_wait, image_size=args.image_size,
             seed=args.seed, workers=args.workers, backend=args.backend,
-            kernel=args.kernel)
+            kernel=args.kernel, profile=args.profile, trace=args.trace)
     except FileNotFoundError:
         print(f"error: {args.path} does not exist", file=sys.stderr)
         return 2
@@ -619,6 +704,21 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
           f"{plan_cache['misses']} misses"
           + (" (per-process caches each pay their own misses)"
              if args.backend == "process" else ""))
+    print(format_table(
+        ["latency (batched run)", "p50", "p90", "p99", "mean", "max"],
+        [_latency_rows("queued", throughput["queued_seconds"]),
+         _latency_rows("service", throughput["service_seconds"])]))
+    flush = throughput["flush_reasons"]
+    print("flush reasons: " + ", ".join(f"{reason}={flush[reason]}"
+                                        for reason in sorted(flush)))
+    if args.profile:
+        _print_slowest_layers(throughput.get("slowest_layers", []))
+    if args.trace:
+        trace_stats = throughput["trace_stats"]
+        print(f"traces: {trace_stats['recorded']} recorded, "
+              f"{trace_stats['retained']} retained "
+              f"(capacity {trace_stats['capacity']}); last 3:")
+        _print_traces(throughput["traces"][-3:])
     if args.swaps > 0:
         from repro.serving.bench import hot_swap_benchmark
 
@@ -643,6 +743,60 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         print(f"hot swap under traffic: every response bit-identical to one "
               f"artifact's direct forward: {swap['bit_exact']} "
               f"({swap['failures']} failed, {swap['mismatched']} ambiguous)")
+    return 0
+
+
+def _command_serve_stats(args: argparse.Namespace) -> int:
+    from repro.serving.bench import observability_report
+
+    if not 0.0 <= args.max_wait <= 1.0:
+        print(f"error: --max-wait must be in [0, 1] seconds, "
+              f"got {args.max_wait}", file=sys.stderr)
+        return 2
+    try:
+        report = observability_report(
+            args.path, requests=args.requests, max_batch=args.max_batch,
+            max_wait=args.max_wait, image_size=args.image_size,
+            seed=args.seed, workers=args.workers, backend=args.backend,
+            kernel=args.kernel, trace_limit=args.traces)
+    except FileNotFoundError:
+        print(f"error: {args.path} does not exist", file=sys.stderr)
+        return 2
+    except (PackedArtifactError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report["metrics_snapshot"], indent=2))
+        return 0
+    if args.format == "prometheus":
+        from repro.obs import prometheus_from_snapshot
+
+        print(prometheus_from_snapshot(report["metrics_snapshot"]), end="")
+        return 0
+    stats = report["stats"]
+    totals = stats["totals"]
+    print(f"serving stats: {args.path} ({report['kind']}, "
+          f"backend={args.backend}, workers={args.workers}, "
+          f"kernel={args.kernel})")
+    print(format_table(
+        ["totals", "value"],
+        [("requests", f"{totals['requests']}"),
+         ("batches", f"{totals['batches']}"),
+         ("failures", f"{totals['failures']}"),
+         ("mean batch size", f"{totals['mean_batch_size']:.1f}"),
+         ("throughput (req/s)", f"{report['throughput']:.0f}")]))
+    print(format_table(
+        ["latency", "p50", "p90", "p99", "mean", "max"],
+        [_latency_rows("queued", totals["queued_seconds"]),
+         _latency_rows("service", totals["service_seconds"])]))
+    flush = totals["flush_reasons"]
+    print("flush reasons: " + ", ".join(f"{reason}={flush[reason]}"
+                                        for reason in sorted(flush)))
+    _print_slowest_layers(report["slowest_layers"])
+    print(f"recent traces (last {len(report['traces'])}):")
+    _print_traces(report["traces"])
     return 0
 
 
@@ -700,6 +854,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_load_packed(args)
     if args.command == "serve-bench":
         return _command_serve_bench(args)
+    if args.command == "serve-stats":
+        return _command_serve_stats(args)
     if args.command == "train":
         return _command_train(args)
     if args.command == "experiment":

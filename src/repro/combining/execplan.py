@@ -41,6 +41,7 @@ Usage::
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -85,23 +86,28 @@ class _Ctx:
 
     Holds the knobs every op dispatches on (``mode``,
     ``batch_invariant``, the batch-invariant ``kernel``), the optional
-    per-layer spatial-size recorder (``observed``), and — for quantized
-    plans — the :class:`~repro.systolic.system.SystolicSystem` that runs
-    the integer packed layers.  One ``_Ctx`` is built per ``forward``
-    call, so concurrent forwards on one plan never share mutable state.
+    per-layer spatial-size recorder (``observed``), the optional
+    per-layer wall-time recorder (``profile``, integer nanoseconds per
+    packed layer name), and — for quantized plans — the
+    :class:`~repro.systolic.system.SystolicSystem` that runs the integer
+    packed layers.  One ``_Ctx`` is built per ``forward`` call, so
+    concurrent forwards on one plan never share mutable state.
     """
 
-    __slots__ = ("mode", "batch_invariant", "observed", "system", "kernel")
+    __slots__ = ("mode", "batch_invariant", "observed", "system", "kernel",
+                 "profile")
 
     def __init__(self, mode: str, batch_invariant: bool,
                  observed: dict[str, tuple[int, int]] | None,
                  system: SystolicSystem | None,
-                 kernel: str = DEFAULT_KERNEL):
+                 kernel: str = DEFAULT_KERNEL,
+                 profile: dict[str, int] | None = None):
         self.mode = mode
         self.batch_invariant = batch_invariant
         self.observed = observed
         self.system = system
         self.kernel = kernel
+        self.profile = profile
 
 
 def _frozen(array: np.ndarray) -> np.ndarray:
@@ -170,6 +176,17 @@ class PackedLayerOp:
         return dense
 
     def apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        if ctx.profile is None:
+            return self._apply(x, ctx)
+        # Wrapping only: the timed call is the same call, so a profiled
+        # forward's arrays are bit-identical to an unprofiled forward's.
+        started = perf_counter_ns()
+        out = self._apply(x, ctx)
+        elapsed = perf_counter_ns() - started
+        ctx.profile[self.name] = ctx.profile.get(self.name, 0) + elapsed
+        return out
+
+    def _apply(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"PointwiseConv2d expected (batch, {self.in_channels}, H, W), "
@@ -401,7 +418,8 @@ class ExecutionPlan:
     def forward(self, activations: np.ndarray, mode: str = "exact",
                 batch_size: int | None = None, batch_invariant: bool = False,
                 observed: dict[str, tuple[int, int]] | None = None,
-                kernel: str = DEFAULT_KERNEL) -> np.ndarray:
+                kernel: str = DEFAULT_KERNEL,
+                profile: dict[str, int] | None = None) -> np.ndarray:
         """Run a batched forward pass; bit-identical to the legacy path.
 
         Mirrors :meth:`PackedModel.forward`'s contract (``mode``,
@@ -414,6 +432,15 @@ class ExecutionPlan:
         there is no instance-level spatial record; pass a dict as
         ``observed`` to collect each packed layer's (H, W) for
         :meth:`execution_plan`.
+
+        ``profile`` opts into per-layer wall-time accounting: pass a
+        dict and each packed layer op accumulates its execution time
+        into it, keyed by layer name, in **integer nanoseconds**
+        (exact accumulation across ``batch_size`` chunks and across
+        merges — see :mod:`repro.obs.metrics`).  Profiling wraps the
+        layer call with two perf-counter reads and changes nothing
+        else: a profiled forward returns bit-identical arrays to an
+        unprofiled one, which the obs test suite pins per mode.
         """
         if mode not in self.modes:
             raise ValueError(f"unknown forward mode {mode!r}; this plan "
@@ -421,7 +448,8 @@ class ExecutionPlan:
         validate_kernel(kernel)
         from repro.combining.inference import split_activation_batch
         chunks = split_activation_batch(activations, batch_size)
-        ctx = _Ctx(mode, batch_invariant, observed, self.system, kernel)
+        ctx = _Ctx(mode, batch_invariant, observed, self.system, kernel,
+                   profile)
         outputs = [self.root.apply(chunk, ctx) for chunk in chunks]
         return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
 

@@ -1,0 +1,82 @@
+"""Observability for the serving stack: metrics, tracing, profiling.
+
+``repro.obs`` is the telemetry layer PRs 5-8 left out: the serving stack
+could prove its responses bit-exact, but its only view of *time* was a
+streaming mean/max — no percentiles, no per-request timeline, no
+per-layer attribution, no machine-readable export.  This package
+supplies the three missing primitives; the serving stack threads them
+through submit/coalesce/dispatch/forward/respond.
+
+* :mod:`~repro.obs.metrics` — :class:`~repro.obs.metrics.MetricsRegistry`
+  with :class:`~repro.obs.metrics.Counter`, :class:`~repro.obs.metrics.Gauge`,
+  and fixed-bucket log-spaced latency :class:`~repro.obs.metrics.Histogram`
+  (p50/p90/p99 + mean/max).  Bucket edges are computed from constants —
+  never from the data — and sums are kept in integer nanoseconds, so two
+  histograms built from the same observations in *any* split across
+  threads, worker processes, or models merge **exactly and
+  deterministically**: merged state is bit-equal to single-stream state
+  regardless of merge order.  Snapshots export as JSON-able dicts and
+  Prometheus text exposition.
+* :mod:`~repro.obs.tracing` — request traces: a
+  :class:`~repro.obs.tracing.Trace` is an id plus
+  :class:`~repro.obs.tracing.Span` timeline (enqueue → coalesce → forward
+  → respond, each with attributes like the batcher's flush reason); a
+  bounded :class:`~repro.obs.tracing.TraceBuffer` ring retains the last N
+  under sustained load, so tracing every request costs O(capacity)
+  memory forever.
+
+The third primitive — per-layer profiling — lives on the execution plan
+itself (``ExecutionPlan.forward(profile=...)``): each packed layer op is
+wrapped with perf-counter timing, accumulating integer nanoseconds per
+layer name.  Wrapping only: a profiled forward returns bit-identical
+arrays to an unprofiled one (the differential suite pins this), so
+profiling can stay on in production without perturbing the
+batch-invariant numerics PRs 5-8 established.
+
+Observability data flow across the worker boundary
+--------------------------------------------------
+
+Thread backend: the server records queued/service/per-layer histograms
+straight into its own registry.  Process backend: each worker process
+accumulates its own registry (per-layer and whole-forward histograms)
+and ships a snapshot back with the existing ``_run_plan_batch`` result
+tuple; the server keeps the latest snapshot per worker pid and
+:meth:`~repro.serving.server.InferenceServer.metrics_snapshot` merges
+them (sorted by pid) into the server-side registry — exactly, because
+histogram merge is exact.  One exposition therefore covers both
+backends: worker → merge → ``prometheus_text()`` / JSON snapshot.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_edges,
+    merge_snapshots,
+    prometheus_from_snapshot,
+    summarize_histogram_state,
+)
+from repro.obs.tracing import (
+    DEFAULT_TRACE_CAPACITY,
+    Span,
+    Trace,
+    TraceBuffer,
+    TraceIdAllocator,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "latency_edges",
+    "merge_snapshots",
+    "prometheus_from_snapshot",
+    "summarize_histogram_state",
+    "DEFAULT_TRACE_CAPACITY",
+    "Span",
+    "Trace",
+    "TraceBuffer",
+    "TraceIdAllocator",
+]

@@ -1,0 +1,395 @@
+"""Counters, gauges, and exactly-mergeable log-spaced latency histograms.
+
+The design constraint everything here follows from: serving telemetry is
+produced on many schedules at once — several drain threads, several
+worker processes, several models — and the aggregate a human reads must
+not depend on which schedule happened to run.  Two choices make that
+hold *exactly*, not just approximately:
+
+* **Bucket edges are schedule-independent.**  A histogram's edges are a
+  fixed log-spaced ladder computed from constants
+  (:func:`latency_edges`), never adapted to the observations, so any two
+  histograms with the same configuration are bucket-compatible and their
+  counts add as plain integers.
+* **Sums are integer nanoseconds.**  Float addition is not associative,
+  so a float running sum would make merged state depend on merge order.
+  :meth:`Histogram.record` converts each observation to integer
+  nanoseconds once (the only rounding anywhere, deterministic per
+  value); integer addition is associative and exact, so *any* partition
+  of an observation stream across histograms, merged in *any* order,
+  reproduces the single-stream state bit for bit.
+
+Quantiles are read from the bucket counts (the upper edge of the bucket
+where the cumulative count crosses the rank, clamped to the observed
+max), so p50/p90/p99 are deterministic functions of the merged state
+with a relative error bounded by the bucket ratio (~29% per step at the
+default 9 buckets/decade — tight enough to rank latencies and spot tail
+regressions, which is what fixed-bucket histograms are for).
+
+:class:`MetricsRegistry` is the thread-safe name + labels -> metric map;
+:meth:`MetricsRegistry.snapshot` exports JSON-able state,
+:func:`merge_snapshots` / :meth:`MetricsRegistry.merge_snapshot` combine
+snapshots from other threads or processes, and
+:func:`prometheus_from_snapshot` renders the standard text exposition.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+#: One observation-stream second, in the integer unit sums are kept in.
+_NS_PER_SECOND = 1_000_000_000
+
+#: Default latency ladder: 1 microsecond to 100 seconds, 9 buckets per
+#: decade (ratio ~1.29x), 73 finite edges plus the +Inf overflow bucket.
+DEFAULT_LATENCY_LOWER = 1e-6
+DEFAULT_LATENCY_DECADES = 8
+DEFAULT_BUCKETS_PER_DECADE = 9
+
+
+def latency_edges(lower: float = DEFAULT_LATENCY_LOWER,
+                  decades: int = DEFAULT_LATENCY_DECADES,
+                  per_decade: int = DEFAULT_BUCKETS_PER_DECADE
+                  ) -> tuple[float, ...]:
+    """A fixed log-spaced bucket ladder: ``lower * 10**(i / per_decade)``.
+
+    Edges depend only on the arguments — not on any observation and not
+    on evaluation order — so every histogram built with the same
+    configuration has bit-identical edges in every thread and process,
+    which is the precondition for exact merging.
+    """
+    if lower <= 0:
+        raise ValueError("lower edge must be positive")
+    if decades < 1 or per_decade < 1:
+        raise ValueError("decades and per_decade must be >= 1")
+    return tuple(lower * 10.0 ** (i / per_decade)
+                 for i in range(decades * per_decade + 1))
+
+
+class Counter:
+    """A monotonically increasing integer. Merges by exact addition."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (no merge semantics beyond last-write)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket latency histogram whose merge is exact.
+
+    State: per-bucket integer counts (the last bucket is the +Inf
+    overflow), total count, the sum in **integer nanoseconds**, and the
+    exact min / max.  Every component merges associatively (integer
+    adds, min/max), so partitioning a stream across threads, processes,
+    or models and merging back — in any order — is bit-equal to having
+    recorded the stream into one histogram.
+    """
+
+    __slots__ = ("edges", "counts", "count", "sum_ns", "min", "max", "_lock")
+
+    def __init__(self, edges: Iterable[float] | None = None):
+        self.edges: tuple[float, ...] = (latency_edges() if edges is None
+                                         else tuple(float(e) for e in edges))
+        if list(self.edges) != sorted(set(self.edges)):
+            raise ValueError("histogram edges must be strictly increasing")
+        if not self.edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum_ns = 0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        """Record one observation (in seconds; negatives clamp to 0).
+
+        The only rounding anywhere is the one-time conversion to integer
+        nanoseconds — deterministic per value — after which all state
+        updates are exact.
+        """
+        value = max(0.0, float(seconds))
+        bucket = bisect_left(self.edges, value)
+        ns = round(value * _NS_PER_SECOND)
+        with self._lock:
+            self.counts[bucket] += 1
+            self.count += 1
+            self.sum_ns += ns
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    # -- merging -------------------------------------------------------------
+    def merge(self, other: "Histogram | Mapping[str, Any]") -> None:
+        """Fold another histogram (or its :meth:`to_dict`) into this one.
+
+        Exact: counts and nanosecond sums add as integers, min/max take
+        the extremum.  Requires bucket-compatible edges — a mismatch is
+        a configuration bug and raises rather than aggregating garbage.
+        """
+        state = other.to_dict() if isinstance(other, Histogram) else other
+        if tuple(state["edges"]) != self.edges:
+            raise ValueError(
+                "cannot merge histograms with different bucket edges; "
+                "edges must come from the same configuration")
+        with self._lock:
+            for index, increment in enumerate(state["counts"]):
+                self.counts[index] += int(increment)
+            self.count += int(state["count"])
+            self.sum_ns += int(state["sum_ns"])
+            for attribute, pick in (("min", min), ("max", max)):
+                theirs = state[attribute]
+                if theirs is not None:
+                    ours = getattr(self, attribute)
+                    setattr(self, attribute,
+                            theirs if ours is None else pick(ours, theirs))
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def sum(self) -> float:
+        return self.sum_ns / _NS_PER_SECOND
+
+    @property
+    def mean(self) -> float:
+        return self.sum_ns / _NS_PER_SECOND / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The upper bucket edge at quantile ``q`` (clamped to max).
+
+        Deterministic given the (exactly merged) counts: the rank is
+        ``ceil(q * count)`` and the answer is the edge of the bucket the
+        cumulative count crosses it in — an upper bound on the true
+        quantile, off by at most one bucket ratio.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if not self.count:
+            return 0.0
+        rank = math.ceil(q * self.count)
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                edge = (self.edges[index] if index < len(self.edges)
+                        else self.max)
+                return min(edge, self.max) if self.max is not None else edge
+        return self.max if self.max is not None else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """The human-facing digest: count, mean/min/max, p50/p90/p99."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able full state (what snapshots carry across processes)."""
+        with self._lock:
+            return {
+                "edges": list(self.edges),
+                "counts": list(self.counts),
+                "count": self.count,
+                "sum_ns": self.sum_ns,
+                "min": self.min,
+                "max": self.max,
+            }
+
+    @classmethod
+    def from_dict(cls, state: Mapping[str, Any]) -> "Histogram":
+        histogram = cls(edges=state["edges"])
+        histogram.merge(state)
+        return histogram
+
+
+def summarize_histogram_state(state: Mapping[str, Any]) -> dict[str, float]:
+    """:meth:`Histogram.summary` for a snapshot's serialized state."""
+    return Histogram.from_dict(state).summary()
+
+
+def _metric_key(name: str, labels: Mapping[str, str] | None) -> str:
+    """Canonical snapshot key: ``name{a="x",b="y"}`` with sorted labels."""
+    if not labels:
+        return name
+    rendered = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe map of (name, labels) -> metric, with exact merging.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the live metric for a
+    key, creating it on first use; :meth:`snapshot` exports the whole
+    registry as a JSON-able dict, and :meth:`merge_snapshot` folds in a
+    snapshot produced by another registry — another thread's, another
+    worker process's, another model's — with counters adding exactly and
+    histograms merging exactly (:meth:`Histogram.merge`).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- metric access -------------------------------------------------------
+    def counter(self, name: str,
+                labels: Mapping[str, str] | None = None) -> Counter:
+        key = _metric_key(name, labels)
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+            return metric
+
+    def gauge(self, name: str,
+              labels: Mapping[str, str] | None = None) -> Gauge:
+        key = _metric_key(name, labels)
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+            return metric
+
+    def histogram(self, name: str, labels: Mapping[str, str] | None = None,
+                  edges: Iterable[float] | None = None) -> Histogram:
+        key = _metric_key(name, labels)
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(edges=edges)
+            return metric
+
+    # -- export / merge ------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able state of every metric, keyed canonically (sorted)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {key: counters[key].value for key in sorted(counters)},
+            "gauges": {key: gauges[key].value for key in sorted(gauges)},
+            "histograms": {key: histograms[key].to_dict()
+                           for key in sorted(histograms)},
+        }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's snapshot into this one, exactly.
+
+        Counters add (integers), histograms merge
+        (:meth:`Histogram.merge` — exact), gauges take the incoming
+        value (a gauge is a point-in-time reading, not an accumulation).
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self.counter(key).inc(int(value))
+        for key, value in snapshot.get("gauges", {}).items():
+            self.gauge(key).set(value)
+        for key, state in snapshot.get("histograms", {}).items():
+            self.histogram(key, edges=state["edges"]).merge(state)
+
+    def prometheus_text(self) -> str:
+        return prometheus_from_snapshot(self.snapshot())
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]
+                    ) -> dict[str, Any]:
+    """Merge several registry snapshots into one snapshot dict.
+
+    Order-independent for counters and histograms (exact integer state);
+    callers who also carry gauges should pass snapshots in a canonical
+    order (the server sorts worker snapshots by pid).
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()
+
+
+def _split_key(key: str) -> tuple[str, str]:
+    """``name{labels}`` -> (name, labels-with-braces-or-empty)."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, ""
+    return key[:brace], key[brace:]
+
+
+def _format_edge(edge: float) -> str:
+    return repr(edge)
+
+
+def prometheus_from_snapshot(snapshot: Mapping[str, Any]) -> str:
+    """Render a snapshot as Prometheus text exposition format.
+
+    Counters become ``name_total``-style samples with a ``# TYPE``
+    header, gauges likewise, histograms expand to the standard
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+    Keys are emitted in sorted order, so the exposition is deterministic
+    for a given merged state.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for key in sorted(snapshot.get("counters", {})):
+        name, labels = _split_key(key)
+        header(name, "counter")
+        lines.append(f"{name}{labels} {snapshot['counters'][key]}")
+    for key in sorted(snapshot.get("gauges", {})):
+        name, labels = _split_key(key)
+        header(name, "gauge")
+        lines.append(f"{name}{labels} {snapshot['gauges'][key]}")
+    for key in sorted(snapshot.get("histograms", {})):
+        name, labels = _split_key(key)
+        state = snapshot["histograms"][key]
+        header(name, "histogram")
+        base_labels = labels[1:-1] if labels else ""
+        cumulative = 0
+        for edge, bucket_count in zip(state["edges"], state["counts"]):
+            cumulative += int(bucket_count)
+            label_list = (f'{base_labels},le="{_format_edge(edge)}"'
+                          if base_labels else f'le="{_format_edge(edge)}"')
+            lines.append(f"{name}_bucket{{{label_list}}} {cumulative}")
+        cumulative += int(state["counts"][-1])
+        label_list = (f'{base_labels},le="+Inf"' if base_labels
+                      else 'le="+Inf"')
+        lines.append(f"{name}_bucket{{{label_list}}} {cumulative}")
+        lines.append(f"{name}_sum{labels} "
+                     f"{int(state['sum_ns']) / _NS_PER_SECOND}")
+        lines.append(f"{name}_count{labels} {state['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

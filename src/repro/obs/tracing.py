@@ -1,0 +1,144 @@
+"""Request traces: per-request span timelines in a bounded ring buffer.
+
+A :class:`Trace` is what one request did with its time: a server-unique
+trace id assigned at ``submit()`` plus a list of :class:`Span`\\ s —
+``enqueue`` (submit -> batch dispatch), ``coalesce`` (the batch's
+coalescing window, carrying the batcher's flush reason), ``forward``
+(the batched plan execution, carrying backend / cycle / per-layer
+attributes), ``respond`` (splitting outputs back onto requests).  Spans
+are plain monotonic-clock intervals; nothing here runs in the forward's
+inner loops, so tracing every request is cheap enough to leave on.
+
+Retention is the point of :class:`TraceBuffer`: a deque ring bounded at
+``capacity`` traces, so sustained load retains the most recent N and
+*overwrites* the rest (``dropped`` counts them) — memory is O(capacity)
+no matter how long the server runs, which the serving tests pin.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Iterable, Mapping
+
+#: Default number of traces an :class:`InferenceServer` retains.
+DEFAULT_TRACE_CAPACITY = 256
+
+
+class Span:
+    """One named interval on the monotonic clock, with attributes."""
+
+    __slots__ = ("name", "start", "end", "attributes")
+
+    def __init__(self, name: str, start: float, end: float,
+                 attributes: Mapping[str, Any] | None = None):
+        self.name = name
+        self.start = start
+        self.end = end
+        self.attributes = dict(attributes) if attributes else {}
+
+    @property
+    def seconds(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "start": self.start, "end": self.end,
+                "seconds": self.seconds, "attributes": dict(self.attributes)}
+
+
+class Trace:
+    """One request's timeline: id, model, spans, request-level attributes."""
+
+    __slots__ = ("trace_id", "model", "spans", "attributes")
+
+    def __init__(self, trace_id: str, model: str,
+                 spans: Iterable[Span] = (),
+                 attributes: Mapping[str, Any] | None = None):
+        self.trace_id = trace_id
+        self.model = model
+        self.spans = list(spans)
+        self.attributes = dict(attributes) if attributes else {}
+
+    def add_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def span(self, name: str) -> Span | None:
+        for candidate in self.spans:
+            if candidate.name == name:
+                return candidate
+        return None
+
+    @property
+    def seconds(self) -> float:
+        """Submit-to-respond wall time (earliest start to latest end)."""
+        if not self.spans:
+            return 0.0
+        return max(0.0, max(span.end for span in self.spans)
+                   - min(span.start for span in self.spans))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"trace_id": self.trace_id, "model": self.model,
+                "seconds": self.seconds,
+                "spans": [span.to_dict() for span in self.spans],
+                "attributes": dict(self.attributes)}
+
+
+class TraceIdAllocator:
+    """Monotonic, server-unique trace ids: ``<prefix>-000001, ...``."""
+
+    def __init__(self, prefix: str = "req"):
+        self.prefix = prefix
+        self._counter = itertools.count(1)
+
+    def allocate(self) -> str:
+        return f"{self.prefix}-{next(self._counter):06d}"
+
+
+class TraceBuffer:
+    """Thread-safe ring of the last ``capacity`` completed traces.
+
+    ``capacity=0`` disables retention entirely (records become no-ops),
+    which is how a server turns tracing off without branching at every
+    call site.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY):
+        if capacity < 0:
+            raise ValueError("trace capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: list[Trace] = []
+        self._next = 0
+        self.recorded = 0
+        self.dropped = 0
+
+    def record(self, trace: Trace) -> None:
+        with self._lock:
+            self.recorded += 1
+            if self.capacity == 0:
+                self.dropped += 1
+                return
+            if len(self._traces) < self.capacity:
+                self._traces.append(trace)
+            else:
+                # Ring overwrite: the oldest slot goes, dropped counts it.
+                self._traces[self._next] = trace
+                self._next = (self._next + 1) % self.capacity
+                self.dropped += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def snapshot(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The retained traces as dicts, oldest first (last ``limit``)."""
+        with self._lock:
+            ordered = self._traces[self._next:] + self._traces[:self._next]
+        if limit is not None:
+            ordered = ordered[-limit:]
+        return [trace.to_dict() for trace in ordered]
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"capacity": self.capacity, "retained": len(self._traces),
+                    "recorded": self.recorded, "dropped": self.dropped}

@@ -22,7 +22,8 @@ the resident packed model.  This package is that serving layer:
   :class:`~repro.serving.server.InferenceServer`: drain threads over the
   batcher with per-request latency accounting and per-batch systolic
   cycle accounting, plus graceful drain-and-join shutdown.  The
-  ``backend`` knob picks where forwards run (see below).
+  ``backend`` knob picks where forwards run (see below); ``profile``
+  and ``trace_capacity`` opt into the observability layer.
 * :mod:`~repro.serving.procpool` —
   :class:`~repro.serving.procpool.ProcessWorkerPool`: the persistent
   worker processes behind ``backend="process"``.
@@ -102,6 +103,43 @@ each kernel is bitwise batch-invariant with respect to itself, and a
 server runs the one it was built with everywhere (thread and process
 backends alike).  Determinism is now the cheap default serving mode.
 
+Observability data flow
+-----------------------
+
+The serving stack reports on itself through :mod:`repro.obs`, and the
+data flow mirrors the execution architecture — **record where the work
+runs, merge exactly at the server, expose in one place**:
+
+1. **Record.**  Every request gets a trace id at ``submit()`` and its
+   latencies land in fixed-bucket log-spaced histograms whose bucket
+   edges are computed from constants and whose sums are integer
+   nanoseconds — the two properties that make histogram merging
+   *exact*, not approximate.  Every dispatched batch counts its flush
+   reason (``max_batch`` / ``max_wait`` / ``drain``).  With
+   ``profile=True`` each packed layer op is timed with a perf-counter
+   wrapper (wrapping only: profiled responses are bit-identical to
+   unprofiled ones).  In the thread backend all of this records into
+   the server's own :class:`~repro.obs.metrics.MetricsRegistry`; in the
+   process backend each worker records layer / forward timings into its
+   own per-process registry and ships its full snapshot back with every
+   profiled batch result.
+2. **Merge.**  The server keeps the latest snapshot per worker pid
+   (snapshots are cumulative, so latest-wins loses nothing) and
+   :meth:`~repro.serving.server.InferenceServer.metrics_snapshot` folds
+   them into the server registry in pid order.  Because counters add as
+   integers and histograms merge exactly, the merged totals are
+   independent of how batches were scheduled across threads, workers,
+   and models — the same schedule-independence the bit-identical
+   forward gives responses, extended to telemetry.
+3. **Expose.**  ``InferenceServer.stats()`` carries per-model and total
+   latency digests (p50/p90/p99/mean/max) and the flush-reason split;
+   ``traces()`` returns the bounded ring of recent span timelines
+   (enqueue -> coalesce -> forward -> respond); ``layer_profile()``
+   ranks layers by exact integer-nanosecond totals; ``prometheus_text()``
+   renders the merged snapshot in text exposition format.  The
+   ``repro serve-stats`` CLI and ``serve-bench --profile --trace`` are
+   thin views over these.
+
 Usage::
 
     from repro.serving import InferenceServer, ModelRegistry
@@ -127,7 +165,13 @@ from repro.combining.serialization import (
     load_plan,
     save_packed,
 )
-from repro.serving.batcher import Batch, DynamicBatcher, PendingRequest
+from repro.obs import MetricsRegistry, TraceBuffer
+from repro.serving.batcher import (
+    Batch,
+    DynamicBatcher,
+    FLUSH_REASONS,
+    PendingRequest,
+)
 from repro.serving.procpool import ProcessWorkerPool
 from repro.serving.registry import ModelRegistry, ResidentModel, SERVING_MODES
 from repro.serving.server import InferenceServer, SERVING_BACKENDS
@@ -144,7 +188,10 @@ __all__ = [
     "save_packed",
     "Batch",
     "DynamicBatcher",
+    "FLUSH_REASONS",
+    "MetricsRegistry",
     "PendingRequest",
+    "TraceBuffer",
     "ModelRegistry",
     "ProcessWorkerPool",
     "ResidentModel",

@@ -37,6 +37,10 @@ from typing import Iterator
 
 import numpy as np
 
+#: Why a batch left the queue: the sample budget filled, the oldest
+#: request aged past ``max_wait``, or the batcher closed (drain mode).
+FLUSH_REASONS: tuple[str, ...] = ("max_batch", "max_wait", "drain")
+
 
 class PendingRequest:
     """One in-flight request: samples in, a waitable result out.
@@ -48,7 +52,7 @@ class PendingRequest:
     """
 
     __slots__ = ("key", "samples", "unbatched", "enqueued_at",
-                 "queued_seconds", "service_seconds",
+                 "queued_seconds", "service_seconds", "trace_id",
                  "_event", "_output", "_error")
 
     def __init__(self, key: str, samples: np.ndarray, unbatched: bool):
@@ -60,6 +64,9 @@ class PendingRequest:
         #: filled in by the server's accounting when it runs the batch.
         self.queued_seconds: float | None = None
         self.service_seconds: float | None = None
+        #: Server-assigned trace id (``InferenceServer.submit`` sets it;
+        #: requests submitted straight to a bare batcher have none).
+        self.trace_id: str | None = None
         self._event = threading.Event()
         self._output: np.ndarray | None = None
         self._error: BaseException | None = None
@@ -100,13 +107,24 @@ class PendingRequest:
 
 
 class Batch:
-    """Same-key requests coalesced into one forward's worth of work."""
+    """Same-key requests coalesced into one forward's worth of work.
 
-    def __init__(self, key: str, requests: list[PendingRequest]):
+    ``flush_reason`` records *why* the batcher closed this batch —
+    ``"max_batch"`` (the sample budget filled), ``"max_wait"`` (the
+    oldest request aged out), or ``"drain"`` (the batcher was closed) —
+    the signal that makes a coalescing misconfiguration visible: a
+    server that only ever flushes on ``max_wait`` is waiting for company
+    that never comes, one that only flushes on ``max_batch`` may be
+    queueing longer than it needs to.
+    """
+
+    def __init__(self, key: str, requests: list[PendingRequest],
+                 flush_reason: str | None = None):
         if not requests:
             raise ValueError("a batch needs at least one request")
         self.key = key
         self.requests = requests
+        self.flush_reason = flush_reason
 
     @property
     def num_samples(self) -> int:
@@ -161,12 +179,23 @@ class DynamicBatcher:
         self._pending: deque[PendingRequest] = deque()
         self._condition = threading.Condition()
         self._closed = False
+        #: Batches dispatched per flush reason (guarded by the condition
+        #: lock) — the coalescing-health signal ``stats()`` surfaces.
+        self._flush_counts: dict[str, int] = {reason: 0
+                                              for reason in FLUSH_REASONS}
 
     # -- submission ----------------------------------------------------------
     def submit(self, key: str, samples: np.ndarray,
-               unbatched: bool = False) -> PendingRequest:
-        """Enqueue one request; wakes any worker waiting in ``next_batch``."""
+               unbatched: bool = False,
+               trace_id: str | None = None) -> PendingRequest:
+        """Enqueue one request; wakes any worker waiting in ``next_batch``.
+
+        ``trace_id`` is attached before the request becomes visible to
+        workers, so a batch dispatched the instant it coalesces still
+        carries the id on every request.
+        """
         request = PendingRequest(key, samples, unbatched)
+        request.trace_id = trace_id
         with self._condition:
             if self._closed:
                 raise RuntimeError("batcher is closed to new requests")
@@ -181,6 +210,12 @@ class DynamicBatcher:
     def pending_count(self) -> int:
         with self._condition:
             return len(self._pending)
+
+    @property
+    def flush_reasons(self) -> dict[str, int]:
+        """Batches dispatched so far, split by why they flushed."""
+        with self._condition:
+            return dict(self._flush_counts)
 
     def close(self) -> None:
         """Refuse new submissions; pending requests still drain via
@@ -215,6 +250,7 @@ class DynamicBatcher:
                     self._pending = deque(
                         request for request in self._pending
                         if id(request) not in chosen)
+                    self._flush_counts[ready.flush_reason] += 1
                     return ready
                 if self._closed and not self._pending:
                     return None
@@ -246,9 +282,12 @@ class DynamicBatcher:
             seen.add(request.key)
             selected, samples = self._select(request.key)
             batch_deadline = request.enqueued_at + self.max_wait
-            if (samples >= self.max_batch or self._closed
-                    or now >= batch_deadline):
-                return Batch(request.key, selected), None
+            if samples >= self.max_batch:
+                return Batch(request.key, selected, "max_batch"), None
+            if self._closed:
+                return Batch(request.key, selected, "drain"), None
+            if now >= batch_deadline:
+                return Batch(request.key, selected, "max_wait"), None
             if earliest is None or batch_deadline < earliest:
                 earliest = batch_deadline
         return None, earliest

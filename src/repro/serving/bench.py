@@ -89,13 +89,19 @@ def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
                   samples: np.ndarray, max_batch: int, max_wait: float,
                   workers: int = 1, backend: str = "thread",
                   path: str | Path | None = None,
-                  kernel: str = DEFAULT_KERNEL
-                  ) -> tuple[float, list[np.ndarray], dict[str, Any]]:
-    """Serve every sample as its own request; returns (seconds, outputs, stats).
+                  kernel: str = DEFAULT_KERNEL, profile: bool = False,
+                  trace_capacity: int = 0
+                  ) -> tuple[float, list[np.ndarray], dict[str, Any],
+                             dict[str, Any]]:
+    """Serve every sample as its own request.
 
-    The thread backend serves the live ``loaded`` model directly; the
-    process backend needs ``path``, because its workers map the artifact
-    themselves rather than receiving a model.
+    Returns ``(seconds, outputs, stats, obs)`` — ``obs`` carries the
+    server's observability exports (per-layer profile, retained traces,
+    merged metrics snapshot); empty-ish unless ``profile`` /
+    ``trace_capacity`` opt in.  The thread backend serves the live
+    ``loaded`` model directly; the process backend needs ``path``,
+    because its workers map the artifact themselves rather than
+    receiving a model.
     """
     registry = ModelRegistry(max_resident=1)
     if backend == "process":
@@ -107,14 +113,20 @@ def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
     else:
         registry.add("bench", loaded)
     with InferenceServer(registry, max_batch=max_batch, max_wait=max_wait,
-                         workers=workers, backend=backend,
-                         kernel=kernel) as server:
+                         workers=workers, backend=backend, kernel=kernel,
+                         profile=profile,
+                         trace_capacity=trace_capacity) as server:
         started = monotonic()
         pending = [server.submit("bench", sample) for sample in samples]
         outputs = [request.result(timeout=120.0) for request in pending]
         elapsed = monotonic() - started
         stats = server.stats()
-    return elapsed, outputs, stats
+        obs = {
+            "layer_profile": server.layer_profile(),
+            "traces": server.traces(),
+            "metrics_snapshot": server.metrics_snapshot(),
+        }
+    return elapsed, outputs, stats, obs
 
 
 def _direct_reference(loaded: PackedModel | QuantizedPackedModel,
@@ -131,28 +143,46 @@ def _direct_reference(loaded: PackedModel | QuantizedPackedModel,
     return direct
 
 
+def _top_layers(layer_profile: dict[str, list[dict[str, Any]]],
+                top: int = 3) -> list[dict[str, Any]]:
+    """The ``top`` slowest layers across every model in a layer profile."""
+    rows = [dict(row, model=model)
+            for model, layers in layer_profile.items() for row in layers]
+    rows.sort(key=lambda row: (-row["total_seconds"], row["layer"]))
+    return rows[:top]
+
+
 def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
                          samples: np.ndarray, max_batch: int = 16,
                          max_wait: float = 0.002, workers: int = 1,
                          backend: str = "thread",
                          path: str | Path | None = None,
-                         kernel: str = DEFAULT_KERNEL) -> dict[str, Any]:
+                         kernel: str = DEFAULT_KERNEL, profile: bool = False,
+                         trace: bool = False) -> dict[str, Any]:
     """Serve ``samples`` one-at-a-time and batched; verify bit-identity.
 
     Every sample becomes one single-sample request.  The returned mapping
     carries both wall times, both throughputs (requests/second), the
     speedup, the servers' batch-size accounting, the batched server's
-    plan-cache hit/miss totals, and ``bit_identical_to_direct`` — whether
+    plan-cache hit/miss totals, the batched run's queued / service
+    latency digests (p50/p90/p99 from the server's mergeable histograms)
+    and flush-reason split, and ``bit_identical_to_direct`` — whether
     every batched response matched the direct ``forward`` call on its own
     request, which the batch-invariant serving path guarantees regardless
-    of ``backend``, ``workers``, and ``kernel``.
+    of ``backend``, ``workers``, ``kernel``, and (``profile=True``)
+    per-layer profiling.  Profiling adds ``slowest_layers``; ``trace``
+    retains the batched run's request traces (``traces`` /
+    ``trace_stats``).
     """
-    sequential_seconds, sequential_outputs, sequential_stats = _serve_stream(
-        loaded, samples, max_batch=1, max_wait=0.0, workers=workers,
-        backend=backend, path=path, kernel=kernel)
-    batched_seconds, batched_outputs, batched_stats = _serve_stream(
-        loaded, samples, max_batch=max_batch, max_wait=max_wait,
-        workers=workers, backend=backend, path=path, kernel=kernel)
+    sequential_seconds, sequential_outputs, sequential_stats, _ = (
+        _serve_stream(loaded, samples, max_batch=1, max_wait=0.0,
+                      workers=workers, backend=backend, path=path,
+                      kernel=kernel))
+    batched_seconds, batched_outputs, batched_stats, batched_obs = (
+        _serve_stream(loaded, samples, max_batch=max_batch,
+                      max_wait=max_wait, workers=workers, backend=backend,
+                      path=path, kernel=kernel, profile=profile,
+                      trace_capacity=256 if trace else 0))
 
     direct = _direct_reference(loaded, kernel=kernel)
     bit_identical = all(
@@ -162,12 +192,13 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
         in zip(samples, sequential_outputs, batched_outputs))
 
     requests = len(samples)
-    return {
+    result = {
         "requests": requests,
         "max_batch": max_batch,
         "backend": backend,
         "workers": workers,
         "kernel": kernel,
+        "profile": profile,
         "sequential_seconds": sequential_seconds,
         "batched_seconds": batched_seconds,
         "sequential_throughput": requests / sequential_seconds,
@@ -177,7 +208,66 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
         "batched_mean_batch": batched_stats["totals"]["mean_batch_size"],
         "batched_cycles": batched_stats["totals"]["cycles"],
         "batched_plan_cache": batched_stats["totals"]["plan_cache"],
+        "queued_seconds": batched_stats["totals"]["queued_seconds"],
+        "service_seconds": batched_stats["totals"]["service_seconds"],
+        "flush_reasons": batched_stats["totals"]["flush_reasons"],
         "bit_identical_to_direct": bit_identical,
+    }
+    if profile:
+        result["slowest_layers"] = _top_layers(batched_obs["layer_profile"])
+    if trace:
+        result["traces"] = batched_obs["traces"]
+        result["trace_stats"] = batched_stats["traces"]
+    return result
+
+
+def profiling_overhead_benchmark(loaded: PackedModel | QuantizedPackedModel,
+                                 samples: np.ndarray, max_batch: int = 16,
+                                 max_wait: float = 0.002, workers: int = 1,
+                                 backend: str = "thread",
+                                 path: str | Path | None = None,
+                                 kernel: str = DEFAULT_KERNEL,
+                                 repeats: int = 3) -> dict[str, Any]:
+    """Served wall time with per-layer profiling off vs on.
+
+    Serves the same stream ``repeats`` times per configuration and keeps
+    each configuration's **minimum** wall time (the standard
+    noise-rejection for wall-clock benchmarks), then reports
+    ``overhead`` — profiled seconds over unprofiled seconds, minus one.
+    Profiling wraps each packed layer op in two perf-counter reads and a
+    dict update, nothing inside the contraction loops, so the overhead
+    stays small (the benchmark suite pins < 10%) and outputs stay
+    bit-identical (``bit_identical``).
+    """
+    def best(profile: bool) -> tuple[float, list[np.ndarray]]:
+        elapsed = float("inf")
+        outputs: list[np.ndarray] = []
+        for _ in range(repeats):
+            seconds, run_outputs, _, _ = _serve_stream(
+                loaded, samples, max_batch=max_batch, max_wait=max_wait,
+                workers=workers, backend=backend, path=path, kernel=kernel,
+                profile=profile)
+            if seconds < elapsed:
+                elapsed = seconds
+            outputs = run_outputs
+        return elapsed, outputs
+
+    plain_seconds, plain_outputs = best(profile=False)
+    profiled_seconds, profiled_outputs = best(profile=True)
+    bit_identical = all(np.array_equal(plain, profiled)
+                        for plain, profiled
+                        in zip(plain_outputs, profiled_outputs))
+    return {
+        "requests": len(samples),
+        "repeats": repeats,
+        "backend": backend,
+        "workers": workers,
+        "kernel": kernel,
+        "plain_seconds": plain_seconds,
+        "profiled_seconds": profiled_seconds,
+        "overhead": (profiled_seconds / plain_seconds - 1.0
+                     if plain_seconds else 0.0),
+        "bit_identical": bit_identical,
     }
 
 
@@ -212,7 +302,7 @@ def backend_scaling_benchmark(path: str | Path, requests: int = 64,
     for backend in ("thread", "process"):
         cells[backend] = {}
         for workers in worker_counts:
-            seconds, outputs, _ = _serve_stream(
+            seconds, outputs, _, _ = _serve_stream(
                 loaded, samples, max_batch=max_batch, max_wait=max_wait,
                 workers=workers, backend=backend, path=path, kernel=kernel)
             bit_identical &= all(np.array_equal(output, reference)
@@ -269,9 +359,15 @@ def run_serving_benchmark(path: str | Path, requests: int = 96,
                           max_batch: int = 16, max_wait: float = 0.002,
                           image_size: int = 8, seed: int = 0,
                           workers: int = 1, backend: str = "thread",
-                          kernel: str = DEFAULT_KERNEL
+                          kernel: str = DEFAULT_KERNEL,
+                          profile: bool = False, trace: bool = False
                           ) -> dict[str, Any]:
-    """The full serve-bench: cold start plus throughput on one artifact."""
+    """The full serve-bench: cold start plus throughput on one artifact.
+
+    ``profile`` turns on per-layer wall-time accounting for the batched
+    run (slowest layers land in the throughput section); ``trace``
+    retains its request traces.
+    """
     if requests < 1:
         raise ValueError("requests must be >= 1")
     validate_kernel(kernel)
@@ -287,9 +383,53 @@ def run_serving_benchmark(path: str | Path, requests: int = 96,
     throughput = throughput_benchmark(loaded, samples, max_batch=max_batch,
                                       max_wait=max_wait, workers=workers,
                                       backend=backend, path=path,
-                                      kernel=kernel)
+                                      kernel=kernel, profile=profile,
+                                      trace=trace)
     return {"kind": info["kind"], "sample_shape": shape,
             "cold_start": cold, "throughput": throughput}
+
+
+def observability_report(path: str | Path, requests: int = 32,
+                         max_batch: int = 8, max_wait: float = 0.001,
+                         image_size: int = 8, seed: int = 0,
+                         workers: int = 1, backend: str = "thread",
+                         kernel: str = DEFAULT_KERNEL,
+                         trace_limit: int = 5) -> dict[str, Any]:
+    """One profiled, traced serving run distilled into a stats report.
+
+    The implementation behind ``repro serve-stats``: serve a seeded
+    single-sample stream against the artifact with per-layer profiling
+    and request tracing on, then return the server's aggregate stats,
+    the per-model layer profile, the last ``trace_limit`` traces, and
+    the merged metrics snapshot (JSON-able; render with
+    :func:`repro.obs.prometheus_from_snapshot` for scrape-style output).
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    validate_kernel(kernel)
+    loaded = load_packed(path)
+    from repro.combining.serialization import artifact_info
+
+    info = artifact_info(path)
+    shape = resolve_sample_shape(loaded, image_size,
+                                 model_spec=info.get("model_spec"))
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(size=(requests, *shape))
+    seconds, _, stats, obs = _serve_stream(
+        loaded, samples, max_batch=max_batch, max_wait=max_wait,
+        workers=workers, backend=backend, path=path, kernel=kernel,
+        profile=True, trace_capacity=max(trace_limit, 1))
+    return {
+        "kind": info["kind"],
+        "requests": requests,
+        "seconds": seconds,
+        "throughput": requests / seconds if seconds else 0.0,
+        "stats": stats,
+        "layer_profile": obs["layer_profile"],
+        "slowest_layers": _top_layers(obs["layer_profile"]),
+        "traces": obs["traces"][-trace_limit:],
+        "metrics_snapshot": obs["metrics_snapshot"],
+    }
 
 
 def _perturbed_artifact_copy(loaded: PackedModel, destination: Path,

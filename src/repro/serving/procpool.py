@@ -29,12 +29,15 @@ parent.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from repro.combining.kernels import DEFAULT_KERNEL
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.lru import LRUCache
 
 #: How many distinct ``(path, fingerprint)`` plans one worker keeps
@@ -60,6 +63,16 @@ _PLAN_CACHE: LRUCache = LRUCache(PLAN_CACHE_SIZE)
 #: Per-process systolic batch-plan cache, keyed like
 #: ResidentModel's accounting cache but per (artifact, fingerprint).
 _BATCH_PLAN_CACHE: LRUCache = LRUCache(BATCH_PLAN_CACHE_SIZE)
+
+#: Per-process observability registry.  Profiled batches record their
+#: per-layer and whole-forward wall times here, and every profiled
+#: result ships the registry's *snapshot* back to the server, which
+#: keeps the latest snapshot per worker pid and merges them on demand
+#: (:meth:`~repro.serving.server.InferenceServer.metrics_snapshot`) —
+#: histogram merging is exact (:mod:`repro.obs.metrics`), so N workers'
+#: partial views combine into the same totals one worker would have
+#: recorded alone.
+_WORKER_METRICS = MetricsRegistry()
 
 
 def _plan_for(path: str, fingerprint: str | None = None):
@@ -93,10 +106,13 @@ def _warm_worker() -> int:
 
 def _run_plan_batch(path: str, mode: str, batch: np.ndarray,
                     kernel: str = DEFAULT_KERNEL,
-                    fingerprint: str | None = None
-                    ) -> tuple[np.ndarray, int, int, bool | None]:
+                    fingerprint: str | None = None,
+                    profile: bool = False,
+                    model_name: str | None = None
+                    ) -> tuple[np.ndarray, int, int, bool | None,
+                               dict[str, Any] | None]:
     """One serving forward inside a worker:
-    ``(outputs, cycles, tiles, plan_cache_hit)``.
+    ``(outputs, cycles, tiles, plan_cache_hit, obs)``.
 
     Mirrors the thread backend exactly: batch-invariant plan forward with
     the server's ``kernel``, then best-effort systolic cycle / tile
@@ -112,11 +128,45 @@ def _run_plan_batch(path: str, mode: str, batch: np.ndarray,
     against the file before loading, so a warm worker can neither serve a
     superseded cached plan nor silently adopt an artifact that was
     overwritten in place behind the registry's back.
+
+    ``profile`` opts into per-layer wall-time accounting
+    (``ExecutionPlan.forward(profile=...)`` — wrapping only, outputs
+    bit-identical): this batch's per-layer nanoseconds are recorded into
+    the worker's persistent :data:`_WORKER_METRICS` registry (histograms
+    labelled by model and layer) and the last element of the result
+    becomes ``{"pid", "layer_ns", "forward_ns", "snapshot"}`` — the
+    per-batch timings for the server's trace, plus this worker's full
+    registry snapshot for the server-side merge.  Unprofiled batches
+    return ``None`` there and pay nothing.
     """
     plan = _plan_for(path, fingerprint)
     observed: dict[str, tuple[int, int]] = {}
+    layer_ns: dict[str, int] | None = {} if profile else None
+    if profile:
+        from time import perf_counter_ns
+
+        forward_started = perf_counter_ns()
     outputs = plan.forward(batch, mode=mode, batch_invariant=True,
-                           observed=observed, kernel=kernel)
+                           observed=observed, kernel=kernel,
+                           profile=layer_ns)
+    obs: dict[str, Any] | None = None
+    if profile:
+        forward_ns = perf_counter_ns() - forward_started
+        label_model = model_name if model_name is not None else path
+        for layer, elapsed_ns in layer_ns.items():
+            _WORKER_METRICS.histogram(
+                "serving_layer_seconds",
+                labels={"model": label_model, "layer": layer},
+            ).record(elapsed_ns / 1e9)
+        _WORKER_METRICS.histogram(
+            "serving_forward_seconds",
+            labels={"model": label_model}).record(forward_ns / 1e9)
+        _WORKER_METRICS.counter(
+            "serving_profiled_batches",
+            labels={"model": label_model}).inc()
+        obs = {"pid": os.getpid(), "layer_ns": layer_ns,
+               "forward_ns": forward_ns,
+               "snapshot": _WORKER_METRICS.snapshot()}
     cycles = tiles = 0
     cache_hit: bool | None = None
     try:
@@ -131,7 +181,7 @@ def _run_plan_batch(path: str, mode: str, batch: np.ndarray,
         cycles, tiles = batch_plan.total_cycles, batch_plan.total_tiles
     except Exception:  # noqa: BLE001 - accounting is best-effort
         cache_hit = None
-    return outputs, cycles, tiles, cache_hit
+    return outputs, cycles, tiles, cache_hit, obs
 
 
 class ProcessWorkerPool:
@@ -160,17 +210,23 @@ class ProcessWorkerPool:
             future.result()
 
     def run(self, path: str | Path, mode: str, batch: np.ndarray,
-            kernel: str = DEFAULT_KERNEL, fingerprint: str | None = None
-            ) -> tuple[np.ndarray, int, int, bool | None]:
+            kernel: str = DEFAULT_KERNEL, fingerprint: str | None = None,
+            profile: bool = False, model_name: str | None = None
+            ) -> tuple[np.ndarray, int, int, bool | None,
+                       dict[str, Any] | None]:
         """Run one batch in a worker process; returns
-        ``(outputs, cycles, tiles, plan_cache_hit)``.
+        ``(outputs, cycles, tiles, plan_cache_hit, obs)``.
 
         ``fingerprint`` pins which artifact *content* the worker must
         serve — its plan cache keys on it, so a swap-updated registry is
-        never answered from a superseded cached plan.
+        never answered from a superseded cached plan.  ``profile``
+        additionally collects per-layer wall time in the worker and
+        ships its metrics snapshot back in ``obs`` (see
+        :func:`_run_plan_batch`).
         """
         future = self._executor.submit(_run_plan_batch, str(path), mode, batch,
-                                       kernel, fingerprint)
+                                       kernel, fingerprint, profile,
+                                       model_name)
         return future.result()
 
     def shutdown(self) -> None:

@@ -192,7 +192,8 @@ class ResidentModel:
         """
         return self.forward_traced(batch, kernel=kernel)[0]
 
-    def forward_traced(self, batch: np.ndarray, kernel: str = DEFAULT_KERNEL
+    def forward_traced(self, batch: np.ndarray, kernel: str = DEFAULT_KERNEL,
+                       profile: dict[str, int] | None = None
                        ) -> tuple[np.ndarray, dict[str, tuple[int, int]]]:
         """Forward plus the observed per-layer spatial map.
 
@@ -200,11 +201,14 @@ class ResidentModel:
         systolic timing model; returning it per call (instead of stashing
         it on shared module state like the legacy mutating path did) is
         what lets concurrent forwards on one resident model coexist.
+        ``profile`` is handed to :meth:`ExecutionPlan.forward` — pass a
+        dict to collect per-layer wall time in integer nanoseconds
+        (wrapping only; the outputs stay bit-identical).
         """
         observed: dict[str, tuple[int, int]] = {}
         outputs = self.plan.forward(batch, mode=self.mode,
                                     batch_invariant=True, observed=observed,
-                                    kernel=kernel)
+                                    kernel=kernel, profile=profile)
         return outputs, observed
 
     def batch_plan(self, num_samples: int,

@@ -37,14 +37,29 @@ one — no drain, no lock, no dropped request.
 Responses are bit-identical across backends, worker counts, and batch
 coalescing: every path runs the same batch-invariant plan execution.
 
-Accounting rides along for free:
+Observability rides along (:mod:`repro.obs`):
 
 * **per request** — queueing delay (submit -> batch dispatch) and service
-  time (dispatch -> response), aggregated per model;
+  time (dispatch -> response) recorded into exactly-mergeable log-spaced
+  histograms (:class:`~repro.obs.metrics.Histogram`), per model and —
+  merged, exactly — in the ``stats()`` totals: p50/p90/p99 next to the
+  legacy mean/max.  Every request also gets a **trace id** at
+  :meth:`submit` and a span timeline (enqueue -> coalesce with the
+  batcher's flush reason -> forward -> respond) retained in a bounded
+  ring (:meth:`InferenceServer.traces`).
 * **per batch** — the systolic cycle / tile cost of the batch from the
   plans' own timing-model machinery (cached per batch size), i.e. what
   the batch would cost on the paper's array rather than on the host CPU
-  running the simulation.
+  running the simulation; plus the batcher's flush reason
+  (max_batch / max_wait / drain), counted per model.
+* **per layer** (opt-in, ``profile=True``) — each packed layer op's wall
+  time from perf-counter wrapping (outputs stay bit-identical); in the
+  process backend the per-worker histograms and layer timings ride back
+  with the ``_run_plan_batch`` result tuple, and
+  :meth:`InferenceServer.metrics_snapshot` merges the per-worker
+  registries (sorted by pid — histogram merge is exact, so totals are
+  schedule-independent) into the server-side registry.  Export as a
+  JSON snapshot or Prometheus text (:meth:`InferenceServer.prometheus_text`).
 
 Shutdown is graceful by default: :meth:`~InferenceServer.stop` closes the
 batcher to new work, lets the workers drain everything already queued,
@@ -58,13 +73,17 @@ from __future__ import annotations
 import threading
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from time import monotonic
+from time import monotonic, perf_counter_ns
 from typing import Any
 
 import numpy as np
 
 from repro.combining.inference import ensure_sample_batch
 from repro.combining.kernels import DEFAULT_KERNEL, validate_kernel
+from repro.obs.metrics import (Histogram, MetricsRegistry, merge_snapshots,
+                               prometheus_from_snapshot)
+from repro.obs.tracing import (DEFAULT_TRACE_CAPACITY, Span, Trace,
+                               TraceBuffer, TraceIdAllocator)
 from repro.serving.batcher import Batch, DynamicBatcher, PendingRequest
 from repro.serving.procpool import ProcessWorkerPool
 from repro.serving.registry import ModelRegistry
@@ -74,29 +93,15 @@ SERVING_BACKENDS: tuple[str, ...] = ("thread", "process")
 
 
 @dataclass
-class _LatencyStats:
-    """Streaming mean / max over a latency series."""
-
-    count: int = 0
-    total: float = 0.0
-    max: float = 0.0
-
-    def record(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        self.max = max(self.max, value)
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def as_dict(self) -> dict[str, float]:
-        return {"mean": self.mean, "max": self.max}
-
-
-@dataclass
 class _ModelStats:
-    """Per-model serving counters, updated under the server's stats lock."""
+    """Per-model serving counters, updated under the server's stats lock.
+
+    ``queued`` / ``service`` are the *live* registry histograms for this
+    model (``serving_queued_seconds{model=...}`` etc.), so recording a
+    latency here and exporting it through
+    :meth:`InferenceServer.metrics_snapshot` are one write, never two
+    copies that could drift.
+    """
 
     requests: int = 0
     samples: int = 0
@@ -112,8 +117,8 @@ class _ModelStats:
     #: accounting failed count in neither bucket.
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
-    queued: _LatencyStats = field(default_factory=_LatencyStats)
-    service: _LatencyStats = field(default_factory=_LatencyStats)
+    queued: Histogram = field(default_factory=Histogram)
+    service: Histogram = field(default_factory=Histogram)
 
     @property
     def mean_batch_size(self) -> float:
@@ -130,8 +135,8 @@ class _ModelStats:
             "tiles": self.tiles,
             "plan_cache": {"hits": self.plan_cache_hits,
                            "misses": self.plan_cache_misses},
-            "queued_seconds": self.queued.as_dict(),
-            "service_seconds": self.service.as_dict(),
+            "queued_seconds": self.queued.summary(),
+            "service_seconds": self.service.summary(),
         }
 
 
@@ -149,11 +154,18 @@ class InferenceServer:
     across backends / workers / coalescing for whichever kernel the
     server was built with.  Use as a context manager, or pair
     :meth:`start` with :meth:`stop`.
+
+    ``profile=True`` opts every batch into per-layer wall-time
+    accounting (perf-counter wrapping around each packed layer op —
+    responses stay bit-identical); ``trace_capacity`` bounds the ring of
+    retained request traces (``0`` disables tracing).
     """
 
     def __init__(self, registry: ModelRegistry, max_batch: int = 16,
                  max_wait: float = 0.002, workers: int = 1,
-                 backend: str = "thread", kernel: str = DEFAULT_KERNEL):
+                 backend: str = "thread", kernel: str = DEFAULT_KERNEL,
+                 profile: bool = False,
+                 trace_capacity: int = DEFAULT_TRACE_CAPACITY):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if backend not in SERVING_BACKENDS:
@@ -165,6 +177,7 @@ class InferenceServer:
         self.workers = workers
         self.backend = backend
         self.kernel = kernel
+        self.profile = profile
         self._pool: ProcessWorkerPool | None = None
         self._pool_lock = threading.Lock()
         self._pool_rebuilds = 0
@@ -172,6 +185,20 @@ class InferenceServer:
         self._started = False
         self._stats_lock = threading.Lock()
         self._model_stats: dict[str, _ModelStats] = {}
+        #: Server-side metrics registry.  Request latencies, flush-reason
+        #: counters, and (thread backend) layer timings record here; the
+        #: process backend's layer timings live in the workers' own
+        #: registries and merge in through ``metrics_snapshot()``.
+        self._metrics = MetricsRegistry()
+        self._trace_ids = TraceIdAllocator()
+        self._traces = TraceBuffer(trace_capacity)
+        #: Latest metrics snapshot per worker pid (process backend).
+        #: Workers accumulate cumulative registries and ship full
+        #: snapshots, so "latest per pid" is lossless and merge-exact.
+        self._worker_snapshots: dict[int, dict[str, Any]] = {}
+        #: Per model -> layer -> [total_ns, batches]; exact integer
+        #: accumulation across both backends, feeding ``layer_profile``.
+        self._layer_ns: dict[str, dict[str, list[int]]] = {}
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "InferenceServer":
@@ -255,7 +282,8 @@ class InferenceServer:
             raise ValueError(
                 "samples must be (C, H, W) or (batch, C, H, W), got shape "
                 f"{np.asarray(samples).shape}")
-        return self.batcher.submit(model_name, batch, unbatched=unbatched)
+        return self.batcher.submit(model_name, batch, unbatched=unbatched,
+                                   trace_id=self._trace_ids.allocate())
 
     def infer(self, model_name: str, samples: np.ndarray,
               timeout: float | None = 60.0) -> np.ndarray:
@@ -273,11 +301,41 @@ class InferenceServer:
             self._run_batch(batch)
 
     def _forward_thread(self, batch: Batch
-                        ) -> tuple[np.ndarray, int, int, bool | None]:
-        """In-process forward on the registry's resident plan."""
+                        ) -> tuple[np.ndarray, int, int, bool | None,
+                                   dict[str, Any] | None]:
+        """In-process forward on the registry's resident plan.
+
+        Returns ``(outputs, cycles, tiles, plan_cache_hit, obs)`` — the
+        same contract as the process backend's ``_run_plan_batch``.
+        When the server profiles, ``obs`` carries this batch's per-layer
+        nanoseconds (recorded straight into the server's own registry;
+        there is no worker snapshot to merge).
+        """
         resident = self.registry.get(batch.key)
-        outputs, observed = resident.forward_traced(batch.stacked(),
-                                                    kernel=self.kernel)
+        obs: dict[str, Any] | None = None
+        if not self.profile:
+            outputs, observed = resident.forward_traced(batch.stacked(),
+                                                        kernel=self.kernel)
+        else:
+            layer_ns: dict[str, int] = {}
+            forward_started = perf_counter_ns()
+            outputs, observed = resident.forward_traced(batch.stacked(),
+                                                        kernel=self.kernel,
+                                                        profile=layer_ns)
+            forward_ns = perf_counter_ns() - forward_started
+            for layer, elapsed_ns in layer_ns.items():
+                self._metrics.histogram(
+                    "serving_layer_seconds",
+                    labels={"model": batch.key, "layer": layer},
+                ).record(elapsed_ns / 1e9)
+            self._metrics.histogram(
+                "serving_forward_seconds",
+                labels={"model": batch.key}).record(forward_ns / 1e9)
+            self._metrics.counter(
+                "serving_profiled_batches",
+                labels={"model": batch.key}).inc()
+            obs = {"pid": None, "layer_ns": layer_ns,
+                   "forward_ns": forward_ns, "snapshot": None}
         cycles = tiles = 0
         cache_hit: bool | None = None
         try:
@@ -289,17 +347,20 @@ class InferenceServer:
             # timing model cannot size) must not fail a batch whose
             # forward already succeeded.
             cache_hit = None
-        return outputs, cycles, tiles, cache_hit
+        return outputs, cycles, tiles, cache_hit, obs
 
     def _forward_process(self, batch: Batch
-                         ) -> tuple[np.ndarray, int, int, bool | None]:
+                         ) -> tuple[np.ndarray, int, int, bool | None,
+                                    dict[str, Any] | None]:
         """Ship (path, fingerprint, mode, batch) to a pool worker.
 
         The registry's content fingerprint rides along so the worker's
         plan cache is keyed by content generation: after a hot swap the
         very next batch serves the new artifact, never a superseded
         cached plan.  A dead pool fails only this batch — the pool is
-        rebuilt (once per incident) for the next one.
+        rebuilt (once per incident) for the next one.  When profiling,
+        the worker's per-layer timings and full metrics snapshot come
+        back in the result's ``obs`` element.
         """
         path, mode, fingerprint = self.registry.registration_info(batch.key)
         if path is None:
@@ -311,7 +372,8 @@ class InferenceServer:
         assert pool is not None
         try:
             return pool.run(path, mode, batch.stacked(), kernel=self.kernel,
-                            fingerprint=fingerprint)
+                            fingerprint=fingerprint, profile=self.profile,
+                            model_name=batch.key)
         except BrokenProcessPool:
             self._rebuild_pool(pool)
             raise
@@ -340,23 +402,52 @@ class InferenceServer:
             self._pool = pool
             self._pool_rebuilds += 1
 
+    def _stats_for(self, name: str) -> _ModelStats:
+        """The model's stats record; caller must hold the stats lock.
+
+        Created on first use with its latency histograms registered in
+        the server's metrics registry, so per-model ``stats()`` digests
+        and the Prometheus exposition read the same live objects.
+        """
+        stats = self._model_stats.get(name)
+        if stats is None:
+            stats = _ModelStats(
+                queued=self._metrics.histogram("serving_queued_seconds",
+                                               labels={"model": name}),
+                service=self._metrics.histogram("serving_service_seconds",
+                                                labels={"model": name}))
+            self._model_stats[name] = stats
+        return stats
+
     def _run_batch(self, batch: Batch) -> None:
         dispatched = monotonic()
         cycles = tiles = 0
         cache_hit: bool | None = None
+        obs: dict[str, Any] | None = None
+        error_text: str | None = None
         try:
             if self.backend == "process":
-                outputs, cycles, tiles, cache_hit = self._forward_process(batch)
+                outputs, cycles, tiles, cache_hit, obs = (
+                    self._forward_process(batch))
             else:
-                outputs, cycles, tiles, cache_hit = self._forward_thread(batch)
+                outputs, cycles, tiles, cache_hit, obs = (
+                    self._forward_thread(batch))
+            forward_done = monotonic()
             batch.resolve(outputs)
             failed = False
         except BaseException as error:  # noqa: BLE001 - relayed to clients
+            forward_done = monotonic()
             batch.fail(error)
             failed = True
+            error_text = repr(error)
         finished = monotonic()
+        if batch.flush_reason is not None:
+            self._metrics.counter(
+                "serving_batches",
+                labels={"model": batch.key,
+                        "flush_reason": batch.flush_reason}).inc()
         with self._stats_lock:
-            stats = self._model_stats.setdefault(batch.key, _ModelStats())
+            stats = self._stats_for(batch.key)
             stats.batches += 1
             stats.cycles += cycles
             stats.tiles += tiles
@@ -374,13 +465,79 @@ class InferenceServer:
                 stats.samples += request.num_samples
                 stats.queued.record(request.queued_seconds)
                 stats.service.record(request.service_seconds)
+            if obs is not None:
+                if obs["snapshot"] is not None:
+                    self._worker_snapshots[obs["pid"]] = obs["snapshot"]
+                layer_totals = self._layer_ns.setdefault(batch.key, {})
+                for layer, elapsed_ns in obs["layer_ns"].items():
+                    entry = layer_totals.setdefault(layer, [0, 0])
+                    entry[0] += elapsed_ns
+                    entry[1] += 1
+        self._record_traces(batch, dispatched, forward_done, finished,
+                            cycles, tiles, cache_hit, obs, failed, error_text)
+
+    def _record_traces(self, batch: Batch, dispatched: float,
+                       forward_done: float, finished: float, cycles: int,
+                       tiles: int, cache_hit: bool | None,
+                       obs: dict[str, Any] | None, failed: bool,
+                       error_text: str | None) -> None:
+        """One trace per request in the batch, into the bounded ring.
+
+        Spans share the batch's timeline (requests in one batch were
+        forwarded together); the ``enqueue`` span is the only
+        per-request interval.  The ``coalesce`` span carries the
+        batcher's flush reason — the why of this batch's latency.
+        """
+        if self._traces.capacity == 0:
+            return
+        head = batch.requests[0]
+        forward_attributes: dict[str, Any] = {
+            "backend": self.backend, "kernel": self.kernel,
+            "cycles": cycles, "tiles": tiles,
+            "plan_cache_hit": cache_hit,
+            "batch_samples": batch.num_samples,
+        }
+        if obs is not None:
+            forward_attributes["forward_ns"] = obs["forward_ns"]
+            forward_attributes["layer_ns"] = dict(obs["layer_ns"])
+            if obs["pid"] is not None:
+                forward_attributes["worker_pid"] = obs["pid"]
+        respond_attributes: dict[str, Any] = {"failed": failed}
+        if error_text is not None:
+            respond_attributes["error"] = error_text
+        for request in batch:
+            trace = Trace(request.trace_id or "untraced", batch.key,
+                          attributes={"samples": request.num_samples,
+                                      "unbatched": request.unbatched})
+            trace.add_span(Span("enqueue", request.enqueued_at, dispatched))
+            trace.add_span(Span(
+                "coalesce", head.enqueued_at, dispatched,
+                {"flush_reason": batch.flush_reason,
+                 "requests": len(batch.requests),
+                 "samples": batch.num_samples}))
+            trace.add_span(Span("forward", dispatched, forward_done,
+                                forward_attributes))
+            trace.add_span(Span("respond", forward_done, finished,
+                                respond_attributes))
+            self._traces.record(trace)
 
     # -- accounting ----------------------------------------------------------
     def stats(self) -> dict[str, Any]:
-        """Aggregate serving statistics: totals plus a per-model breakdown."""
+        """Aggregate serving statistics: totals plus a per-model breakdown.
+
+        The totals' ``queued_seconds`` / ``service_seconds`` digests come
+        from *exactly merging* the per-model histograms — identical to
+        what one histogram recording every request would report,
+        regardless of how requests spread across models and workers.
+        """
+        queued_total = Histogram()
+        service_total = Histogram()
         with self._stats_lock:
             per_model = {name: stats.as_dict()
                          for name, stats in self._model_stats.items()}
+            for stats in self._model_stats.values():
+                queued_total.merge(stats.queued)
+                service_total.merge(stats.service)
         totals = {
             "requests": sum(s["requests"] for s in per_model.values()),
             "samples": sum(s["samples"] for s in per_model.values()),
@@ -397,8 +554,67 @@ class InferenceServer:
         }
         batches = totals["batches"]
         totals["mean_batch_size"] = totals["samples"] / batches if batches else 0.0
+        totals["queued_seconds"] = queued_total.summary()
+        totals["service_seconds"] = service_total.summary()
+        totals["flush_reasons"] = self.batcher.flush_reasons
         with self._pool_lock:
             totals["pool_rebuilds"] = self._pool_rebuilds
         return {"totals": totals, "per_model": per_model,
                 "backend": self.backend, "kernel": self.kernel,
+                "profile": self.profile, "traces": self._traces.stats(),
                 "registry": self.registry.stats()}
+
+    # -- observability -------------------------------------------------------
+    def traces(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The retained request traces as dicts, oldest first.
+
+        Each trace is one request's span timeline — ``enqueue`` ->
+        ``coalesce`` (with the batcher's flush reason) -> ``forward``
+        (backend / cycles / per-layer nanoseconds when profiling) ->
+        ``respond`` — bounded by the server's ``trace_capacity``.
+        """
+        return self._traces.snapshot(limit)
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The merged, JSON-able metrics state across the whole server.
+
+        The server's own registry (request latencies, flush reasons,
+        thread-backend layer timings) merged with the latest snapshot
+        from every process-backend worker, in pid order.  Counters and
+        histograms merge exactly, so the result is independent of how
+        batches were scheduled across threads and workers.
+        """
+        with self._stats_lock:
+            worker_snapshots = [snapshot for _pid, snapshot
+                                in sorted(self._worker_snapshots.items())]
+        return merge_snapshots([self._metrics.snapshot(), *worker_snapshots])
+
+    def prometheus_text(self) -> str:
+        """:meth:`metrics_snapshot` in Prometheus text exposition format."""
+        return prometheus_from_snapshot(self.metrics_snapshot())
+
+    def layer_profile(self, top: int | None = None
+                      ) -> dict[str, list[dict[str, Any]]]:
+        """Per-model layer timings, slowest first (requires ``profile=True``).
+
+        Integer-nanosecond totals accumulated across both backends (the
+        process backend ships each batch's layer timings home with the
+        result), so the ranking is exact and schedule-independent.
+        ``top`` keeps only the N slowest layers per model.
+        """
+        with self._stats_lock:
+            captured = {model: {layer: (entry[0], entry[1])
+                                for layer, entry in layers.items()}
+                        for model, layers in self._layer_ns.items()}
+        report: dict[str, list[dict[str, Any]]] = {}
+        for model, layers in captured.items():
+            ranked = sorted(layers.items(),
+                            key=lambda item: (-item[1][0], item[0]))
+            if top is not None:
+                ranked = ranked[:top]
+            report[model] = [
+                {"layer": layer, "total_seconds": total_ns / 1e9,
+                 "batches": batches,
+                 "mean_seconds": (total_ns / 1e9 / batches) if batches else 0.0}
+                for layer, (total_ns, batches) in ranked]
+        return report

@@ -1,4 +1,20 @@
-"""Thin logging helpers shared by trainers, experiments, and benchmarks."""
+"""Thin logging helpers shared by trainers, experiments, and benchmarks.
+
+One stderr handler lives on the ``repro`` root logger; every
+``get_logger`` caller gets a child of it.  Two behaviours the tests pin:
+
+* **Per-call levels apply.**  ``get_logger(name, level)`` sets the level
+  on the *named* logger itself (a logger's own level governs which of
+  its records emit; propagation to the root handler does not re-filter
+  by ancestor levels), so one chatty module can run at DEBUG while the
+  rest of the package stays at INFO — and a later call can turn it back
+  down.  The first implementation latched the first caller's level onto
+  the root and silently ignored every later ``level=`` argument.
+* **Structured key/values.**  Fields passed via the standard
+  ``extra={...}`` mechanism render as trailing ``key=value`` pairs, so
+  call sites can attach machine-greppable context (model names, batch
+  sizes, trace ids) without formatting it into the message string.
+"""
 
 from __future__ import annotations
 
@@ -8,22 +24,51 @@ import sys
 _FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
 _configured = False
 
+#: Attributes present on every LogRecord; anything else on a record came
+#: in through ``extra=`` and belongs in the structured suffix.
+_STANDARD_ATTRS = (frozenset(vars(logging.LogRecord(
+    "", 0, "", 0, "", (), None))) | {"message", "asctime", "taskName"})
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Standard format plus sorted ``key=value`` pairs from ``extra=``.
+
+    ``logger.info("swap done", extra={"model": "m", "batches": 3})``
+    renders as ``... swap done [batches=3 model=m]`` — sorted keys, so
+    the suffix is deterministic and greppable.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        fields = {key: value for key, value in vars(record).items()
+                  if key not in _STANDARD_ATTRS and not key.startswith("_")}
+        if not fields:
+            return base
+        rendered = " ".join(f"{key}={fields[key]}" for key in sorted(fields))
+        return f"{base} [{rendered}]"
+
 
 def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
-    """Return a module-level logger with a single stderr handler.
+    """Return a ``repro.*`` logger with a single shared stderr handler.
 
-    Repeated calls with the same ``name`` return the same logger and never
-    attach duplicate handlers.
+    Repeated calls with the same ``name`` return the same logger and
+    never attach duplicate handlers; each call applies ``level`` to the
+    named logger, so levels can be changed (and changed back) at any
+    time without touching other modules' loggers.
     """
     global _configured
     if not _configured:
         handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler.setFormatter(KeyValueFormatter(_FORMAT))
         root = logging.getLogger("repro")
         root.addHandler(handler)
-        root.setLevel(level)
+        # The root stays wide open: filtering happens per named logger,
+        # so one module's DEBUG does not depend on who configured first.
+        root.setLevel(logging.DEBUG)
         root.propagate = False
         _configured = True
     if not name.startswith("repro"):
         name = f"repro.{name}"
-    return logging.getLogger(name)
+    logger = logging.getLogger(name)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,328 @@
+"""The observability primitives: exactly-mergeable histograms, the
+metrics registry and its exports, the bounded trace ring, and the
+logging helpers.
+
+The property everything else leans on: histogram state is integer
+(bucket counts, nanosecond sums) over schedule-independent bucket
+edges, so *any* partition of an observation stream across histograms,
+merged back in *any* order, reproduces the single-stream state bit for
+bit.  Percentiles, the Prometheus exposition, and the server's merged
+worker snapshots are all deterministic functions of that state.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import random
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Trace,
+    TraceBuffer,
+    TraceIdAllocator,
+    latency_edges,
+    merge_snapshots,
+    prometheus_from_snapshot,
+    summarize_histogram_state,
+)
+from repro.utils.logging import KeyValueFormatter, get_logger
+
+
+def histogram_state(histogram: Histogram) -> dict:
+    return histogram.to_dict()
+
+
+# -- bucket edges -------------------------------------------------------------
+def test_latency_edges_are_deterministic_constants():
+    assert latency_edges() == latency_edges()
+    edges = latency_edges(lower=1e-3, decades=2, per_decade=4)
+    assert len(edges) == 2 * 4 + 1
+    assert edges[0] == pytest.approx(1e-3)
+    assert edges[-1] == pytest.approx(1e-1)
+    assert list(edges) == sorted(edges)
+
+
+def test_latency_edges_validate():
+    with pytest.raises(ValueError):
+        latency_edges(lower=0.0)
+    with pytest.raises(ValueError):
+        latency_edges(decades=0)
+
+
+# -- counters / gauges --------------------------------------------------------
+def test_counter_increments_and_rejects_negative():
+    counter = Counter()
+    counter.inc()
+    counter.inc(41)
+    assert counter.value == 42
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_takes_last_value():
+    gauge = Gauge()
+    gauge.set(3.5)
+    gauge.set(1.0)
+    assert gauge.value == 1.0
+
+
+# -- histograms ---------------------------------------------------------------
+def test_histogram_summary_and_quantiles():
+    histogram = Histogram()
+    for value in [0.001] * 90 + [0.1] * 9 + [1.0]:
+        histogram.record(value)
+    summary = histogram.summary()
+    assert summary["count"] == 100
+    assert summary["min"] == pytest.approx(0.001)
+    assert summary["max"] == pytest.approx(1.0)
+    # p50 lands in the 1ms bucket, p99 in the 100ms one, and every
+    # quantile is clamped to the observed max.
+    assert summary["p50"] <= 0.0013
+    assert 0.1 <= summary["p99"] <= 0.13
+    assert histogram.quantile(1.0) == pytest.approx(1.0)
+    assert summary["mean"] == pytest.approx((0.09 + 0.9 + 1.0) / 100)
+
+
+def test_histogram_quantile_validates_and_handles_empty():
+    histogram = Histogram()
+    assert histogram.quantile(0.5) == 0.0
+    with pytest.raises(ValueError):
+        histogram.quantile(0.0)
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)
+
+
+def test_histogram_clamps_negative_observations():
+    histogram = Histogram()
+    histogram.record(-1.0)
+    assert histogram.count == 1
+    assert histogram.sum_ns == 0
+    assert histogram.min == 0.0
+
+
+def test_histogram_merge_is_exact_and_order_independent():
+    """The tentpole property: any partition of a stream across any
+    number of histograms, merged in any order, is bit-equal to the
+    single-stream histogram — counts, integer-nanosecond sums, min/max."""
+    rng = random.Random(7)
+    observations = [rng.uniform(1e-6, 10.0) for _ in range(500)]
+    reference = Histogram()
+    for value in observations:
+        reference.record(value)
+
+    for seed in range(3):
+        shuffle = random.Random(seed)
+        parts = [Histogram() for _ in range(5)]
+        for value in observations:
+            parts[shuffle.randrange(5)].record(value)
+        order = list(range(5))
+        shuffle.shuffle(order)
+        merged = Histogram()
+        for index in order:
+            merged.merge(parts[index])
+        assert histogram_state(merged) == histogram_state(reference)
+
+
+def test_histogram_merge_accepts_serialized_state_and_roundtrips():
+    histogram = Histogram()
+    for value in (0.002, 0.5, 0.0321):
+        histogram.record(value)
+    state = histogram.to_dict()
+    assert json.loads(json.dumps(state)) == state  # JSON-able
+    rebuilt = Histogram.from_dict(state)
+    assert histogram_state(rebuilt) == state
+    assert summarize_histogram_state(state) == histogram.summary()
+
+
+def test_histogram_merge_rejects_mismatched_edges():
+    left = Histogram()
+    right = Histogram(edges=latency_edges(per_decade=3))
+    with pytest.raises(ValueError, match="edges"):
+        left.merge(right)
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ValueError):
+        Histogram(edges=[1.0, 1.0, 2.0])
+    with pytest.raises(ValueError):
+        Histogram(edges=[])
+
+
+# -- registry -----------------------------------------------------------------
+def test_registry_keys_are_label_order_insensitive():
+    registry = MetricsRegistry()
+    a = registry.histogram("latency", labels={"model": "m", "layer": "l"})
+    b = registry.histogram("latency", labels={"layer": "l", "model": "m"})
+    assert a is b
+    assert registry.counter("hits") is registry.counter("hits")
+
+
+def test_registry_snapshot_merge_matches_single_registry():
+    """Partition a workload across registries (worker processes in
+    miniature); merging their snapshots in any order must reproduce the
+    single-registry snapshot exactly."""
+    rng = random.Random(3)
+    observations = [(f"m{index % 2}", rng.uniform(1e-5, 1.0))
+                    for index in range(200)]
+    reference = MetricsRegistry()
+    workers = [MetricsRegistry() for _ in range(3)]
+    for model, value in observations:
+        reference.histogram("latency", labels={"model": model}).record(value)
+        reference.counter("requests", labels={"model": model}).inc()
+        worker = workers[rng.randrange(3)]
+        worker.histogram("latency", labels={"model": model}).record(value)
+        worker.counter("requests", labels={"model": model}).inc()
+
+    snapshots = [worker.snapshot() for worker in workers]
+    assert (merge_snapshots(snapshots)
+            == merge_snapshots(list(reversed(snapshots)))
+            == reference.snapshot())
+
+
+def test_registry_merge_snapshot_accumulates_in_place():
+    registry = MetricsRegistry()
+    registry.counter("n").inc(2)
+    other = MetricsRegistry()
+    other.counter("n").inc(3)
+    other.gauge("g").set(7.0)
+    registry.merge_snapshot(other.snapshot())
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["n"] == 5
+    assert snapshot["gauges"]["g"] == 7.0
+
+
+def test_prometheus_exposition_shape():
+    registry = MetricsRegistry()
+    registry.counter("serving_requests", labels={"model": "m"}).inc(3)
+    registry.gauge("resident_models").set(2)
+    histogram = registry.histogram("serving_service_seconds",
+                                   labels={"model": "m"})
+    histogram.record(0.002)
+    histogram.record(0.004)
+    text = registry.prometheus_text()
+    lines = text.splitlines()
+    assert "# TYPE serving_requests counter" in lines
+    assert 'serving_requests{model="m"} 3' in lines
+    assert "# TYPE resident_models gauge" in lines
+    assert "# TYPE serving_service_seconds histogram" in lines
+    assert 'serving_service_seconds_count{model="m"} 2' in lines
+    # Buckets are cumulative and end at +Inf == count.
+    buckets = [line for line in lines
+               if line.startswith("serving_service_seconds_bucket")]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+    assert counts == sorted(counts)
+    assert buckets[-1].startswith(
+        'serving_service_seconds_bucket{model="m",le="+Inf"}')
+    assert counts[-1] == 2
+    # The exposition is a pure function of the snapshot.
+    assert prometheus_from_snapshot(registry.snapshot()) == text
+
+
+# -- tracing ------------------------------------------------------------------
+def test_trace_spans_and_duration():
+    trace = Trace("req-000001", "m")
+    trace.add_span(Span("enqueue", 1.0, 2.0))
+    trace.add_span(Span("forward", 2.0, 2.5, {"backend": "thread"}))
+    assert trace.seconds == pytest.approx(1.5)
+    assert trace.span("forward").attributes["backend"] == "thread"
+    assert trace.span("missing") is None
+    data = trace.to_dict()
+    assert [span["name"] for span in data["spans"]] == ["enqueue", "forward"]
+    assert data["spans"][0]["seconds"] == pytest.approx(1.0)
+
+
+def test_trace_id_allocator_is_monotonic():
+    ids = TraceIdAllocator(prefix="t")
+    assert [ids.allocate() for _ in range(3)] == ["t-000001", "t-000002",
+                                                 "t-000003"]
+
+
+def test_trace_buffer_bounds_memory_under_sustained_load():
+    """The ring must retain exactly ``capacity`` traces no matter how
+    many are recorded — sustained load cannot grow it."""
+    buffer = TraceBuffer(capacity=64)
+    total = 10_000
+    for index in range(total):
+        buffer.record(Trace(f"req-{index:06d}", "m"))
+    assert len(buffer) == 64
+    stats = buffer.stats()
+    assert stats == {"capacity": 64, "retained": 64, "recorded": total,
+                     "dropped": total - 64}
+    snapshot = buffer.snapshot()
+    assert len(snapshot) == 64
+    # Oldest-first, and precisely the most recent 64 recorded.
+    expected = [f"req-{index:06d}" for index in range(total - 64, total)]
+    assert [trace["trace_id"] for trace in snapshot] == expected
+    assert [trace["trace_id"] for trace in buffer.snapshot(limit=3)] \
+        == expected[-3:]
+
+
+def test_trace_buffer_capacity_zero_disables_retention():
+    buffer = TraceBuffer(capacity=0)
+    buffer.record(Trace("req-000001", "m"))
+    assert len(buffer) == 0
+    assert buffer.snapshot() == []
+    assert buffer.stats()["recorded"] == 1
+    with pytest.raises(ValueError):
+        TraceBuffer(capacity=-1)
+
+
+# -- logging ------------------------------------------------------------------
+def test_get_logger_applies_level_on_every_call():
+    """The original helper latched the first caller's level onto the
+    root and silently ignored later ``level=`` arguments."""
+    logger = get_logger("obs_level_probe", level=logging.INFO)
+    assert logger.getEffectiveLevel() == logging.INFO
+    assert not logger.isEnabledFor(logging.DEBUG)
+    relogger = get_logger("obs_level_probe", level=logging.DEBUG)
+    assert relogger is logger
+    assert logger.isEnabledFor(logging.DEBUG)
+    get_logger("obs_level_probe", level=logging.WARNING)
+    assert not logger.isEnabledFor(logging.INFO)
+    # Other loggers are untouched by this one's level changes.
+    other = get_logger("obs_level_other", level=logging.INFO)
+    assert other.isEnabledFor(logging.INFO)
+
+
+def test_get_logger_keeps_single_shared_handler():
+    get_logger("obs_handler_a")
+    get_logger("obs_handler_b", level=logging.DEBUG)
+    root = logging.getLogger("repro")
+    assert len(root.handlers) == 1
+    assert isinstance(root.handlers[0].formatter, KeyValueFormatter)
+
+
+def test_key_value_formatter_renders_extra_fields():
+    formatter = KeyValueFormatter("%(name)s %(levelname)s: %(message)s")
+    record = logging.LogRecord("repro.x", logging.INFO, __file__, 1,
+                               "swap done", (), None)
+    record.model = "lenet5"
+    record.batches = 3
+    rendered = formatter.format(record)
+    assert rendered == "repro.x INFO: swap done [batches=3 model=lenet5]"
+    plain = logging.LogRecord("repro.x", logging.INFO, __file__, 1,
+                              "no extras", (), None)
+    assert formatter.format(plain) == "repro.x INFO: no extras"
+
+
+def test_logger_emits_structured_extras_through_shared_handler():
+    # Swap the shared handler's stream rather than fighting over which
+    # stderr object it bound at configuration time.
+    import io
+
+    logger = get_logger("obs_kv_probe", level=logging.INFO)
+    handler = logging.getLogger("repro").handlers[0]
+    captured = io.StringIO()
+    original = handler.setStream(captured)
+    try:
+        logger.info("served batch", extra={"model": "m", "samples": 4})
+    finally:
+        handler.setStream(original)
+    assert "served batch [model=m samples=4]" in captured.getvalue()
