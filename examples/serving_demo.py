@@ -33,7 +33,14 @@ The full serving path of the reproduction, end to end:
    bit-identical to the unobserved run, while the server now reports
    p50/p90/p99 latency digests from exactly-mergeable histograms, the
    batcher's flush-reason split, per-layer wall time, and per-request
-   span timelines (enqueue -> coalesce -> forward -> respond).
+   span timelines (enqueue -> coalesce -> forward -> respond),
+9. attach the **operational layer**: declare SLO rules (p99 service
+   latency, error rate, queue depth), attach the live HTTP exporter on
+   an ephemeral port (``server.serve_metrics(port=0)``), scrape
+   ``/metrics`` and ``/health`` over real HTTP while the server runs,
+   and read the rolling-window quantiles, per-rule verdicts, and the
+   lifecycle event log (model loads, exporter start, ...) back off the
+   endpoint.
 
 Execution architecture
 ----------------------
@@ -291,6 +298,52 @@ def main() -> None:
                 for span in trace["spans"])
             print(f"  trace {trace['trace_id']} ({trace['model']}): "
                   f"{timeline}")
+
+        # Operational layer: SLO rules evaluated over rolling windows,
+        # plus the live HTTP exporter — scraped over real HTTP while the
+        # server is under traffic.  All of it is wrapping only: the
+        # observed responses stay bit-identical (checked above for the
+        # profiled run; the exporter only *reads* server state).
+        import json
+        import urllib.request
+
+        from repro.serving import SLORule
+
+        rules = (
+            SLORule("service-p99", "latency_quantile", target=0.5,
+                    quantile=0.99, latency="service"),
+            SLORule("error-rate", "error_rate", target=0.01),
+            SLORule("queue-depth", "queue_depth", target=256),
+        )
+        with InferenceServer(build_registry(paths), max_batch=16,
+                             max_wait=0.002, workers=2,
+                             slo=rules) as server:
+            exporter = server.serve_metrics(port=0)  # ephemeral port
+            pending = [server.submit(*request) for request in requests]
+            for request in pending:
+                request.result(timeout=30.0)
+            with urllib.request.urlopen(exporter.url + "/health",
+                                        timeout=10.0) as response:
+                health = json.loads(response.read())
+                health_status = response.status
+            with urllib.request.urlopen(exporter.url + "/metrics",
+                                        timeout=10.0) as response:
+                metrics_text = response.read().decode("utf-8")
+            events = server.events()
+        print(f"exporter at {exporter.url}: /health {health_status} "
+              f"(status {health['status']!r}), /metrics "
+              f"{metrics_text.count(chr(10))} lines of Prometheus text")
+        windows = health["windows"]
+        service = windows["service"]
+        print(f"rolling window ({windows['requests']} requests): service "
+              f"p50/p99 {service['p50'] * 1e3:.2f}/"
+              f"{service['p99'] * 1e3:.2f} ms")
+        for rule in health["slo"]["rules"]:
+            print(f"  slo {rule['name']}: value {rule['value']:.4g} vs "
+                  f"target {rule['target']:.4g} -> {rule['verdict']}")
+        kinds = sorted({event["kind"] for event in events})
+        print(f"lifecycle events ({len(events)} retained): "
+              + ", ".join(kinds))
 
 
 if __name__ == "__main__":

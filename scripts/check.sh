@@ -41,6 +41,9 @@ echo "== observability suites (metrics/tracing/logging + serving obs) =="
 python -m pytest -x -q -m "not slow" tests/test_obs.py \
     tests/test_serving_obs.py
 
+echo "== operational observability suite (windows/SLO/events/exporter) =="
+python -m pytest -x -q -m "not slow" tests/test_obs_operational.py
+
 echo "== fast test suite (pytest -m 'not slow') =="
 quick_start=$(date +%s)
 python -m pytest -x -q -m "not slow" \
@@ -56,7 +59,8 @@ python -m pytest -x -q -m "not slow" \
     --ignore=tests/test_combining_plan.py \
     --ignore=tests/test_combining_kernels.py \
     --ignore=tests/test_obs.py \
-    --ignore=tests/test_serving_obs.py "$@"
+    --ignore=tests/test_serving_obs.py \
+    --ignore=tests/test_obs_operational.py "$@"
 quick_elapsed=$(( $(date +%s) - quick_start ))
 echo "quick tier took ${quick_elapsed}s (budget ${QUICK_TIER_BUDGET_SECONDS}s)"
 if (( quick_elapsed > QUICK_TIER_BUDGET_SECONDS )); then

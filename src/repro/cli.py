@@ -37,10 +37,23 @@ Three subcommands cover the library's main workflows:
     run's queued / service latency p50/p90/p99 and flush-reason split.
     ``--profile`` adds per-layer wall-time accounting (top-3 slowest
     layers; responses stay bit-identical), ``--trace`` prints the last
-    request traces.  ``--swaps N`` additionally exercises live hot swap:
+    request traces.  ``--slo P99_MS`` evaluates the stock SLO rule set
+    (p99 service latency / error rate / queue depth) over the rolling
+    windows and prints the window quantiles and per-rule verdicts;
+    ``--export-port`` attaches the live HTTP observability exporter for
+    the batched run and scrapes ``/metrics`` + ``/health`` once.
+    ``--swaps N`` additionally exercises live hot swap:
     the model is cut over between the artifact and a perturbed copy N
     times while requests are in flight, and every response must be
     bit-identical to one of the two artifacts' direct forwards.
+``serve-export``
+    Serve a short traced stream against a packed artifact and write the
+    request traces as Chrome-trace-event JSON
+    (:mod:`repro.obs.export`) — open the file in Perfetto / chrome
+    tracing to see every request's enqueue → coalesce → forward →
+    respond timeline on the wall clock.  ``pack-model --trace-out``
+    writes the same format for the packing pipeline's per-layer
+    group/prune/pack/tile stage spans.
 ``serve-stats``
     Serve a short profiled, traced stream against a packed artifact and
     print the observability report: request totals, queued / service
@@ -65,8 +78,9 @@ Examples::
     python -m repro save-packed --model lenet5 --out lenet5.npz --quantize
     python -m repro load-packed --path lenet5.npz
     python -m repro serve-bench --path lenet5.npz --max-batch 16 \
-        --backend process --workers 4
+        --backend process --workers 4 --slo 50 --export-port 0
     python -m repro serve-stats --path lenet5.npz --format text
+    python -m repro serve-export --path lenet5.npz --out trace.json
     python -m repro train --model lenet5 --alpha 8 --gamma 0.5
     python -m repro experiment fig15a
 """
@@ -197,6 +211,11 @@ def build_parser() -> argparse.ArgumentParser:
     pack_model.add_argument("--prune-engine", choices=list(PRUNE_ENGINES),
                             default="fast",
                             help="conflict-pruning engine (Algorithm 3)")
+    pack_model.add_argument("--trace-out", type=str, default=None,
+                            help="write the pipeline's per-layer "
+                                 "group/prune/pack/tile stage spans as "
+                                 "Chrome-trace-event JSON to this path "
+                                 "(open in Perfetto)")
     pack_model.add_argument("--seed", type=int, default=0)
 
     quantize = subparsers.add_parser(
@@ -319,7 +338,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", action="store_true",
                        help="retain request traces for the batched run and "
                             "print the last few span timelines")
+    serve.add_argument("--slo", type=float, default=None, metavar="P99_MS",
+                       help="evaluate the stock SLO rule set over the "
+                            "batched run's rolling windows with this p99 "
+                            "service-latency target in milliseconds; prints "
+                            "window quantiles and per-rule verdicts")
+    serve.add_argument("--export-port", type=int, default=None,
+                       help="attach the live HTTP observability exporter on "
+                            "this port for the batched run (0 = ephemeral) "
+                            "and scrape /metrics + /health once")
     serve.add_argument("--seed", type=int, default=0)
+
+    export = subparsers.add_parser(
+        "serve-export",
+        help="serve a short traced stream and write Chrome-trace-event JSON")
+    export.add_argument("--path", type=str, required=True,
+                        help="model-backed packed artifact to serve")
+    export.add_argument("--out", type=str, required=True,
+                        help="path the trace-event JSON is written to")
+    export.add_argument("--requests", type=_positive_int, default=32,
+                        help="number of single-sample requests to serve")
+    export.add_argument("--traces", type=_positive_int, default=32,
+                        help="how many recent request traces to export")
+    export.add_argument("--max-batch", type=_positive_int, default=8,
+                        help="dynamic batcher's sample budget per batch")
+    export.add_argument("--max-wait", type=float, default=0.001,
+                        help="dynamic batcher's coalescing window in seconds")
+    export.add_argument("--image-size", type=int, default=FAST_RUN.image_size,
+                        help="request spatial size (overridden by the "
+                             "artifact's model_spec when it records one)")
+    export.add_argument("--backend", choices=["thread", "process"],
+                        default="thread",
+                        help="where batch forwards run")
+    export.add_argument("--workers", type=_positive_int, default=1,
+                        help="batch-draining threads (and worker processes "
+                             "with --backend process)")
+    export.add_argument("--kernel", choices=["blocked", "loops"],
+                        default="blocked",
+                        help="batch-invariant kernel every forward runs")
+    export.add_argument("--seed", type=int, default=0)
 
     stats = subparsers.add_parser(
         "serve-stats",
@@ -441,6 +498,14 @@ def _command_pack_model(args: argparse.Namespace) -> int:
           f"{summary['total_nonzeros']} nonzeros "
           f"({pruned_total} pruned by Algorithm 3), "
           f"MX fan-in {summary['multiplexing_degree']}")
+    if args.trace_out is not None:
+        from repro.obs.export import chrome_trace_from_pipeline, \
+            write_chrome_trace
+
+        events = chrome_trace_from_pipeline(result)
+        written = write_chrome_trace(args.trace_out, events)
+        print(f"pipeline trace: {len(events)} events -> {written} "
+              "(open in Perfetto / chrome://tracing)")
     return 0
 
 
@@ -656,19 +721,66 @@ def _print_traces(traces: list[dict]) -> None:
               f"flush={flush}: {spans}")
 
 
+def _print_operational(operational: dict) -> None:
+    """Rolling-window quantiles, SLO verdicts, and exporter scrape results."""
+    windows = operational["windows"]
+    window_rows = [_latency_rows(kind, windows[kind])
+                   for kind in ("queued", "service", "total")
+                   if windows.get(kind, {}).get("count")]
+    if window_rows:
+        print(format_table(
+            ["rolling window", "p50", "p90", "p99", "mean", "max"],
+            window_rows))
+    print(f"rolling window: {windows['requests']} requests, "
+          f"{windows['failures']} failures")
+    slo = operational["slo"]
+    if slo["rules"]:
+        print(format_table(
+            ["slo rule", "kind", "value", "target", "verdict"],
+            [(rule["name"], rule["kind"],
+              (_format_latency(rule["value"])
+               if rule["kind"] == "latency_quantile"
+               else f"{rule['value']:.4g}"),
+              (_format_latency(rule["target"])
+               if rule["kind"] == "latency_quantile"
+               else f"{rule['target']:.4g}"),
+              rule["verdict"]) for rule in slo["rules"]]))
+        print(f"slo verdict: {slo['overall']}")
+    exporter = operational.get("exporter")
+    if exporter is not None:
+        print(f"exporter: {exporter['url']} — /health "
+              f"{exporter['health_status']}, /metrics "
+              f"{exporter['metrics_status']} "
+              f"({exporter['metrics_lines']} lines)")
+    events = operational.get("events", [])
+    if events:
+        kinds = {}
+        for event in events:
+            kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+        print("lifecycle events: " + ", ".join(
+            f"{kind}={count}" for kind, count in sorted(kinds.items())))
+
+
 def _command_serve_bench(args: argparse.Namespace) -> int:
-    from repro.serving.bench import run_serving_benchmark
+    from repro.serving.bench import default_slo_rules, run_serving_benchmark
 
     if not 0.0 <= args.max_wait <= 1.0:
         print(f"error: --max-wait must be in [0, 1] seconds, "
               f"got {args.max_wait}", file=sys.stderr)
         return 2
+    if args.slo is not None and args.slo <= 0.0:
+        print(f"error: --slo must be a positive latency target in "
+              f"milliseconds, got {args.slo}", file=sys.stderr)
+        return 2
+    slo_rules = (default_slo_rules(latency_target=args.slo / 1e3)
+                 if args.slo is not None else None)
     try:
         results = run_serving_benchmark(
             args.path, requests=args.requests, max_batch=args.max_batch,
             max_wait=args.max_wait, image_size=args.image_size,
             seed=args.seed, workers=args.workers, backend=args.backend,
-            kernel=args.kernel, profile=args.profile, trace=args.trace)
+            kernel=args.kernel, profile=args.profile, trace=args.trace,
+            slo_rules=slo_rules, export_port=args.export_port)
     except FileNotFoundError:
         print(f"error: {args.path} does not exist", file=sys.stderr)
         return 2
@@ -711,6 +823,8 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     flush = throughput["flush_reasons"]
     print("flush reasons: " + ", ".join(f"{reason}={flush[reason]}"
                                         for reason in sorted(flush)))
+    if "operational" in throughput:
+        _print_operational(throughput["operational"])
     if args.profile:
         _print_slowest_layers(throughput.get("slowest_layers", []))
     if args.trace:
@@ -743,6 +857,37 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         print(f"hot swap under traffic: every response bit-identical to one "
               f"artifact's direct forward: {swap['bit_exact']} "
               f"({swap['failures']} failed, {swap['mismatched']} ambiguous)")
+    return 0
+
+
+def _command_serve_export(args: argparse.Namespace) -> int:
+    from repro.obs.export import chrome_trace_from_traces, write_chrome_trace
+    from repro.serving.bench import observability_report
+
+    if not 0.0 <= args.max_wait <= 1.0:
+        print(f"error: --max-wait must be in [0, 1] seconds, "
+              f"got {args.max_wait}", file=sys.stderr)
+        return 2
+    try:
+        report = observability_report(
+            args.path, requests=args.requests, max_batch=args.max_batch,
+            max_wait=args.max_wait, image_size=args.image_size,
+            seed=args.seed, workers=args.workers, backend=args.backend,
+            kernel=args.kernel, trace_limit=args.traces)
+    except FileNotFoundError:
+        print(f"error: {args.path} does not exist", file=sys.stderr)
+        return 2
+    except (PackedArtifactError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    events = chrome_trace_from_traces(report["traces"])
+    written = write_chrome_trace(args.out, events)
+    print(f"served {report['requests']} requests "
+          f"({report['throughput']:.0f} req/s, backend={args.backend}, "
+          f"workers={args.workers}, kernel={args.kernel})")
+    print(f"serving trace: {len(report['traces'])} traces, "
+          f"{len(events)} events -> {written} "
+          "(open in Perfetto / chrome://tracing)")
     return 0
 
 
@@ -854,6 +999,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_load_packed(args)
     if args.command == "serve-bench":
         return _command_serve_bench(args)
+    if args.command == "serve-export":
+        return _command_serve_export(args)
     if args.command == "serve-stats":
         return _command_serve_stats(args)
     if args.command == "train":

@@ -41,6 +41,8 @@ and ``prune_engine`` the Algorithm 3 one
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, TypeVar
@@ -54,8 +56,13 @@ from repro.combining.grouping import (
     group_columns,
 )
 from repro.combining.packing import PackedFilterMatrix, pack_filter_matrix
-from repro.combining.pruning import PRUNE_ENGINES
+from repro.combining.pruning import PRUNE_ENGINES, column_combine_prune
 from repro.combining.tiling import tile_count
+from repro.obs.metrics import MetricsRegistry
+
+#: The per-layer flow's stages, in execution order.  Stage spans and the
+#: ``packing_stage_seconds{stage=...}`` histograms use these names.
+PIPELINE_STAGES = ("group", "prune", "pack", "tile")
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
@@ -195,6 +202,17 @@ class LayerResult:
     #: nonzero weights in the input matrix / surviving after Algorithm 3.
     nonzeros_before: int = 0
     nonzeros_after: int = 0
+    #: Per-stage wall durations in integer nanoseconds, keyed by
+    #: :data:`PIPELINE_STAGES`.  Integer ns ride home picklable from pool
+    #: workers and fold into histograms independent of layer schedule.
+    stage_ns: dict[str, int] = field(default_factory=dict)
+    #: ``(stage, start_ns, end_ns)`` offsets relative to the layer's
+    #: start, for timeline export (:func:`repro.obs.export.chrome_trace_from_pipeline`).
+    stage_spans: list[tuple[str, int, int]] = field(default_factory=list)
+    #: Wall-clock time the layer's flow started (anchors stage_spans).
+    epoch: float = 0.0
+    #: OS pid that packed this layer (shows pool fan-out in timelines).
+    worker_pid: int = 0
 
     @property
     def tile_reduction(self) -> float:
@@ -246,6 +264,18 @@ class PipelineResult:
     def total_tiles_after(self) -> int:
         return sum(layer.tiles_after for layer in self.layers)
 
+    def stage_ns_totals(self) -> dict[str, int]:
+        """Exact per-stage nanosecond totals across all layers.
+
+        Integer adds over the per-layer ``stage_ns`` records, so the
+        totals are identical whichever workers packed which layers.
+        """
+        totals = {stage: 0 for stage in PIPELINE_STAGES}
+        for layer in self.layers:
+            for stage, nanoseconds in layer.stage_ns.items():
+                totals[stage] = totals.get(stage, 0) + int(nanoseconds)
+        return totals
+
 
 def _layer_name(layer_id: Any, index: int) -> str:
     """Display name for a layer: LayerShape.name, a string, or a default."""
@@ -257,7 +287,18 @@ def _layer_name(layer_id: Any, index: int) -> str:
 
 def _pack_one_layer(task: tuple[PipelineConfig, str, np.ndarray, int]
                     ) -> LayerResult:
-    """Run the whole per-layer flow; module-level so process pools can pickle it."""
+    """Run the whole per-layer flow; module-level so process pools can pickle it.
+
+    Each stage (group / prune / pack / tile) is timed with
+    ``perf_counter_ns``; the integer durations and span offsets travel
+    back with the :class:`LayerResult`, so a parallel run's telemetry is
+    folded together in the parent exactly like the serving path folds
+    worker snapshots — integer adds, independent of which worker ran
+    which layer.  The prune stage calls Algorithm 3 explicitly and hands
+    the pruned matrix to the packer (``prune_conflicts=False``), which
+    scatters the same entries the fused call would — packings are
+    bit-identical to the un-instrumented flow.
+    """
     config, name, matrix, layer_index = task
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2:
@@ -267,10 +308,29 @@ def _pack_one_layer(task: tuple[PipelineConfig, str, np.ndarray, int]
         # Seeded per layer (not shared across layers) so results do not
         # depend on which worker processes which layer.
         rng = np.random.default_rng((config.seed, layer_index))
-    grouping = group_columns(matrix, alpha=config.alpha, gamma=config.gamma,
-                             policy=config.policy, rng=rng,
-                             engine=config.grouping_engine)
-    packed = pack_filter_matrix(matrix, grouping, engine=config.prune_engine)
+
+    epoch = time.time()
+    started = time.perf_counter_ns()
+    spans: list[tuple[str, int, int]] = []
+
+    def _staged(stage: str, call):
+        start = time.perf_counter_ns() - started
+        value = call()
+        spans.append((stage, start, time.perf_counter_ns() - started))
+        return value
+
+    grouping = _staged("group", lambda: group_columns(
+        matrix, alpha=config.alpha, gamma=config.gamma,
+        policy=config.policy, rng=rng, engine=config.grouping_engine))
+    pruned = _staged("prune", lambda: column_combine_prune(
+        matrix, grouping, engine=config.prune_engine)[0])
+    packed = _staged("pack", lambda: pack_filter_matrix(
+        pruned, grouping, prune_conflicts=False))
+    tiles = _staged("tile", lambda: (
+        tile_count(matrix.shape[0], matrix.shape[1],
+                   config.array_rows, config.array_cols),
+        tile_count(matrix.shape[0], grouping.num_groups,
+                   config.array_rows, config.array_cols)))
     return LayerResult(
         name=name,
         rows=matrix.shape[0],
@@ -279,14 +339,16 @@ def _pack_one_layer(task: tuple[PipelineConfig, str, np.ndarray, int]
         density_before=(float(np.count_nonzero(matrix) / matrix.size)
                         if matrix.size else 0.0),
         packing_efficiency=packed.packing_efficiency(),
-        tiles_before=tile_count(matrix.shape[0], matrix.shape[1],
-                                config.array_rows, config.array_cols),
-        tiles_after=tile_count(matrix.shape[0], grouping.num_groups,
-                               config.array_rows, config.array_cols),
+        tiles_before=tiles[0],
+        tiles_after=tiles[1],
         grouping=grouping,
         packed=packed,
         nonzeros_before=int(np.count_nonzero(matrix)),
         nonzeros_after=int(np.count_nonzero(packed.weights)),
+        stage_ns={stage: end - start for stage, start, end in spans},
+        stage_spans=spans,
+        epoch=epoch,
+        worker_pid=os.getpid(),
     )
 
 
@@ -320,10 +382,36 @@ class PackingPipeline:
     """
 
     def __init__(self, config: PipelineConfig | None = None,
-                 pool: ProcessPoolExecutor | None = None):
+                 pool: ProcessPoolExecutor | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.config = config if config is not None else PipelineConfig()
         self._pool = pool
         self._owns_pool = pool is None
+        #: Pipeline telemetry: ``packing_stage_seconds{stage=...}``
+        #: histograms plus layer/column/tile counters.  Stage timings are
+        #: measured inside the (possibly pooled) per-layer flow and ride
+        #: home as integers on each :class:`LayerResult`, then fold in
+        #: here — the same exact, schedule-independent merge the serving
+        #: path uses for worker snapshots.  Pass a shared registry to
+        #: aggregate several pipelines into one exposition.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def _record_layer_metrics(self, layers: Iterable[LayerResult]) -> None:
+        for layer in layers:
+            for stage, nanoseconds in layer.stage_ns.items():
+                self.metrics.histogram("packing_stage_seconds",
+                                       labels={"stage": stage}
+                                       ).record(nanoseconds / 1e9)
+            self.metrics.counter("packing_layers").inc()
+            self.metrics.counter("packing_columns_before"
+                                 ).inc(layer.columns_before)
+            self.metrics.counter("packing_columns_after"
+                                 ).inc(layer.columns_after)
+            self.metrics.counter("packing_tiles_saved"
+                                 ).inc(max(0, layer.tiles_before
+                                           - layer.tiles_after))
+            self.metrics.counter("packing_pruned_weights"
+                                 ).inc(layer.pruned_weights)
 
     # -- persistent-pool lifecycle ------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -361,7 +449,9 @@ class PackingPipeline:
     def run_layer(self, name: str, matrix: np.ndarray,
                   layer_index: int = 0) -> LayerResult:
         """The per-layer flow for a single matrix, always in-process."""
-        return _pack_one_layer((self.config, name, matrix, layer_index))
+        result = _pack_one_layer((self.config, name, matrix, layer_index))
+        self._record_layer_metrics([result])
+        return result
 
     def run(self, layers: Sequence[tuple[Any, np.ndarray] | np.ndarray]
             ) -> PipelineResult:
@@ -386,4 +476,5 @@ class PackingPipeline:
             pool = self._ensure_pool()
         results = ordered_pool_map(_pack_one_layer, tasks, self.config.workers,
                                    pool=pool)
+        self._record_layer_metrics(results)
         return PipelineResult(self.config, results)

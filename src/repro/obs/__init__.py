@@ -20,10 +20,44 @@ through submit/coalesce/dispatch/forward/respond.
 * :mod:`~repro.obs.tracing` — request traces: a
   :class:`~repro.obs.tracing.Trace` is an id plus
   :class:`~repro.obs.tracing.Span` timeline (enqueue → coalesce → forward
-  → respond, each with attributes like the batcher's flush reason); a
+  → respond, each with attributes like the batcher's flush reason),
+  anchored to the wall clock at creation (``epoch``/``anchor``) so traces
+  from different processes or restarts correlate on one timeline; a
   bounded :class:`~repro.obs.tracing.TraceBuffer` ring retains the last N
   under sustained load, so tracing every request costs O(capacity)
   memory forever.
+
+On top of those primitives sits the **operational layer** — what watches
+a *running* server from outside the process:
+
+* :mod:`~repro.obs.window` — rolling windows:
+  :class:`~repro.obs.window.WindowedHistogram` /
+  :class:`~repro.obs.window.WindowedCounter` keep a ring of per-bucket
+  states keyed by the absolute time-bucket index of an injected clock.
+  Built from the same exactly-mergeable state as the lifetime metrics,
+  so windows recorded in different threads or processes merge
+  bit-exactly in any order; stale buckets prune on every touch, so
+  memory stays O(buckets) forever.
+* :mod:`~repro.obs.slo` — declarative objectives:
+  :class:`~repro.obs.slo.SLORule` (latency-quantile / error-rate /
+  queue-depth targets) evaluated by :class:`~repro.obs.slo.SLOEngine`
+  over the rolling windows into ok/warn/breach verdicts with burn
+  counters; breach/recover *transitions* emit lifecycle events.
+* :mod:`~repro.obs.events` — :class:`~repro.obs.events.EventLog`: a
+  bounded ring of timestamped lifecycle records (model load / evict /
+  swap with fingerprints + generations, pool warm / rebuild / shutdown,
+  load failures, SLO breach / recover, server start / stop) shared by
+  the registry, server, and process pool.
+* :mod:`~repro.obs.exporter` —
+  :class:`~repro.obs.exporter.ObservabilityExporter`: a threaded
+  stdlib-``http.server`` endpoint over all of the above — ``/metrics``
+  (Prometheus text), ``/health`` (liveness + SLO verdict in the HTTP
+  status), ``/stats``, ``/traces``, ``/events`` — attachable to a live
+  server (``InferenceServer.serve_metrics``) with ephemeral-port bind
+  for tests.
+* :mod:`~repro.obs.export` — Chrome-trace-event JSON for serving traces
+  *and* instrumented :class:`~repro.combining.pipeline.PackingPipeline`
+  runs, so either half of the workflow opens in Perfetto.
 
 The third primitive — per-layer profiling — lives on the execution plan
 itself (``ExecutionPlan.forward(profile=...)``): each packed layer op is
@@ -47,6 +81,13 @@ histogram merge is exact.  One exposition therefore covers both
 backends: worker → merge → ``prometheus_text()`` / JSON snapshot.
 """
 
+from repro.obs.events import DEFAULT_EVENT_CAPACITY, Event, EventLog
+from repro.obs.export import (
+    chrome_trace_from_pipeline,
+    chrome_trace_from_traces,
+    write_chrome_trace,
+)
+from repro.obs.exporter import EXPORTER_ROUTES, ObservabilityExporter
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -57,12 +98,26 @@ from repro.obs.metrics import (
     prometheus_from_snapshot,
     summarize_histogram_state,
 )
+from repro.obs.slo import (
+    RULE_KINDS,
+    VERDICTS,
+    SLOEngine,
+    SLOReport,
+    SLORule,
+    worst_verdict,
+)
 from repro.obs.tracing import (
     DEFAULT_TRACE_CAPACITY,
     Span,
     Trace,
     TraceBuffer,
     TraceIdAllocator,
+)
+from repro.obs.window import (
+    DEFAULT_BUCKET_SECONDS,
+    DEFAULT_WINDOW_BUCKETS,
+    WindowedCounter,
+    WindowedHistogram,
 )
 
 __all__ = [
@@ -79,4 +134,22 @@ __all__ = [
     "Trace",
     "TraceBuffer",
     "TraceIdAllocator",
+    "DEFAULT_BUCKET_SECONDS",
+    "DEFAULT_WINDOW_BUCKETS",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "RULE_KINDS",
+    "VERDICTS",
+    "SLOEngine",
+    "SLOReport",
+    "SLORule",
+    "worst_verdict",
+    "DEFAULT_EVENT_CAPACITY",
+    "Event",
+    "EventLog",
+    "EXPORTER_ROUTES",
+    "ObservabilityExporter",
+    "chrome_trace_from_pipeline",
+    "chrome_trace_from_traces",
+    "write_chrome_trace",
 ]

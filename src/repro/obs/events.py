@@ -1,0 +1,109 @@
+"""Structured lifecycle events in a bounded, inspectable ring.
+
+Counters say *how many* times something happened; operations needs
+*what* happened, *when*, and *with what identity* — which artifact
+fingerprint a hot swap replaced, which generation a model load
+produced, which pid a pool rebuild evicted.  :class:`EventLog` is the
+one place those records land: :class:`ModelRegistry` emits
+``model_load`` / ``model_evict`` / ``model_swap`` / ``load_failure``,
+:class:`InferenceServer` emits ``server_start`` / ``server_stop`` /
+``pool_rebuild``, :class:`ProcessWorkerPool` emits ``pool_warm`` /
+``pool_shutdown``, and :class:`~repro.obs.slo.SLOEngine` emits
+``slo_breach`` / ``slo_recover`` transitions.
+
+Retention follows :class:`~repro.obs.tracing.TraceBuffer`: a deque
+bounded at ``capacity`` events, so memory is O(capacity) forever and
+``dropped`` counts what the ring overwrote.  Per-kind counts survive
+ring overwrites, so "how many swaps ever" stays answerable even after
+the swap events themselves have aged out.  The clock is injectable for
+deterministic tests; every event also carries a sequence number, so an
+exported log totally orders events even when a coarse fake clock gives
+several the same timestamp.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+#: Default number of lifecycle events a log retains.
+DEFAULT_EVENT_CAPACITY = 512
+
+
+class Event:
+    """One timestamped lifecycle record: kind + free-form attributes."""
+
+    __slots__ = ("seq", "kind", "timestamp", "attributes")
+
+    def __init__(self, seq: int, kind: str, timestamp: float,
+                 attributes: dict[str, Any]):
+        self.seq = seq
+        self.kind = kind
+        self.timestamp = timestamp
+        self.attributes = attributes
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "kind": self.kind,
+                "timestamp": self.timestamp,
+                "attributes": dict(self.attributes)}
+
+
+class EventLog:
+    """Thread-safe bounded ring of :class:`Event` records.
+
+    ``capacity=0`` disables retention (emit still counts kinds), the
+    same switch :class:`~repro.obs.tracing.TraceBuffer` uses.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY,
+                 clock: Callable[[], float] = time.time) -> None:
+        if capacity < 0:
+            raise ValueError("event capacity must be >= 0")
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: deque[Event] = deque(maxlen=capacity or None)
+        self._seq = 0
+        self.emitted = 0
+        self._kinds: dict[str, int] = {}
+
+    def emit(self, kind: str, **attributes: Any) -> Event:
+        """Record one event; returns it (callers may log it too)."""
+        with self._lock:
+            self._seq += 1
+            event = Event(self._seq, kind, self._clock(), dict(attributes))
+            self.emitted += 1
+            self._kinds[kind] = self._kinds.get(kind, 0) + 1
+            if self.capacity:
+                self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self.emitted - len(self._events)
+
+    def snapshot(self, limit: int | None = None,
+                 kind: str | None = None) -> list[dict[str, Any]]:
+        """Retained events as dicts, oldest first (optionally filtered)."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [event for event in events if event.kind == kind]
+        if limit is not None:
+            events = events[-limit:]
+        return [event.to_dict() for event in events]
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {"capacity": self.capacity,
+                    "retained": len(self._events),
+                    "emitted": self.emitted,
+                    "dropped": self.emitted - len(self._events),
+                    "kinds": dict(sorted(self._kinds.items()))}

@@ -1,0 +1,117 @@
+"""Chrome-trace-event export: serving traces and pipeline runs in Perfetto.
+
+The Chrome trace event format (the JSON ``{"traceEvents": [...]}``
+envelope of complete ``"ph": "X"`` events with microsecond ``ts`` /
+``dur``) is the lingua franca of timeline viewers — ``chrome://tracing``
+and https://ui.perfetto.dev open it directly.  This module renders both
+halves of the repo's workflow onto it:
+
+* :func:`chrome_trace_from_traces` — serving request traces
+  (:class:`~repro.obs.tracing.Trace` objects or their dict snapshots).
+  Spans are monotonic-relative; each trace's wall-clock ``epoch`` /
+  ``anchor`` pair places them on the shared wall-clock timeline, so
+  traces exported from different processes or across restarts line up.
+  Each request becomes one named thread row (a ``thread_name`` metadata
+  event carries the trace id), so the enqueue/coalesce/forward/respond
+  cascade of concurrent requests reads at a glance.
+* :func:`chrome_trace_from_pipeline` — offline packing runs
+  (:class:`~repro.combining.pipeline.PipelineResult`).  Each layer
+  becomes a thread row with its group/prune/pack/tile stage spans,
+  anchored at the layer's wall-clock start, so a ``workers=N`` run
+  shows the actual fan-out across pool workers.
+
+:func:`write_chrome_trace` writes the envelope to disk; the ``cli``
+surfaces it as ``serve-export`` and ``pack-model --trace-out``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.tracing import Trace
+
+_US_PER_SECOND = 1e6
+
+
+def _thread_name(pid: int, tid: int, name: str) -> dict[str, Any]:
+    return {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name}}
+
+
+def _complete_event(name: str, category: str, start_us: float,
+                    duration_us: float, pid: int, tid: int,
+                    args: Mapping[str, Any]) -> dict[str, Any]:
+    return {"name": name, "cat": category, "ph": "X",
+            "ts": start_us, "dur": max(0.0, duration_us),
+            "pid": pid, "tid": tid, "args": dict(args)}
+
+
+def chrome_trace_from_traces(traces: Iterable[Trace | Mapping[str, Any]],
+                             pid: int = 1) -> list[dict[str, Any]]:
+    """Serving traces -> Chrome trace events (one thread row per request).
+
+    Accepts live :class:`Trace` objects or the dicts
+    :meth:`TraceBuffer.snapshot` returns.  Span times map onto the wall
+    clock via the trace's ``epoch``/``anchor`` pair; traces without one
+    (older snapshots) fall back to raw monotonic times, which still
+    open fine — they just won't align with other processes.
+    """
+    events: list[dict[str, Any]] = []
+    for tid, item in enumerate(traces, start=1):
+        trace = item.to_dict() if isinstance(item, Trace) else dict(item)
+        epoch = trace.get("epoch")
+        anchor = trace.get("anchor")
+        offset = (epoch - anchor if epoch is not None and anchor is not None
+                  else 0.0)
+        label = f"{trace.get('trace_id', f'trace-{tid}')} " \
+                f"[{trace.get('model', '?')}]"
+        events.append(_thread_name(pid, tid, label))
+        for span in trace.get("spans", []):
+            args = dict(span.get("attributes", {}))
+            args["trace_id"] = trace.get("trace_id")
+            events.append(_complete_event(
+                span["name"], "serving",
+                (span["start"] + offset) * _US_PER_SECOND,
+                (span["end"] - span["start"]) * _US_PER_SECOND,
+                pid, tid, args))
+    return events
+
+
+def chrome_trace_from_pipeline(result: Any,
+                               pid: int = 2) -> list[dict[str, Any]]:
+    """A :class:`PipelineResult` -> Chrome trace events (row per layer).
+
+    Uses the per-layer ``epoch`` (wall-clock layer start) and
+    ``stage_spans`` (nanosecond offsets relative to that start) the
+    instrumented :func:`~repro.combining.pipeline._pack_one_layer`
+    records, so the timeline shows each layer's group/prune/pack/tile
+    cascade and — in ``workers>1`` runs — which layers overlapped.
+    """
+    events: list[dict[str, Any]] = []
+    for tid, layer in enumerate(result.layers, start=1):
+        label = f"{layer.name} [pid {layer.worker_pid}]"
+        events.append(_thread_name(pid, tid, label))
+        base_us = layer.epoch * _US_PER_SECOND
+        for stage, start_ns, end_ns in layer.stage_spans:
+            events.append(_complete_event(
+                stage, "packing",
+                base_us + start_ns / 1e3, (end_ns - start_ns) / 1e3,
+                pid, tid,
+                {"layer": layer.name, "rows": layer.rows,
+                 "columns_before": layer.columns_before,
+                 "columns_after": layer.columns_after}))
+    return events
+
+
+def write_chrome_trace(path: str | Path,
+                       events: Iterable[Mapping[str, Any]]) -> Path:
+    """Write events to ``path`` in the Chrome trace JSON envelope."""
+    path = Path(path)
+    payload = {"traceEvents": list(events), "displayTimeUnit": "ms"}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=None, separators=(",", ":"),
+                  default=str)
+    return path

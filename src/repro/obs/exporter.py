@@ -1,0 +1,150 @@
+"""The scrape endpoint: stdlib HTTP server over live serving telemetry.
+
+:class:`ObservabilityExporter` wraps a :class:`ThreadingHTTPServer`
+around any *provider* object exposing the small read-only surface an
+:class:`~repro.serving.server.InferenceServer` already has —
+``prometheus_text()``, ``health()``, ``stats()``, ``traces()``, and
+``events()`` — and serves:
+
+* ``/metrics`` — Prometheus text exposition (scrapeable as-is),
+* ``/health`` — liveness + SLO verdict as JSON, with the HTTP status
+  carrying the verdict (200 for ok/warn, 503 for breach or stopped),
+* ``/stats`` — the full stats dict as JSON,
+* ``/traces`` — recent request traces as JSON (``?limit=N``),
+* ``/events`` — recent lifecycle events as JSON (``?limit=N``).
+
+Every handler only *reads* snapshots the telemetry layer already
+produces under its own locks, so scraping is concurrency-safe and
+cannot perturb served bits.  Binding to port 0 picks an ephemeral port
+(``exporter.port`` reports the real one), which is how tests run many
+exporters side by side; requests are handled on daemon threads, so a
+slow scraper never wedges shutdown.  ``InferenceServer.stop()`` closes
+an attached exporter before tearing the server down, so an endpoint
+never outlives the thing it reports on.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+#: Routes the exporter serves, in display order.
+EXPORTER_ROUTES = ("/metrics", "/health", "/stats", "/traces", "/events")
+
+#: HTTP verdict mapping: breach (or a stopped server) must look *down*
+#: to a load balancer, warn must not — it is a page, not an outage.
+_HEALTHY_VERDICTS = frozenset({"ok", "warn"})
+
+
+def _json_bytes(payload: Any) -> bytes:
+    # default=str keeps the endpoint total: an exotic attribute value
+    # degrades to its repr instead of a 500.
+    return json.dumps(payload, default=str).encode("utf-8")
+
+
+class ObservabilityExporter:
+    """Threaded HTTP endpoint over a telemetry provider.
+
+    ``provider`` is duck-typed (an ``InferenceServer`` in production, a
+    stub in tests): ``prometheus_text()`` and ``stats()`` are required,
+    ``health()`` / ``traces(limit=...)`` / ``events(limit=...)`` are
+    served as empty/ok defaults when absent.
+    """
+
+    def __init__(self, provider: Any, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.provider = provider
+        exporter = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # Telemetry must not spam the server's stderr per scrape.
+            def log_message(self, *_args: Any) -> None:
+                return
+
+            def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+                exporter._handle(self)
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ObservabilityExporter":
+        if self._started:
+            raise RuntimeError("exporter already started")
+        self._started = True
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="obs-exporter", daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout)
+            self._thread = None
+        self._httpd.server_close()
+
+    # -- request handling -----------------------------------------------------
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        try:
+            parsed = urlsplit(request.path)
+            limit = self._limit(parsed.query)
+            status, content_type, body = self._respond(parsed.path, limit)
+        except Exception as error:  # total endpoint: errors become JSON
+            status, content_type = 500, "application/json"
+            body = _json_bytes({"error": f"{type(error).__name__}: {error}"})
+        try:
+            request.send_response(status)
+            request.send_header("Content-Type", content_type)
+            request.send_header("Content-Length", str(len(body)))
+            request.end_headers()
+            request.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # scraper went away mid-response; nothing to clean up
+
+    @staticmethod
+    def _limit(query: str) -> int | None:
+        values = parse_qs(query).get("limit")
+        return int(values[-1]) if values else None
+
+    def _respond(self, path: str,
+                 limit: int | None) -> tuple[int, str, bytes]:
+        provider = self.provider
+        if path == "/metrics":
+            text = provider.prometheus_text()
+            return 200, "text/plain; version=0.0.4; charset=utf-8", \
+                text.encode("utf-8")
+        if path == "/health":
+            health = (provider.health() if hasattr(provider, "health")
+                      else {"live": True, "status": "ok"})
+            healthy = (bool(health.get("live", True))
+                       and health.get("status") in _HEALTHY_VERDICTS)
+            return (200 if healthy else 503), "application/json", \
+                _json_bytes(health)
+        if path == "/stats":
+            return 200, "application/json", _json_bytes(provider.stats())
+        if path == "/traces":
+            traces = (provider.traces(limit=limit)
+                      if hasattr(provider, "traces") else [])
+            return 200, "application/json", _json_bytes({"traces": traces})
+        if path == "/events":
+            events = (provider.events(limit=limit)
+                      if hasattr(provider, "events") else [])
+            return 200, "application/json", _json_bytes({"events": events})
+        return 404, "application/json", _json_bytes(
+            {"error": f"unknown path {path!r}", "routes": EXPORTER_ROUTES})

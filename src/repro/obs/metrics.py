@@ -35,6 +35,7 @@ snapshots from other threads or processes, and
 
 from __future__ import annotations
 
+import itertools
 import math
 import threading
 from bisect import bisect_left
@@ -85,18 +86,42 @@ class Counter:
             self.value += amount
 
 
-class Gauge:
-    """A point-in-time value (no merge semantics beyond last-write)."""
+#: Process-wide monotonic stamp shared by every :class:`Gauge`.  Each
+#: ``set()`` takes the next stamp, so "which write was last" is a total
+#: order within a process and snapshots carry it across processes.
+_GAUGE_SEQUENCE = itertools.count(1)
 
-    __slots__ = ("_lock", "value")
+
+class Gauge:
+    """A point-in-time value whose merge is deterministic last-write-wins.
+
+    Every ``set()`` stamps the gauge with a process-wide monotonic
+    sequence number; snapshots export ``{"value", "sequence"}`` and
+    :meth:`merge` keeps the reading with the highest ``(sequence,
+    value)`` pair.  Sequences from different processes are comparable
+    only heuristically, so ties (equal sequences) fall back to the
+    larger value — an arbitrary but *order-independent* rule: merging
+    any set of snapshots in any order yields the same gauge state.
+    """
+
+    __slots__ = ("_lock", "value", "sequence")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.value = 0.0
+        self.sequence = 0
 
     def set(self, value: float) -> None:
         with self._lock:
             self.value = float(value)
+            self.sequence = next(_GAUGE_SEQUENCE)
+
+    def merge(self, value: float, sequence: int) -> None:
+        """Adopt ``value`` iff it was stamped later (highest wins)."""
+        with self._lock:
+            if (int(sequence), float(value)) > (self.sequence, self.value):
+                self.value = float(value)
+                self.sequence = int(sequence)
 
 
 class Histogram:
@@ -238,11 +263,29 @@ def summarize_histogram_state(state: Mapping[str, Any]) -> dict[str, float]:
     return Histogram.from_dict(state).summary()
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition spec.
+
+    Backslash, double quote, and line feed are the three characters the
+    format reserves inside quoted label values; anything else passes
+    through.  Escaping happens once, at key-construction time, so the
+    canonical key *is* valid exposition and snapshots merged across
+    processes agree on it byte for byte.
+    """
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _metric_key(name: str, labels: Mapping[str, str] | None) -> str:
-    """Canonical snapshot key: ``name{a="x",b="y"}`` with sorted labels."""
+    """Canonical snapshot key: ``name{a="x",b="y"}`` with sorted labels.
+
+    Label values are escaped (:func:`_escape_label_value`), so a model
+    named ``he said "hi"`` still yields a parseable exposition line.
+    """
     if not labels:
         return name
-    rendered = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    rendered = ",".join(f'{key}="{_escape_label_value(labels[key])}"'
+                        for key in sorted(labels))
     return f"{name}{{{rendered}}}"
 
 
@@ -300,7 +343,9 @@ class MetricsRegistry:
             histograms = dict(self._histograms)
         return {
             "counters": {key: counters[key].value for key in sorted(counters)},
-            "gauges": {key: gauges[key].value for key in sorted(gauges)},
+            "gauges": {key: {"value": gauges[key].value,
+                             "sequence": gauges[key].sequence}
+                       for key in sorted(gauges)},
             "histograms": {key: histograms[key].to_dict()
                            for key in sorted(histograms)},
         }
@@ -309,13 +354,19 @@ class MetricsRegistry:
         """Fold another registry's snapshot into this one, exactly.
 
         Counters add (integers), histograms merge
-        (:meth:`Histogram.merge` — exact), gauges take the incoming
-        value (a gauge is a point-in-time reading, not an accumulation).
+        (:meth:`Histogram.merge` — exact), gauges keep the reading with
+        the highest ``(sequence, value)`` stamp (:meth:`Gauge.merge` —
+        deterministic in any merge order).  Bare numeric gauge values
+        (pre-sequence snapshots) merge with sequence 0.
         """
         for key, value in snapshot.get("counters", {}).items():
             self.counter(key).inc(int(value))
-        for key, value in snapshot.get("gauges", {}).items():
-            self.gauge(key).set(value)
+        for key, state in snapshot.get("gauges", {}).items():
+            if isinstance(state, Mapping):
+                self.gauge(key).merge(state["value"],
+                                      state.get("sequence", 0))
+            else:
+                self.gauge(key).merge(float(state), 0)
         for key, state in snapshot.get("histograms", {}).items():
             self.histogram(key, edges=state["edges"]).merge(state)
 
@@ -327,9 +378,10 @@ def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]
                     ) -> dict[str, Any]:
     """Merge several registry snapshots into one snapshot dict.
 
-    Order-independent for counters and histograms (exact integer state);
-    callers who also carry gauges should pass snapshots in a canonical
-    order (the server sorts worker snapshots by pid).
+    Order-independent for every metric kind: counters and histograms
+    carry exact integer state, and gauges carry a monotonic write
+    sequence so the merge keeps the highest ``(sequence, value)`` stamp
+    no matter which order the snapshots arrive in.
     """
     merged = MetricsRegistry()
     for snapshot in snapshots:
@@ -373,7 +425,9 @@ def prometheus_from_snapshot(snapshot: Mapping[str, Any]) -> str:
     for key in sorted(snapshot.get("gauges", {})):
         name, labels = _split_key(key)
         header(name, "gauge")
-        lines.append(f"{name}{labels} {snapshot['gauges'][key]}")
+        state = snapshot["gauges"][key]
+        value = state["value"] if isinstance(state, Mapping) else state
+        lines.append(f"{name}{labels} {value}")
     for key in sorted(snapshot.get("histograms", {})):
         name, labels = _split_key(key)
         state = snapshot["histograms"][key]

@@ -1,0 +1,250 @@
+"""Declarative SLOs evaluated over rolling windows into verdicts.
+
+An :class:`SLORule` names one objective — a latency quantile target
+("p99 service time under 250ms"), an error-rate ceiling, or a
+queue-depth ceiling — and :class:`SLOEngine` owns the rolling windows
+(:mod:`repro.obs.window`) that the serving path feeds, evaluates every
+rule into an ``ok`` / ``warn`` / ``breach`` verdict, and keeps burn
+counters (how many evaluations breached, how many breach episodes,
+how long the current episode has run).  The engine's clock is the same
+injected callable the windows use, so a fake clock drives bucket
+rotation, breach, and recovery deterministically in tests.
+
+Verdict semantics are deliberately simple and monotone: a rule breaches
+when its measured value exceeds ``target``, warns when it exceeds
+``warn_ratio * target``, and is ``ok`` otherwise — including when the
+window holds no data yet (an idle server is healthy, not unknown).  The
+overall verdict is the worst per-rule verdict, which is what
+``/health`` maps onto an HTTP status
+(:class:`repro.obs.exporter.ObservabilityExporter`).
+
+Nothing here touches the forward path: the engine only folds observed
+latencies / outcomes into window state, so enabling SLOs cannot perturb
+served bits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.obs.events import EventLog
+from repro.obs.window import (
+    DEFAULT_BUCKET_SECONDS,
+    DEFAULT_WINDOW_BUCKETS,
+    WindowedCounter,
+    WindowedHistogram,
+)
+
+#: Verdicts in severity order; the overall verdict is the worst rule's.
+VERDICTS = ("ok", "warn", "breach")
+
+#: Rule kinds the engine knows how to measure.
+RULE_KINDS = ("latency_quantile", "error_rate", "queue_depth")
+
+#: Latency streams the serving path feeds (queued = submit->dispatch,
+#: service = dispatch->respond, total = submit->respond).
+LATENCY_KINDS = ("queued", "service", "total")
+
+
+def worst_verdict(verdicts: Iterable[str]) -> str:
+    """The most severe verdict present (``ok`` when none are)."""
+    rank = {verdict: index for index, verdict in enumerate(VERDICTS)}
+    worst = 0
+    for verdict in verdicts:
+        worst = max(worst, rank[verdict])
+    return VERDICTS[worst]
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One declarative objective.
+
+    ``kind`` selects the measurement: ``latency_quantile`` reads
+    ``quantile`` of the ``latency`` stream's rolling histogram,
+    ``error_rate`` reads windowed failures / requests, ``queue_depth``
+    reads the batcher's current pending depth.  ``target`` is the
+    breach threshold (strictly-greater breaches); ``warn_ratio`` scales
+    it down to the warn threshold.
+    """
+
+    name: str
+    kind: str
+    target: float
+    warn_ratio: float = 0.8
+    quantile: float = 0.99
+    latency: str = "service"
+
+    def __post_init__(self) -> None:
+        if self.kind not in RULE_KINDS:
+            raise ValueError(f"unknown SLO rule kind {self.kind!r}; "
+                             f"expected one of {RULE_KINDS}")
+        if self.target <= 0:
+            raise ValueError("SLO target must be positive")
+        if not 0.0 < self.warn_ratio <= 1.0:
+            raise ValueError("warn_ratio must be in (0, 1]")
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.latency not in LATENCY_KINDS:
+            raise ValueError(f"unknown latency stream {self.latency!r}; "
+                             f"expected one of {LATENCY_KINDS}")
+
+    def verdict(self, value: float) -> str:
+        if value > self.target:
+            return "breach"
+        if value > self.warn_ratio * self.target:
+            return "warn"
+        return "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "target": self.target,
+                "warn_ratio": self.warn_ratio, "quantile": self.quantile,
+                "latency": self.latency}
+
+
+@dataclass
+class _RuleBurn:
+    """Burn accounting for one rule across evaluations."""
+
+    evaluations: int = 0
+    breaches: int = 0
+    episodes: int = 0
+    breaching: bool = False
+    episode_started: float | None = None
+
+    def observe(self, verdict: str, now: float) -> str | None:
+        """Fold one evaluation in; returns 'breach'/'recover' on an edge."""
+        self.evaluations += 1
+        if verdict == "breach":
+            self.breaches += 1
+            if not self.breaching:
+                self.breaching = True
+                self.episodes += 1
+                self.episode_started = now
+                return "breach"
+        elif self.breaching:
+            self.breaching = False
+            self.episode_started = None
+            return "recover"
+        return None
+
+    def to_dict(self, now: float) -> dict[str, Any]:
+        burning = (now - self.episode_started
+                   if self.breaching and self.episode_started is not None
+                   else 0.0)
+        return {"evaluations": self.evaluations, "breaches": self.breaches,
+                "episodes": self.episodes, "breaching": self.breaching,
+                "burning_seconds": max(0.0, burning)}
+
+
+@dataclass
+class SLOReport:
+    """One evaluation: per-rule measurements + verdicts, overall verdict."""
+
+    overall: str
+    evaluated_at: float
+    rules: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"overall": self.overall, "evaluated_at": self.evaluated_at,
+                "rules": [dict(rule) for rule in self.rules]}
+
+
+class SLOEngine:
+    """Rolling windows + rules -> verdicts, with breach/recover events.
+
+    The serving path calls the ``observe_*`` hooks (cheap: one ring
+    record each); anyone — ``/health``, ``serve-bench``, tests — calls
+    :meth:`evaluate` to get a fresh :class:`SLOReport`.  With an
+    :class:`~repro.obs.events.EventLog` attached, breach and recover
+    *transitions* (not every breaching evaluation) are emitted as
+    ``slo_breach`` / ``slo_recover`` events.
+    """
+
+    def __init__(self, rules: Iterable[SLORule] = (),
+                 bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+                 buckets: int = DEFAULT_WINDOW_BUCKETS,
+                 edges: Iterable[float] | None = None,
+                 clock: Callable[[], float] = time.time,
+                 events: EventLog | None = None) -> None:
+        self.rules = tuple(rules)
+        seen: set[str] = set()
+        for rule in self.rules:
+            if rule.name in seen:
+                raise ValueError(f"duplicate SLO rule name {rule.name!r}")
+            seen.add(rule.name)
+        self._clock = clock
+        self.event_log = events
+        self.windows: dict[str, WindowedHistogram] = {
+            kind: WindowedHistogram(bucket_seconds, buckets, edges=edges,
+                                    clock=clock)
+            for kind in LATENCY_KINDS}
+        self.requests = WindowedCounter(bucket_seconds, buckets, clock=clock)
+        self.failures = WindowedCounter(bucket_seconds, buckets, clock=clock)
+        self._lock = threading.Lock()
+        self._queue_depth = 0
+        self._burn = {rule.name: _RuleBurn() for rule in self.rules}
+
+    # -- observation hooks (called from the serving path) --------------------
+    def observe_latency(self, kind: str, seconds: float) -> None:
+        self.windows[kind].record(seconds)
+
+    def observe_request(self, failed: bool = False) -> None:
+        self.requests.inc()
+        if failed:
+            self.failures.inc()
+
+    def observe_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depth = int(depth)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._queue_depth
+
+    # -- measurement + evaluation --------------------------------------------
+    def measure(self, rule: SLORule) -> float:
+        if rule.kind == "latency_quantile":
+            return self.windows[rule.latency].quantile(rule.quantile)
+        if rule.kind == "error_rate":
+            requests = self.requests.total()
+            return self.failures.total() / requests if requests else 0.0
+        return float(self.queue_depth)
+
+    def evaluate(self) -> SLOReport:
+        """Measure every rule against its window and fold burn state in."""
+        now = self._clock()
+        rows: list[dict[str, Any]] = []
+        for rule in self.rules:
+            value = self.measure(rule)
+            verdict = rule.verdict(value)
+            with self._lock:
+                burn = self._burn[rule.name]
+                edge = burn.observe(verdict, now)
+                burn_state = burn.to_dict(now)
+            if edge and self.event_log is not None:
+                self.event_log.emit(f"slo_{edge}", rule=rule.name,
+                                 value=value, target=rule.target)
+            rows.append({**rule.to_dict(), "value": value,
+                         "verdict": verdict, "burn": burn_state})
+        return SLOReport(overall=worst_verdict(row["verdict"]
+                                               for row in rows),
+                         evaluated_at=now, rules=rows)
+
+    # -- introspection --------------------------------------------------------
+    def window_summaries(self) -> dict[str, dict[str, float]]:
+        """Rolling-window latency digests plus request/failure counts."""
+        summaries: dict[str, Any] = {
+            kind: self.windows[kind].summary() for kind in LATENCY_KINDS}
+        summaries["requests"] = self.requests.total()
+        summaries["failures"] = self.failures.total()
+        return summaries
+
+    def to_dict(self) -> dict[str, Any]:
+        report = self.evaluate()
+        return {"report": report.to_dict(),
+                "windows": self.window_summaries(),
+                "queue_depth": self.queue_depth}

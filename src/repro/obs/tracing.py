@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from typing import Any, Iterable, Mapping
 
 #: Default number of traces an :class:`InferenceServer` retains.
@@ -47,17 +48,32 @@ class Span:
 
 
 class Trace:
-    """One request's timeline: id, model, spans, request-level attributes."""
+    """One request's timeline: id, model, spans, request-level attributes.
 
-    __slots__ = ("trace_id", "model", "spans", "attributes")
+    Each trace is anchored to the wall clock at creation: ``epoch`` is
+    ``time.time()`` and ``anchor`` is the monotonic reading taken at the
+    same instant.  Spans stay monotonic-relative (steady, never steps
+    backwards), and any span time ``t`` maps onto the shared wall-clock
+    timeline as ``epoch + (t - anchor)`` — which is how traces exported
+    from different processes or across restarts line up in one view
+    (:func:`repro.obs.export.chrome_trace_from_traces`).
+    """
+
+    __slots__ = ("trace_id", "model", "spans", "attributes", "epoch",
+                 "anchor")
 
     def __init__(self, trace_id: str, model: str,
                  spans: Iterable[Span] = (),
-                 attributes: Mapping[str, Any] | None = None):
+                 attributes: Mapping[str, Any] | None = None,
+                 epoch: float | None = None,
+                 anchor: float | None = None):
         self.trace_id = trace_id
         self.model = model
         self.spans = list(spans)
         self.attributes = dict(attributes) if attributes else {}
+        self.epoch = time.time() if epoch is None else float(epoch)
+        self.anchor = (time.monotonic() if anchor is None
+                       else float(anchor))
 
     def add_span(self, span: Span) -> None:
         self.spans.append(span)
@@ -76,9 +92,14 @@ class Trace:
         return max(0.0, max(span.end for span in self.spans)
                    - min(span.start for span in self.spans))
 
+    def wall_time(self, monotonic_time: float) -> float:
+        """Map a monotonic span time onto this trace's wall-clock line."""
+        return self.epoch + (monotonic_time - self.anchor)
+
     def to_dict(self) -> dict[str, Any]:
         return {"trace_id": self.trace_id, "model": self.model,
                 "seconds": self.seconds,
+                "epoch": self.epoch, "anchor": self.anchor,
                 "spans": [span.to_dict() for span in self.spans],
                 "attributes": dict(self.attributes)}
 

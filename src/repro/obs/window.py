@@ -1,0 +1,192 @@
+"""Rolling windows: fixed-width time buckets of exactly-mergeable state.
+
+A lifetime histogram answers "what has this process ever done"; an SLO
+needs "what happened in the last minute".  The windows here keep a ring
+of per-bucket states keyed by the **absolute bucket index**
+``floor(now / bucket_seconds)`` of an injected clock — not by a local
+ring position — which buys three properties at once:
+
+* **Determinism.**  The clock is a plain callable (``time.time`` by
+  default, a fake in tests), and bucket assignment is a pure function
+  of its reading, so tests drive rotation and expiry exactly.
+* **Exact merging.**  Two windows observing disjoint parts of a stream
+  under the same clock put every observation in the same absolute
+  bucket; merging unions buckets by index with the exact integer merges
+  of :class:`~repro.obs.metrics.Histogram` (or integer adds for
+  counters), so the merged window is bit-equal to a single-stream
+  window, in any merge order, across threads or processes.
+* **O(capacity) memory.**  Stale buckets are pruned on every touch; a
+  window never holds more than ``buckets`` cells no matter how long the
+  process runs.
+
+:class:`WindowedHistogram` rolls full latency histograms (windowed
+quantiles); :class:`WindowedCounter` rolls integer counts (windowed
+rates, e.g. error rate).  Both serialize with ``state()`` and fold
+foreign state back in with ``merge_state()``, mirroring the
+snapshot-merge idiom of :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.obs.metrics import Histogram, latency_edges
+
+#: Default rolling-window shape: twelve 5-second buckets = one minute.
+DEFAULT_BUCKET_SECONDS = 5.0
+DEFAULT_WINDOW_BUCKETS = 12
+
+
+class _WindowBase:
+    """Shared ring mechanics: absolute-index cells, pruning, clock."""
+
+    def __init__(self, bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+                 buckets: int = DEFAULT_WINDOW_BUCKETS,
+                 clock: Callable[[], float] = time.time) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        if buckets < 1:
+            raise ValueError("a window needs at least one bucket")
+        self.bucket_seconds = float(bucket_seconds)
+        self.buckets = int(buckets)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cells: dict[int, Any] = {}
+
+    @property
+    def window_seconds(self) -> float:
+        return self.bucket_seconds * self.buckets
+
+    def bucket_index(self, now: float | None = None) -> int:
+        """Absolute bucket index of ``now`` (clock reading if omitted)."""
+        reading = self._clock() if now is None else now
+        return int(float(reading) // self.bucket_seconds)
+
+    def _prune_locked(self, current: int) -> None:
+        # Keep the newest `buckets` indices; "newest" includes the
+        # clock's current index so idle windows drain to empty, and the
+        # max held index so merged-in foreign state (slight clock skew)
+        # can't make the ring unbounded.
+        horizon = max([current, *self._cells]) - self.buckets + 1
+        for index in [i for i in self._cells if i < horizon]:
+            del self._cells[index]
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._prune_locked(self.bucket_index())
+            return len(self._cells)
+
+
+class WindowedHistogram(_WindowBase):
+    """A rolling latency histogram: ring of exact per-bucket histograms."""
+
+    def __init__(self, bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+                 buckets: int = DEFAULT_WINDOW_BUCKETS,
+                 edges: Iterable[float] | None = None,
+                 clock: Callable[[], float] = time.time) -> None:
+        super().__init__(bucket_seconds, buckets, clock)
+        self.edges: tuple[float, ...] = (latency_edges() if edges is None
+                                         else tuple(float(e) for e in edges))
+
+    def record(self, seconds: float) -> None:
+        current = self.bucket_index()
+        with self._lock:
+            self._prune_locked(current)
+            cell = self._cells.get(current)
+            if cell is None:
+                cell = self._cells[current] = Histogram(edges=self.edges)
+        cell.record(seconds)
+
+    def merged(self) -> Histogram:
+        """The live window folded into one histogram (exact merge)."""
+        with self._lock:
+            self._prune_locked(self.bucket_index())
+            states = [self._cells[index].to_dict()
+                      for index in sorted(self._cells)]
+        total = Histogram(edges=self.edges)
+        for state in states:
+            total.merge(state)
+        return total
+
+    def summary(self) -> dict[str, float]:
+        return self.merged().summary()
+
+    def quantile(self, q: float) -> float:
+        return self.merged().quantile(q)
+
+    @property
+    def count(self) -> int:
+        return self.merged().count
+
+    def state(self) -> dict[str, Any]:
+        """JSON-able window state: per-bucket histogram dicts by index."""
+        with self._lock:
+            self._prune_locked(self.bucket_index())
+            return {"bucket_seconds": self.bucket_seconds,
+                    "buckets": self.buckets,
+                    "cells": {str(index): self._cells[index].to_dict()
+                              for index in sorted(self._cells)}}
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Union another window's state in, bucket by absolute index.
+
+        Exact and order-independent: same-index cells merge with
+        :meth:`Histogram.merge`.  Requires the same bucket geometry —
+        a mismatch would silently misalign time, so it raises.
+        """
+        if (float(state["bucket_seconds"]) != self.bucket_seconds
+                or int(state["buckets"]) != self.buckets):
+            raise ValueError("cannot merge windows with different "
+                             "bucket geometry")
+        with self._lock:
+            for raw_index, cell_state in state["cells"].items():
+                index = int(raw_index)
+                cell = self._cells.get(index)
+                if cell is None:
+                    cell = self._cells[index] = Histogram(edges=self.edges)
+                cell.merge(cell_state)
+            self._prune_locked(self.bucket_index())
+
+
+class WindowedCounter(_WindowBase):
+    """A rolling integer count: ring of per-bucket exact integers."""
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("windowed counters only increase")
+        current = self.bucket_index()
+        with self._lock:
+            self._prune_locked(current)
+            self._cells[current] = self._cells.get(current, 0) + int(amount)
+
+    def total(self) -> int:
+        """Exact count of increments inside the live window."""
+        with self._lock:
+            self._prune_locked(self.bucket_index())
+            return sum(self._cells.values())
+
+    def rate(self) -> float:
+        """Increments per second over the full window span."""
+        return self.total() / self.window_seconds
+
+    def state(self) -> dict[str, Any]:
+        with self._lock:
+            self._prune_locked(self.bucket_index())
+            return {"bucket_seconds": self.bucket_seconds,
+                    "buckets": self.buckets,
+                    "cells": {str(index): self._cells[index]
+                              for index in sorted(self._cells)}}
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Union another counter window in (exact integer adds)."""
+        if (float(state["bucket_seconds"]) != self.bucket_seconds
+                or int(state["buckets"]) != self.buckets):
+            raise ValueError("cannot merge windows with different "
+                             "bucket geometry")
+        with self._lock:
+            for raw_index, count in state["cells"].items():
+                index = int(raw_index)
+                self._cells[index] = self._cells.get(index, 0) + int(count)
+            self._prune_locked(self.bucket_index())

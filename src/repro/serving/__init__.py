@@ -139,6 +139,29 @@ runs, merge exactly at the server, expose in one place**:
    renders the merged snapshot in text exposition format.  The
    ``repro serve-stats`` CLI and ``serve-bench --profile --trace`` are
    thin views over these.
+4. **Operate.**  On top of the lifetime totals sits the operational
+   layer (:mod:`repro.obs.window` / :mod:`~repro.obs.slo` /
+   :mod:`~repro.obs.events` / :mod:`~repro.obs.exporter`): every
+   request's queued / service / total latency also lands in **rolling
+   time-bucketed windows** (same exactly-mergeable histogram state,
+   keyed by absolute wall-clock bucket index, O(buckets) memory), a
+   declarative :class:`~repro.obs.slo.SLOEngine` evaluates
+   latency-quantile / error-rate / queue-depth rules over those windows
+   into ok / warn / breach verdicts with burn counters, and lifecycle
+   transitions — model load / evict, hot-swap old->new fingerprint +
+   generation, pool warm / rebuild / shutdown, load failures, SLO
+   breach / recover — append to one bounded
+   :class:`~repro.obs.events.EventLog` shared by registry, server, and
+   pool.  ``InferenceServer.serve_metrics()`` attaches a live threaded
+   HTTP endpoint (:class:`~repro.obs.exporter.ObservabilityExporter`)
+   serving ``/metrics`` (Prometheus text), ``/health`` (liveness + SLO
+   verdict in the HTTP status: 200 ok/warn, 503 breach or stopped),
+   ``/stats``, ``/traces``, and ``/events``; ``stop()`` closes it
+   first.  :mod:`repro.obs.export` renders the same traces — and
+   instrumented :class:`~repro.combining.pipeline.PackingPipeline`
+   stage spans — as Chrome-trace-event JSON for Perfetto.  All of it is
+   wrapping only: an observed server's responses stay bit-identical to
+   a bare one's.
 
 Usage::
 
@@ -165,7 +188,14 @@ from repro.combining.serialization import (
     load_plan,
     save_packed,
 )
-from repro.obs import MetricsRegistry, TraceBuffer
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    ObservabilityExporter,
+    SLOEngine,
+    SLORule,
+    TraceBuffer,
+)
 from repro.serving.batcher import (
     Batch,
     DynamicBatcher,
@@ -189,8 +219,12 @@ __all__ = [
     "Batch",
     "DynamicBatcher",
     "FLUSH_REASONS",
+    "EventLog",
     "MetricsRegistry",
+    "ObservabilityExporter",
     "PendingRequest",
+    "SLOEngine",
+    "SLORule",
     "TraceBuffer",
     "ModelRegistry",
     "ProcessWorkerPool",

@@ -183,6 +183,10 @@ class DynamicBatcher:
         #: lock) — the coalescing-health signal ``stats()`` surfaces.
         self._flush_counts: dict[str, int] = {reason: 0
                                               for reason in FLUSH_REASONS}
+        #: High-water mark of the pending queue (guarded by the
+        #: condition lock) — the backlog signal the queue-depth SLO rule
+        #: and capacity planning read; updated on every submit.
+        self._peak_pending = 0
 
     # -- submission ----------------------------------------------------------
     def submit(self, key: str, samples: np.ndarray,
@@ -200,6 +204,8 @@ class DynamicBatcher:
             if self._closed:
                 raise RuntimeError("batcher is closed to new requests")
             self._pending.append(request)
+            if len(self._pending) > self._peak_pending:
+                self._peak_pending = len(self._pending)
             self._condition.notify_all()
         return request
 
@@ -210,6 +216,12 @@ class DynamicBatcher:
     def pending_count(self) -> int:
         with self._condition:
             return len(self._pending)
+
+    @property
+    def peak_pending(self) -> int:
+        """Deepest the pending queue has ever been (submit high-water)."""
+        with self._condition:
+            return self._peak_pending
 
     @property
     def flush_reasons(self) -> dict[str, int]:

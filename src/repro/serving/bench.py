@@ -55,8 +55,38 @@ from repro.combining.kernels import (
 from repro.combining.pipeline import PipelineConfig
 from repro.combining.quantized import QuantizedPackedModel
 from repro.combining.serialization import load_packed
+from repro.obs.slo import SLORule
 from repro.serving.registry import ModelRegistry
 from repro.serving.server import InferenceServer
+
+
+def default_slo_rules(latency_target: float = 0.25,
+                      error_rate: float = 0.01,
+                      queue_depth: int = 256) -> tuple[SLORule, ...]:
+    """The stock rule set ``serve-bench --slo`` evaluates.
+
+    One rule per kind: p99 service latency under ``latency_target``
+    seconds, failed-request fraction under ``error_rate``, and pending
+    queue depth under ``queue_depth``.
+    """
+    return (
+        SLORule("service-p99", "latency_quantile", latency_target,
+                quantile=0.99, latency="service"),
+        SLORule("error-rate", "error_rate", error_rate),
+        SLORule("queue-depth", "queue_depth", float(queue_depth)),
+    )
+
+
+def _scrape(url: str) -> tuple[int, str]:
+    """GET ``url``; returns ``(status, body)`` without raising on 4xx/5xx."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
 
 
 def resolve_sample_shape(loaded: PackedModel | QuantizedPackedModel,
@@ -90,7 +120,9 @@ def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
                   workers: int = 1, backend: str = "thread",
                   path: str | Path | None = None,
                   kernel: str = DEFAULT_KERNEL, profile: bool = False,
-                  trace_capacity: int = 0
+                  trace_capacity: int = 0,
+                  slo_rules: tuple[SLORule, ...] | None = None,
+                  export_port: int | None = None
                   ) -> tuple[float, list[np.ndarray], dict[str, Any],
                              dict[str, Any]]:
     """Serve every sample as its own request.
@@ -98,10 +130,13 @@ def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
     Returns ``(seconds, outputs, stats, obs)`` — ``obs`` carries the
     server's observability exports (per-layer profile, retained traces,
     merged metrics snapshot); empty-ish unless ``profile`` /
-    ``trace_capacity`` opt in.  The thread backend serves the live
-    ``loaded`` model directly; the process backend needs ``path``,
-    because its workers map the artifact themselves rather than
-    receiving a model.
+    ``trace_capacity`` opt in.  ``slo_rules`` installs the rules on the
+    server's SLO engine; ``export_port`` (0 = ephemeral) attaches the
+    live HTTP exporter for the run and scrapes ``/metrics`` + ``/health``
+    once before shutdown — both land under ``obs["operational"]``.  The
+    thread backend serves the live ``loaded`` model directly; the
+    process backend needs ``path``, because its workers map the artifact
+    themselves rather than receiving a model.
     """
     registry = ModelRegistry(max_resident=1)
     if backend == "process":
@@ -114,8 +149,10 @@ def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
         registry.add("bench", loaded)
     with InferenceServer(registry, max_batch=max_batch, max_wait=max_wait,
                          workers=workers, backend=backend, kernel=kernel,
-                         profile=profile,
-                         trace_capacity=trace_capacity) as server:
+                         profile=profile, trace_capacity=trace_capacity,
+                         slo=slo_rules) as server:
+        exporter = (server.serve_metrics(port=export_port)
+                    if export_port is not None else None)
         started = monotonic()
         pending = [server.submit("bench", sample) for sample in samples]
         outputs = [request.result(timeout=120.0) for request in pending]
@@ -126,6 +163,26 @@ def _serve_stream(loaded: PackedModel | QuantizedPackedModel,
             "traces": server.traces(),
             "metrics_snapshot": server.metrics_snapshot(),
         }
+        if slo_rules is not None or exporter is not None:
+            health = server.health()
+            operational: dict[str, Any] = {
+                "health": health,
+                "slo": health["slo"],
+                "windows": health["windows"],
+                "events": server.events(),
+            }
+            if exporter is not None:
+                health_status, health_body = _scrape(exporter.url + "/health")
+                metrics_status, metrics_body = _scrape(
+                    exporter.url + "/metrics")
+                operational["exporter"] = {
+                    "url": exporter.url,
+                    "health_status": health_status,
+                    "health_body": health_body,
+                    "metrics_status": metrics_status,
+                    "metrics_lines": metrics_body.count("\n"),
+                }
+            obs["operational"] = operational
     return elapsed, outputs, stats, obs
 
 
@@ -158,7 +215,9 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
                          backend: str = "thread",
                          path: str | Path | None = None,
                          kernel: str = DEFAULT_KERNEL, profile: bool = False,
-                         trace: bool = False) -> dict[str, Any]:
+                         trace: bool = False,
+                         slo_rules: tuple[SLORule, ...] | None = None,
+                         export_port: int | None = None) -> dict[str, Any]:
     """Serve ``samples`` one-at-a-time and batched; verify bit-identity.
 
     Every sample becomes one single-sample request.  The returned mapping
@@ -172,7 +231,10 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
     of ``backend``, ``workers``, ``kernel``, and (``profile=True``)
     per-layer profiling.  Profiling adds ``slowest_layers``; ``trace``
     retains the batched run's request traces (``traces`` /
-    ``trace_stats``).
+    ``trace_stats``).  ``slo_rules`` / ``export_port`` run the batched
+    leg with the SLO engine evaluating and the HTTP exporter attached
+    (scraped once) and add the ``operational`` section — rolling-window
+    quantiles, per-rule verdicts, lifecycle events, scrape results.
     """
     sequential_seconds, sequential_outputs, sequential_stats, _ = (
         _serve_stream(loaded, samples, max_batch=1, max_wait=0.0,
@@ -182,7 +244,8 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
         _serve_stream(loaded, samples, max_batch=max_batch,
                       max_wait=max_wait, workers=workers, backend=backend,
                       path=path, kernel=kernel, profile=profile,
-                      trace_capacity=256 if trace else 0))
+                      trace_capacity=256 if trace else 0,
+                      slo_rules=slo_rules, export_port=export_port))
 
     direct = _direct_reference(loaded, kernel=kernel)
     bit_identical = all(
@@ -218,6 +281,8 @@ def throughput_benchmark(loaded: PackedModel | QuantizedPackedModel,
     if trace:
         result["traces"] = batched_obs["traces"]
         result["trace_stats"] = batched_stats["traces"]
+    if "operational" in batched_obs:
+        result["operational"] = batched_obs["operational"]
     return result
 
 
@@ -360,13 +425,16 @@ def run_serving_benchmark(path: str | Path, requests: int = 96,
                           image_size: int = 8, seed: int = 0,
                           workers: int = 1, backend: str = "thread",
                           kernel: str = DEFAULT_KERNEL,
-                          profile: bool = False, trace: bool = False
+                          profile: bool = False, trace: bool = False,
+                          slo_rules: tuple[SLORule, ...] | None = None,
+                          export_port: int | None = None
                           ) -> dict[str, Any]:
     """The full serve-bench: cold start plus throughput on one artifact.
 
     ``profile`` turns on per-layer wall-time accounting for the batched
     run (slowest layers land in the throughput section); ``trace``
-    retains its request traces.
+    retains its request traces; ``slo_rules`` / ``export_port`` add the
+    operational section (window quantiles, verdicts, exporter scrape).
     """
     if requests < 1:
         raise ValueError("requests must be >= 1")
@@ -384,7 +452,8 @@ def run_serving_benchmark(path: str | Path, requests: int = 96,
                                       max_wait=max_wait, workers=workers,
                                       backend=backend, path=path,
                                       kernel=kernel, profile=profile,
-                                      trace=trace)
+                                      trace=trace, slo_rules=slo_rules,
+                                      export_port=export_port)
     return {"kind": info["kind"], "sample_shape": shape,
             "cold_start": cold, "throughput": throughput}
 

@@ -37,6 +37,7 @@ from typing import Any
 import numpy as np
 
 from repro.combining.kernels import DEFAULT_KERNEL
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.utils.lru import LRUCache
 
@@ -192,15 +193,21 @@ class ProcessWorkerPool:
     drain thread) while the pool provides the parallel compute.
     """
 
-    def __init__(self, workers: int, start_method: str | None = None):
+    def __init__(self, workers: int, start_method: str | None = None,
+                 events: EventLog | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.start_method = start_method
+        #: Optional lifecycle stream (the server passes its own):
+        #: ``pool_warm`` / ``pool_shutdown`` records with pids, so a
+        #: rebuild incident reads as evict-old/warm-new in one log.
+        self.event_log = events
         context = (multiprocessing.get_context(start_method)
                    if start_method is not None else None)
         self._executor = ProcessPoolExecutor(max_workers=workers,
                                              mp_context=context)
+        self._shut_down = False
 
     def warm(self) -> None:
         """Fork every worker now (call before any threads exist)."""
@@ -208,6 +215,9 @@ class ProcessWorkerPool:
                    for _ in range(self.workers)]
         for future in futures:
             future.result()
+        if self.event_log is not None:
+            self.event_log.emit("pool_warm", workers=self.workers,
+                                start_method=self.start_method)
 
     def run(self, path: str | Path, mode: str, batch: np.ndarray,
             kernel: str = DEFAULT_KERNEL, fingerprint: str | None = None,
@@ -231,3 +241,6 @@ class ProcessWorkerPool:
 
     def shutdown(self) -> None:
         self._executor.shutdown(wait=True)
+        if self.event_log is not None and not self._shut_down:
+            self._shut_down = True
+            self.event_log.emit("pool_shutdown", workers=self.workers)

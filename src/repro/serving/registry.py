@@ -58,6 +58,7 @@ from repro.combining.kernels import DEFAULT_KERNEL
 from repro.combining.quantized import QuantizedPackedModel
 from repro.combining.serialization import artifact_info, load_plan
 from repro.nn import Module
+from repro.obs.events import EventLog
 from repro.systolic.system import ModelExecutionPlan
 from repro.utils.lru import LRUCache
 
@@ -270,7 +271,8 @@ class ModelRegistry:
     V1 artifacts.
     """
 
-    def __init__(self, max_resident: int = 2, mmap: bool | str = "auto"):
+    def __init__(self, max_resident: int = 2, mmap: bool | str = "auto",
+                 events: EventLog | None = None):
         if max_resident < 1:
             raise ValueError("max_resident must be >= 1")
         self.max_resident = max_resident
@@ -285,6 +287,22 @@ class ModelRegistry:
         self.evictions = 0
         self.swaps = 0
         self.load_seconds = 0.0
+        #: Lifecycle stream: ``model_load`` / ``model_evict`` /
+        #: ``model_swap`` / ``load_failure`` records with fingerprints
+        #: and generations — the inspectable counterpart of the bare
+        #: counters above.  An :class:`InferenceServer` built over this
+        #: registry joins the same log by default.
+        self.event_log: EventLog = (events if events is not None
+                                    else EventLog())
+
+    def _evict_over_limit_locked(self) -> None:
+        """Evict LRU entries over the bound; caller holds ``_lock``."""
+        while len(self._resident) > self.max_resident:
+            evicted_name, _ = self._resident.popitem(last=False)
+            self.evictions += 1
+            self.event_log.emit("model_evict", model=evicted_name,
+                                resident=len(self._resident),
+                                max_resident=self.max_resident)
 
     # -- registration --------------------------------------------------------
     def register(self, name: str, path: str | Path, mode: str = "exact",
@@ -425,7 +443,13 @@ class ModelRegistry:
                 mode, fingerprint = registration.mode, registration.fingerprint
                 generation = registration.generation
             started = time.monotonic()
-            loaded = load_plan(path, model=architecture, mmap=self.mmap)
+            try:
+                loaded = load_plan(path, model=architecture, mmap=self.mmap)
+            except Exception as error:
+                self.event_log.emit("load_failure", model=name,
+                                    path=str(path),
+                                    error=f"{type(error).__name__}: {error}")
+                raise
             elapsed = time.monotonic() - started
             resident = ResidentModel(name, mode, loaded)
             resident.fingerprint = fingerprint
@@ -434,9 +458,11 @@ class ModelRegistry:
                 self.loads += 1
                 self.load_seconds += elapsed
                 self._resident[name] = resident
-                while len(self._resident) > self.max_resident:
-                    self._resident.popitem(last=False)
-                    self.evictions += 1
+                self._evict_over_limit_locked()
+            self.event_log.emit("model_load", model=name, mode=mode,
+                                fingerprint=fingerprint,
+                                generation=generation,
+                                load_seconds=elapsed)
             return resident
 
     # -- live redeploy (hot swap) --------------------------------------------
@@ -499,18 +525,23 @@ class ModelRegistry:
                 registration.resident = None
                 self._resident[name := registration.name] = resident
                 self._resident.move_to_end(name)
-                while len(self._resident) > self.max_resident:
-                    self._resident.popitem(last=False)
-                    self.evictions += 1
+                self._evict_over_limit_locked()
             self.swaps += 1
             self.load_seconds += load_seconds
-            return {
+            result = {
                 "name": name,
                 "generation": registration.generation,
                 "fingerprint": fingerprint,
                 "previous_fingerprint": previous_fingerprint,
                 "load_seconds": load_seconds,
             }
+        self.event_log.emit("model_swap", model=result["name"],
+                            generation=result["generation"],
+                            fingerprint=result["fingerprint"],
+                            previous_fingerprint=result["previous_fingerprint"],
+                            load_seconds=result["load_seconds"],
+                            live=path is None)
+        return result
 
     def swap(self, name: str, path: str | Path,
              architecture: Module | None = None) -> dict[str, Any]:
@@ -548,7 +579,13 @@ class ModelRegistry:
             if architecture is None:
                 architecture = registration.architecture
             started = time.monotonic()
-            loaded = load_plan(path, model=architecture, mmap=self.mmap)
+            try:
+                loaded = load_plan(path, model=architecture, mmap=self.mmap)
+            except Exception as error:
+                self.event_log.emit("load_failure", model=name,
+                                    path=str(path),
+                                    error=f"{type(error).__name__}: {error}")
+                raise
             elapsed = time.monotonic() - started
             resident = ResidentModel(name, registration.mode, loaded)
             return self._install_swapped(

@@ -60,6 +60,18 @@ Observability rides along (:mod:`repro.obs`):
   registries (sorted by pid — histogram merge is exact, so totals are
   schedule-independent) into the server-side registry.  Export as a
   JSON snapshot or Prometheus text (:meth:`InferenceServer.prometheus_text`).
+* **operationally** — :meth:`InferenceServer.serve_metrics` attaches a
+  threaded HTTP scrape endpoint (``/metrics`` Prometheus text,
+  ``/health`` liveness + SLO verdict with the verdict in the HTTP
+  status, ``/stats`` / ``/traces`` / ``/events`` JSON); rolling
+  windows over the same exactly-mergeable histograms
+  (:mod:`repro.obs.window`) feed declarative SLO rules
+  (:mod:`repro.obs.slo`, ``slo=[...]``), and lifecycle transitions —
+  model load/evict/swap, pool warm/rebuild, SLO breach/recover, server
+  start/stop — land in a bounded :class:`~repro.obs.events.EventLog`
+  shared with the registry and the process pool.  All of it wraps the
+  serving path from outside the forward, so observed and exported
+  serving stays bit-identical.
 
 Shutdown is graceful by default: :meth:`~InferenceServer.stop` closes the
 batcher to new work, lets the workers drain everything already queued,
@@ -71,17 +83,21 @@ before ``stop`` returns.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from time import monotonic, perf_counter_ns
-from typing import Any
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.combining.inference import ensure_sample_batch
 from repro.combining.kernels import DEFAULT_KERNEL, validate_kernel
+from repro.obs.events import EventLog
+from repro.obs.exporter import ObservabilityExporter
 from repro.obs.metrics import (Histogram, MetricsRegistry, merge_snapshots,
                                prometheus_from_snapshot)
+from repro.obs.slo import SLOEngine, SLORule
 from repro.obs.tracing import (DEFAULT_TRACE_CAPACITY, Span, Trace,
                                TraceBuffer, TraceIdAllocator)
 from repro.serving.batcher import Batch, DynamicBatcher, PendingRequest
@@ -165,7 +181,10 @@ class InferenceServer:
                  max_wait: float = 0.002, workers: int = 1,
                  backend: str = "thread", kernel: str = DEFAULT_KERNEL,
                  profile: bool = False,
-                 trace_capacity: int = DEFAULT_TRACE_CAPACITY):
+                 trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+                 slo: "Sequence[SLORule] | SLOEngine | None" = None,
+                 events: EventLog | None = None,
+                 clock: Callable[[], float] = time.time):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if backend not in SERVING_BACKENDS:
@@ -199,6 +218,26 @@ class InferenceServer:
         #: Per model -> layer -> [total_ns, batches]; exact integer
         #: accumulation across both backends, feeding ``layer_profile``.
         self._layer_ns: dict[str, dict[str, list[int]]] = {}
+        #: Lifecycle event log.  By default the server joins the
+        #: registry's log, so model loads/evictions/swaps and server
+        #: start/stop/pool-rebuild land in one timestamped stream; pass
+        #: ``events`` to use a dedicated (or shared-wider) log instead.
+        self.event_log: EventLog = (events if events is not None
+                                    else registry.event_log)
+        #: Rolling windows + SLO rules.  Always present (the windows are
+        #: what ``/health`` and ``stats()["windows"]`` read); with no
+        #: rules the engine evaluates to an empty all-ok report.  The
+        #: injected ``clock`` drives window bucketing and event
+        #: timestamps, so tests can rotate and expire windows
+        #: deterministically.
+        if isinstance(slo, SLOEngine):
+            self.slo = slo
+            if self.slo.event_log is None:
+                self.slo.event_log = self.event_log
+        else:
+            self.slo = SLOEngine(tuple(slo) if slo is not None else (),
+                                 clock=clock, events=self.event_log)
+        self._exporter: ObservabilityExporter | None = None
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "InferenceServer":
@@ -210,7 +249,7 @@ class InferenceServer:
             # Create and warm the pool before any drain thread exists:
             # forking a multi-threaded parent is where fork-based pools
             # go to deadlock.
-            pool = ProcessWorkerPool(self.workers)
+            pool = ProcessWorkerPool(self.workers, events=self.event_log)
             pool.warm()
             self._pool = pool
         self._started = True
@@ -220,6 +259,9 @@ class InferenceServer:
                                       daemon=True)
             thread.start()
             self._threads.append(thread)
+        self.event_log.emit("server_start", backend=self.backend,
+                            workers=self.workers, kernel=self.kernel,
+                            profile=self.profile)
         return self
 
     def stop(self, timeout: float | None = None) -> None:
@@ -236,7 +278,14 @@ class InferenceServer:
         each thread with the full timeout would multiply the wait by the
         worker count).  Threads still alive at the deadline are kept so a
         later ``stop()`` can finish the join.
+
+        An attached exporter (:meth:`serve_metrics`) is closed *first*,
+        so the scrape endpoint never outlives the server it reports on.
         """
+        stopping = self._started and not self.batcher.closed
+        if self._exporter is not None:
+            self._exporter.close()
+            self._exporter = None
         self.batcher.close()
         deadline = None if timeout is None else monotonic() + timeout
         for thread in self._threads:
@@ -251,6 +300,8 @@ class InferenceServer:
                 if self._pool is not None:
                     self._pool.shutdown()
                     self._pool = None
+        if stopping:
+            self.event_log.emit("server_stop", drained=not self._started)
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -282,8 +333,10 @@ class InferenceServer:
             raise ValueError(
                 "samples must be (C, H, W) or (batch, C, H, W), got shape "
                 f"{np.asarray(samples).shape}")
-        return self.batcher.submit(model_name, batch, unbatched=unbatched,
-                                   trace_id=self._trace_ids.allocate())
+        request = self.batcher.submit(model_name, batch, unbatched=unbatched,
+                                      trace_id=self._trace_ids.allocate())
+        self.slo.observe_queue_depth(self.batcher.pending_count())
+        return request
 
     def infer(self, model_name: str, samples: np.ndarray,
               timeout: float | None = 60.0) -> np.ndarray:
@@ -397,10 +450,14 @@ class InferenceServer:
                 broken.shutdown()
             except Exception:  # noqa: BLE001 - already broken
                 pass
-            pool = ProcessWorkerPool(self.workers, start_method="forkserver")
+            pool = ProcessWorkerPool(self.workers, start_method="forkserver",
+                                     events=self.event_log)
             pool.warm()
             self._pool = pool
             self._pool_rebuilds += 1
+            self.event_log.emit("pool_rebuild", workers=self.workers,
+                                rebuilds=self._pool_rebuilds,
+                                start_method="forkserver")
 
     def _stats_for(self, name: str) -> _ModelStats:
         """The model's stats record; caller must hold the stats lock.
@@ -421,6 +478,9 @@ class InferenceServer:
 
     def _run_batch(self, batch: Batch) -> None:
         dispatched = monotonic()
+        # Keep the queue-depth reading honest on the drain side too:
+        # this batch just left the queue.
+        self.slo.observe_queue_depth(self.batcher.pending_count())
         cycles = tiles = 0
         cache_hit: bool | None = None
         obs: dict[str, Any] | None = None
@@ -465,6 +525,14 @@ class InferenceServer:
                 stats.samples += request.num_samples
                 stats.queued.record(request.queued_seconds)
                 stats.service.record(request.service_seconds)
+                # The same durations also feed the rolling windows the
+                # SLO engine evaluates — one more ring record per
+                # request, nowhere near the forward path.
+                self.slo.observe_latency("queued", request.queued_seconds)
+                self.slo.observe_latency("service", request.service_seconds)
+                self.slo.observe_latency("total",
+                                         finished - request.enqueued_at)
+                self.slo.observe_request(failed=failed)
             if obs is not None:
                 if obs["snapshot"] is not None:
                     self._worker_snapshots[obs["pid"]] = obs["snapshot"]
@@ -557,12 +625,15 @@ class InferenceServer:
         totals["queued_seconds"] = queued_total.summary()
         totals["service_seconds"] = service_total.summary()
         totals["flush_reasons"] = self.batcher.flush_reasons
+        totals["peak_pending"] = self.batcher.peak_pending
         with self._pool_lock:
             totals["pool_rebuilds"] = self._pool_rebuilds
         return {"totals": totals, "per_model": per_model,
                 "backend": self.backend, "kernel": self.kernel,
                 "profile": self.profile, "traces": self._traces.stats(),
-                "registry": self.registry.stats()}
+                "registry": self.registry.stats(),
+                "windows": self.slo.window_summaries(),
+                "events": self.event_log.stats()}
 
     # -- observability -------------------------------------------------------
     def traces(self, limit: int | None = None) -> list[dict[str, Any]]:
@@ -574,6 +645,55 @@ class InferenceServer:
         ``respond`` — bounded by the server's ``trace_capacity``.
         """
         return self._traces.snapshot(limit)
+
+    def events(self, limit: int | None = None,
+               kind: str | None = None) -> list[dict[str, Any]]:
+        """Recent lifecycle events as dicts, oldest first.
+
+        The stream the registry, pool, SLO engine, and the server itself
+        emit into: ``model_load`` / ``model_evict`` / ``model_swap`` /
+        ``load_failure``, ``pool_warm`` / ``pool_rebuild`` /
+        ``pool_shutdown``, ``slo_breach`` / ``slo_recover``,
+        ``server_start`` / ``server_stop``.
+        """
+        return self.event_log.snapshot(limit=limit, kind=kind)
+
+    def health(self) -> dict[str, Any]:
+        """Liveness + the SLO verdict, the payload behind ``/health``.
+
+        ``live`` is whether the server accepts requests; ``status`` is
+        the worst verdict across the SLO rules evaluated against the
+        rolling windows *right now* (``ok`` with no rules).  The
+        exporter maps breach — or a stopped server — to HTTP 503.
+        """
+        report = self.slo.evaluate()
+        return {"live": self.running, "status": report.overall,
+                "backend": self.backend, "workers": self.workers,
+                "queue_depth": self.slo.queue_depth,
+                "slo": report.to_dict(),
+                "windows": self.slo.window_summaries()}
+
+    def serve_metrics(self, host: str = "127.0.0.1",
+                      port: int = 0) -> ObservabilityExporter:
+        """Attach and start an HTTP scrape endpoint over this server.
+
+        ``port=0`` binds an ephemeral port (read it back from the
+        returned exporter's ``.port``).  The endpoint serves
+        ``/metrics``, ``/health``, ``/stats``, ``/traces``, and
+        ``/events``; :meth:`stop` closes it with the server.
+        """
+        if self._exporter is not None:
+            raise RuntimeError("an exporter is already attached; "
+                               "stop() the server to detach it first")
+        self._exporter = ObservabilityExporter(self, host=host,
+                                               port=port).start()
+        self.event_log.emit("exporter_start", host=self._exporter.host,
+                            port=self._exporter.port)
+        return self._exporter
+
+    @property
+    def exporter(self) -> ObservabilityExporter | None:
+        return self._exporter
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """The merged, JSON-able metrics state across the whole server.

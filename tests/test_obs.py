@@ -195,7 +195,61 @@ def test_registry_merge_snapshot_accumulates_in_place():
     registry.merge_snapshot(other.snapshot())
     snapshot = registry.snapshot()
     assert snapshot["counters"]["n"] == 5
-    assert snapshot["gauges"]["g"] == 7.0
+    assert snapshot["gauges"]["g"]["value"] == 7.0
+
+
+def test_gauge_merge_is_order_independent():
+    """Gauges carry a process-wide sequence stamp in snapshots and the
+    highest stamp wins, so merging worker snapshots in any order yields
+    the same value — no 'canonical order' burden on callers."""
+    early = MetricsRegistry()
+    early.gauge("depth").set(3.0)
+    late = MetricsRegistry()
+    late.gauge("depth").set(9.0)  # set after `early`: higher sequence
+
+    forward = MetricsRegistry()
+    forward.merge_snapshot(early.snapshot())
+    forward.merge_snapshot(late.snapshot())
+    backward = MetricsRegistry()
+    backward.merge_snapshot(late.snapshot())
+    backward.merge_snapshot(early.snapshot())
+    assert forward.gauge("depth").value == 9.0
+    assert backward.gauge("depth").value == 9.0
+    assert merge_snapshots([early.snapshot(), late.snapshot()]) \
+        == merge_snapshots([late.snapshot(), early.snapshot()])
+
+
+def test_gauge_merge_accepts_legacy_bare_numbers():
+    """Pre-sequence snapshots stored gauges as bare floats; they merge
+    at sequence 0, so any stamped value beats them."""
+    registry = MetricsRegistry()
+    registry.merge_snapshot({"counters": {}, "gauges": {"g": 4.0},
+                             "histograms": {}})
+    assert registry.gauge("g").value == 4.0
+    stamped = MetricsRegistry()
+    stamped.gauge("g").set(6.0)
+    registry.merge_snapshot(stamped.snapshot())
+    registry.merge_snapshot({"counters": {}, "gauges": {"g": 4.0},
+                             "histograms": {}})
+    assert registry.gauge("g").value == 6.0
+
+
+def test_prometheus_label_values_are_escaped():
+    """Backslash, double-quote, and newline in label *values* must be
+    escaped per the Prometheus text-format spec — a hostile model name
+    cannot produce invalid exposition."""
+    registry = MetricsRegistry()
+    hostile = 'mo"del\\v1\nx'
+    registry.counter("serving_requests", labels={"model": hostile}).inc()
+    text = registry.prometheus_text()
+    expected = 'serving_requests{model="mo\\"del\\\\v1\\nx"} 1'
+    assert expected in text.splitlines()
+    # No raw newline survives inside any exposition line.
+    for line in text.splitlines():
+        assert line.startswith(("#", "serving_requests"))
+    # Escaping happens at key construction, so lookups stay stable.
+    assert registry.counter("serving_requests",
+                            labels={"model": hostile}).value == 1
 
 
 def test_prometheus_exposition_shape():
@@ -236,6 +290,23 @@ def test_trace_spans_and_duration():
     data = trace.to_dict()
     assert [span["name"] for span in data["spans"]] == ["enqueue", "forward"]
     assert data["spans"][0]["seconds"] == pytest.approx(1.0)
+
+
+def test_trace_wall_clock_anchor():
+    """A trace pins the wall-clock epoch at creation; spans stay
+    monotonic-relative, and ``wall_time`` projects any monotonic instant
+    onto the wall timeline for cross-process correlation."""
+    trace = Trace("req-000001", "m", epoch=1_000_000.0, anchor=50.0)
+    trace.add_span(Span("forward", 51.0, 51.5))
+    assert trace.epoch == 1_000_000.0
+    assert trace.wall_time(51.0) == pytest.approx(1_000_001.0)
+    data = trace.to_dict()
+    assert data["epoch"] == 1_000_000.0
+    assert data["anchor"] == 50.0
+    # Defaults come from the real clocks and land in the present.
+    live = Trace("req-000002", "m")
+    assert live.epoch > 1e9
+    assert live.to_dict()["epoch"] == live.epoch
 
 
 def test_trace_id_allocator_is_monotonic():
